@@ -1,0 +1,26 @@
+"""Benchmark of the code generator itself (legalization + optimization).
+
+The paper's artifact notes that "code generation time increases exponentially
+with the input bit-width"; this benchmark measures the rewrite system's
+throughput on the butterfly kernel at the evaluation bit-widths and checks
+that the generated kernel is machine legal.
+"""
+
+import pytest
+
+from repro.core.passes import optimize
+from repro.core.rewrite import kernel_is_machine_legal, legalize
+from repro.kernels import KernelConfig, build_butterfly_kernel
+
+
+@pytest.mark.parametrize("bits", [128, 256, 384])
+def test_butterfly_codegen_throughput(benchmark, bits):
+    config = KernelConfig(bits=bits)
+    wide = build_butterfly_kernel(config)
+
+    def generate():
+        return optimize(legalize(wide, config.rewrite_options()))
+
+    kernel = benchmark.pedantic(generate, rounds=1, iterations=1)
+    assert kernel_is_machine_legal(kernel, 64)
+    print(f"\n# {bits}-bit butterfly: {len(kernel.body)} machine statements")

@@ -1,0 +1,25 @@
+"""Figure 2: BLAS operations at 128/256/512/1,024 bits (MoMA vs GRNS vs GMP)."""
+
+import pytest
+
+from repro.evaluation import format_table, run_figure2_panel
+from repro.kernels.blas_gen import BLAS_OPERATIONS
+
+
+@pytest.mark.parametrize("bits", [128, 256, 512, 1024])
+def test_figure2_panel(run_once, bits):
+    figure = run_once(run_figure2_panel, bits)
+    print()
+    print(format_table(figure))
+
+    moma = figure.get("MoMA")
+    gmp = figure.get("GMP")
+    grns = figure.get("GRNS")
+    for index, operation in enumerate(BLAS_OPERATIONS):
+        # Paper: "speedups of at least 13 times" across every operation and
+        # bit-width, ">= 31x over GRNS and >= 527x over GMP" for add/sub.
+        assert gmp.at(index) / moma.at(index) >= 13
+        assert grns.at(index) / moma.at(index) >= 13
+        if operation in ("vadd", "vsub"):
+            assert gmp.at(index) / moma.at(index) >= 500
+            assert grns.at(index) / moma.at(index) >= 30

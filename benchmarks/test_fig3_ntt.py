@@ -1,0 +1,60 @@
+"""Figure 3: NTT runtime per butterfly across sizes for 128/256/384/768 bits."""
+
+import pytest
+
+from repro.evaluation import format_table, geometric_mean_ratio, run_figure3_panel
+
+SIZES = tuple(1 << k for k in range(8, 23))
+
+
+def test_figure3a_128bit(run_once):
+    figure = run_once(run_figure3_panel, 128, SIZES)
+    print()
+    print(format_table(figure))
+    moma = figure.get("MoMA (H100)")
+    # Near-ASIC: RPU and FPMM are within ~2x of MoMA (paper: MoMA wins by
+    # 1.4x / 1.8x); CPU baselines are orders of magnitude slower.
+    assert 1.0 <= geometric_mean_ratio(figure.get("RPU"), moma) <= 2.0
+    assert 1.0 <= geometric_mean_ratio(figure.get("FPMM"), moma) <= 2.5
+    assert geometric_mean_ratio(figure.get("OpenFHE"), moma) > 100
+    # Going out of shared memory costs extra (compare 2^10 vs 2^11 on V100).
+    v100 = figure.get("MoMA (V100)")
+    assert v100.at(1 << 11) / v100.at(1 << 10) > 1.3
+
+
+def test_figure3b_256bit(run_once):
+    figure = run_once(run_figure3_panel, 256, SIZES)
+    print()
+    print(format_table(figure))
+    assert 10 <= geometric_mean_ratio(figure.get("ICICLE"), figure.get("MoMA (H100)")) <= 16
+    for device in ("MoMA (H100)", "MoMA (RTX 4090)", "MoMA (V100)"):
+        assert geometric_mean_ratio(figure.get("PipeZK"), figure.get(device)) > 1
+    # GZKP crossover on the V100: MoMA wins small sizes, loses large ones.
+    gzkp, v100 = figure.get("GZKP"), figure.get("MoMA (V100)")
+    assert gzkp.at(1 << 8) > v100.at(1 << 8)
+    assert gzkp.at(1 << 22) < v100.at(1 << 22)
+
+
+def test_figure3c_384bit(run_once):
+    figure = run_once(run_figure3_panel, 384, SIZES)
+    print()
+    print(format_table(figure))
+    assert 3.5 <= geometric_mean_ratio(figure.get("ICICLE"), figure.get("MoMA (H100)")) <= 6.5
+    # The FPMM ASIC wins at 384 bits (paper: by 1.7x).
+    assert geometric_mean_ratio(figure.get("MoMA (H100)"), figure.get("FPMM")) > 1.3
+
+
+def test_figure3d_768bit(run_once):
+    figure = run_once(run_figure3_panel, 768, SIZES)
+    print()
+    print(format_table(figure))
+    # RTX 4090 outperforms H100 at 768 bits (higher clock).
+    assert geometric_mean_ratio(figure.get("MoMA (H100)"), figure.get("MoMA (RTX 4090)")) > 1
+    # H100 beats PipeZK by ~2x in the 2^14..2^20 range.
+    pipezk, h100 = figure.get("PipeZK"), figure.get("MoMA (H100)")
+    assert 1.5 <= pipezk.at(1 << 16) / h100.at(1 << 16) <= 2.5
+    # GZKP overtakes MoMA from 2^16 onwards, not before.
+    gzkp = figure.get("GZKP")
+    assert gzkp.at(1 << 10) > h100.at(1 << 10)
+    assert gzkp.at(1 << 20) < h100.at(1 << 20)
+    assert geometric_mean_ratio(figure.get("Libsnark"), h100) > 50

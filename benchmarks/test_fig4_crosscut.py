@@ -1,0 +1,21 @@
+"""Figure 4: 2^16-point NTT across input bit-widths, all systems."""
+
+from repro.evaluation import format_table, run_figure4
+
+
+def test_figure4_crosscut(run_once):
+    figure = run_once(run_figure4)
+    print()
+    print(format_table(figure))
+
+    moma = figure.get("MoMA (H100)")
+    gmp = figure.get("GMP-NTT")
+    # MoMA beats the general-purpose multi-precision CPU library at every
+    # bit-width, and per-butterfly cost grows monotonically with the width.
+    for bits in moma.xs():
+        assert gmp.at(bits) > moma.at(bits)
+    values = [moma.at(bits) for bits in moma.xs()]
+    assert all(later > earlier for earlier, later in zip(values, values[1:]))
+    # Published specialised systems appear only at their supported widths.
+    assert figure.get("ICICLE").xs() == [256, 384]
+    assert set(figure.get("RPU").xs()) == {128}

@@ -1,0 +1,54 @@
+"""Wall-clock micro-benchmarks of the executable engines on this machine.
+
+These complement the cost-model figures: they measure the actual Python
+runtime of (i) the MoMA-generated machine-word kernels, (ii) Python's
+arbitrary-precision integers (the GMP stand-in), and (iii) the RNS/GRNS-style
+baseline, on identical 128-bit modular vector workloads.  Absolute numbers
+reflect the Python interpreter, not GPU silicon, so no cross-engine speedup
+assertions are made here — only correctness agreement.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import BigIntBaseline, GrnsBaseline
+from repro.kernels import KernelConfig
+from repro.ntheory import find_ntt_prime
+from repro.poly import MomaBlasEngine
+
+BITS = 128
+LENGTH = 64
+Q = find_ntt_prime(BITS - 4, 64)
+
+
+def _vectors(seed=0):
+    rng = random.Random(seed)
+    x = [rng.randrange(Q) for _ in range(LENGTH)]
+    y = [rng.randrange(Q) for _ in range(LENGTH)]
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {
+        "moma": MomaBlasEngine(KernelConfig(bits=BITS)),
+        "bigint": BigIntBaseline(),
+        "grns": GrnsBaseline(BITS - 4),
+    }
+
+
+@pytest.mark.parametrize("engine_name", ["moma", "bigint", "grns"])
+def test_vmul_wallclock(benchmark, engines, engine_name):
+    engine = engines[engine_name]
+    x, y = _vectors()
+    result = benchmark(engine.vmul, x, y, Q)
+    assert result == [(a * b) % Q for a, b in zip(x, y)]
+
+
+@pytest.mark.parametrize("engine_name", ["moma", "bigint", "grns"])
+def test_vadd_wallclock(benchmark, engines, engine_name):
+    engine = engines[engine_name]
+    x, y = _vectors(1)
+    result = benchmark(engine.vadd, x, y, Q)
+    assert result == [(a + b) % Q for a, b in zip(x, y)]

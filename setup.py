@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this shim exists so that legacy
+editable installs (``pip install -e .``) work on environments without the
+``wheel`` package (PEP 660 editable wheels need it, ``setup.py develop``
+does not).
+"""
+
+from setuptools import setup
+
+setup()

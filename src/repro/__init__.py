@@ -1,0 +1,24 @@
+"""repro — a Python reproduction of "Code Generation for Cryptographic
+Kernels using Multi-word Modular Arithmetic on GPU" (CGO 2025).
+
+The package is organised around the paper's pipeline:
+
+* :mod:`repro.arith` — executable multi-word modular arithmetic (MoMA
+  semantics, Listings 1-4).
+* :mod:`repro.core` — the paper's contribution: a typed abstract-code IR, the
+  MoMA rewrite system (Table 1), optimization passes and code generators
+  (CUDA, C99, and an executable Python backend).
+* :mod:`repro.kernels` — kernel frontends that build BLAS and NTT kernels as
+  wide-typed IR for the rewrite system to legalize.
+* :mod:`repro.ntheory`, :mod:`repro.poly`, :mod:`repro.ntt`, :mod:`repro.rns`
+  — the number-theory, polynomial, NTT and residue-number-system substrates.
+* :mod:`repro.baselines` — GMP-like, GRNS-like and published-system baselines.
+* :mod:`repro.gpu` — the GPU device catalog and instruction-level cost model
+  standing in for the paper's H100 / RTX 4090 / V100 testbed.
+* :mod:`repro.evaluation` — per-figure harnesses regenerating the paper's
+  tables and figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

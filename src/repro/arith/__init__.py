@@ -1,0 +1,28 @@
+"""Executable multi-word modular arithmetic (MoMA reference semantics).
+
+This package is the runnable counterpart of the paper's Section 3: machine
+word primitives (:mod:`repro.arith.word`), single-word modular arithmetic
+(Listing 1, :mod:`repro.arith.singleword`), double-word modular arithmetic
+(Listings 2-4, :mod:`repro.arith.doubleword`), the recursive multi-word
+construction (:mod:`repro.arith.multiword`), and the Barrett / Montgomery
+reduction machinery.  It serves three roles:
+
+1. a standalone large-integer modular arithmetic library,
+2. the oracle against which MoMA-generated kernels are verified, and
+3. the operation-count source for the GPU cost model's ablations.
+"""
+
+from repro.arith.barrett import BarrettParams, barrett_mulmod, barrett_reduce
+from repro.arith.limbs import int_to_limbs, limbs_to_int
+from repro.arith.montgomery import MontgomeryParams
+from repro.arith.multiword import MoMAContext
+
+__all__ = [
+    "BarrettParams",
+    "barrett_mulmod",
+    "barrett_reduce",
+    "int_to_limbs",
+    "limbs_to_int",
+    "MontgomeryParams",
+    "MoMAContext",
+]

@@ -1,0 +1,149 @@
+"""Barrett reduction parameters and reference reduction.
+
+The paper (Section 3.1, Listing 1) replaces the division in
+``c = a*b - floor(a*b/q)*q`` with multiplications and shifts using a
+precomputed constant ``mu``.  With the modulus bit-width ``m`` (``MBITS``),
+the generated code computes::
+
+    t  = a * b                      # < 2**(2m)
+    r  = t >> (m - 2)
+    r  = r * mu                     # mu = floor(2**(2m + 3) / q)
+    r  = r >> (m + 5)               # r  ~= floor(a*b / q), error <= 1
+    t  = t - r * q
+    c  = t - q  if t >= q else t    # single conditional correction
+
+The paper restricts the modulus to ``m <= k - 4`` bits where ``k`` is the
+word bit-width (e.g. 60-bit moduli for 64-bit words, 124-bit moduli for
+128-bit double words) so that ``mu`` fits in one ``k``-bit word and the
+intermediate ``r * mu`` fits in a double word.
+
+This module provides the parameter computation and a reference reduction
+that the generated kernels are tested against.  One deliberate deviation
+from Listing 1: the final correction uses ``t >= q`` (canonical residues in
+``[0, q)``) rather than the listing's ``t > q``, and this convention is used
+consistently by the rewrite rules, the code generators and the reference
+arithmetic, so generated code and oracle always agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArithmeticDomainError
+
+__all__ = ["BarrettParams", "barrett_reduce", "barrett_mulmod", "max_modulus_bits"]
+
+#: Extra headroom (in bits) the paper reserves between the modulus bit-width
+#: and the word bit-width so that ``mu`` fits in a single word.
+MODULUS_HEADROOM_BITS = 4
+
+#: Shift applied before multiplying by ``mu`` (Listing 1: ``MBITS - 2``).
+PRE_SHIFT_SLACK = 2
+
+#: Shift applied after multiplying by ``mu`` (Listing 1: ``MBITS + 5``).
+POST_SHIFT_SLACK = 5
+
+
+def max_modulus_bits(word_bits: int) -> int:
+    """Largest modulus bit-width supported for a given word bit-width.
+
+    Follows the paper's ``k - 4`` rule (e.g. 60 bits for 64-bit words,
+    124 bits for 128-bit operands, 252 bits for 256-bit operands).
+    """
+    if word_bits <= MODULUS_HEADROOM_BITS:
+        raise ArithmeticDomainError(
+            f"word width {word_bits} too small for Barrett reduction"
+        )
+    return word_bits - MODULUS_HEADROOM_BITS
+
+
+@dataclass(frozen=True)
+class BarrettParams:
+    """Precomputed Barrett constants for a modulus.
+
+    Attributes:
+        modulus: the odd (or at least non-trivial) modulus ``q``.
+        modulus_bits: ``MBITS`` — the bit-width budget of the modulus; the
+            shifts in the reduction are derived from this, not from
+            ``q.bit_length()``, so several moduli of the same class share
+            identical generated code.
+        mu: ``floor(2**(2*modulus_bits + 3) / q)``.
+        word_bits: the word width the reduction is meant to run on
+            (``modulus_bits + 4`` in the paper's configuration).
+    """
+
+    modulus: int
+    modulus_bits: int
+    mu: int
+    word_bits: int
+
+    @classmethod
+    def create(cls, modulus: int, word_bits: int, modulus_bits: int | None = None) -> "BarrettParams":
+        """Compute Barrett parameters for ``modulus`` on ``word_bits``-bit words.
+
+        ``modulus_bits`` defaults to ``word_bits - 4`` (the paper's choice);
+        the modulus must fit in that many bits.
+        """
+        if modulus < 3:
+            raise ArithmeticDomainError(f"modulus must be >= 3, got {modulus}")
+        if modulus_bits is None:
+            modulus_bits = max_modulus_bits(word_bits)
+        if modulus.bit_length() != modulus_bits:
+            raise ArithmeticDomainError(
+                f"modulus has {modulus.bit_length()} bits; the Barrett variant of "
+                f"Listing 1 requires a modulus of exactly {modulus_bits} bits "
+                f"(top bit set) so that a single conditional correction suffices"
+            )
+        mu = (1 << (2 * modulus_bits + 3)) // modulus
+        if mu.bit_length() > word_bits:
+            raise ArithmeticDomainError(
+                f"Barrett constant mu needs {mu.bit_length()} bits which does "
+                f"not fit in a {word_bits}-bit word"
+            )
+        return cls(modulus=modulus, modulus_bits=modulus_bits, mu=mu, word_bits=word_bits)
+
+    @property
+    def pre_shift(self) -> int:
+        """Right-shift amount applied to ``a*b`` before multiplying by mu."""
+        return self.modulus_bits - PRE_SHIFT_SLACK
+
+    @property
+    def post_shift(self) -> int:
+        """Right-shift amount applied after multiplying by mu."""
+        return self.modulus_bits + POST_SHIFT_SLACK
+
+
+def barrett_reduce(product: int, params: BarrettParams) -> int:
+    """Reduce ``product`` (``< q**2``) modulo ``q`` using the paper's recipe.
+
+    Performs exactly the shift/multiply/shift/subtract sequence of Listing 1
+    followed by a single conditional subtraction, and verifies that the
+    approximation error was indeed at most one (raising otherwise, since a
+    larger error would mean the generated kernels are wrong too).
+    """
+    q = params.modulus
+    if product < 0:
+        raise ArithmeticDomainError(f"product must be non-negative, got {product}")
+    if product >= q * q:
+        raise ArithmeticDomainError(
+            "Barrett reduction expects a product of two reduced operands "
+            f"(product < q**2); got product with {product.bit_length()} bits"
+        )
+    quotient_estimate = ((product >> params.pre_shift) * params.mu) >> params.post_shift
+    remainder = product - quotient_estimate * q
+    if remainder >= q:
+        remainder -= q
+    if not 0 <= remainder < q:
+        raise ArithmeticDomainError(
+            "Barrett approximation error exceeded one conditional subtraction; "
+            f"modulus {q:#x} violates the headroom requirements"
+        )
+    return remainder
+
+
+def barrett_mulmod(a: int, b: int, params: BarrettParams) -> int:
+    """Modular multiplication ``a*b mod q`` of two reduced operands."""
+    q = params.modulus
+    if not 0 <= a < q or not 0 <= b < q:
+        raise ArithmeticDomainError("barrett_mulmod expects operands reduced mod q")
+    return barrett_reduce(a * b, params)

@@ -1,0 +1,310 @@
+"""Double-word modular arithmetic (Listings 2-4 of the paper).
+
+A *double word* is a value of ``2*w`` bits represented as a big-endian pair
+``(hi, lo)`` of ``w``-bit limbs; a *quad word* is the analogous 4-limb tuple.
+All functions below perform the computation strictly through single-word
+operations (adds with explicit carries, widening multiplies, comparisons and
+selects), exactly as the paper's CUDA listings do, so they serve both as an
+executable specification of the rewrite rules in Table 1 and as the oracle
+for the generated kernels.
+
+Functions provided (paper names in parentheses):
+
+* :func:`dadd`   — quad = double + double        (``_dadd``)
+* :func:`dsub`   — double = double - double      (``_dsub``)
+* :func:`dlt`    — double < double               (``_dlt``)
+* :func:`dle`    — double <= double              (used for canonical residues)
+* :func:`daddmod`, :func:`dsubmod`               (``_daddmod``, ``_dsubmod``)
+* :func:`qadd`   — quad = quad + quad            (``_qadd``)
+* :func:`dmuls`  — quad = double * double, schoolbook (``_dmuls``)
+* :func:`dmulk`  — quad = double * double, Karatsuba  (Equation 9)
+* :func:`qshr`   — double = quad >> k, k in [w, 2w]   (``_qshr``)
+* :func:`dmulmod`— Barrett modular multiplication     (``_dmulmod``)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArithmeticDomainError
+from repro.arith.barrett import BarrettParams
+from repro.arith.word import check_word, mask
+
+__all__ = [
+    "dadd",
+    "dsub",
+    "dlt",
+    "dle",
+    "deq",
+    "daddmod",
+    "dsubmod",
+    "qadd",
+    "qsub",
+    "dmuls",
+    "dmulk",
+    "qshr",
+    "dmulmod",
+]
+
+DoubleWord = tuple[int, int]
+QuadWord = tuple[int, int, int, int]
+
+
+def _check_double(value: DoubleWord, word_bits: int, name: str) -> DoubleWord:
+    if len(value) != 2:
+        raise ArithmeticDomainError(f"{name} must be a (hi, lo) pair, got {value!r}")
+    check_word(value[0], word_bits, f"{name}[0]")
+    check_word(value[1], word_bits, f"{name}[1]")
+    return value
+
+
+def _check_quad(value: QuadWord, word_bits: int, name: str) -> QuadWord:
+    if len(value) != 4:
+        raise ArithmeticDomainError(f"{name} must be a 4-limb tuple, got {value!r}")
+    for index, limb in enumerate(value):
+        check_word(limb, word_bits, f"{name}[{index}]")
+    return value
+
+
+def dadd(a: DoubleWord, b: DoubleWord, word_bits: int) -> QuadWord:
+    """Quad-word sum of two double words (``_dadd``).
+
+    The result occupies at most ``2*w + 1`` bits, so limbs 0 and 1 of the
+    returned quad word are ``0`` and the carry respectively.
+    """
+    _check_double(a, word_bits, "a")
+    _check_double(b, word_bits, "b")
+    word_mask = mask(word_bits)
+    low_sum = a[1] + b[1]
+    c3 = low_sum & word_mask
+    carry = low_sum >> word_bits
+    high_sum = a[0] + b[0] + carry
+    c2 = high_sum & word_mask
+    c1 = high_sum >> word_bits
+    return (0, c1, c2, c3)
+
+
+def dsub(a: DoubleWord, b: DoubleWord, word_bits: int) -> DoubleWord:
+    """Wrap-around double-word difference ``a - b`` (``_dsub``)."""
+    _check_double(a, word_bits, "a")
+    _check_double(b, word_bits, "b")
+    word_mask = mask(word_bits)
+    c1 = (a[1] - b[1]) & word_mask
+    borrow = 1 if a[1] < b[1] else 0
+    c0 = (a[0] - b[0] - borrow) & word_mask
+    return (c0, c1)
+
+
+def dlt(a: DoubleWord, b: DoubleWord, word_bits: int) -> int:
+    """Comparison ``a < b`` on double words (``_dlt``), returning 0 or 1."""
+    _check_double(a, word_bits, "a")
+    _check_double(b, word_bits, "b")
+    high_less = 1 if a[0] < b[0] else 0
+    high_equal = 1 if a[0] == b[0] else 0
+    low_less = 1 if a[1] < b[1] else 0
+    return 1 if (high_less or (high_equal and low_less)) else 0
+
+
+def dle(a: DoubleWord, b: DoubleWord, word_bits: int) -> int:
+    """Comparison ``a <= b`` on double words, returning 0 or 1."""
+    _check_double(a, word_bits, "a")
+    _check_double(b, word_bits, "b")
+    high_less = 1 if a[0] < b[0] else 0
+    high_equal = 1 if a[0] == b[0] else 0
+    low_le = 1 if a[1] <= b[1] else 0
+    return 1 if (high_less or (high_equal and low_le)) else 0
+
+
+def deq(a: DoubleWord, b: DoubleWord, word_bits: int) -> int:
+    """Equality of two double words (rewrite rule 27), returning 0 or 1."""
+    _check_double(a, word_bits, "a")
+    _check_double(b, word_bits, "b")
+    return 1 if (a[0] == b[0] and a[1] == b[1]) else 0
+
+
+def daddmod(a: DoubleWord, b: DoubleWord, q: DoubleWord, word_bits: int) -> DoubleWord:
+    """Double-word modular addition (``_daddmod``) for reduced operands.
+
+    Computes the quad-word sum, compares against ``q`` (taking the carry limb
+    into account) and conditionally subtracts ``q`` once, yielding a
+    canonical residue.
+    """
+    _check_reduced_pair(a, b, q, word_bits)
+    total = dadd(a, b, word_bits)
+    carry = total[1]
+    low_double = (total[2], total[3])
+    exceeds = 1 if (carry or dle(q, low_double, word_bits)) else 0
+    reduced = dsub(low_double, q, word_bits)
+    return reduced if exceeds else low_double
+
+
+def dsubmod(a: DoubleWord, b: DoubleWord, q: DoubleWord, word_bits: int) -> DoubleWord:
+    """Double-word modular subtraction (``_dsubmod``) for reduced operands."""
+    _check_reduced_pair(a, b, q, word_bits)
+    diff = dsub(a, b, word_bits)
+    wrapped = dadd(diff, q, word_bits)
+    borrowed = dlt(a, b, word_bits)
+    return (wrapped[2], wrapped[3]) if borrowed else diff
+
+
+def qadd(a: QuadWord, b: QuadWord, word_bits: int) -> QuadWord:
+    """Quad-word addition with wrap-around in the top limb (``_qadd``).
+
+    The paper's usage guarantees the true sum fits in four limbs (rule 29's
+    final carry is zero); the implementation nevertheless wraps like the C
+    code would.
+    """
+    _check_quad(a, word_bits, "a")
+    _check_quad(b, word_bits, "b")
+    word_mask = mask(word_bits)
+    limbs = []
+    carry = 0
+    for index in (3, 2, 1, 0):
+        total = a[index] + b[index] + carry
+        limbs.append(total & word_mask)
+        carry = total >> word_bits
+    limbs.reverse()
+    return (limbs[0], limbs[1], limbs[2], limbs[3])
+
+
+def qsub(a: QuadWord, b: QuadWord, word_bits: int) -> QuadWord:
+    """Quad-word subtraction with wrap-around (borrow chain over four limbs)."""
+    _check_quad(a, word_bits, "a")
+    _check_quad(b, word_bits, "b")
+    word_mask = mask(word_bits)
+    limbs = []
+    borrow = 0
+    for index in (3, 2, 1, 0):
+        total = a[index] - b[index] - borrow
+        borrow = 1 if total < 0 else 0
+        limbs.append(total & word_mask)
+    limbs.reverse()
+    return (limbs[0], limbs[1], limbs[2], limbs[3])
+
+
+def dmuls(a: DoubleWord, b: DoubleWord, word_bits: int) -> QuadWord:
+    """Schoolbook double-word multiplication (``_dmuls``, Equation 8).
+
+    Four widening single-word multiplications plus multi-word additions.
+    """
+    _check_double(a, word_bits, "a")
+    _check_double(b, word_bits, "b")
+    word_mask = mask(word_bits)
+
+    def widening(x: int, y: int) -> tuple[int, int]:
+        product = x * y
+        return product >> word_bits, product & word_mask
+
+    lo_lo = widening(a[1], b[1])
+    hi_hi = widening(a[0], b[0])
+    hi_lo = widening(a[0], b[1])
+    lo_hi = widening(a[1], b[0])
+
+    # cross = a0*b1 + a1*b0, a value of at most 2w+1 bits.
+    cross = dadd(hi_lo, lo_hi, word_bits)
+    # result = hi_hi * z**2 + cross * z + lo_lo
+    base = (hi_hi[0], hi_hi[1], lo_lo[0], lo_lo[1])
+    shifted_cross = (cross[1], cross[2], cross[3], 0)
+    return qadd(base, shifted_cross, word_bits)
+
+
+def dmulk(a: DoubleWord, b: DoubleWord, word_bits: int) -> QuadWord:
+    """Karatsuba double-word multiplication (Equation 9).
+
+    Three widening multiplications: ``a0*b0``, ``a1*b1`` and
+    ``(a0 + a1)*(b0 + b1)``, with the middle term recovered by subtraction.
+    The sums ``a0 + a1`` and ``b0 + b1`` may carry into an extra bit, which
+    is handled with explicit single-word corrections as the generated
+    Karatsuba kernels do.
+    """
+    _check_double(a, word_bits, "a")
+    _check_double(b, word_bits, "b")
+    word_mask = mask(word_bits)
+
+    lo_lo = a[1] * b[1]
+    hi_hi = a[0] * b[0]
+    sum_a = a[0] + a[1]
+    sum_b = b[0] + b[1]
+    # (sum_a * sum_b) needs 2w+2 bits; compute it limb-wise.
+    carry_a, sum_a_lo = sum_a >> word_bits, sum_a & word_mask
+    carry_b, sum_b_lo = sum_b >> word_bits, sum_b & word_mask
+    # (ca*z + sa)(cb*z + sb) = ca*cb*z^2 + (ca*sb + cb*sa)*z + sa*sb
+    middle = (
+        (carry_a * carry_b) << (2 * word_bits)
+    ) + ((carry_a * sum_b_lo + carry_b * sum_a_lo) << word_bits) + sum_a_lo * sum_b_lo
+    middle = middle - hi_hi - lo_lo
+    value = (hi_hi << (2 * word_bits)) + (middle << word_bits) + lo_lo
+    value &= mask(4 * word_bits)
+    return (
+        (value >> (3 * word_bits)) & word_mask,
+        (value >> (2 * word_bits)) & word_mask,
+        (value >> word_bits) & word_mask,
+        value & word_mask,
+    )
+
+
+def qshr(value: QuadWord, amount: int, word_bits: int) -> DoubleWord:
+    """Shift a quad word right by ``amount`` bits, keeping the low double word.
+
+    ``amount`` must lie in ``[word_bits, 2*word_bits]`` as in ``_qshr``; the
+    Barrett pre-shift of Listing 4 always falls in this range.
+    """
+    _check_quad(value, word_bits, "value")
+    if not word_bits <= amount <= 2 * word_bits:
+        raise ArithmeticDomainError(
+            f"qshr shift amount must be in [{word_bits}, {2 * word_bits}], got {amount}"
+        )
+    word_mask = mask(word_bits)
+    full = 0
+    for limb in value:
+        full = (full << word_bits) | limb
+    shifted = full >> amount
+    return (shifted >> word_bits) & word_mask, shifted & word_mask
+
+
+def dmulmod(
+    a: DoubleWord,
+    b: DoubleWord,
+    q: DoubleWord,
+    mu: DoubleWord,
+    word_bits: int,
+    use_karatsuba: bool = False,
+) -> DoubleWord:
+    """Double-word Barrett modular multiplication (``_dmulmod``).
+
+    ``q`` and ``mu`` are the modulus and Barrett constant as double words;
+    the modulus bit-width is assumed to be ``2*word_bits - 4`` (the paper's
+    ``MBITS`` convention, e.g. 124 for 64-bit words), which is what makes the
+    fixed shift amounts of Listing 4 correct.
+    """
+    _check_double(a, word_bits, "a")
+    _check_double(b, word_bits, "b")
+    _check_double(q, word_bits, "q")
+    _check_double(mu, word_bits, "mu")
+    modulus_bits = 2 * word_bits - 4
+    multiply = dmulk if use_karatsuba else dmuls
+
+    product = multiply(a, b, word_bits)
+    # r = product >> (MBITS - 2); MBITS - 2 = 2w - 6, within [w, 2w] for w >= 6.
+    estimate = qshr(product, modulus_bits - 2, word_bits)
+    # r = r * mu, keep the high double word after a further shift by MBITS + 5.
+    estimate_product = multiply(estimate, mu, word_bits)
+    # Shift the quad word right by MBITS + 5 = 2w + 1: take the high double
+    # word and shift it right by one more bit.
+    high = (estimate_product[0], estimate_product[1])
+    shifted_hi = high[0] >> 1
+    shifted_lo = ((high[0] << (word_bits - 1)) & mask(word_bits)) | (high[1] >> 1)
+    quotient = (shifted_hi, shifted_lo)
+    # t -= quotient * q; only the low double word is needed (Listing 4).
+    quotient_times_q = multiply(quotient, q, word_bits)
+    remainder = dsub((product[2], product[3]), (quotient_times_q[2], quotient_times_q[3]), word_bits)
+    # Single conditional correction to the canonical residue.
+    corrected = dsub(remainder, q, word_bits)
+    needs_correction = dle(q, remainder, word_bits)
+    return corrected if needs_correction else remainder
+
+
+def _check_reduced_pair(a: DoubleWord, b: DoubleWord, q: DoubleWord, word_bits: int) -> None:
+    _check_double(a, word_bits, "a")
+    _check_double(b, word_bits, "b")
+    _check_double(q, word_bits, "q")
+    if dlt(a, q, word_bits) == 0 or dlt(b, q, word_bits) == 0:
+        raise ArithmeticDomainError("modular operations expect operands reduced mod q")

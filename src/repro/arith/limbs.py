@@ -1,0 +1,159 @@
+"""Conversion between Python integers and multi-word limb sequences.
+
+MoMA (Equation 5 / 13 / 14 of the paper) represents a large integer ``x`` as
+
+    x = [x0, x1, ..., x_{k-1}]_z = x0 * z**(k-1) + x1 * z**(k-2) + ... + x_{k-1}
+
+with base ``z = 2**width``.  Note the *big-endian* convention: limb index 0 is
+the most significant word.  This module provides the conversions used by every
+other layer (reference arithmetic, rewrite-rule verification, generated-kernel
+testing) plus a few structural helpers (padding, splitting, joining).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ArithmeticDomainError
+from repro.arith.word import check_word, mask
+
+__all__ = [
+    "limb_count",
+    "int_to_limbs",
+    "limbs_to_int",
+    "normalize_limbs",
+    "pad_limbs",
+    "strip_leading_zero_limbs",
+    "split_limb",
+    "join_limbs",
+    "limbs_lt",
+    "limbs_eq",
+]
+
+
+def limb_count(value_bits: int, width: int) -> int:
+    """Number of ``width``-bit limbs needed to hold a ``value_bits``-bit integer.
+
+    Matches ``k = ceil(value_bits / width)`` with a minimum of one limb.
+    """
+    if value_bits <= 0:
+        raise ArithmeticDomainError(f"value_bits must be positive, got {value_bits}")
+    if width <= 0:
+        raise ArithmeticDomainError(f"width must be positive, got {width}")
+    return max(1, -(-value_bits // width))
+
+
+def int_to_limbs(value: int, width: int, count: int) -> tuple[int, ...]:
+    """Decompose ``value`` into exactly ``count`` limbs of ``width`` bits each.
+
+    The result is most-significant-first (the paper's ``[x0, ..., x_{k-1}]``).
+    Raises :class:`ArithmeticDomainError` if ``value`` does not fit.
+    """
+    if value < 0:
+        raise ArithmeticDomainError(f"value must be non-negative, got {value}")
+    if count <= 0:
+        raise ArithmeticDomainError(f"count must be positive, got {count}")
+    if value >> (width * count):
+        raise ArithmeticDomainError(
+            f"value with {value.bit_length()} bits does not fit in "
+            f"{count} limbs of {width} bits"
+        )
+    word_mask = mask(width)
+    limbs = []
+    for index in range(count):
+        shift = width * (count - 1 - index)
+        limbs.append((value >> shift) & word_mask)
+    return tuple(limbs)
+
+
+def limbs_to_int(limbs: Sequence[int], width: int) -> int:
+    """Recompose an integer from most-significant-first limbs.
+
+    Each limb is validated to fit in ``width`` bits.
+    """
+    if len(limbs) == 0:
+        raise ArithmeticDomainError("limb sequence must not be empty")
+    value = 0
+    for index, limb in enumerate(limbs):
+        check_word(limb, width, name=f"limb[{index}]")
+        value = (value << width) | limb
+    return value
+
+
+def normalize_limbs(limbs: Sequence[int], width: int) -> tuple[int, ...]:
+    """Reduce every entry modulo ``2**width`` (no carry propagation).
+
+    Useful for constructing test vectors from arbitrary integer sequences.
+    """
+    word_mask = mask(width)
+    return tuple(limb & word_mask for limb in limbs)
+
+
+def pad_limbs(limbs: Sequence[int], count: int) -> tuple[int, ...]:
+    """Left-pad a limb sequence with zero limbs up to ``count`` entries.
+
+    Zero limbs are prepended (most-significant side), mirroring Equation 35's
+    ``x = [0, ..., 0, x0, ..., x_{k-1}]`` representation used for
+    non-power-of-two bit-widths.
+    """
+    if count < len(limbs):
+        raise ArithmeticDomainError(
+            f"cannot pad {len(limbs)} limbs down to {count} entries"
+        )
+    return (0,) * (count - len(limbs)) + tuple(limbs)
+
+
+def strip_leading_zero_limbs(limbs: Sequence[int]) -> tuple[int, ...]:
+    """Drop leading (most-significant) zero limbs, keeping at least one limb."""
+    limbs = tuple(limbs)
+    first_nonzero = 0
+    for index, limb in enumerate(limbs):
+        if limb != 0:
+            first_nonzero = index
+            break
+    else:
+        return limbs[-1:]
+    return limbs[first_nonzero:]
+
+
+def split_limb(value: int, width: int) -> tuple[int, int]:
+    """Split one ``2*width``-bit value into two ``width``-bit limbs ``(hi, lo)``.
+
+    This is rewrite rule (19) of the paper applied to a concrete value.
+    """
+    if value >> (2 * width):
+        raise ArithmeticDomainError(
+            f"value with {value.bit_length()} bits does not fit in a "
+            f"{2 * width}-bit double word"
+        )
+    return value >> width, value & mask(width)
+
+
+def join_limbs(hi: int, lo: int, width: int) -> int:
+    """Join two ``width``-bit limbs into one ``2*width``-bit value."""
+    check_word(hi, width, name="hi")
+    check_word(lo, width, name="lo")
+    return (hi << width) | lo
+
+
+def limbs_lt(a: Sequence[int], b: Sequence[int]) -> int:
+    """Lexicographic (i.e. numeric, given equal length) ``a < b`` comparison."""
+    if len(a) != len(b):
+        raise ArithmeticDomainError(
+            f"comparing limb sequences of different lengths: {len(a)} vs {len(b)}"
+        )
+    for limb_a, limb_b in zip(a, b):
+        if limb_a < limb_b:
+            return 1
+        if limb_a > limb_b:
+            return 0
+    return 0
+
+
+def limbs_eq(a: Sequence[int], b: Sequence[int]) -> int:
+    """Numeric equality of two equal-length limb sequences."""
+    if len(a) != len(b):
+        raise ArithmeticDomainError(
+            f"comparing limb sequences of different lengths: {len(a)} vs {len(b)}"
+        )
+    return 1 if tuple(a) == tuple(b) else 0

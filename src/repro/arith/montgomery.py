@@ -1,0 +1,174 @@
+"""Montgomery modular multiplication.
+
+The paper's evaluation uses Barrett reduction with a modulus four bits
+narrower than the word size, but notes (Section 5.2) that the SPIRAL/MoMA
+infrastructure "also supports a modulus of full bit-width, employing
+Montgomery multiplication".  This module provides that alternative path:
+word-oriented (CIOS-style) Montgomery multiplication over the same
+big-endian limb convention used by the rest of :mod:`repro.arith`, plus the
+whole-integer reference used as an oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArithmeticDomainError
+from repro.arith.limbs import int_to_limbs, limbs_to_int
+from repro.arith.word import mask
+
+__all__ = ["MontgomeryParams", "montgomery_mulmod_limbs"]
+
+
+@dataclass(frozen=True)
+class MontgomeryParams:
+    """Precomputed Montgomery constants for an odd modulus.
+
+    Attributes:
+        modulus: the odd modulus ``q``.
+        word_bits: machine word width used by the limb-level algorithm.
+        num_limbs: number of limbs in the Montgomery representation.
+        r_bits: ``word_bits * num_limbs``; ``R = 2**r_bits``.
+        n_prime: ``-q^{-1} mod 2**word_bits`` (per-word Montgomery constant).
+        r2: ``R**2 mod q``, used to convert into Montgomery form.
+    """
+
+    modulus: int
+    word_bits: int
+    num_limbs: int
+    r_bits: int
+    n_prime: int
+    r2: int
+
+    @classmethod
+    def create(cls, modulus: int, word_bits: int, num_limbs: int | None = None) -> "MontgomeryParams":
+        """Compute Montgomery parameters for ``modulus`` on ``word_bits``-bit words."""
+        if modulus < 3 or modulus % 2 == 0:
+            raise ArithmeticDomainError(
+                f"Montgomery multiplication requires an odd modulus >= 3, got {modulus}"
+            )
+        if num_limbs is None:
+            num_limbs = max(1, -(-modulus.bit_length() // word_bits))
+        if modulus.bit_length() > num_limbs * word_bits:
+            raise ArithmeticDomainError(
+                f"modulus with {modulus.bit_length()} bits does not fit in "
+                f"{num_limbs} limbs of {word_bits} bits"
+            )
+        r_bits = word_bits * num_limbs
+        base = 1 << word_bits
+        n_prime = (-pow(modulus, -1, base)) % base
+        r2 = pow(1 << r_bits, 2, modulus)
+        return cls(
+            modulus=modulus,
+            word_bits=word_bits,
+            num_limbs=num_limbs,
+            r_bits=r_bits,
+            n_prime=n_prime,
+            r2=r2,
+        )
+
+    @property
+    def r(self) -> int:
+        """The Montgomery radix ``R = 2**r_bits``."""
+        return 1 << self.r_bits
+
+    def to_montgomery(self, value: int) -> int:
+        """Map ``value`` into Montgomery form ``value * R mod q``."""
+        if not 0 <= value < self.modulus:
+            raise ArithmeticDomainError("value must be reduced modulo q")
+        return (value << self.r_bits) % self.modulus
+
+    def from_montgomery(self, value: int) -> int:
+        """Map a Montgomery-form value back to the standard representation."""
+        if not 0 <= value < self.modulus:
+            raise ArithmeticDomainError("value must be reduced modulo q")
+        return (value * pow(self.r, -1, self.modulus)) % self.modulus
+
+    def montgomery_reduce(self, product: int) -> int:
+        """Whole-integer Montgomery reduction (REDC) of ``product < q*R``."""
+        if not 0 <= product < self.modulus * self.r:
+            raise ArithmeticDomainError("product out of range for REDC")
+        r_mask = self.r - 1
+        n_prime_full = (-pow(self.modulus, -1, self.r)) % self.r
+        m = ((product & r_mask) * n_prime_full) & r_mask
+        t = (product + m * self.modulus) >> self.r_bits
+        if t >= self.modulus:
+            t -= self.modulus
+        return t
+
+    def mulmod(self, a_mont: int, b_mont: int) -> int:
+        """Multiply two Montgomery-form operands, result in Montgomery form."""
+        if not 0 <= a_mont < self.modulus or not 0 <= b_mont < self.modulus:
+            raise ArithmeticDomainError("operands must be reduced modulo q")
+        return self.montgomery_reduce(a_mont * b_mont)
+
+
+def montgomery_mulmod_limbs(
+    a_limbs: tuple[int, ...], b_limbs: tuple[int, ...], params: MontgomeryParams
+) -> tuple[int, ...]:
+    """CIOS (coarsely integrated operand scanning) Montgomery multiplication.
+
+    Operands and result are in Montgomery form, given as big-endian limb
+    tuples of ``params.num_limbs`` limbs of ``params.word_bits`` bits.  This
+    is the word-level algorithm that a Montgomery-based MoMA backend would
+    emit; it only ever manipulates single words and double-word carries.
+    """
+    n = params.num_limbs
+    w = params.word_bits
+    word_mask = mask(w)
+    if len(a_limbs) != n or len(b_limbs) != n:
+        raise ArithmeticDomainError(
+            f"operands must have exactly {n} limbs, got {len(a_limbs)} and {len(b_limbs)}"
+        )
+    # CIOS works little-endian internally; flip the big-endian inputs.
+    a = list(reversed(a_limbs))
+    b = list(reversed(b_limbs))
+    q = list(reversed(int_to_limbs(params.modulus, w, n)))
+
+    t = [0] * (n + 2)
+    for i in range(n):
+        carry = 0
+        for j in range(n):
+            total = t[j] + a[j] * b[i] + carry
+            t[j] = total & word_mask
+            carry = total >> w
+        total = t[n] + carry
+        t[n] = total & word_mask
+        t[n + 1] = total >> w
+
+        m = (t[0] * params.n_prime) & word_mask
+        total = t[0] + m * q[0]
+        carry = total >> w
+        for j in range(1, n):
+            total = t[j] + m * q[j] + carry
+            t[j - 1] = total & word_mask
+            carry = total >> w
+        total = t[n] + carry
+        t[n - 1] = total & word_mask
+        carry = total >> w
+        t[n] = t[n + 1] + carry
+        t[n + 1] = 0
+
+    result = 0
+    for j in reversed(range(n + 1)):
+        result = (result << w) | t[j]
+    if result >= params.modulus:
+        result -= params.modulus
+    return int_to_limbs(result, w, n)
+
+
+def _self_check() -> None:  # pragma: no cover - developer aid
+    params = MontgomeryParams.create((1 << 61) - 1, 64)
+    a, b = 123456789123456789, 987654321987654321
+    am, bm = params.to_montgomery(a % params.modulus), params.to_montgomery(b % params.modulus)
+    got = params.from_montgomery(
+        limbs_to_int(
+            montgomery_mulmod_limbs(
+                int_to_limbs(am, 64, params.num_limbs),
+                int_to_limbs(bm, 64, params.num_limbs),
+                params,
+            ),
+            64,
+        )
+    )
+    assert got == (a * b) % params.modulus

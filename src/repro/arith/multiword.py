@@ -1,0 +1,486 @@
+"""Recursive multi-word modular arithmetic (MoMA, Section 3.2 of the paper).
+
+The paper defines MoMA recursively: an integer of bit-width ``T`` is treated
+as a *double word* made of two abstract *single words* of width ``T/2``; the
+double-word algorithms of Listings 2-4 express every operation in terms of
+single-word operations, and the construction is applied again to the
+single words until their width equals the machine word width.
+
+:class:`MoMAContext` is the executable form of that recursion.  A context for
+``total_bits`` delegates every primitive (wide addition, subtraction with
+borrow, comparison, widening multiplication) to a child context of half the
+width, bottoming out at :mod:`repro.arith.word` when the width reaches the
+machine word.  Because only the leaf level touches native operations, the
+number of machine-word operations performed by each method is exactly the
+operation count of the corresponding MoMA-generated kernel, which is why the
+context also keeps an :attr:`MoMAContext.op_counts` tally used by the GPU
+cost model's ablation benchmarks.
+
+The module also provides flat ``k``-limb helpers (``mw_add``, ``mw_sub``,
+``mw_mul_schoolbook`` ...) that operate on big-endian limb tuples; these are
+used by the RNS substrate, the Montgomery path and several tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.errors import ArithmeticDomainError
+from repro.arith import word as word_ops
+from repro.arith.barrett import BarrettParams
+from repro.arith.limbs import int_to_limbs, limbs_to_int
+from repro.arith.word import mask
+
+__all__ = [
+    "MoMAContext",
+    "mw_add",
+    "mw_sub",
+    "mw_lt",
+    "mw_eq",
+    "mw_addmod",
+    "mw_submod",
+    "mw_mul_schoolbook",
+    "mw_mulmod_barrett",
+]
+
+
+class MoMAContext:
+    """Recursive multi-word modular arithmetic for one operand width.
+
+    Args:
+        total_bits: operand bit-width; must be ``word_bits * 2**k`` for some
+            ``k >= 0`` (non-power-of-two widths are handled one level up, by
+            zero-limb pruning in the code generator, and by zero-padding
+            here).
+        word_bits: machine word width (64 by default, as in the paper's GPU
+            evaluation).
+        multiplication: ``"schoolbook"`` (Equation 8) or ``"karatsuba"``
+            (Equation 9) for the double-word multiplication at every level.
+        count_ops: when true, every *machine word* operation executed at the
+            leaf level is tallied in :attr:`op_counts`.
+    """
+
+    def __init__(
+        self,
+        total_bits: int,
+        word_bits: int = 64,
+        multiplication: str = "schoolbook",
+        count_ops: bool = False,
+    ) -> None:
+        if multiplication not in ("schoolbook", "karatsuba"):
+            raise ArithmeticDomainError(
+                f"multiplication must be 'schoolbook' or 'karatsuba', got {multiplication!r}"
+            )
+        if total_bits < word_bits:
+            raise ArithmeticDomainError(
+                f"total_bits ({total_bits}) must be at least word_bits ({word_bits})"
+            )
+        ratio = total_bits // word_bits
+        if total_bits != word_bits * ratio or ratio & (ratio - 1):
+            raise ArithmeticDomainError(
+                f"total_bits ({total_bits}) must be word_bits ({word_bits}) times a power of two"
+            )
+        self.total_bits = total_bits
+        self.word_bits = word_bits
+        self.multiplication = multiplication
+        self.op_counts: Counter[str] = Counter()
+        self._count_ops = count_ops
+        self._mask = mask(total_bits)
+        if total_bits == word_bits:
+            self._child: MoMAContext | None = None
+        else:
+            self._child = MoMAContext(
+                total_bits // 2, word_bits, multiplication, count_ops=False
+            )
+            # Share one counter across the whole recursion tree so leaf-level
+            # tallies surface at the root.
+            self._propagate_counter(self.op_counts, count_ops)
+
+    def _propagate_counter(self, counter: Counter[str], enabled: bool) -> None:
+        self.op_counts = counter
+        self._count_ops = enabled
+        if self._child is not None:
+            self._child._propagate_counter(counter, enabled)
+
+    def reset_op_counts(self) -> None:
+        """Clear the machine-word operation tally."""
+        self.op_counts.clear()
+
+    @property
+    def half_bits(self) -> int:
+        """Bit-width of the abstract single word one recursion level down."""
+        return self.total_bits // 2
+
+    @property
+    def num_words(self) -> int:
+        """Number of machine words in one operand."""
+        return self.total_bits // self.word_bits
+
+    def _tally(self, name: str, amount: int = 1) -> None:
+        if self._count_ops:
+            self.op_counts[name] += amount
+
+    def _check(self, value: int, name: str) -> int:
+        if not isinstance(value, int) or value < 0 or value >> self.total_bits:
+            raise ArithmeticDomainError(
+                f"{name} must be a non-negative integer of at most "
+                f"{self.total_bits} bits, got {value!r}"
+            )
+        return value
+
+    def _split(self, value: int) -> tuple[int, int]:
+        """Rule (19): split a value into (high, low) abstract single words."""
+        return value >> self.half_bits, value & mask(self.half_bits)
+
+    def _join(self, hi: int, lo: int) -> int:
+        return (hi << self.half_bits) | lo
+
+    # ------------------------------------------------------------------
+    # Non-modular primitives (rules 22, 23, 25, 26, 27, 28, 29).
+    # ------------------------------------------------------------------
+
+    def add_wide(self, a: int, b: int) -> tuple[int, int]:
+        """Return ``(carry, sum)`` with ``a + b = carry * 2**total_bits + sum``."""
+        return self.add_with_carry(a, b, 0)
+
+    def add_with_carry(self, a: int, b: int, carry_in: int) -> tuple[int, int]:
+        """Addition with incoming carry, decomposed per rules (22)/(23)."""
+        self._check(a, "a")
+        self._check(b, "b")
+        if self._child is None:
+            self._tally("add")
+            return word_ops.add_with_carry(a, b, carry_in, self.word_bits)
+        a_hi, a_lo = self._split(a)
+        b_hi, b_lo = self._split(b)
+        carry_lo, sum_lo = self._child.add_with_carry(a_lo, b_lo, carry_in)
+        carry_out, sum_hi = self._child.add_with_carry(a_hi, b_hi, carry_lo)
+        return carry_out, self._join(sum_hi, sum_lo)
+
+    def sub_with_borrow(self, a: int, b: int, borrow_in: int) -> tuple[int, int]:
+        """Subtraction with incoming borrow, decomposed per rule (25)."""
+        self._check(a, "a")
+        self._check(b, "b")
+        if self._child is None:
+            self._tally("sub")
+            return word_ops.sub_with_borrow(a, b, borrow_in, self.word_bits)
+        a_hi, a_lo = self._split(a)
+        b_hi, b_lo = self._split(b)
+        borrow_lo, diff_lo = self._child.sub_with_borrow(a_lo, b_lo, borrow_in)
+        borrow_out, diff_hi = self._child.sub_with_borrow(a_hi, b_hi, borrow_lo)
+        return borrow_out, self._join(diff_hi, diff_lo)
+
+    def sub_wrap(self, a: int, b: int) -> int:
+        """Wrap-around subtraction ``(a - b) mod 2**total_bits``."""
+        return self.sub_with_borrow(a, b, 0)[1]
+
+    def lt(self, a: int, b: int) -> int:
+        """Comparison ``a < b`` decomposed per rule (26)."""
+        self._check(a, "a")
+        self._check(b, "b")
+        if self._child is None:
+            self._tally("cmp")
+            return word_ops.lt(a, b)
+        a_hi, a_lo = self._split(a)
+        b_hi, b_lo = self._split(b)
+        high_less = self._child.lt(a_hi, b_hi)
+        high_equal = self._child.eq(a_hi, b_hi)
+        low_less = self._child.lt(a_lo, b_lo)
+        return 1 if (high_less or (high_equal and low_less)) else 0
+
+    def eq(self, a: int, b: int) -> int:
+        """Equality decomposed per rule (27)."""
+        self._check(a, "a")
+        self._check(b, "b")
+        if self._child is None:
+            self._tally("cmp")
+            return word_ops.eq(a, b)
+        a_hi, a_lo = self._split(a)
+        b_hi, b_lo = self._split(b)
+        return 1 if (self._child.eq(a_hi, b_hi) and self._child.eq(a_lo, b_lo)) else 0
+
+    def mul_wide(self, a: int, b: int) -> tuple[int, int]:
+        """Widening multiplication ``(hi, lo)`` decomposed per rule (28) or Eq. 9."""
+        self._check(a, "a")
+        self._check(b, "b")
+        if self._child is None:
+            self._tally("mul")
+            return word_ops.mul_wide(a, b, self.word_bits)
+        if self.multiplication == "karatsuba":
+            return self._mul_wide_karatsuba(a, b)
+        return self._mul_wide_schoolbook(a, b)
+
+    def _mul_wide_schoolbook(self, a: int, b: int) -> tuple[int, int]:
+        child = self._child
+        assert child is not None
+        a_hi, a_lo = self._split(a)
+        b_hi, b_lo = self._split(b)
+        lo_lo = child.mul_wide(a_lo, b_lo)
+        hi_hi = child.mul_wide(a_hi, b_hi)
+        hi_lo = child.mul_wide(a_hi, b_lo)
+        lo_hi = child.mul_wide(a_lo, b_hi)
+        # cross = a_hi*b_lo + a_lo*b_hi, at most total_bits + 1 bits.
+        cross_carry, cross = self.add_wide(
+            self._join(*hi_lo), self._join(*lo_hi)
+        )
+        # result = hi_hi * 2**total + cross * 2**half + lo_lo, assembled with
+        # a carry chain over half-width limbs (rule 29).
+        base = (hi_hi[0], hi_hi[1], lo_lo[0], lo_lo[1])
+        cross_hi, cross_lo = self._split(cross)
+        addend = (cross_carry, cross_hi, cross_lo, 0)
+        limbs = []
+        carry = 0
+        for index in (3, 2, 1, 0):
+            carry, limb = child.add_with_carry(base[index], addend[index], carry)
+            limbs.append(limb)
+        limbs.reverse()
+        return self._join(limbs[0], limbs[1]), self._join(limbs[2], limbs[3])
+
+    def _mul_wide_karatsuba(self, a: int, b: int) -> tuple[int, int]:
+        child = self._child
+        assert child is not None
+        half = self.half_bits
+        a_hi, a_lo = self._split(a)
+        b_hi, b_lo = self._split(b)
+        # Three recursive multiplications (Equation 9) ...
+        lo_lo = child.mul_wide(a_lo, b_lo)
+        hi_hi = child.mul_wide(a_hi, b_hi)
+        carry_a, sum_a = child.add_wide(a_hi, a_lo)
+        carry_b, sum_b = child.add_wide(b_hi, b_lo)
+        partial = child.mul_wide(sum_a, sum_b)
+        # ... plus carry corrections implemented with selects, as the
+        # generated code does (the carries are single bits, so the "extra"
+        # products are selects rather than multiplications).
+        correction_b = sum_b if carry_a else 0
+        correction_a = sum_a if carry_b else 0
+        self._tally("select", 2 * (half // self.word_bits if half >= self.word_bits else 1))
+        # cross = partial + (correction_a + correction_b) << half + (ca & cb) << 2*half
+        carry_corr, corr = child.add_wide(correction_a, correction_b)
+        carry_mid, cross_mid = child.add_wide(partial[0], corr)
+        cross_top = (carry_a & carry_b) + carry_corr + carry_mid
+        self._tally("add", 2)
+        cross = (cross_top, cross_mid, partial[1])  # three half-width limbs
+        # middle = cross - hi_hi - lo_lo, computed with borrow chains.
+        middle = self._sub3(cross, hi_hi, child)
+        middle = self._sub3(middle, lo_lo, child)
+        # result = hi_hi << total + middle << half + lo_lo, assembled with a
+        # four-limb carry chain (rule 29).
+        base = (hi_hi[0], hi_hi[1], lo_lo[0], lo_lo[1])
+        addend = (middle[0], middle[1], middle[2], 0)
+        limbs = []
+        carry = 0
+        for index in (3, 2, 1, 0):
+            carry, limb = child.add_with_carry(base[index], addend[index], carry)
+            limbs.append(limb)
+        limbs.reverse()
+        return self._join(limbs[0], limbs[1]), self._join(limbs[2], limbs[3])
+
+    @staticmethod
+    def _sub3(
+        value: tuple[int, int, int], subtrahend: tuple[int, int], child: "MoMAContext"
+    ) -> tuple[int, int, int]:
+        """Subtract a two-limb value from a three-limb value (borrow chain)."""
+        borrow, low = child.sub_with_borrow(value[2], subtrahend[1], 0)
+        borrow, mid = child.sub_with_borrow(value[1], subtrahend[0], borrow)
+        return value[0] - borrow, mid, low
+
+    # ------------------------------------------------------------------
+    # Modular operations (rules 24 and the Barrett decomposition).
+    # ------------------------------------------------------------------
+
+    def addmod(self, a: int, b: int, q: int) -> int:
+        """Modular addition of reduced operands (Equation 2 / rule 24)."""
+        self._check_reduced(a, b, q)
+        carry, total = self.add_wide(a, b)
+        exceeds = 1 if (carry or not self.lt(total, q)) else 0
+        reduced = self.sub_wrap(total, q)
+        return reduced if exceeds else total
+
+    def submod(self, a: int, b: int, q: int) -> int:
+        """Modular subtraction of reduced operands (Equation 3)."""
+        self._check_reduced(a, b, q)
+        diff = self.sub_wrap(a, b)
+        wrapped = self.add_wide(diff, q)[1]
+        return wrapped if self.lt(a, b) else diff
+
+    def mulmod(self, a: int, b: int, q: int, mu: int | None = None) -> int:
+        """Barrett modular multiplication of reduced operands (Listing 4).
+
+        The modulus must have exactly ``total_bits - 4`` bits (the paper's
+        ``MBITS`` convention); ``mu`` may be supplied to avoid recomputing
+        ``floor(2**(2*MBITS + 3) / q)`` on every call.
+        """
+        self._check_reduced(a, b, q)
+        params = self.barrett_params(q, mu)
+        modulus_bits = params.modulus_bits
+
+        product_hi, product_lo = self.mul_wide(a, b)
+        product = (product_hi << self.total_bits) | product_lo
+        # Shift right by MBITS - 2; always within [half, total] bits so it is
+        # the _qshr of Listing 4.
+        estimate = product >> (modulus_bits - 2)
+        estimate_hi, estimate_lo = self.mul_wide(estimate, params.mu)
+        estimate_product = (estimate_hi << self.total_bits) | estimate_lo
+        quotient = estimate_product >> (modulus_bits + 5)
+        # Only the low double word of quotient*q is needed (Listing 4).
+        quotient_q_lo = self.mul_wide(quotient, q)[1]
+        remainder = self.sub_wrap(product_lo, quotient_q_lo)
+        corrected = self.sub_wrap(remainder, q)
+        return corrected if not self.lt(remainder, q) else remainder
+
+    def barrett_params(self, q: int, mu: int | None = None) -> BarrettParams:
+        """Barrett parameters for this context's modulus-width convention."""
+        modulus_bits = self.total_bits - 4
+        if q.bit_length() != modulus_bits:
+            raise ArithmeticDomainError(
+                f"MoMA at {self.total_bits} bits expects a modulus of exactly "
+                f"{modulus_bits} bits, got {q.bit_length()} bits"
+            )
+        if mu is not None:
+            return BarrettParams(
+                modulus=q, modulus_bits=modulus_bits, mu=mu, word_bits=self.total_bits
+            )
+        return BarrettParams.create(q, self.total_bits, modulus_bits)
+
+    def _check_reduced(self, a: int, b: int, q: int) -> None:
+        self._check(a, "a")
+        self._check(b, "b")
+        self._check(q, "q")
+        if q == 0:
+            raise ArithmeticDomainError("modulus must be non-zero")
+        if a >= q or b >= q:
+            raise ArithmeticDomainError(
+                "modular operations expect operands reduced modulo q"
+            )
+
+
+# ----------------------------------------------------------------------
+# Flat k-limb helpers (big-endian limb tuples).
+# ----------------------------------------------------------------------
+
+
+def _check_same_length(a: Sequence[int], b: Sequence[int]) -> None:
+    if len(a) != len(b):
+        raise ArithmeticDomainError(
+            f"operands must have the same number of limbs, got {len(a)} and {len(b)}"
+        )
+
+
+def mw_add(a: Sequence[int], b: Sequence[int], word_bits: int) -> tuple[int, ...]:
+    """Add two k-limb numbers, returning k+1 limbs (carry limb first)."""
+    _check_same_length(a, b)
+    word_mask = mask(word_bits)
+    result = []
+    carry = 0
+    for limb_a, limb_b in zip(reversed(a), reversed(b)):
+        total = limb_a + limb_b + carry
+        result.append(total & word_mask)
+        carry = total >> word_bits
+    result.append(carry)
+    result.reverse()
+    return tuple(result)
+
+
+def mw_sub(a: Sequence[int], b: Sequence[int], word_bits: int) -> tuple[int, tuple[int, ...]]:
+    """Subtract two k-limb numbers, returning ``(borrow, k limbs)`` (wrap-around)."""
+    _check_same_length(a, b)
+    word_mask = mask(word_bits)
+    result = []
+    borrow = 0
+    for limb_a, limb_b in zip(reversed(a), reversed(b)):
+        total = limb_a - limb_b - borrow
+        borrow = 1 if total < 0 else 0
+        result.append(total & word_mask)
+    result.reverse()
+    return borrow, tuple(result)
+
+
+def mw_lt(a: Sequence[int], b: Sequence[int]) -> int:
+    """Numeric ``a < b`` on equal-length big-endian limb tuples."""
+    _check_same_length(a, b)
+    for limb_a, limb_b in zip(a, b):
+        if limb_a != limb_b:
+            return 1 if limb_a < limb_b else 0
+    return 0
+
+
+def mw_eq(a: Sequence[int], b: Sequence[int]) -> int:
+    """Numeric equality on equal-length big-endian limb tuples."""
+    _check_same_length(a, b)
+    return 1 if tuple(a) == tuple(b) else 0
+
+
+def mw_addmod(
+    a: Sequence[int], b: Sequence[int], q: Sequence[int], word_bits: int
+) -> tuple[int, ...]:
+    """Modular addition on k-limb operands reduced modulo ``q``."""
+    total = mw_add(a, b, word_bits)
+    carry, low = total[0], total[1:]
+    if carry or not mw_lt(low, tuple(q)):
+        return mw_sub(low, tuple(q), word_bits)[1]
+    return low
+
+
+def mw_submod(
+    a: Sequence[int], b: Sequence[int], q: Sequence[int], word_bits: int
+) -> tuple[int, ...]:
+    """Modular subtraction on k-limb operands reduced modulo ``q``."""
+    borrow, diff = mw_sub(a, b, word_bits)
+    if borrow:
+        return mw_add(diff, tuple(q), word_bits)[1:]
+    return diff
+
+
+def mw_mul_schoolbook(
+    a: Sequence[int], b: Sequence[int], word_bits: int
+) -> tuple[int, ...]:
+    """Schoolbook multiplication of two k-limb numbers, returning 2k limbs."""
+    _check_same_length(a, b)
+    k = len(a)
+    word_mask = mask(word_bits)
+    a_le = list(reversed(a))
+    b_le = list(reversed(b))
+    acc = [0] * (2 * k)
+    for i in range(k):
+        carry = 0
+        for j in range(k):
+            total = acc[i + j] + a_le[i] * b_le[j] + carry
+            acc[i + j] = total & word_mask
+            carry = total >> word_bits
+        acc[i + k] += carry
+    # Normalise any residual carries.
+    carry = 0
+    for index in range(2 * k):
+        total = acc[index] + carry
+        acc[index] = total & word_mask
+        carry = total >> word_bits
+    acc.reverse()
+    return tuple(acc)
+
+
+def mw_mulmod_barrett(
+    a: Sequence[int],
+    b: Sequence[int],
+    params: BarrettParams,
+    word_bits: int,
+) -> tuple[int, ...]:
+    """Barrett modular multiplication on k-limb operands.
+
+    The limb count is derived from ``params.word_bits`` (the operand width of
+    the Barrett configuration); the heavy lifting reuses the schoolbook limb
+    multiplication above so that the only "wide" operations are shifts, as in
+    the generated kernels.
+    """
+    k = params.word_bits // word_bits
+    if len(a) != k or len(b) != k:
+        raise ArithmeticDomainError(
+            f"operands must have {k} limbs for a {params.word_bits}-bit Barrett "
+            f"configuration, got {len(a)} and {len(b)}"
+        )
+    product_limbs = mw_mul_schoolbook(a, b, word_bits)
+    product = limbs_to_int(product_limbs, word_bits)
+    estimate = (product >> params.pre_shift) * params.mu >> params.post_shift
+    remainder = product - estimate * params.modulus
+    if remainder >= params.modulus:
+        remainder -= params.modulus
+    return int_to_limbs(remainder, word_bits, k)

@@ -1,0 +1,122 @@
+"""Single-word modular arithmetic (Listing 1 of the paper).
+
+These are the leaf operations of MoMA: arithmetic on operands that fit in a
+single (possibly abstract) word of ``word_bits`` bits, where the compiler is
+assumed to provide a double-word type only for *storing* results (not full
+double-word arithmetic).  The functions mirror ``_sadd``, ``_saddmod``,
+``_ssub``, ``_ssubmod``, ``_smul`` and ``_smulmod`` from the paper, with the
+single deviation documented in :mod:`repro.arith.barrett`: conditional
+corrections compare with ``>=`` so results are canonical residues in
+``[0, q)``.
+
+The functions take the word width explicitly so that the same code serves
+both the final machine word and the abstract single words used at
+intermediate MoMA recursion steps.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArithmeticDomainError
+from repro.arith.barrett import BarrettParams
+from repro.arith.word import check_word, mask
+
+__all__ = [
+    "sadd",
+    "saddmod",
+    "ssub",
+    "ssubmod",
+    "smul",
+    "smulmod",
+]
+
+
+def sadd(a: int, b: int, word_bits: int) -> tuple[int, int]:
+    """Single-word addition with a double-word result ``(hi, lo)``.
+
+    Mirrors ``_sadd``: the sum of two ``word_bits``-bit operands is returned
+    as a two-limb value whose high limb is the carry (0 or 1).
+    """
+    check_word(a, word_bits, "a")
+    check_word(b, word_bits, "b")
+    total = a + b
+    return total >> word_bits, total & mask(word_bits)
+
+
+def saddmod(a: int, b: int, q: int, word_bits: int) -> int:
+    """Single-word modular addition ``(a + b) mod q`` for reduced operands.
+
+    Mirrors ``_saddmod`` (Equation 2): one addition in a double-word
+    temporary followed by a conditional subtraction of ``q``.
+    """
+    _check_reduced(a, b, q, word_bits)
+    total = a + b
+    if total >= q:
+        total -= q
+    return total
+
+
+def ssub(a: int, b: int, word_bits: int) -> int:
+    """Single-word subtraction with wrap-around (the C behaviour of ``a - b``)."""
+    check_word(a, word_bits, "a")
+    check_word(b, word_bits, "b")
+    return (a - b) & mask(word_bits)
+
+
+def ssubmod(a: int, b: int, q: int, word_bits: int) -> int:
+    """Single-word modular subtraction ``(a - b) mod q`` for reduced operands.
+
+    Mirrors ``_ssubmod`` (Equation 3): wrap-around subtraction followed by a
+    conditional addition of ``q`` when ``a < b``.
+    """
+    _check_reduced(a, b, q, word_bits)
+    diff = (a - b) & mask(word_bits)
+    if a < b:
+        diff = (diff + q) & mask(word_bits)
+    return diff
+
+
+def smul(a: int, b: int, word_bits: int) -> tuple[int, int]:
+    """Single-word multiplication with a double-word result ``(hi, lo)``.
+
+    Mirrors ``_smul``: the full ``2*word_bits``-bit product split into limbs.
+    """
+    check_word(a, word_bits, "a")
+    check_word(b, word_bits, "b")
+    product = a * b
+    return product >> word_bits, product & mask(word_bits)
+
+
+def smulmod(a: int, b: int, params: BarrettParams) -> int:
+    """Single-word modular multiplication via Barrett reduction.
+
+    Mirrors ``_smulmod``: widening multiply, shift, multiply by the
+    precomputed ``mu``, shift, subtract the estimated multiple of ``q`` and
+    apply one conditional correction.  Operands must be reduced modulo
+    ``params.modulus``.
+    """
+    q = params.modulus
+    _check_reduced(a, b, q, params.word_bits)
+    product = a * b
+    estimate = ((product >> params.pre_shift) * params.mu) >> params.post_shift
+    remainder = product - estimate * q
+    if remainder >= q:
+        remainder -= q
+    if not 0 <= remainder < q:
+        raise ArithmeticDomainError(
+            "Barrett approximation error exceeded one conditional subtraction "
+            f"for modulus {q:#x}"
+        )
+    return remainder
+
+
+def _check_reduced(a: int, b: int, q: int, word_bits: int) -> None:
+    check_word(a, word_bits, "a")
+    check_word(b, word_bits, "b")
+    check_word(q, word_bits, "q")
+    if q == 0:
+        raise ArithmeticDomainError("modulus must be non-zero")
+    if a >= q or b >= q:
+        raise ArithmeticDomainError(
+            "modular operations expect operands reduced modulo q "
+            f"(a={a:#x}, b={b:#x}, q={q:#x})"
+        )

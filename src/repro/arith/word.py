@@ -1,0 +1,180 @@
+"""Machine-word primitives.
+
+These functions model the behaviour of fixed-width unsigned machine words
+(``uint32_t``/``uint64_t`` in the paper's CUDA listings) on top of Python's
+arbitrary-precision integers.  They are the executable semantics of the
+instructions that MoMA-generated code ultimately runs: addition with carry,
+subtraction with borrow, widening multiplication, shifts and comparisons.
+
+All functions are parameterised by the word width ``width`` (in bits) so the
+same primitives serve both the final machine word (64 bits in the paper's
+evaluation) and the *abstract* single words that appear at intermediate
+recursion levels of MoMA (128, 256, ... bits).
+
+Conventions
+-----------
+* Words are plain Python ``int`` values in ``[0, 2**width)``.
+* Functions that produce a carry or borrow return it as a separate ``int``
+  equal to ``0`` or ``1``.
+* Widening operations return ``(hi, lo)`` pairs, most-significant first,
+  matching the paper's big-endian limb convention ``[x0, x1]`` where ``x0``
+  is the high word.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArithmeticDomainError
+
+__all__ = [
+    "mask",
+    "check_word",
+    "add_wide",
+    "add_with_carry",
+    "sub_with_borrow",
+    "mul_wide",
+    "mul_lo",
+    "mul_hi",
+    "shr",
+    "shl",
+    "lt",
+    "le",
+    "eq",
+    "select",
+    "bit_or",
+    "bit_and",
+    "bit_xor",
+    "bit_not",
+]
+
+
+def mask(width: int) -> int:
+    """Return the bit mask ``2**width - 1`` for a word of ``width`` bits."""
+    if width <= 0:
+        raise ArithmeticDomainError(f"word width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+def check_word(value: int, width: int, name: str = "value") -> int:
+    """Validate that ``value`` fits in ``width`` bits and return it.
+
+    Raises :class:`ArithmeticDomainError` for negative values or values that
+    do not fit, so domain bugs surface at the boundary rather than as silent
+    wrap-around deep inside a kernel.
+    """
+    if not isinstance(value, int):
+        raise ArithmeticDomainError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ArithmeticDomainError(f"{name} must be non-negative, got {value}")
+    if value >> width:
+        raise ArithmeticDomainError(
+            f"{name}={value:#x} does not fit in a {width}-bit word"
+        )
+    return value
+
+
+def add_wide(a: int, b: int, width: int) -> tuple[int, int]:
+    """Full-width addition: return ``(carry, lo)`` with ``a + b = carry*2**width + lo``.
+
+    This is the paper's ``_sadd`` (Listing 1): the result of a single-word
+    addition is stored in a double-word, here represented as the pair.
+    """
+    total = a + b
+    return total >> width, total & mask(width)
+
+
+def add_with_carry(a: int, b: int, carry_in: int, width: int) -> tuple[int, int]:
+    """Addition with incoming carry: ``(carry_out, lo)`` of ``a + b + carry_in``."""
+    total = a + b + carry_in
+    return total >> width, total & mask(width)
+
+
+def sub_with_borrow(a: int, b: int, borrow_in: int, width: int) -> tuple[int, int]:
+    """Subtraction with borrow: return ``(borrow_out, diff)``.
+
+    ``diff`` is ``a - b - borrow_in`` wrapped modulo ``2**width`` and
+    ``borrow_out`` is ``1`` when the true difference is negative.
+    """
+    total = a - b - borrow_in
+    borrow_out = 1 if total < 0 else 0
+    return borrow_out, total & mask(width)
+
+
+def mul_wide(a: int, b: int, width: int) -> tuple[int, int]:
+    """Widening multiplication: ``(hi, lo)`` with ``a*b = hi*2**width + lo``.
+
+    Models ``_smul`` in Listing 1 (``uint64_t * uint64_t -> __int128``).
+    """
+    product = a * b
+    return product >> width, product & mask(width)
+
+
+def mul_lo(a: int, b: int, width: int) -> int:
+    """Low half of the product, i.e. multiplication with wrap-around."""
+    return (a * b) & mask(width)
+
+
+def mul_hi(a: int, b: int, width: int) -> int:
+    """High half of the widening product."""
+    return (a * b) >> width
+
+
+def shr(a: int, amount: int, width: int) -> int:
+    """Logical right shift within a ``width``-bit word.
+
+    Shift amounts of ``width`` or more yield ``0`` (unlike C, where such
+    shifts are undefined behaviour); the code generators never emit them.
+    """
+    if amount < 0:
+        raise ArithmeticDomainError(f"shift amount must be non-negative, got {amount}")
+    if amount >= width:
+        return 0
+    return (a >> amount) & mask(width)
+
+
+def shl(a: int, amount: int, width: int) -> int:
+    """Logical left shift within a ``width``-bit word (high bits discarded)."""
+    if amount < 0:
+        raise ArithmeticDomainError(f"shift amount must be non-negative, got {amount}")
+    if amount >= width:
+        return 0
+    return (a << amount) & mask(width)
+
+
+def lt(a: int, b: int) -> int:
+    """Comparison ``a < b`` as an integer flag (1 true, 0 false)."""
+    return 1 if a < b else 0
+
+
+def le(a: int, b: int) -> int:
+    """Comparison ``a <= b`` as an integer flag (1 true, 0 false)."""
+    return 1 if a <= b else 0
+
+
+def eq(a: int, b: int) -> int:
+    """Comparison ``a == b`` as an integer flag (1 true, 0 false)."""
+    return 1 if a == b else 0
+
+
+def select(cond: int, if_true: int, if_false: int) -> int:
+    """Conditional select, the ternary ``cond ? if_true : if_false``."""
+    return if_true if cond else if_false
+
+
+def bit_or(a: int, b: int, width: int) -> int:
+    """Bitwise OR within a ``width``-bit word."""
+    return (a | b) & mask(width)
+
+
+def bit_and(a: int, b: int, width: int) -> int:
+    """Bitwise AND within a ``width``-bit word."""
+    return (a & b) & mask(width)
+
+
+def bit_xor(a: int, b: int, width: int) -> int:
+    """Bitwise XOR within a ``width``-bit word."""
+    return (a ^ b) & mask(width)
+
+
+def bit_not(a: int, width: int) -> int:
+    """Bitwise complement within a ``width``-bit word."""
+    return (~a) & mask(width)

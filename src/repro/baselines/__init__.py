@@ -1,0 +1,21 @@
+"""Baselines: arbitrary-precision CPU (GMP stand-in), RNS GPU (GRNS-like),
+and published-system performance anchors."""
+
+from repro.baselines.bigint import BigIntBaseline, gmp_cost_model_ns
+from repro.baselines.grns import GrnsBaseline
+from repro.baselines.published import (
+    BaselineAnchor,
+    baseline_runtime_ns,
+    blas_baselines,
+    ntt_baselines,
+)
+
+__all__ = [
+    "BigIntBaseline",
+    "gmp_cost_model_ns",
+    "GrnsBaseline",
+    "BaselineAnchor",
+    "baseline_runtime_ns",
+    "blas_baselines",
+    "ntt_baselines",
+]

@@ -1,0 +1,112 @@
+"""Arbitrary-precision CPU baseline (the role GMP plays in the paper).
+
+The paper compares MoMA-generated GPU kernels against GMP running on a Xeon
+(Figure 2) and against GMP-based NTTs (Figure 4).  GMP itself is a C library;
+its closest stand-in available in a pure-Python environment is Python's own
+arbitrary-precision integers, which the related-work section of the paper
+itself groups with GMP as "languages ... [that] support large integer
+arithmetic natively".  This module packages that baseline:
+
+* executable vector operations and NTTs on Python integers (used for
+  correctness checks and wall-clock micro-benchmarks), and
+* helpers describing the baseline's asymptotic cost (limb-count based, with
+  the FFT crossover the paper mentions for very wide multiplications).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ArithmeticDomainError
+from repro.ntt.iterative import ntt_forward, ntt_inverse
+from repro.ntt.planner import NTTPlan
+
+__all__ = ["BigIntBaseline", "gmp_cost_model_ns"]
+
+
+class BigIntBaseline:
+    """Vector modular arithmetic and NTTs on arbitrary-precision integers."""
+
+    name = "bigint-cpu"
+
+    def vadd(self, x: Sequence[int], y: Sequence[int], q: int) -> list[int]:
+        """Element-wise modular addition."""
+        self._check(q, x, y)
+        return [(a + b) % q for a, b in zip(x, y)]
+
+    def vsub(self, x: Sequence[int], y: Sequence[int], q: int) -> list[int]:
+        """Element-wise modular subtraction."""
+        self._check(q, x, y)
+        return [(a - b) % q for a, b in zip(x, y)]
+
+    def vmul(self, x: Sequence[int], y: Sequence[int], q: int) -> list[int]:
+        """Element-wise modular multiplication."""
+        self._check(q, x, y)
+        return [(a * b) % q for a, b in zip(x, y)]
+
+    def axpy(self, scale: int, x: Sequence[int], y: Sequence[int], q: int) -> list[int]:
+        """Element-wise ``scale * x + y``."""
+        self._check(q, x, y)
+        return [(scale * a + b) % q for a, b in zip(x, y)]
+
+    def ntt(self, values: Sequence[int], plan: NTTPlan) -> list[int]:
+        """Forward NTT on Python integers."""
+        return ntt_forward(values, plan)
+
+    def intt(self, values: Sequence[int], plan: NTTPlan) -> list[int]:
+        """Inverse NTT on Python integers."""
+        return ntt_inverse(values, plan)
+
+    @staticmethod
+    def _check(q: int, *vectors: Sequence[int]) -> None:
+        if q < 3:
+            raise ArithmeticDomainError(f"modulus must be >= 3, got {q}")
+        lengths = {len(vector) for vector in vectors}
+        if len(lengths) != 1:
+            raise ArithmeticDomainError("vectors must have equal lengths")
+
+
+@dataclass(frozen=True)
+class _GmpCostParameters:
+    """Calibration constants for the GMP CPU cost model (nanoseconds).
+
+    The constants reproduce the magnitudes reported in Section 5.2: GMP
+    addition/subtraction is hundreds of times slower than MoMA on a GPU
+    (the paper reports >= 527x), and GMP multiplication narrows the gap as
+    the bit-width grows because it switches to sub-quadratic algorithms
+    (the paper observes GMP's 512/1,024-bit multiplies running faster than
+    its 128-bit ones due to FFT-based code paths and amortised overheads).
+    """
+
+    add_base_ns: float = 25.0
+    add_per_limb_ns: float = 4.0
+    mul_base_ns: float = 45.0
+    mul_per_limb_pair_ns: float = 6.5
+    #: Past this many 64-bit limbs the model charges the sub-quadratic path.
+    fft_crossover_limbs: int = 6
+    reduction_overhead: float = 1.9
+
+
+def gmp_cost_model_ns(operation: str, bits: int) -> float:
+    """Estimated CPU nanoseconds per element for a GMP-style library.
+
+    Args:
+        operation: ``"vadd"``, ``"vsub"``, ``"vmul"`` or ``"axpy"``.
+        bits: operand bit-width.
+    """
+    parameters = _GmpCostParameters()
+    limbs = max(1, -(-bits // 64))
+    if operation in ("vadd", "vsub"):
+        return parameters.add_base_ns + parameters.add_per_limb_ns * limbs
+    if operation in ("vmul", "axpy"):
+        if limbs <= parameters.fft_crossover_limbs:
+            multiply = parameters.mul_base_ns + parameters.mul_per_limb_pair_ns * limbs * limbs
+        else:
+            # Sub-quadratic regime: n^1.585 (Karatsuba/Toom) growth.
+            multiply = parameters.mul_base_ns + parameters.mul_per_limb_pair_ns * (
+                limbs ** 1.585
+            ) * 2.2
+        extra = parameters.add_base_ns if operation == "axpy" else 0.0
+        return multiply * parameters.reduction_overhead + extra
+    raise ArithmeticDomainError(f"unknown BLAS operation {operation!r}")

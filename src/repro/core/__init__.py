@@ -1,0 +1,7 @@
+"""The paper's contribution: abstract-code IR, MoMA rewrite system,
+optimization passes and code generators."""
+
+from repro.core.ir import KernelBuilder, Kernel, interpret
+from repro.core.rewrite import RewriteOptions, legalize
+
+__all__ = ["KernelBuilder", "Kernel", "interpret", "RewriteOptions", "legalize"]

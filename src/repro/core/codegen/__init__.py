@@ -1,0 +1,13 @@
+"""Code generation backends: CUDA, C99, and the executable Python backend."""
+
+from repro.core.codegen.c99 import generate_c99
+from repro.core.codegen.cuda import generate_cuda
+from repro.core.codegen.python_exec import CompiledKernel, compile_kernel, generate_python_source
+
+__all__ = [
+    "generate_c99",
+    "generate_cuda",
+    "CompiledKernel",
+    "compile_kernel",
+    "generate_python_source",
+]

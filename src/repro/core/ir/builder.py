@@ -1,0 +1,222 @@
+"""Convenience builder for constructing kernels.
+
+Frontends (:mod:`repro.kernels`) use :class:`KernelBuilder` to assemble
+wide-typed kernels without manually managing SSA names.  The builder emits
+flat statements and hands back destination variables, so a modular butterfly
+reads naturally::
+
+    b = KernelBuilder("ntt_butterfly_256")
+    x = b.param("x", 256)
+    y = b.param("y", 256)
+    w = b.param("w", 256)
+    q = b.param("q", 256)
+    mu = b.param("mu", 256)
+    t = b.mulmod(w, y, q, mu)
+    b.output("x_out", b.addmod(x, t, q))
+    b.output("y_out", b.submod(x, t, q))
+    kernel = b.build()
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.core.ir.kernel import Kernel
+from repro.core.ir.ops import OpKind, Statement
+from repro.core.ir.types import FLAG, IntType
+from repro.core.ir.values import Const, Group, NameGenerator, Var, as_group
+
+__all__ = ["KernelBuilder"]
+
+
+class KernelBuilder:
+    """Incrementally builds a :class:`~repro.core.ir.kernel.Kernel`."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._params: list[Var] = []
+        self._outputs: list[Var] = []
+        self._body: list[Statement] = []
+        self._names = NameGenerator()
+        self._metadata: dict = {}
+
+    # ------------------------------------------------------------------
+    # Declarations.
+    # ------------------------------------------------------------------
+
+    def param(self, name: str, bits: int, effective_bits: int | None = None) -> Var:
+        """Declare an input parameter of the given bit-width."""
+        var = Var(name, IntType(bits), effective_bits=effective_bits)
+        self._names.reserve(name)
+        self._params.append(var)
+        return var
+
+    def constant(self, value: int, bits: int) -> Const:
+        """Create a typed constant."""
+        return Const(value, IntType(bits))
+
+    def fresh(self, bits: int, hint: str = "t") -> Var:
+        """Create a fresh temporary variable."""
+        return Var(self._names.fresh(hint), IntType(bits))
+
+    def output(self, name: str, value) -> Var:
+        """Declare an output equal to ``value`` (a Var, Const or Group).
+
+        A ``mov`` is emitted so the output has a stable, caller-chosen name
+        regardless of how the value was produced.
+        """
+        group = as_group(value)
+        dest = Var(self._names.fresh(name) if name in self._taken_names() else name, IntType(group.bits))
+        self._names.reserve(dest.name)
+        self.emit(OpKind.MOV, Group((dest,)), [group])
+        self._outputs.append(dest)
+        return dest
+
+    def metadata(self, **entries) -> None:
+        """Attach free-form metadata to the kernel."""
+        self._metadata.update(entries)
+
+    def _taken_names(self) -> set[str]:
+        taken = {param.name for param in self._params}
+        taken.update(output.name for output in self._outputs)
+        for statement in self._body:
+            taken.update(var.name for var in statement.defined_vars())
+        return taken
+
+    # ------------------------------------------------------------------
+    # Statement emission.
+    # ------------------------------------------------------------------
+
+    def emit(self, op: OpKind, dests, operands, **attrs) -> Statement:
+        """Emit a raw statement (low-level escape hatch)."""
+        statement = Statement(op, as_group(dests), tuple(as_group(o) for o in operands), dict(attrs))
+        self._body.append(statement)
+        return statement
+
+    def mov(self, source, bits: int | None = None, hint: str = "t") -> Var:
+        """Copy ``source`` into a fresh variable."""
+        group = as_group(source)
+        dest = self.fresh(bits if bits is not None else group.bits, hint)
+        self.emit(OpKind.MOV, dest, [group])
+        return dest
+
+    def add(self, a, b, carry_in=None, result_bits: int | None = None, hint: str = "t"):
+        """Plain addition; result is one bit wider than the widest operand by default."""
+        group_a, group_b = as_group(a), as_group(b)
+        bits = result_bits if result_bits is not None else max(group_a.bits, group_b.bits) + 1
+        dest = self.fresh(bits, hint)
+        operands = [group_a, group_b]
+        if carry_in is not None:
+            operands.append(as_group(carry_in))
+        self.emit(OpKind.ADD, dest, operands)
+        return dest
+
+    def sub(self, a, b, borrow_in=None, hint: str = "t"):
+        """Wrap-around subtraction at the width of the first operand."""
+        group_a, group_b = as_group(a), as_group(b)
+        dest = self.fresh(group_a.bits, hint)
+        operands = [group_a, group_b]
+        if borrow_in is not None:
+            operands.append(as_group(borrow_in))
+        self.emit(OpKind.SUB, dest, operands)
+        return dest
+
+    def mul(self, a, b, hint: str = "t"):
+        """Widening multiplication; the result has the combined width."""
+        group_a, group_b = as_group(a), as_group(b)
+        dest = self.fresh(group_a.bits + group_b.bits, hint)
+        self.emit(OpKind.MUL, dest, [group_a, group_b])
+        return dest
+
+    def compare(self, op: OpKind, a, b, hint: str = "flag"):
+        """Emit a comparison returning a 1-bit flag variable."""
+        if op not in (OpKind.LT, OpKind.LE, OpKind.EQ):
+            raise IRError(f"compare expects a comparison op, got {op}")
+        dest = Var(self._names.fresh(hint), FLAG)
+        self.emit(op, dest, [as_group(a), as_group(b)])
+        return dest
+
+    def select(self, cond, if_true, if_false, hint: str = "t"):
+        """Conditional assignment."""
+        group_true = as_group(if_true)
+        dest = self.fresh(group_true.bits, hint)
+        self.emit(OpKind.SELECT, dest, [as_group(cond), group_true, as_group(if_false)])
+        return dest
+
+    def shr(self, a, amount: int, result_bits: int, hint: str = "t"):
+        """Right shift by a constant amount."""
+        dest = self.fresh(result_bits, hint)
+        self.emit(OpKind.SHR, dest, [as_group(a)], amount=amount)
+        return dest
+
+    def shl(self, a, amount: int, result_bits: int, hint: str = "t"):
+        """Left shift by a constant amount (wrap-around at result width)."""
+        dest = self.fresh(result_bits, hint)
+        self.emit(OpKind.SHL, dest, [as_group(a)], amount=amount)
+        return dest
+
+    def reduce(self, a, q, hint: str = "t"):
+        """Conditional-subtraction reduction of a value known to be < 2q."""
+        group_q = as_group(q)
+        dest = self.fresh(group_q.bits, hint)
+        self.emit(OpKind.REDUCE, dest, [as_group(a), group_q])
+        return dest
+
+    def addmod(self, a, b, q, hint: str = "t"):
+        """Modular addition of reduced operands."""
+        group_q = as_group(q)
+        dest = self.fresh(group_q.bits, hint)
+        self.emit(OpKind.ADDMOD, dest, [as_group(a), as_group(b), group_q])
+        return dest
+
+    def submod(self, a, b, q, hint: str = "t"):
+        """Modular subtraction of reduced operands."""
+        group_q = as_group(q)
+        dest = self.fresh(group_q.bits, hint)
+        self.emit(OpKind.SUBMOD, dest, [as_group(a), as_group(b), group_q])
+        return dest
+
+    def mulmod(
+        self,
+        a,
+        b,
+        q,
+        mu=None,
+        algorithm: str | None = None,
+        modulus_bits: int | None = None,
+        hint: str = "t",
+    ):
+        """Barrett modular multiplication of reduced operands.
+
+        ``modulus_bits`` pins the Barrett shift amounts; when omitted it is
+        derived from the modulus operand's ``effective_bits`` (or defaults to
+        the operand width minus four).  ``mu`` may be omitted only when the
+        modulus is a compile-time constant.
+        """
+        group_q = as_group(q)
+        dest = self.fresh(group_q.bits, hint)
+        operands = [as_group(a), as_group(b), group_q]
+        if mu is not None:
+            operands.append(as_group(mu))
+        attrs = {}
+        if algorithm is not None:
+            attrs["algorithm"] = algorithm
+        if modulus_bits is not None:
+            attrs["modulus_bits"] = modulus_bits
+        self.emit(OpKind.MULMOD, dest, operands, **attrs)
+        return dest
+
+    # ------------------------------------------------------------------
+    # Finalisation.
+    # ------------------------------------------------------------------
+
+    def build(self) -> Kernel:
+        """Assemble and validate the kernel."""
+        kernel = Kernel(
+            name=self._name,
+            params=list(self._params),
+            outputs=list(self._outputs),
+            body=list(self._body),
+            metadata=dict(self._metadata),
+        )
+        kernel.validate()
+        return kernel

@@ -1,0 +1,149 @@
+"""Reference interpreter for the abstract-code IR.
+
+The interpreter executes a kernel at *any* stage of rewriting — wide-typed
+frontend output, partially legalized code, or fully machine-legal code — so
+the test suite can check that every rewrite rule and every optimization pass
+preserves semantics, statement list by statement list, against the same
+inputs.  It is intentionally simple and defensive rather than fast; the
+performance path is the generated-Python backend in
+:mod:`repro.core.codegen.python_exec`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.core.ir.kernel import Kernel
+from repro.core.ir.ops import OpKind, Statement
+from repro.core.ir.values import Const, Group, Var
+
+__all__ = ["interpret", "evaluate_statement"]
+
+
+def interpret(kernel: Kernel, inputs: dict[str, int]) -> dict[str, int]:
+    """Execute ``kernel`` on the given parameter values.
+
+    Args:
+        kernel: the kernel to run (validated).
+        inputs: mapping from parameter name to integer value.
+
+    Returns:
+        Mapping from output name to integer value.
+    """
+    kernel.validate()
+    env: dict[str, int] = {}
+    for param in kernel.params:
+        if param.name not in inputs:
+            raise IRError(f"missing value for parameter {param.name!r}")
+        value = inputs[param.name]
+        if not param.type.fits(value):
+            raise IRError(
+                f"value {value} for parameter {param.name!r} does not fit in {param.type}"
+            )
+        if param.effective_bits is not None and value >> param.effective_bits:
+            raise IRError(
+                f"value for {param.name!r} exceeds its declared effective "
+                f"width of {param.effective_bits} bits"
+            )
+        env[param.name] = value
+    extra = set(inputs) - {param.name for param in kernel.params}
+    if extra:
+        raise IRError(f"unknown parameters supplied: {sorted(extra)}")
+
+    for statement in kernel.body:
+        evaluate_statement(statement, env)
+
+    return {output.name: env[output.name] for output in kernel.outputs}
+
+
+def _read(group: Group, env: dict[str, int]) -> int:
+    parts = []
+    for part in group:
+        if isinstance(part, Const):
+            parts.append(part.value)
+        else:
+            parts.append(env[part.name])
+    return group.compose(parts)
+
+
+def _write(group: Group, value: int, env: dict[str, int]) -> None:
+    for part, part_value in zip(group, group.decompose(value)):
+        assert isinstance(part, Var)
+        env[part.name] = part_value
+
+
+def evaluate_statement(statement: Statement, env: dict[str, int]) -> None:
+    """Evaluate one statement, updating ``env`` in place."""
+    op = statement.op
+    operands = [_read(group, env) for group in statement.operands]
+    dest_bits = statement.dests.bits
+
+    if op is OpKind.MOV:
+        result = operands[0]
+    elif op is OpKind.ADD:
+        result = sum(operands)
+        if result >> dest_bits:
+            raise IRError(f"addition overflowed its destination: {statement}")
+    elif op is OpKind.SUB:
+        value = operands[0] - operands[1] - (operands[2] if len(operands) == 3 else 0)
+        result = value % (1 << dest_bits)
+    elif op is OpKind.MUL:
+        result = operands[0] * operands[1]
+        if result >> dest_bits:
+            raise IRError(f"multiplication overflowed its destination: {statement}")
+    elif op is OpKind.MULLO:
+        result = (operands[0] * operands[1]) % (1 << dest_bits)
+    elif op is OpKind.LT:
+        result = int(operands[0] < operands[1])
+    elif op is OpKind.LE:
+        result = int(operands[0] <= operands[1])
+    elif op is OpKind.EQ:
+        result = int(operands[0] == operands[1])
+    elif op is OpKind.AND:
+        result = operands[0] & operands[1]
+    elif op is OpKind.OR:
+        result = operands[0] | operands[1]
+    elif op is OpKind.NOT:
+        result = (~operands[0]) % (1 << dest_bits)
+    elif op is OpKind.SELECT:
+        result = operands[1] if operands[0] else operands[2]
+    elif op is OpKind.SHR:
+        result = operands[0] >> statement.attrs["amount"]
+    elif op is OpKind.SHL:
+        result = (operands[0] << statement.attrs["amount"]) % (1 << dest_bits)
+    elif op is OpKind.REDUCE:
+        value, modulus = operands
+        if modulus == 0:
+            raise IRError(f"reduction by zero modulus: {statement}")
+        if value >= 2 * modulus:
+            raise IRError(
+                f"reduce expects a value below twice the modulus, got {value} "
+                f"vs modulus {modulus}: {statement}"
+            )
+        result = value - modulus if value >= modulus else value
+    elif op is OpKind.ADDMOD:
+        a, b, q = operands[:3]
+        _require_reduced(a, b, q, statement)
+        result = (a + b) % q
+    elif op is OpKind.SUBMOD:
+        a, b, q = operands[:3]
+        _require_reduced(a, b, q, statement)
+        result = (a - b) % q
+    elif op is OpKind.MULMOD:
+        a, b, q = operands[:3]
+        _require_reduced(a, b, q, statement)
+        result = (a * b) % q
+    else:  # pragma: no cover - exhaustiveness guard
+        raise IRError(f"unhandled operation {op}")
+
+    if result >> dest_bits:
+        raise IRError(f"result {result} does not fit destination of {statement}")
+    _write(statement.dests, result, env)
+
+
+def _require_reduced(a: int, b: int, q: int, statement: Statement) -> None:
+    if q == 0:
+        raise IRError(f"zero modulus in {statement}")
+    if a >= q or b >= q:
+        raise IRError(
+            f"modular operation requires reduced operands (a={a}, b={b}, q={q}): {statement}"
+        )

@@ -1,0 +1,35 @@
+"""Textual pretty-printer for kernels.
+
+The printed form mirrors the paper's notation: destination groups in square
+brackets, operations by name, and operand groups as bracketed limb lists.
+It is used in documentation, examples and golden tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.ir.kernel import Kernel
+
+__all__ = ["format_kernel", "format_signature"]
+
+
+def format_signature(kernel: Kernel) -> str:
+    """Return the one-line signature ``name(params) -> (outputs)``."""
+    params = []
+    for param in kernel.params:
+        rendered = f"{param.name}: {param.type}"
+        if param.effective_bits is not None and param.effective_bits != param.bits:
+            rendered += f" [effective {param.effective_bits}]"
+        params.append(rendered)
+    outputs = ", ".join(f"{output.name}: {output.type}" for output in kernel.outputs)
+    return f"{kernel.name}({', '.join(params)}) -> ({outputs})"
+
+
+def format_kernel(kernel: Kernel, indent: str = "  ") -> str:
+    """Render a kernel as indented text."""
+    lines = [f"kernel {format_signature(kernel)} {{"]
+    for key, value in sorted(kernel.metadata.items()):
+        lines.append(f"{indent}// {key}: {value}")
+    for statement in kernel.body:
+        lines.append(f"{indent}{statement}")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Integer data types for the abstract-code IR.
+
+MoMA is a rewrite system *on data types* (Section 4): every value in the IR
+carries an :class:`IntType` whose bit-width drives the rewriting.  A type is
+"machine" when its width does not exceed the machine word width; legalization
+(Section 4's recursive pass) terminates when every variable in a kernel has a
+machine type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import IRError
+
+__all__ = ["IntType", "FLAG", "u1", "u32", "u64", "u128", "u256", "u512", "u1024"]
+
+
+@dataclass(frozen=True, order=True)
+class IntType:
+    """An unsigned integer type of a given bit-width.
+
+    Widths are not restricted to powers of two — 1-bit carry/borrow flags and
+    padded non-power-of-two widths both occur — but the arithmetic rewrite
+    rules only ever split power-of-two-width types in half (rule 19).
+    """
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise IRError(f"type width must be positive, got {self.bits}")
+
+    def __str__(self) -> str:
+        return f"u{self.bits}"
+
+    @property
+    def mask(self) -> int:
+        """The value mask ``2**bits - 1``."""
+        return (1 << self.bits) - 1
+
+    def fits(self, value: int) -> bool:
+        """Whether a non-negative ``value`` is representable in this type."""
+        return 0 <= value <= self.mask
+
+    def half(self) -> "IntType":
+        """The single-word type for this double-word type (rule 19)."""
+        if self.bits % 2:
+            raise IRError(f"cannot halve odd width {self.bits}")
+        return IntType(self.bits // 2)
+
+    def double(self) -> "IntType":
+        """The double-word type for this single-word type."""
+        return IntType(self.bits * 2)
+
+    def is_machine(self, word_bits: int) -> bool:
+        """Whether this type is natively supported for a given machine word."""
+        return self.bits <= word_bits
+
+    def is_flag(self) -> bool:
+        """Whether this is the 1-bit carry/borrow/comparison type."""
+        return self.bits == 1
+
+
+@lru_cache(maxsize=None)
+def _cached(bits: int) -> IntType:
+    return IntType(bits)
+
+
+#: The 1-bit flag type used for carries, borrows and comparison results.
+FLAG = _cached(1)
+u1 = FLAG
+u32 = _cached(32)
+u64 = _cached(64)
+u128 = _cached(128)
+u256 = _cached(256)
+u512 = _cached(512)
+u1024 = _cached(1024)

@@ -1,0 +1,87 @@
+"""Common subexpression elimination.
+
+The comparison chains of rules (24)-(26) recompute limb equalities and
+less-thans that earlier statements already produced (visible in Listing 4,
+where the same comparisons appear in ``_dlt`` and ``_dsub``).  Because
+kernels are straight-line SSA, CSE is a single forward sweep with a value
+table keyed by (operation, operand identities, attributes); later identical
+statements become copies of the first result and are then cleaned up by copy
+propagation + DCE.
+"""
+
+from __future__ import annotations
+
+from repro.core.ir.kernel import Kernel
+from repro.core.ir.ops import OpKind, Statement
+from repro.core.ir.values import Const, Group, Var
+
+__all__ = ["eliminate_common_subexpressions"]
+
+#: Operations safe to deduplicate (pure, deterministic — which is all of them;
+#: MOV is excluded because copy propagation already handles it).
+_CSE_OPS = frozenset(
+    {
+        OpKind.ADD,
+        OpKind.SUB,
+        OpKind.MUL,
+        OpKind.MULLO,
+        OpKind.LT,
+        OpKind.LE,
+        OpKind.EQ,
+        OpKind.AND,
+        OpKind.OR,
+        OpKind.NOT,
+        OpKind.SELECT,
+        OpKind.SHR,
+        OpKind.SHL,
+        OpKind.REDUCE,
+        OpKind.ADDMOD,
+        OpKind.SUBMOD,
+        OpKind.MULMOD,
+    }
+)
+
+
+def _part_key(part) -> tuple:
+    if isinstance(part, Const):
+        return ("const", part.value, part.bits)
+    return ("var", part.name, part.bits)
+
+
+def _statement_key(statement: Statement) -> tuple:
+    operand_keys = tuple(
+        tuple(_part_key(part) for part in group) for group in statement.operands
+    )
+    dest_widths = tuple(part.bits for part in statement.dests)
+    attrs = tuple(sorted(statement.attrs.items()))
+    return (statement.op, operand_keys, dest_widths, attrs)
+
+
+def eliminate_common_subexpressions(kernel: Kernel) -> Kernel:
+    """Return a new kernel where repeated computations reuse earlier results."""
+    seen: dict[tuple, tuple[Var, ...]] = {}
+    new_body: list[Statement] = []
+
+    for statement in kernel.body:
+        if statement.op not in _CSE_OPS:
+            new_body.append(statement)
+            continue
+        key = _statement_key(statement)
+        previous = seen.get(key)
+        if previous is None:
+            seen[key] = statement.dests.parts
+            new_body.append(statement)
+            continue
+        # Replace with moves from the earlier destinations.
+        for dest, source in zip(statement.dests.parts, previous):
+            new_body.append(Statement(OpKind.MOV, Group((dest,)), (Group((source,)),)))
+
+    deduplicated = Kernel(
+        name=kernel.name,
+        params=list(kernel.params),
+        outputs=list(kernel.outputs),
+        body=new_body,
+        metadata=dict(kernel.metadata),
+    )
+    deduplicated.validate()
+    return deduplicated

@@ -1,0 +1,55 @@
+"""Optimization pass pipeline.
+
+The standard pipeline mirrors what the SPIRAL backend does after the MoMA
+rewrite pass: propagate and fold the constants introduced by zero-limb
+pruning, remove duplicate comparisons, forward copies, and delete dead code,
+iterating to a fixed point (each pass can expose work for the others).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.ir.kernel import Kernel
+from repro.core.passes.constant_fold import fold_constants
+from repro.core.passes.copy_propagation import propagate_copies
+from repro.core.passes.cse import eliminate_common_subexpressions
+from repro.core.passes.dce import eliminate_dead_code
+from repro.core.passes.simplify import simplify
+
+__all__ = ["optimize", "run_pipeline", "DEFAULT_PIPELINE"]
+
+Pass = Callable[[Kernel], Kernel]
+
+#: The default pass order; one round of this list is one pipeline iteration.
+DEFAULT_PIPELINE: tuple[Pass, ...] = (
+    fold_constants,
+    simplify,
+    propagate_copies,
+    eliminate_common_subexpressions,
+    propagate_copies,
+    eliminate_dead_code,
+)
+
+
+def run_pipeline(kernel: Kernel, passes: Sequence[Pass]) -> Kernel:
+    """Run an explicit sequence of passes once, in order."""
+    for optimization in passes:
+        kernel = optimization(kernel)
+    return kernel
+
+
+def optimize(kernel: Kernel, max_rounds: int = 8) -> Kernel:
+    """Run the default pipeline until the body stops changing.
+
+    ``max_rounds`` bounds the iteration; in practice two or three rounds
+    reach the fixed point even for 1,024-bit kernels.
+    """
+    previous_fingerprint = None
+    for _ in range(max_rounds):
+        kernel = run_pipeline(kernel, DEFAULT_PIPELINE)
+        fingerprint = tuple(str(statement) for statement in kernel.body)
+        if fingerprint == previous_fingerprint:
+            break
+        previous_fingerprint = fingerprint
+    return kernel

@@ -1,0 +1,13 @@
+"""The MoMA rewrite system: data-type splitting rules and the legalizer."""
+
+from repro.core.rewrite.legalize import is_machine_legal, kernel_is_machine_legal, legalize
+from repro.core.rewrite.options import KARATSUBA, SCHOOLBOOK, RewriteOptions
+
+__all__ = [
+    "is_machine_legal",
+    "kernel_is_machine_legal",
+    "legalize",
+    "KARATSUBA",
+    "SCHOOLBOOK",
+    "RewriteOptions",
+]

@@ -1,0 +1,177 @@
+"""The MoMA legalization driver (Section 4's program-transformation pass).
+
+``legalize`` rewrites a kernel until every statement is *machine legal*:
+all parts are at most the machine word width and every statement has one of
+the shapes that the CUDA/C backends can emit as a single C statement (using
+the compiler-provided double-word type only to *store* results, exactly as
+Listing 1 assumes).  The pass alternates two kinds of rewrites until a fixed
+point:
+
+* **expansion** of modular operations (``addmod``/``submod``/``mulmod``/
+  ``reduce``) into plain arithmetic, comparisons and selects at the same
+  width, and
+* **splitting** of operations whose parts are wider than the machine word
+  into equivalent sequences at half the width (Table 1).
+
+Because every expansion removes a modular operation and every split halves
+the widest type in a statement, the process terminates in
+``O(log2(input_bits / word_bits))`` sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RewriteError
+from repro.core.ir.kernel import Kernel
+from repro.core.ir.ops import OpKind, Statement
+from repro.core.ir.values import Const, NameGenerator, Var
+from repro.core.rewrite.options import RewriteOptions
+from repro.core.rewrite.rules_expand import EXPANSIONS
+from repro.core.rewrite.rules_split import SPLITS
+from repro.core.rewrite.splitting import SplitContext
+
+__all__ = ["legalize", "is_machine_legal", "kernel_is_machine_legal"]
+
+#: Operations that are never allowed in legalized code.
+_ALWAYS_EXPAND = frozenset(EXPANSIONS)
+
+#: Maximum number of parts allowed in a machine-level operand/destination
+#: group: two words form the compiler-provided double-word storage type
+#: (e.g. ``unsigned __int128`` for 64-bit words).
+_MAX_STORAGE_PARTS = 2
+
+
+def is_machine_legal(statement: Statement, word_bits: int) -> bool:
+    """Whether one statement can be emitted directly by the backends."""
+    if statement.op in _ALWAYS_EXPAND:
+        return False
+    if statement.max_part_bits > word_bits:
+        return False
+
+    dest_parts = len(statement.dests)
+    operand_parts = [len(group) for group in statement.operands]
+
+    if statement.op in (OpKind.ADD, OpKind.SUB):
+        # Single-word operands (plus optional single-part carry/borrow); the
+        # destination may include a carry/borrow word pair.
+        return all(count == 1 for count in operand_parts) and dest_parts <= _MAX_STORAGE_PARTS
+    if statement.op is OpKind.MUL:
+        return all(count == 1 for count in operand_parts) and dest_parts <= _MAX_STORAGE_PARTS
+    if statement.op is OpKind.MULLO:
+        return all(count == 1 for count in operand_parts) and dest_parts == 1
+    if statement.op in (OpKind.SHR, OpKind.SHL):
+        # The shifted value may live in the double-word storage type.
+        return (
+            all(count <= _MAX_STORAGE_PARTS for count in operand_parts)
+            and dest_parts <= _MAX_STORAGE_PARTS
+        )
+    if statement.op in (OpKind.LT, OpKind.LE, OpKind.EQ, OpKind.AND, OpKind.OR, OpKind.NOT):
+        return all(count == 1 for count in operand_parts) and dest_parts == 1
+    if statement.op is OpKind.SELECT:
+        return all(count == 1 for count in operand_parts) and dest_parts == 1
+    if statement.op is OpKind.MOV:
+        # A move may target a (carry, word) pair — e.g. when simplification
+        # turns an `x + 0` carry-producing addition into a plain copy.
+        return all(count == 1 for count in operand_parts) and dest_parts <= _MAX_STORAGE_PARTS
+    raise RewriteError(f"unknown operation {statement.op} in legality check")
+
+
+def kernel_is_machine_legal(kernel: Kernel, word_bits: int) -> bool:
+    """Whether every statement of a kernel is machine legal."""
+    return all(is_machine_legal(statement, word_bits) for statement in kernel.body)
+
+
+def legalize(kernel: Kernel, options: RewriteOptions | None = None) -> Kernel:
+    """Apply the MoMA rewrite system until the kernel is machine legal.
+
+    Returns a new kernel whose parameters and outputs are also rewritten to
+    machine words: a 256-bit parameter ``x`` becomes four 64-bit parameters
+    ``x_0_0, x_0_1, x_1_0, x_1_1`` (most significant first), matching the
+    flattened signatures of the paper's generated CUDA (Listing 2's
+    ``_daddmod(c0, c1, a0, a1, ...)``).  Parameters whose high words are
+    provably zero (``effective_bits``) simply disappear from the signature —
+    the non-power-of-two optimization of Section 4.
+    """
+    options = options or RewriteOptions()
+    kernel.validate()
+
+    names = NameGenerator()
+    for name in kernel.defined_vars():
+        names.reserve(name)
+    context = SplitContext(options.word_bits, names)
+
+    body = list(kernel.body)
+    for _ in range(options.max_iterations):
+        new_body: list[Statement] = []
+        changed = False
+        for statement in body:
+            if is_machine_legal(statement, options.word_bits):
+                new_body.append(statement)
+                continue
+            changed = True
+            if statement.op in EXPANSIONS:
+                rule = EXPANSIONS[statement.op]
+            else:
+                rule = SPLITS.get(statement.op)
+                if rule is None:
+                    raise RewriteError(
+                        f"no rewrite rule for operation {statement.op.value}: {statement}"
+                    )
+            new_body.extend(rule(statement, context, options))
+        body = new_body
+        if not changed:
+            break
+    else:
+        raise RewriteError(
+            f"legalization did not converge within {options.max_iterations} sweeps"
+        )
+
+    params = _flatten_interface(kernel.params, context, options.word_bits, keep_constants=False)
+    outputs = _flatten_interface(kernel.outputs, context, options.word_bits, keep_constants=False)
+
+    legalized = Kernel(
+        name=kernel.name,
+        params=params,
+        outputs=outputs,
+        body=body,
+        metadata=dict(kernel.metadata),
+    )
+    legalized.metadata.setdefault("word_bits", options.word_bits)
+    legalized.metadata.setdefault("multiplication", options.multiplication)
+    legalized.metadata["legalized"] = True
+    legalized.metadata["original_params"] = [
+        (param.name, param.bits, param.effective_bits) for param in kernel.params
+    ]
+    legalized.metadata["original_outputs"] = [
+        (output.name, output.bits) for output in kernel.outputs
+    ]
+    legalized.metadata["param_layout"] = {
+        param.name: [
+            part.name if isinstance(part, Var) else None
+            for part in context.leaves(param, options.word_bits)
+        ]
+        for param in kernel.params
+    }
+    legalized.metadata["output_layout"] = {
+        output.name: [
+            part.name if isinstance(part, Var) else None
+            for part in context.leaves(output, options.word_bits)
+        ]
+        for output in kernel.outputs
+    }
+    legalized.validate()
+    return legalized
+
+
+def _flatten_interface(
+    variables: list[Var], context: SplitContext, word_bits: int, keep_constants: bool
+) -> list[Var]:
+    """Replace wide interface variables with their machine-word pieces."""
+    flattened: list[Var] = []
+    for variable in variables:
+        for part in context.leaves(variable, word_bits):
+            if isinstance(part, Var):
+                flattened.append(part)
+            elif keep_constants:
+                raise RewriteError("constant interface parts cannot be kept")
+            # Pruned (always-zero) parts are dropped from the interface.
+    return flattened

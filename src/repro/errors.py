@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ArithmeticDomainError(ReproError):
+    """An arithmetic input is outside its documented domain.
+
+    Examples: a limb that does not fit in the word width, a value that is
+    not reduced modulo ``q`` when the operation requires reduced inputs, or
+    a modulus that violates the Barrett bit-width headroom requirement.
+    """
+
+
+class IRError(ReproError):
+    """The intermediate representation is malformed or inconsistently typed."""
+
+
+class RewriteError(ReproError):
+    """A rewrite rule was applied to a statement it does not match, or
+    legalization could not reduce a kernel to machine-word operations."""
+
+
+class CodegenError(ReproError):
+    """A backend cannot emit code for the given (presumably non-legalized)
+    intermediate representation."""
+
+
+class KernelError(ReproError):
+    """A kernel frontend was asked to build an unsupported kernel
+    configuration (e.g. a non-power-of-two NTT size)."""
+
+
+class SimulationError(ReproError):
+    """The GPU performance model was asked to cost an unknown instruction
+    or an inconsistent launch configuration."""
+
+
+class EvaluationError(ReproError):
+    """An evaluation harness was configured with parameters outside the
+    range reported in the paper."""

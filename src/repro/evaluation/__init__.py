@@ -1,0 +1,28 @@
+"""Per-figure evaluation harnesses regenerating the paper's results."""
+
+from repro.evaluation.common import FigureResult, Series, format_table, geometric_mean_ratio
+from repro.evaluation.fig1_headline import headline_speedups, run_figure1
+from repro.evaluation.fig2_blas import run_figure2, run_figure2_panel
+from repro.evaluation.fig3_ntt import run_figure3, run_figure3_panel
+from repro.evaluation.fig4_crosscut import run_figure4
+from repro.evaluation.fig5_sensitivity import run_figure5a, run_figure5b
+from repro.evaluation.tables import format_table2, table1_rule_inventory, table2_devices
+
+__all__ = [
+    "FigureResult",
+    "Series",
+    "format_table",
+    "geometric_mean_ratio",
+    "headline_speedups",
+    "run_figure1",
+    "run_figure2",
+    "run_figure2_panel",
+    "run_figure3",
+    "run_figure3_panel",
+    "run_figure4",
+    "run_figure5a",
+    "run_figure5b",
+    "format_table2",
+    "table1_rule_inventory",
+    "table2_devices",
+]

@@ -1,0 +1,96 @@
+"""Shared containers and formatting for the evaluation harnesses.
+
+Each harness regenerates one of the paper's figures as a set of named data
+series (system name -> {x: y}); :func:`format_table` renders those series the
+way the paper's artifact prints its results (rows of runtimes), and
+:class:`FigureResult` carries enough metadata for EXPERIMENTS.md and the
+benchmark assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError
+
+__all__ = ["Series", "FigureResult", "format_table", "geometric_mean_ratio"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One curve of a figure: a named mapping from x-value to measurement."""
+
+    name: str
+    platform: str
+    points: dict[int, float]
+
+    def at(self, x: int) -> float:
+        """The y-value at ``x`` (raising if the series has no such point)."""
+        if x not in self.points:
+            raise EvaluationError(f"series {self.name!r} has no point at {x}")
+        return self.points[x]
+
+    def xs(self) -> list[int]:
+        """Sorted x-values."""
+        return sorted(self.points)
+
+
+@dataclass
+class FigureResult:
+    """A regenerated figure: axis descriptions plus its data series."""
+
+    figure: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def get(self, name: str) -> Series:
+        """Find a series by name."""
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise EvaluationError(f"figure {self.figure} has no series named {name!r}")
+
+    def names(self) -> list[str]:
+        """All series names, in insertion order."""
+        return [series.name for series in self.series]
+
+
+def geometric_mean_ratio(numerator: Series, denominator: Series) -> float:
+    """Geometric-mean ratio numerator/denominator over their common x-values.
+
+    This is how the paper summarises speedups ("outperforms ... by an average
+    of N times"): the average of per-point ratios across transform sizes.
+    """
+    common = sorted(set(numerator.points) & set(denominator.points))
+    if not common:
+        raise EvaluationError(
+            f"series {numerator.name!r} and {denominator.name!r} share no x-values"
+        )
+    product = 1.0
+    for x in common:
+        if denominator.points[x] <= 0:
+            raise EvaluationError("ratios require positive measurements")
+        product *= numerator.points[x] / denominator.points[x]
+    return product ** (1.0 / len(common))
+
+
+def format_table(result: FigureResult, float_format: str = "{:10.3f}") -> str:
+    """Render a figure's series as an aligned text table (x-values as rows)."""
+    xs = sorted({x for series in result.series for x in series.points})
+    header = [f"{result.x_label:>14}"] + [f"{series.name:>14}" for series in result.series]
+    lines = [f"# {result.figure}: {result.title}", f"# y-axis: {result.y_label}"]
+    lines.append(" ".join(header))
+    for x in xs:
+        row = [f"{x:>14}"]
+        for series in result.series:
+            if x in series.points:
+                row.append(f"{float_format.format(series.points[x]):>14}")
+            else:
+                row.append(f"{'-':>14}")
+        lines.append(" ".join(row))
+    for note in result.notes:
+        lines.append(f"# {note}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Figure 1: the headline 256-bit NTT comparison.
+
+MoMA on the RTX 4090 (a consumer GPU) against the state-of-the-art
+cryptographic acceleration library (ICICLE on an H100) and an ASIC (FPMM):
+the paper reports a 14x average speedup over ICICLE and near-ASIC
+performance.  The figure is the 256-bit panel of Figure 3 restricted to the
+series shown in Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.common import FigureResult, geometric_mean_ratio
+from repro.evaluation.fig3_ntt import DEFAULT_SIZES, run_figure3_panel
+
+__all__ = ["run_figure1", "headline_speedups"]
+
+#: Series shown in Figure 1 (subset of the 256-bit Figure 3 panel).
+FIGURE1_SERIES = ("MoMA (RTX 4090)", "MoMA (H100)", "MoMA (V100)", "ICICLE", "FPMM")
+
+
+def run_figure1(sizes: tuple[int, ...] = DEFAULT_SIZES) -> FigureResult:
+    """Regenerate Figure 1 (256-bit NTT across GPUs and ASIC)."""
+    panel = run_figure3_panel(256, sizes)
+    series = [panel.get(name) for name in FIGURE1_SERIES]
+    return FigureResult(
+        figure="Figure 1",
+        title="256-bit NTT on GPUs and ASIC (lower is better)",
+        x_label="NTT size",
+        y_label="ns / butterfly",
+        series=series,
+        notes=list(panel.notes),
+    )
+
+
+def headline_speedups(sizes: tuple[int, ...] = DEFAULT_SIZES) -> dict[str, float]:
+    """The two headline numbers of Figure 1's caption.
+
+    Returns the average speedup of MoMA on the RTX 4090 over ICICLE on the
+    H100, and the ratio of MoMA (RTX 4090) to the FPMM ASIC (values close to
+    or below 1 mean "near-ASIC performance").
+    """
+    figure = run_figure1(sizes)
+    moma_rtx = figure.get("MoMA (RTX 4090)")
+    return {
+        "speedup_vs_icicle_h100": geometric_mean_ratio(figure.get("ICICLE"), moma_rtx),
+        "ratio_to_fpmm_asic": geometric_mean_ratio(moma_rtx, figure.get("FPMM")),
+    }

@@ -1,0 +1,73 @@
+"""Figure 2: BLAS operations at 128/256/512/1,024 bits on CPU and GPU.
+
+The paper runs four finite-field BLAS kernels over 2^20 elements and reports
+steady-state runtime per element for MoMA (V100), GRNS (V100) and GMP (Xeon,
+OpenMP).  Here the MoMA number comes from the GPU cost model applied to the
+actual generated kernels and the GMP / GRNS curves come from the documented
+anchors in :mod:`repro.baselines.published` (see that module and
+EXPERIMENTS.md for provenance).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.published import blas_baselines
+from repro.errors import EvaluationError
+from repro.evaluation.common import FigureResult, Series
+from repro.gpu.simulator import estimate_blas
+from repro.kernels.blas_gen import BLAS_OPERATIONS
+from repro.kernels.config import KernelConfig
+
+__all__ = ["BIT_WIDTHS", "run_figure2", "run_figure2_panel"]
+
+#: The four panels of Figure 2.
+BIT_WIDTHS = (128, 256, 512, 1024)
+
+#: Total elements processed per measurement (Section 5.2).
+ELEMENTS = 1 << 20
+
+#: The GPU used for the MoMA and GRNS measurements in Figure 2.
+MOMA_DEVICE = "v100"
+
+
+def run_figure2_panel(bits: int, elements: int = ELEMENTS) -> FigureResult:
+    """Regenerate one panel (one bit-width) of Figure 2.
+
+    The series map each BLAS operation to nanoseconds per element for MoMA,
+    GRNS and GMP.  Operation names are used as x-axis categories (encoded by
+    index, in the order of :data:`BLAS_OPERATIONS`).
+    """
+    if bits not in BIT_WIDTHS:
+        raise EvaluationError(f"Figure 2 covers bit-widths {BIT_WIDTHS}, not {bits}")
+    config = KernelConfig(bits=bits)
+    moma_points: dict[int, float] = {}
+    gmp_points: dict[int, float] = {}
+    grns_points: dict[int, float] = {}
+    for index, operation in enumerate(BLAS_OPERATIONS):
+        estimate = estimate_blas(operation, config, MOMA_DEVICE, elements)
+        moma_points[index] = estimate.per_element_ns
+        for anchor in blas_baselines(operation, bits):
+            target = gmp_points if anchor.name == "GMP" else grns_points
+            target[index] = estimate.per_element_ns * anchor.factor_at(elements)
+    result = FigureResult(
+        figure=f"Figure 2 ({bits}-bit)",
+        title=f"BLAS operations, {bits}-bit operands, runtime per element",
+        x_label="operation",
+        y_label="ns / element",
+        series=[
+            Series("MoMA", "NVIDIA V100 (modelled)", moma_points),
+            Series("GRNS", "NVIDIA V100 (anchored)", grns_points),
+            Series("GMP", "Intel Xeon 6248 (anchored)", gmp_points),
+        ],
+        notes=[
+            "x-axis categories: " + ", ".join(
+                f"{index}={operation}" for index, operation in enumerate(BLAS_OPERATIONS)
+            ),
+            f"{elements} elements per measurement, steady-state batch",
+        ],
+    )
+    return result
+
+
+def run_figure2(elements: int = ELEMENTS) -> dict[int, FigureResult]:
+    """Regenerate all four panels of Figure 2."""
+    return {bits: run_figure2_panel(bits, elements) for bits in BIT_WIDTHS}

@@ -1,0 +1,78 @@
+"""Figure 3: NTT runtime per butterfly across sizes, bit-widths and systems.
+
+Four panels (128/256/384/768-bit inputs), x-axis transform sizes 2^8..2^22,
+y-axis nanoseconds per butterfly (``2 * t_single / (n log2 n)``).  The MoMA
+curves (H100, RTX 4090, V100) come from the GPU cost model applied to the
+generated butterfly kernels; the published systems (ICICLE, GZKP, PipeZK,
+RPU, FPMM, OpenFHE, AVX-NTT, Libsnark) come from the documented anchors in
+:mod:`repro.baselines.published`.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.published import ntt_baselines
+from repro.errors import EvaluationError
+from repro.evaluation.common import FigureResult, Series
+from repro.gpu.simulator import estimate_ntt
+from repro.kernels.config import KernelConfig
+
+__all__ = ["NTT_BIT_WIDTHS", "DEFAULT_SIZES", "run_figure3_panel", "run_figure3"]
+
+#: The four panels of Figure 3.
+NTT_BIT_WIDTHS = (128, 256, 384, 768)
+
+#: Transform sizes evaluated in the paper (2^8 .. 2^22).
+DEFAULT_SIZES = tuple(1 << k for k in range(8, 23))
+
+#: MoMA devices plotted in every panel.
+MOMA_DEVICES = ("h100", "rtx4090", "v100")
+
+#: Device labels used for the series names.
+_DEVICE_LABELS = {"h100": "MoMA (H100)", "rtx4090": "MoMA (RTX 4090)", "v100": "MoMA (V100)"}
+
+
+def run_figure3_panel(
+    bits: int,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    multiplication: str = "schoolbook",
+) -> FigureResult:
+    """Regenerate one panel of Figure 3 for a given input bit-width."""
+    if bits not in NTT_BIT_WIDTHS:
+        raise EvaluationError(f"Figure 3 covers bit-widths {NTT_BIT_WIDTHS}, not {bits}")
+    config = KernelConfig(bits=bits, multiplication=multiplication)
+
+    moma_series: dict[str, dict[int, float]] = {device: {} for device in MOMA_DEVICES}
+    for size in sizes:
+        for device in MOMA_DEVICES:
+            moma_series[device][size] = estimate_ntt(config, size, device).per_butterfly_ns
+
+    series = [
+        Series(_DEVICE_LABELS[device], device, moma_series[device]) for device in MOMA_DEVICES
+    ]
+    for anchor in ntt_baselines(bits):
+        points = {}
+        for size in sizes:
+            reference = moma_series[anchor.reference_device][size]
+            points[size] = reference * anchor.factor_at(size)
+        series.append(Series(anchor.name, anchor.platform, points))
+
+    return FigureResult(
+        figure=f"Figure 3 ({bits}-bit)",
+        title=f"{bits}-bit NTT, runtime per butterfly vs transform size",
+        x_label="NTT size",
+        y_label="ns / butterfly",
+        series=series,
+        notes=[
+            f"multiplication algorithm: {multiplication}",
+            "published systems anchored to paper-reported ratios (see EXPERIMENTS.md)",
+        ],
+    )
+
+
+def run_figure3(
+    sizes: tuple[int, ...] = DEFAULT_SIZES, multiplication: str = "schoolbook"
+) -> dict[int, FigureResult]:
+    """Regenerate all four panels of Figure 3."""
+    return {
+        bits: run_figure3_panel(bits, sizes, multiplication) for bits in NTT_BIT_WIDTHS
+    }

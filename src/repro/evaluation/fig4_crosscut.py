@@ -1,0 +1,87 @@
+"""Figure 4: 2^16-point NTT across input bit-widths (128 to 1,024).
+
+A cross-cut of Figure 3 at a fixed transform size (2^16, the size with the
+most comparable prior work): runtime per butterfly as a function of the input
+bit-width for MoMA on the three GPUs, a GMP-based CPU NTT, and the published
+systems relevant at each bit-width.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.bigint import gmp_cost_model_ns
+from repro.baselines.published import ntt_baselines
+from repro.evaluation.common import FigureResult, Series
+from repro.evaluation.fig3_ntt import MOMA_DEVICES, _DEVICE_LABELS
+from repro.gpu.simulator import estimate_ntt
+from repro.kernels.config import KernelConfig
+
+__all__ = ["CROSSCUT_SIZE", "CROSSCUT_BIT_WIDTHS", "run_figure4"]
+
+#: The transform size of the cross-cut.
+CROSSCUT_SIZE = 1 << 16
+
+#: Bit-widths plotted in Figure 4.
+CROSSCUT_BIT_WIDTHS = (128, 256, 384, 512, 768, 1024)
+
+
+def _gmp_ntt_per_butterfly_ns(bits: int) -> float:
+    """Per-butterfly cost of a GMP-based CPU NTT.
+
+    One butterfly is one modular multiplication plus a modular addition and
+    subtraction (Section 5.3); the GMP cost model of
+    :mod:`repro.baselines.bigint` provides the per-operation costs, and a
+    modest OpenMP scaling factor reflects the multi-core CPU the paper used.
+    """
+    single_thread = (
+        gmp_cost_model_ns("vmul", bits)
+        + gmp_cost_model_ns("vadd", bits)
+        + gmp_cost_model_ns("vsub", bits)
+    )
+    openmp_cores = 20.0
+    return single_thread / openmp_cores
+
+
+def run_figure4(size: int = CROSSCUT_SIZE) -> FigureResult:
+    """Regenerate Figure 4 (2^16-point NTT across bit-widths)."""
+    moma_points: dict[str, dict[int, float]] = {device: {} for device in MOMA_DEVICES}
+    gmp_points: dict[int, float] = {}
+    published_points: dict[str, dict[int, float]] = {}
+    published_platform: dict[str, str] = {}
+
+    for bits in CROSSCUT_BIT_WIDTHS:
+        config = KernelConfig(bits=bits)
+        estimates = {
+            device: estimate_ntt(config, size, device).per_butterfly_ns
+            for device in MOMA_DEVICES
+        }
+        for device in MOMA_DEVICES:
+            moma_points[device][bits] = estimates[device]
+        gmp_points[bits] = _gmp_ntt_per_butterfly_ns(bits)
+        try:
+            anchors = ntt_baselines(bits)
+        except Exception:
+            anchors = ()
+        for anchor in anchors:
+            published_points.setdefault(anchor.name, {})[bits] = (
+                estimates[anchor.reference_device] * anchor.factor_at(size)
+            )
+            published_platform.setdefault(anchor.name, anchor.platform)
+
+    series = [
+        Series(_DEVICE_LABELS[device], device, moma_points[device]) for device in MOMA_DEVICES
+    ]
+    series.append(Series("GMP-NTT", "CPU (OpenMP)", gmp_points))
+    for name, points in published_points.items():
+        series.append(Series(name, published_platform[name], points))
+
+    return FigureResult(
+        figure="Figure 4",
+        title=f"{size}-point NTT across input bit-widths",
+        x_label="input bit-width",
+        y_label="ns / butterfly",
+        series=series,
+        notes=[
+            "cross-cut of Figure 3 at 2^16 points",
+            "published systems plotted only at the bit-widths they support",
+        ],
+    )

@@ -1,0 +1,79 @@
+"""Figure 5: sensitivity analyses on a 4,096-point NTT.
+
+Two panels:
+
+* Figure 5a — runtime of a 4,096-point NTT as the input bit-width grows from
+  64 to 1,024 bits, on the H100 and the RTX 4090.
+* Figure 5b — the same NTT built with the Karatsuba versus the schoolbook
+  double-word multiplication, on the RTX 4090, across 128/256/384/768-bit
+  inputs.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.common import FigureResult, Series
+from repro.gpu.simulator import estimate_ntt
+from repro.kernels.config import KernelConfig
+
+__all__ = [
+    "SENSITIVITY_SIZE",
+    "FIG5A_BIT_WIDTHS",
+    "FIG5B_BIT_WIDTHS",
+    "run_figure5a",
+    "run_figure5b",
+]
+
+#: The fixed NTT size of both sensitivity analyses (Section 5.4).
+SENSITIVITY_SIZE = 4096
+
+#: Bit-widths swept in Figure 5a (64 to 1,024 bits).
+FIG5A_BIT_WIDTHS = (64, 128, 192, 256, 320, 384, 448, 512, 576, 640, 768, 896, 1024)
+
+#: Bit-widths compared in Figure 5b.
+FIG5B_BIT_WIDTHS = (128, 256, 384, 768)
+
+
+def run_figure5a(size: int = SENSITIVITY_SIZE) -> FigureResult:
+    """Regenerate Figure 5a: NTT runtime versus input bit-width."""
+    devices = ("h100", "rtx4090")
+    points: dict[str, dict[int, float]] = {device: {} for device in devices}
+    for bits in FIG5A_BIT_WIDTHS:
+        config = KernelConfig(bits=bits)
+        for device in devices:
+            points[device][bits] = estimate_ntt(config, size, device).per_ntt_us
+    return FigureResult(
+        figure="Figure 5a",
+        title=f"{size}-point NTT runtime vs input bit-width",
+        x_label="input bit-width",
+        y_label="us / NTT",
+        series=[
+            Series("H100", "NVIDIA H100", points["h100"]),
+            Series("RTX 4090", "NVIDIA GeForce RTX 4090", points["rtx4090"]),
+        ],
+        notes=["single-transform steady-state runtime from the GPU cost model"],
+    )
+
+
+def run_figure5b(size: int = SENSITIVITY_SIZE) -> FigureResult:
+    """Regenerate Figure 5b: Karatsuba versus schoolbook multiplication.
+
+    Both series run on the RTX 4090 model; see EXPERIMENTS.md for the
+    discussion of where the measured crossover differs from the paper's.
+    """
+    algorithms = ("schoolbook", "karatsuba")
+    points: dict[str, dict[int, float]] = {algorithm: {} for algorithm in algorithms}
+    for bits in FIG5B_BIT_WIDTHS:
+        for algorithm in algorithms:
+            config = KernelConfig(bits=bits, multiplication=algorithm)
+            points[algorithm][bits] = estimate_ntt(config, size, "rtx4090").per_ntt_us
+    return FigureResult(
+        figure="Figure 5b",
+        title=f"{size}-point NTT: Karatsuba vs schoolbook multiplication (RTX 4090)",
+        x_label="input bit-width",
+        y_label="us / NTT",
+        series=[
+            Series("Schoolbook", "RTX 4090", points["schoolbook"]),
+            Series("Karatsuba", "RTX 4090", points["karatsuba"]),
+        ],
+        notes=["generated-kernel operation counts drive both curves"],
+    )

@@ -1,0 +1,78 @@
+"""Tables 1 and 2 of the paper, regenerated from the implementation.
+
+Table 1 is the MoMA rewrite-rule set; here it is reconstructed from the live
+rule registry so documentation and code cannot drift apart.  Table 2 is the
+GPU specification table, rendered from the device catalog.
+"""
+
+from __future__ import annotations
+
+from repro.core.rewrite.rules_expand import EXPANSIONS
+from repro.core.rewrite.rules_split import SPLITS
+from repro.gpu.device import DEVICES
+
+__all__ = ["table1_rule_inventory", "table2_devices", "format_table2"]
+
+
+def table1_rule_inventory() -> list[dict[str, str]]:
+    """The rewrite rules implementing Table 1, with their paper counterparts."""
+    paper_rules = {
+        "addmod": "(22)-(24): wide add, compare, conditional subtract",
+        "submod": "Eq. 3: compare, wrap-around subtract, add-back, select",
+        "mulmod": "Listing 4: Barrett multiply/shift/multiply/subtract",
+        "reduce": "(24): conditional subtraction",
+        "add": "(22), (23), (29): carry-chain addition",
+        "sub": "(25): borrow-chain subtraction",
+        "mul": "(28) schoolbook / Eq. 9 Karatsuba",
+        "mullo": "Listing 4 optimization: low half of r*q only",
+        "lt": "(26): lexicographic limb comparison",
+        "le": "(26) adapted to <= for canonical residues",
+        "eq": "(27): conjunction of limb equalities",
+        "select": "implicit per-limb conditional assignment",
+        "mov": "implicit per-limb assignment",
+        "shr": "Listing 4 _qshr: cross-limb constant shift",
+        "shl": "cross-limb constant shift (mirror of _qshr)",
+        "and": "flag/limb bitwise combination",
+        "or": "flag/limb bitwise combination",
+    }
+    inventory = []
+    for op, rule in list(EXPANSIONS.items()) + list(SPLITS.items()):
+        inventory.append(
+            {
+                "operation": op.value,
+                "kind": "expansion" if op in EXPANSIONS else "split",
+                "implementation": f"{rule.__module__}.{rule.__name__}",
+                "paper_rule": paper_rules.get(op.value, ""),
+            }
+        )
+    return inventory
+
+
+def table2_devices() -> list[dict[str, object]]:
+    """Table 2 rows: the GPUs used for benchmarking."""
+    rows = []
+    for device in DEVICES.values():
+        rows.append(
+            {
+                "Model": device.marketing_name,
+                "#Cores": device.cuda_cores,
+                "Max Freq.": f"{device.max_clock_mhz} MHz",
+                "RAM Size": f"{device.memory_gb} GB",
+                "Bus Type": device.memory_type,
+                "Toolkit": device.toolkit,
+            }
+        )
+    return rows
+
+
+def format_table2() -> str:
+    """Render Table 2 as aligned text."""
+    rows = table2_devices()
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(column), *(len(str(row[column])) for row in rows)) for column in columns
+    }
+    lines = ["  ".join(column.ljust(widths[column]) for column in columns)]
+    for row in rows:
+        lines.append("  ".join(str(row[column]).ljust(widths[column]) for column in columns))
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""GPU substrate: device catalog (Table 2) and the analytic performance model
+standing in for the paper's H100 / RTX 4090 / V100 testbed."""
+
+from repro.gpu.cost_model import INSTRUCTION_WEIGHTS, KernelCost, cost_kernel
+from repro.gpu.device import DEVICES, DeviceSpec, get_device
+from repro.gpu.simulator import (
+    BlasEstimate,
+    NttEstimate,
+    estimate_blas,
+    estimate_ntt,
+    moma_ntt_per_butterfly_ns,
+)
+
+__all__ = [
+    "INSTRUCTION_WEIGHTS",
+    "KernelCost",
+    "cost_kernel",
+    "DEVICES",
+    "DeviceSpec",
+    "get_device",
+    "BlasEstimate",
+    "NttEstimate",
+    "estimate_blas",
+    "estimate_ntt",
+    "moma_ntt_per_butterfly_ns",
+]

@@ -1,0 +1,147 @@
+"""Instruction-level GPU performance model.
+
+The paper measures generated kernels with ``nsys`` on real GPUs; this
+reproduction replaces the hardware with an analytic model:
+
+1. every legalized kernel is costed by counting its machine-word operations,
+   weighted by how many integer-pipe micro-operations each one costs on a
+   64-bit-word GPU (a widening 64x64 multiply is several 32-bit IMADs, an
+   add-with-carry is a pair of 32-bit adds, ...);
+2. a device model (:mod:`repro.gpu.device`) converts the weighted count into
+   time, assuming the batched, one-thread-per-element/butterfly execution of
+   Section 5.1 keeps the GPU throughput-limited;
+3. a memory model charges global-memory traffic for operands and results and
+   for NTT stages that no longer fit in shared memory (the source of the
+   slowdown beyond 2^10 points discussed for Figure 3a); and
+4. a single sustained-efficiency constant (calibrated once, see DESIGN.md)
+   scales peak to achievable throughput.
+
+Absolute nanoseconds from this model are estimates; the quantities the
+reproduction relies on — ratios between devices, between bit-widths, between
+algorithms, and the location of memory/compute crossovers — follow from the
+operation counts and device parameters, which is what the evaluation
+harnesses and benchmark assertions check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.core.ir.kernel import Kernel
+from repro.core.ir.ops import OpKind
+from repro.gpu.device import DeviceSpec
+
+__all__ = [
+    "INSTRUCTION_WEIGHTS",
+    "KernelCost",
+    "cost_kernel",
+    "kernel_compute_seconds",
+    "elementwise_kernel_time",
+    "EFFICIENCY",
+    "KERNEL_LAUNCH_OVERHEAD_S",
+]
+
+#: Integer-pipe micro-operations charged per machine-level IR operation.
+#: Derived from how nvcc lowers the corresponding C constructs on 64-bit
+#: operands (e.g. a widening multiply becomes a short sequence of IMAD.WIDE /
+#: IMAD.HI instructions, an add-with-carry an ADD/ADDC pair).
+INSTRUCTION_WEIGHTS: dict[OpKind, float] = {
+    OpKind.MOV: 0.5,
+    OpKind.ADD: 2.0,
+    OpKind.SUB: 2.0,
+    OpKind.MUL: 6.0,
+    OpKind.MULLO: 3.0,
+    OpKind.LT: 1.0,
+    OpKind.LE: 1.0,
+    OpKind.EQ: 1.0,
+    OpKind.AND: 0.5,
+    OpKind.OR: 0.5,
+    OpKind.NOT: 0.5,
+    OpKind.SELECT: 1.0,
+    OpKind.SHR: 1.5,
+    OpKind.SHL: 1.5,
+}
+
+#: Fraction of the device's modelled integer throughput that large generated
+#: kernels sustain in steady state (register pressure, dependent carry
+#: chains, dual-issue limits).  Calibrated once for all experiments.
+EFFICIENCY = 0.12
+
+#: Fixed cost of launching one kernel / synchronising one NTT stage.
+KERNEL_LAUNCH_OVERHEAD_S = 4.0e-6
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Static cost summary of one legalized kernel (per element/butterfly)."""
+
+    kernel_name: str
+    statement_count: int
+    weighted_ops: float
+    multiplications: int
+    input_words: int
+    output_words: int
+
+    @property
+    def bytes_per_element(self) -> int:
+        """Global-memory traffic per element (operands in, results out)."""
+        return 8 * (self.input_words + self.output_words)
+
+
+def cost_kernel(kernel: Kernel) -> KernelCost:
+    """Count and weight the machine operations of a legalized kernel."""
+    if not kernel.metadata.get("legalized"):
+        raise SimulationError(
+            f"kernel {kernel.name!r} must be legalized before it can be costed"
+        )
+    weighted = 0.0
+    multiplications = 0
+    for statement in kernel.body:
+        weight = INSTRUCTION_WEIGHTS.get(statement.op)
+        if weight is None:
+            raise SimulationError(f"no instruction weight for {statement.op}")
+        weighted += weight
+        if statement.op in (OpKind.MUL, OpKind.MULLO):
+            multiplications += 1
+    uniform = set(kernel.metadata.get("uniform_params", ()))
+    layouts = kernel.metadata.get("param_layout", {})
+    input_words = sum(
+        sum(1 for limb in limbs if limb is not None)
+        for name, limbs in layouts.items()
+        if name not in uniform
+    )
+    output_words = sum(
+        sum(1 for limb in limbs if limb is not None)
+        for limbs in kernel.metadata.get("output_layout", {}).values()
+    )
+    return KernelCost(
+        kernel_name=kernel.name,
+        statement_count=len(kernel.body),
+        weighted_ops=weighted,
+        multiplications=multiplications,
+        input_words=input_words,
+        output_words=output_words,
+    )
+
+
+def kernel_compute_seconds(cost: KernelCost, device: DeviceSpec, elements: int) -> float:
+    """Pure compute time for ``elements`` independent kernel instances."""
+    sustained = device.peak_int64_ops_per_second * EFFICIENCY
+    return elements * cost.weighted_ops / sustained
+
+
+def elementwise_kernel_time(
+    cost: KernelCost, device: DeviceSpec, elements: int
+) -> float:
+    """Wall time of one batched element-wise kernel launch (BLAS style).
+
+    The launch processes ``elements`` independent elements, one thread each
+    (Section 5.1); time is the maximum of the compute and memory phases plus
+    the fixed launch overhead.
+    """
+    if elements < 1:
+        raise SimulationError("elements must be positive")
+    compute = kernel_compute_seconds(cost, device, elements)
+    memory = elements * cost.bytes_per_element / device.memory_bandwidth_bytes_per_second
+    return max(compute, memory) + KERNEL_LAUNCH_OVERHEAD_S

@@ -1,0 +1,126 @@
+"""GPU device catalog (Table 2 of the paper).
+
+The paper benchmarks three NVIDIA GPUs; this reproduction has none, so the
+devices exist as specification records consumed by the performance model in
+:mod:`repro.gpu.cost_model`.  The headline figures (core count, clock, memory
+technology) come directly from Table 2; the derived throughput figures use
+public architecture characteristics (integer-pipe issue rates, memory
+bandwidth) and a single efficiency factor calibrated once for all
+experiments (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["DeviceSpec", "DEVICES", "get_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Specification of one GPU used in the paper's evaluation.
+
+    Attributes:
+        name: short identifier used throughout the evaluation harnesses.
+        marketing_name: full product name (as in Table 2).
+        cuda_cores: number of CUDA cores (Table 2 "#Cores").
+        max_clock_mhz: boost clock in MHz (Table 2 "Max Freq.").
+        memory_gb: device memory size in GB.
+        memory_type: HBM3 / GDDR6X / HBM2 (Table 2 "Bus Type").
+        memory_bandwidth_gbs: peak memory bandwidth in GB/s.
+        shared_memory_per_block_kb: shared memory available to one block.
+        max_threads_per_block: CUDA limit (1,024 — Section 5.1).
+        toolkit: CUDA toolkit version used in the paper.
+        int_ops_per_core_per_cycle: sustained 64-bit integer-pipe throughput
+            per CUDA core per cycle used by the cost model.  64-bit integer
+            arithmetic runs on the 32-bit ALUs as instruction pairs, so this
+            is well below one.
+        class_name: "server" or "consumer" (used in reports only).
+    """
+
+    name: str
+    marketing_name: str
+    cuda_cores: int
+    max_clock_mhz: int
+    memory_gb: int
+    memory_type: str
+    memory_bandwidth_gbs: float
+    shared_memory_per_block_kb: int
+    max_threads_per_block: int
+    toolkit: str
+    int_ops_per_core_per_cycle: float
+    class_name: str
+
+    @property
+    def clock_hz(self) -> float:
+        """Boost clock in Hz."""
+        return self.max_clock_mhz * 1.0e6
+
+    @property
+    def peak_int64_ops_per_second(self) -> float:
+        """Modelled sustained 64-bit integer operations per second."""
+        return self.cuda_cores * self.clock_hz * self.int_ops_per_core_per_cycle
+
+    @property
+    def memory_bandwidth_bytes_per_second(self) -> float:
+        """Peak memory bandwidth in bytes/s."""
+        return self.memory_bandwidth_gbs * 1.0e9
+
+
+#: Table 2, plus the architecture-derived figures used by the cost model.
+DEVICES: dict[str, DeviceSpec] = {
+    "h100": DeviceSpec(
+        name="h100",
+        marketing_name="NVIDIA H100 Tensor Core",
+        cuda_cores=16896,
+        max_clock_mhz=1980,
+        memory_gb=80,
+        memory_type="HBM3",
+        memory_bandwidth_gbs=3350.0,
+        shared_memory_per_block_kb=227,
+        max_threads_per_block=1024,
+        toolkit="12.2",
+        int_ops_per_core_per_cycle=0.25,
+        class_name="server",
+    ),
+    "rtx4090": DeviceSpec(
+        name="rtx4090",
+        marketing_name="NVIDIA GeForce RTX 4090",
+        cuda_cores=16384,
+        max_clock_mhz=2595,
+        memory_gb=24,
+        memory_type="GDDR6X",
+        memory_bandwidth_gbs=1008.0,
+        shared_memory_per_block_kb=100,
+        max_threads_per_block=1024,
+        toolkit="12.0",
+        int_ops_per_core_per_cycle=0.25,
+        class_name="consumer",
+    ),
+    "v100": DeviceSpec(
+        name="v100",
+        marketing_name="NVIDIA Tesla V100 Tensor Core",
+        cuda_cores=5120,
+        max_clock_mhz=1530,
+        memory_gb=32,
+        memory_type="HBM2",
+        memory_bandwidth_gbs=900.0,
+        shared_memory_per_block_kb=96,
+        max_threads_per_block=1024,
+        toolkit="11.7",
+        int_ops_per_core_per_cycle=0.45,
+        class_name="server",
+    ),
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by its short name (``h100``, ``rtx4090``, ``v100``)."""
+    key = name.lower()
+    if key not in DEVICES:
+        raise SimulationError(
+            f"unknown device {name!r}; available: {', '.join(sorted(DEVICES))}"
+        )
+    return DEVICES[key]

@@ -1,0 +1,29 @@
+"""Kernel frontends: BLAS operations and NTT butterflies built as wide-typed
+IR for the MoMA rewrite system to legalize."""
+
+from repro.kernels.blas_gen import (
+    BLAS_OPERATIONS,
+    build_blas_kernel,
+    compile_blas_kernel,
+    generate_blas_kernel,
+)
+from repro.kernels.config import KernelConfig, padded_width
+from repro.kernels.ntt_gen import (
+    BUTTERFLY_VARIANTS,
+    build_butterfly_kernel,
+    compile_butterfly_kernel,
+    generate_butterfly_kernel,
+)
+
+__all__ = [
+    "BLAS_OPERATIONS",
+    "build_blas_kernel",
+    "compile_blas_kernel",
+    "generate_blas_kernel",
+    "KernelConfig",
+    "padded_width",
+    "BUTTERFLY_VARIANTS",
+    "build_butterfly_kernel",
+    "compile_butterfly_kernel",
+    "generate_butterfly_kernel",
+]

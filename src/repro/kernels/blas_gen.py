@@ -1,0 +1,99 @@
+"""BLAS kernel frontends (Section 5.2).
+
+The paper evaluates four finite-field BLAS operations, which correspond to
+point-wise polynomial arithmetic (Section 2.3):
+
+* vector addition        ``z[i] = (x[i] + y[i]) mod q``
+* vector subtraction     ``z[i] = (x[i] - y[i]) mod q``
+* vector multiplication  ``z[i] = (x[i] * y[i]) mod q``
+* axpy                   ``y[i] = (a * x[i] + y[i]) mod q``
+
+Each frontend builds the *scalar* computation as wide-typed IR; the MoMA
+legalizer then decomposes it to machine words and the backends wrap it in an
+element-per-thread GPU kernel.  ``q`` (and ``mu``, ``a``) are uniform
+parameters: every thread uses the same modulus, as in the paper's batched
+evaluation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import KernelError
+from repro.core.ir.builder import KernelBuilder
+from repro.core.ir.kernel import Kernel
+from repro.core.codegen.python_exec import CompiledKernel, compile_kernel
+from repro.core.passes.pipeline import optimize
+from repro.core.rewrite.legalize import legalize
+from repro.kernels.config import KernelConfig
+
+__all__ = [
+    "BLAS_OPERATIONS",
+    "build_blas_kernel",
+    "generate_blas_kernel",
+    "compile_blas_kernel",
+]
+
+#: The BLAS operations evaluated in Figure 2.
+BLAS_OPERATIONS = ("vadd", "vsub", "vmul", "axpy")
+
+
+def build_blas_kernel(operation: str, config: KernelConfig) -> Kernel:
+    """Build the wide-typed (pre-legalization) IR for one BLAS operation."""
+    if operation not in BLAS_OPERATIONS:
+        raise KernelError(
+            f"unknown BLAS operation {operation!r}; expected one of {BLAS_OPERATIONS}"
+        )
+    width = config.container_bits
+    modulus_bits = config.effective_modulus_bits
+    operand_bits = min(config.bits, modulus_bits)
+
+    builder = KernelBuilder(f"{operation}_{config.label()}")
+    builder.metadata(
+        family="blas",
+        operation=operation,
+        bits=config.bits,
+        modulus_bits=modulus_bits,
+        multiplication=config.multiplication,
+    )
+
+    x = builder.param("x", width, operand_bits)
+    if operation == "axpy":
+        y = builder.param("y", width, operand_bits)
+        scale = builder.param("a", width, operand_bits)
+        q = builder.param("q", width, modulus_bits)
+        mu = builder.param("mu", width, modulus_bits + 4)
+        product = builder.mulmod(scale, x, q, mu, algorithm=config.multiplication)
+        builder.output("z", builder.addmod(product, y, q))
+        builder.metadata(uniform_params=["a", "q", "mu"])
+    elif operation == "vmul":
+        y = builder.param("y", width, operand_bits)
+        q = builder.param("q", width, modulus_bits)
+        mu = builder.param("mu", width, modulus_bits + 4)
+        builder.output("z", builder.mulmod(x, y, q, mu, algorithm=config.multiplication))
+        builder.metadata(uniform_params=["q", "mu"])
+    else:
+        y = builder.param("y", width, operand_bits)
+        q = builder.param("q", width, modulus_bits)
+        if operation == "vadd":
+            builder.output("z", builder.addmod(x, y, q))
+        else:
+            builder.output("z", builder.submod(x, y, q))
+        builder.metadata(uniform_params=["q"])
+    return builder.build()
+
+
+@lru_cache(maxsize=None)
+def generate_blas_kernel(operation: str, config: KernelConfig, run_passes: bool = True) -> Kernel:
+    """Legalized (and optionally optimized) machine-word kernel."""
+    kernel = build_blas_kernel(operation, config)
+    legalized = legalize(kernel, config.rewrite_options())
+    if run_passes:
+        legalized = optimize(legalized)
+    return legalized
+
+
+@lru_cache(maxsize=None)
+def compile_blas_kernel(operation: str, config: KernelConfig) -> CompiledKernel:
+    """Legalized kernel compiled to an executable Python function."""
+    return compile_kernel(generate_blas_kernel(operation, config))

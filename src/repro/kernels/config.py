@@ -1,0 +1,99 @@
+"""Kernel-generation configuration shared by the BLAS and NTT frontends.
+
+A :class:`KernelConfig` captures the compile-time knowledge the paper's code
+generator assumes (Section 4): the operand bit-width, the modulus bit-width
+(for Barrett headroom and for the non-power-of-two optimization), the machine
+word width, and the multiplication algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelError
+from repro.core.rewrite.options import KARATSUBA, SCHOOLBOOK, RewriteOptions
+
+__all__ = ["KernelConfig", "padded_width"]
+
+#: Bit-widths evaluated in the paper (Figures 2-5).
+PAPER_BIT_WIDTHS = (64, 128, 256, 320, 384, 448, 512, 576, 640, 768, 896, 1024)
+
+
+def padded_width(bits: int, word_bits: int) -> int:
+    """Smallest power-of-two multiple of ``word_bits`` that holds ``bits``.
+
+    Non-power-of-two operand widths (381, 753, ...) are stored in the next
+    power-of-two container and pruned during code generation (Section 4).
+    """
+    if bits <= 0:
+        raise KernelError(f"bit-width must be positive, got {bits}")
+    width = word_bits
+    while width < bits:
+        width *= 2
+    return width
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Compile-time parameters for one generated kernel family.
+
+    Attributes:
+        bits: the logical operand bit-width (as reported in the paper's
+            figures, e.g. 128, 256, 384, 768).
+        modulus_bits: bit-width of the modulus; defaults to ``bits - 4``
+            following the paper's Barrett headroom convention.
+        word_bits: machine word width of the target GPU (64).
+        multiplication: ``"schoolbook"`` or ``"karatsuba"``.
+    """
+
+    bits: int
+    modulus_bits: int | None = None
+    word_bits: int = 64
+    multiplication: str = SCHOOLBOOK
+
+    def __post_init__(self) -> None:
+        if self.bits < self.word_bits:
+            raise KernelError(
+                f"operand width {self.bits} must be at least the machine word "
+                f"width {self.word_bits}"
+            )
+        if self.multiplication not in (SCHOOLBOOK, KARATSUBA):
+            raise KernelError(
+                f"multiplication must be 'schoolbook' or 'karatsuba', got "
+                f"{self.multiplication!r}"
+            )
+        if self.effective_modulus_bits > self.bits - 4:
+            raise KernelError(
+                f"modulus of {self.effective_modulus_bits} bits leaves less than the "
+                f"4 bits of Barrett headroom required at {self.bits}-bit operands"
+            )
+        if self.effective_modulus_bits < 8:
+            raise KernelError("modulus must have at least 8 bits")
+
+    @property
+    def effective_modulus_bits(self) -> int:
+        """The modulus bit-width actually used (defaults to ``bits - 4``)."""
+        return self.modulus_bits if self.modulus_bits is not None else self.bits - 4
+
+    @property
+    def container_bits(self) -> int:
+        """The power-of-two container width the rewrite system operates on."""
+        return padded_width(self.bits, self.word_bits)
+
+    @property
+    def operand_words(self) -> int:
+        """Number of machine words per (unpruned) operand."""
+        return -(-self.bits // self.word_bits)
+
+    @property
+    def is_single_word(self) -> bool:
+        """Whether operands already fit in one machine word (no MoMA needed)."""
+        return self.bits <= self.word_bits
+
+    def rewrite_options(self) -> RewriteOptions:
+        """The legalization options matching this configuration."""
+        return RewriteOptions(word_bits=self.word_bits, multiplication=self.multiplication)
+
+    def label(self) -> str:
+        """Short human-readable label used in kernel names."""
+        return f"{self.bits}b_{self.multiplication}"

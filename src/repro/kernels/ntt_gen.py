@@ -1,0 +1,94 @@
+"""NTT butterfly kernel frontends (Section 5.3).
+
+An ``n``-point NTT is ``log2(n)`` stages of ``n/2`` butterflies; the paper
+parallelizes by assigning butterflies to CUDA threads (Section 5.1).  MoMA's
+job is the butterfly itself: one modular multiplication by the twiddle
+factor, one modular addition and one modular subtraction on large operands.
+
+Two butterfly flavours are provided:
+
+* **Cooley-Tukey (decimation in time)** — used by the forward transform:
+  ``x' = x + w*y``, ``y' = x - w*y`` (mod q).
+* **Gentleman-Sande (decimation in frequency)** — used by the inverse
+  transform in some formulations: ``x' = x + y``, ``y' = (x - y) * w``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import KernelError
+from repro.core.ir.builder import KernelBuilder
+from repro.core.ir.kernel import Kernel
+from repro.core.codegen.python_exec import CompiledKernel, compile_kernel
+from repro.core.passes.pipeline import optimize
+from repro.core.rewrite.legalize import legalize
+from repro.kernels.config import KernelConfig
+
+__all__ = [
+    "BUTTERFLY_VARIANTS",
+    "build_butterfly_kernel",
+    "generate_butterfly_kernel",
+    "compile_butterfly_kernel",
+]
+
+#: Butterfly dataflow variants.
+BUTTERFLY_VARIANTS = ("cooley_tukey", "gentleman_sande")
+
+
+def build_butterfly_kernel(config: KernelConfig, variant: str = "cooley_tukey") -> Kernel:
+    """Build the wide-typed IR for one NTT butterfly."""
+    if variant not in BUTTERFLY_VARIANTS:
+        raise KernelError(
+            f"unknown butterfly variant {variant!r}; expected one of {BUTTERFLY_VARIANTS}"
+        )
+    width = config.container_bits
+    modulus_bits = config.effective_modulus_bits
+
+    builder = KernelBuilder(f"ntt_butterfly_{variant}_{config.label()}")
+    builder.metadata(
+        family="ntt",
+        variant=variant,
+        bits=config.bits,
+        modulus_bits=modulus_bits,
+        multiplication=config.multiplication,
+        uniform_params=["q", "mu"],
+    )
+
+    x = builder.param("x", width, modulus_bits)
+    y = builder.param("y", width, modulus_bits)
+    twiddle = builder.param("w", width, modulus_bits)
+    q = builder.param("q", width, modulus_bits)
+    mu = builder.param("mu", width, modulus_bits + 4)
+
+    if variant == "cooley_tukey":
+        scaled = builder.mulmod(twiddle, y, q, mu, algorithm=config.multiplication)
+        builder.output("x_out", builder.addmod(x, scaled, q))
+        builder.output("y_out", builder.submod(x, scaled, q))
+    else:
+        builder.output("x_out", builder.addmod(x, y, q))
+        difference = builder.submod(x, y, q)
+        builder.output(
+            "y_out", builder.mulmod(difference, twiddle, q, mu, algorithm=config.multiplication)
+        )
+    return builder.build()
+
+
+@lru_cache(maxsize=None)
+def generate_butterfly_kernel(
+    config: KernelConfig, variant: str = "cooley_tukey", run_passes: bool = True
+) -> Kernel:
+    """Legalized (and optionally optimized) machine-word butterfly kernel."""
+    kernel = build_butterfly_kernel(config, variant)
+    legalized = legalize(kernel, config.rewrite_options())
+    if run_passes:
+        legalized = optimize(legalized)
+    return legalized
+
+
+@lru_cache(maxsize=None)
+def compile_butterfly_kernel(
+    config: KernelConfig, variant: str = "cooley_tukey"
+) -> CompiledKernel:
+    """Legalized butterfly compiled to an executable Python function."""
+    return compile_kernel(generate_butterfly_kernel(config, variant))

@@ -1,0 +1,31 @@
+"""Number-theory substrate: primes, roots of unity, modular inverses, CRT.
+
+These utilities back the NTT planner (prime/root selection), the Barrett and
+Montgomery parameter computations, and the RNS baseline.
+"""
+
+from repro.ntheory.crt import crt_reconstruct, garner_reconstruct
+from repro.ntheory.modinv import modexp, modinv, xgcd
+from repro.ntheory.primes import find_ntt_prime, find_prime_with_bits, is_prime, next_prime
+from repro.ntheory.roots import (
+    find_generator,
+    inverse_root,
+    is_primitive_root_of_unity,
+    primitive_root_of_unity,
+)
+
+__all__ = [
+    "crt_reconstruct",
+    "garner_reconstruct",
+    "modexp",
+    "modinv",
+    "xgcd",
+    "find_ntt_prime",
+    "find_prime_with_bits",
+    "is_prime",
+    "next_prime",
+    "find_generator",
+    "inverse_root",
+    "is_primitive_root_of_unity",
+    "primitive_root_of_unity",
+]

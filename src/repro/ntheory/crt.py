@@ -1,0 +1,94 @@
+"""Chinese remainder theorem utilities.
+
+The residue number system (RNS) substrate — the paper's GRNS baseline and
+the FHE-style residue decomposition discussed in the introduction — relies
+on CRT reconstruction: a large integer is represented by its residues modulo
+a basis of pairwise-coprime word-sized moduli and recovered with
+:func:`crt_reconstruct`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ArithmeticDomainError
+from repro.ntheory.modinv import modinv
+
+__all__ = ["check_pairwise_coprime", "crt_reconstruct", "garner_reconstruct"]
+
+
+def check_pairwise_coprime(moduli: Sequence[int]) -> None:
+    """Raise if any two moduli share a common factor."""
+    for index, first in enumerate(moduli):
+        if first < 2:
+            raise ArithmeticDomainError(f"modulus {first} must be >= 2")
+        for second in moduli[index + 1 :]:
+            a, b = first, second
+            while b:
+                a, b = b, a % b
+            if a != 1:
+                raise ArithmeticDomainError(
+                    f"moduli {first} and {second} are not coprime (gcd={a})"
+                )
+
+
+def crt_reconstruct(residues: Sequence[int], moduli: Sequence[int]) -> int:
+    """Recover ``x mod prod(moduli)`` from ``x mod m_i`` via the explicit CRT."""
+    if len(residues) != len(moduli):
+        raise ArithmeticDomainError(
+            f"need one residue per modulus, got {len(residues)} residues "
+            f"and {len(moduli)} moduli"
+        )
+    if not moduli:
+        raise ArithmeticDomainError("at least one modulus is required")
+    check_pairwise_coprime(moduli)
+    product = 1
+    for modulus in moduli:
+        product *= modulus
+    result = 0
+    for residue, modulus in zip(residues, moduli):
+        if not 0 <= residue < modulus:
+            raise ArithmeticDomainError(
+                f"residue {residue} not reduced modulo {modulus}"
+            )
+        partial = product // modulus
+        result += residue * partial * modinv(partial, modulus)
+    return result % product
+
+
+def garner_reconstruct(residues: Sequence[int], moduli: Sequence[int]) -> int:
+    """Garner's algorithm: mixed-radix CRT reconstruction.
+
+    Produces the same value as :func:`crt_reconstruct` but only ever reduces
+    intermediate values modulo single basis elements, which is the form a
+    word-level implementation (e.g. on GPU) would use.
+    """
+    if len(residues) != len(moduli):
+        raise ArithmeticDomainError(
+            f"need one residue per modulus, got {len(residues)} residues "
+            f"and {len(moduli)} moduli"
+        )
+    if not moduli:
+        raise ArithmeticDomainError("at least one modulus is required")
+    check_pairwise_coprime(moduli)
+    # Mixed-radix digits d_i satisfy x = d_0 + d_1*m_0 + d_2*m_0*m_1 + ...
+    digits: list[int] = []
+    for index, (residue, modulus) in enumerate(zip(residues, moduli)):
+        if not 0 <= residue < modulus:
+            raise ArithmeticDomainError(
+                f"residue {residue} not reduced modulo {modulus}"
+            )
+        value = residue
+        coefficient = 1
+        accumulated = 0
+        for j in range(index):
+            accumulated = (accumulated + digits[j] * coefficient) % modulus
+            coefficient = (coefficient * moduli[j]) % modulus
+        digit = ((value - accumulated) * modinv(coefficient, modulus)) % modulus
+        digits.append(digit)
+    result = 0
+    radix = 1
+    for digit, modulus in zip(digits, moduli):
+        result += digit * radix
+        radix *= modulus
+    return result

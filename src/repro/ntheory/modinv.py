@@ -1,0 +1,46 @@
+"""Modular inverses and exponentiation helpers."""
+
+from __future__ import annotations
+
+from repro.errors import ArithmeticDomainError
+
+__all__ = ["xgcd", "modinv", "modexp"]
+
+
+def xgcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: return ``(g, x, y)`` with ``a*x + b*y = g = gcd(a, b)``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r != 0:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+        old_t, t = t, old_t - quotient * t
+    return old_r, old_s, old_t
+
+
+def modinv(value: int, modulus: int) -> int:
+    """Multiplicative inverse of ``value`` modulo ``modulus``.
+
+    Raises :class:`ArithmeticDomainError` when the inverse does not exist
+    (i.e. ``gcd(value, modulus) != 1``).
+    """
+    if modulus <= 1:
+        raise ArithmeticDomainError(f"modulus must be > 1, got {modulus}")
+    value %= modulus
+    g, x, _ = xgcd(value, modulus)
+    if g != 1:
+        raise ArithmeticDomainError(
+            f"{value} has no inverse modulo {modulus} (gcd = {g})"
+        )
+    return x % modulus
+
+
+def modexp(base: int, exponent: int, modulus: int) -> int:
+    """Modular exponentiation; negative exponents use the modular inverse."""
+    if modulus <= 0:
+        raise ArithmeticDomainError(f"modulus must be positive, got {modulus}")
+    if exponent < 0:
+        return pow(modinv(base, modulus), -exponent, modulus)
+    return pow(base, exponent, modulus)

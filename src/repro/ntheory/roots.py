@@ -1,0 +1,148 @@
+"""Primitive roots of unity for NTT moduli.
+
+An ``n``-point NTT over ``Z_p`` needs a primitive ``n``-th root of unity
+``omega_n`` (Equation 12).  For a prime ``p`` with ``n | p - 1`` such a root
+is obtained from a generator of the multiplicative group:
+``omega_n = g**((p-1)/n) mod p``.  Negacyclic transforms additionally need a
+primitive ``2n``-th root ``psi`` with ``psi**2 = omega_n``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArithmeticDomainError
+from repro.ntheory.modinv import modinv
+from repro.ntheory.primes import is_prime
+
+__all__ = [
+    "factorize",
+    "find_generator",
+    "primitive_root_of_unity",
+    "is_primitive_root_of_unity",
+    "inverse_root",
+]
+
+
+def factorize(value: int) -> dict[int, int]:
+    """Prime factorization by trial division with a Pollard-rho fallback.
+
+    Sufficient for the group orders encountered here: the factored quantity
+    is always ``p - 1`` where ``p`` is chosen by us, or a transform size
+    (a power of two).
+    """
+    if value < 1:
+        raise ArithmeticDomainError(f"can only factorize positive integers, got {value}")
+    factors: dict[int, int] = {}
+    remaining = value
+    for prime in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        while remaining % prime == 0:
+            factors[prime] = factors.get(prime, 0) + 1
+            remaining //= prime
+    divisor = 41
+    while divisor * divisor <= remaining and divisor < 1_000_000:
+        while remaining % divisor == 0:
+            factors[divisor] = factors.get(divisor, 0) + 1
+            remaining //= divisor
+        divisor += 2
+    if remaining > 1:
+        if is_prime(remaining):
+            factors[remaining] = factors.get(remaining, 0) + 1
+        else:
+            for prime in _pollard_rho_factor(remaining):
+                factors[prime] = factors.get(prime, 0) + 1
+    return factors
+
+
+def _pollard_rho_factor(value: int) -> list[int]:
+    """Fully factor ``value`` (known composite, no small factors) via Pollard rho."""
+    if value == 1:
+        return []
+    if is_prime(value):
+        return [value]
+    divisor = _pollard_rho(value)
+    return _pollard_rho_factor(divisor) + _pollard_rho_factor(value // divisor)
+
+
+def _pollard_rho(value: int) -> int:
+    """Find one non-trivial factor of a composite ``value``."""
+    if value % 2 == 0:
+        return 2
+    increment = 1
+    while True:
+        x = 2
+        y = 2
+        d = 1
+        while d == 1:
+            x = (x * x + increment) % value
+            y = (y * y + increment) % value
+            y = (y * y + increment) % value
+            d = _gcd(abs(x - y), value)
+        if d != value:
+            return d
+        increment += 1
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def find_generator(prime: int) -> int:
+    """Find a generator of the multiplicative group of ``Z_p``."""
+    if not is_prime(prime):
+        raise ArithmeticDomainError(f"{prime} is not prime")
+    if prime == 2:
+        return 1
+    order = prime - 1
+    factors = factorize(order)
+    candidate = 2
+    while candidate < prime:
+        if all(pow(candidate, order // factor, prime) != 1 for factor in factors):
+            return candidate
+        candidate += 1
+    raise ArithmeticDomainError(f"no generator found for {prime}")  # pragma: no cover
+
+
+def primitive_root_of_unity(order: int, prime: int) -> int:
+    """Return a primitive ``order``-th root of unity modulo ``prime``.
+
+    The search raises candidate bases to the power ``(p-1)/order`` and checks
+    that the result has exact order ``order``; this only ever factorizes the
+    (small) order, never ``p - 1``, so it stays fast for the multi-hundred-bit
+    NTT primes used in the evaluation.
+    """
+    if order < 1:
+        raise ArithmeticDomainError(f"order must be positive, got {order}")
+    if not is_prime(prime):
+        raise ArithmeticDomainError(f"{prime} is not prime")
+    if (prime - 1) % order != 0:
+        raise ArithmeticDomainError(
+            f"no {order}-th root of unity modulo {prime}: {order} does not divide p-1"
+        )
+    if order == 1:
+        return 1
+    exponent = (prime - 1) // order
+    for base in range(2, 1000):
+        candidate = pow(base, exponent, prime)
+        if candidate in (0, 1):
+            continue
+        if is_primitive_root_of_unity(candidate, order, prime):
+            return candidate
+    raise ArithmeticDomainError(  # pragma: no cover - practically unreachable
+        f"failed to find a primitive {order}-th root of unity modulo {prime}"
+    )
+
+
+def is_primitive_root_of_unity(root: int, order: int, prime: int) -> bool:
+    """Check that ``root`` has exact multiplicative order ``order`` mod ``prime``."""
+    if pow(root, order, prime) != 1:
+        return False
+    for factor in factorize(order):
+        if pow(root, order // factor, prime) == 1:
+            return False
+    return True
+
+
+def inverse_root(root: int, prime: int) -> int:
+    """Inverse of a root of unity, used by the inverse NTT."""
+    return modinv(root, prime)

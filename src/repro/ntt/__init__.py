@@ -1,0 +1,22 @@
+"""Number theoretic transform library: planning, reference, iterative and
+MoMA-generated-kernel-backed transforms, plus negacyclic convolution."""
+
+from repro.ntt.generated import GeneratedNTT
+from repro.ntt.iterative import ntt_forward, ntt_inverse, reference_butterfly
+from repro.ntt.negacyclic import negacyclic_convolution_reference, negacyclic_multiply
+from repro.ntt.planner import NTTPlan, bit_reverse_permutation, make_plan
+from repro.ntt.reference import intt_definition, ntt_definition
+
+__all__ = [
+    "GeneratedNTT",
+    "ntt_forward",
+    "ntt_inverse",
+    "reference_butterfly",
+    "negacyclic_convolution_reference",
+    "negacyclic_multiply",
+    "NTTPlan",
+    "bit_reverse_permutation",
+    "make_plan",
+    "intt_definition",
+    "ntt_definition",
+]

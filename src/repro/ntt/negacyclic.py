@@ -1,0 +1,58 @@
+"""Negacyclic (mod ``x^n + 1``) convolution via the weighted NTT.
+
+FHE schemes multiply polynomials in ``Z_q[x] / (x^n + 1)``; the standard
+technique weights the inputs by powers of a ``2n``-th root of unity ``psi``,
+performs ordinary ``n``-point NTTs, multiplies point-wise, inverts, and
+un-weights by powers of ``psi^{-1}``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.errors import KernelError
+from repro.ntt.iterative import Butterfly, ntt_forward, ntt_inverse, reference_butterfly
+from repro.ntt.planner import NTTPlan
+
+__all__ = ["negacyclic_multiply", "negacyclic_convolution_reference"]
+
+
+def negacyclic_convolution_reference(
+    a: Sequence[int], b: Sequence[int], modulus: int
+) -> list[int]:
+    """O(n^2) negacyclic convolution used as the oracle in tests."""
+    size = len(a)
+    if len(b) != size:
+        raise KernelError("operands must have the same length")
+    result = [0] * size
+    for i, coefficient_a in enumerate(a):
+        for j, coefficient_b in enumerate(b):
+            product = coefficient_a * coefficient_b
+            index = i + j
+            if index < size:
+                result[index] = (result[index] + product) % modulus
+            else:
+                result[index - size] = (result[index - size] - product) % modulus
+    return result
+
+
+def negacyclic_multiply(
+    a: Sequence[int],
+    b: Sequence[int],
+    plan: NTTPlan,
+    butterfly: Butterfly = reference_butterfly,
+) -> list[int]:
+    """Negacyclic product of two length-``n`` coefficient vectors."""
+    size = plan.size
+    if len(a) != size or len(b) != size:
+        raise KernelError(f"operands must have exactly {size} coefficients")
+    q = plan.modulus
+    forward_weights, inverse_weights = plan.negacyclic_weights()
+
+    weighted_a = [(value * weight) % q for value, weight in zip(a, forward_weights)]
+    weighted_b = [(value * weight) % q for value, weight in zip(b, forward_weights)]
+    spectrum_a = ntt_forward(weighted_a, plan, butterfly)
+    spectrum_b = ntt_forward(weighted_b, plan, butterfly)
+    pointwise = [(x * y) % q for x, y in zip(spectrum_a, spectrum_b)]
+    product = ntt_inverse(pointwise, plan, butterfly)
+    return [(value * weight) % q for value, weight in zip(product, inverse_weights)]

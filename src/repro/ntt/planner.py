@@ -1,0 +1,146 @@
+"""NTT planning: parameter selection and twiddle-factor precomputation.
+
+An :class:`NTTPlan` bundles everything an ``n``-point NTT over ``Z_q`` needs:
+the (NTT-friendly) prime, the primitive ``n``-th root of unity and its
+inverse, the Barrett constant used by the generated kernels, precomputed
+twiddle factor tables for the forward and inverse transforms, and the
+bit-reversal permutation.  Plans are deterministic for a given
+``(size, modulus_bits, seed)`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.errors import KernelError
+from repro.arith.barrett import BarrettParams
+from repro.ntheory.modinv import modinv
+from repro.ntheory.primes import find_ntt_prime, is_prime
+from repro.ntheory.roots import is_primitive_root_of_unity, primitive_root_of_unity
+
+__all__ = ["NTTPlan", "make_plan", "bit_reverse_permutation"]
+
+
+def bit_reverse_permutation(size: int) -> list[int]:
+    """The bit-reversal permutation for a power-of-two ``size``."""
+    if size < 1 or size & (size - 1):
+        raise KernelError(f"size must be a power of two, got {size}")
+    bits = size.bit_length() - 1
+    permutation = []
+    for index in range(size):
+        reversed_index = 0
+        value = index
+        for _ in range(bits):
+            reversed_index = (reversed_index << 1) | (value & 1)
+            value >>= 1
+        permutation.append(reversed_index)
+    return permutation
+
+
+@dataclass(frozen=True)
+class NTTPlan:
+    """Precomputed parameters for an ``n``-point NTT over ``Z_q``.
+
+    Attributes:
+        size: transform length ``n`` (a power of two).
+        modulus: the NTT-friendly prime ``q`` with ``q ≡ 1 (mod 2n)``.
+        modulus_bits: bit-length of ``q`` (the paper's ``MBITS``).
+        root: a primitive ``n``-th root of unity.
+        inverse_root: its modular inverse (for the inverse transform).
+        size_inverse: ``n^{-1} mod q`` (final scaling of the inverse NTT).
+        mu: the Barrett constant for ``q``.
+        psi / inverse_psi: primitive ``2n``-th roots (negacyclic transforms).
+    """
+
+    size: int
+    modulus: int
+    modulus_bits: int
+    root: int
+    inverse_root: int
+    size_inverse: int
+    mu: int
+    psi: int
+    inverse_psi: int
+
+    @property
+    def stages(self) -> int:
+        """Number of butterfly stages: ``log2(n)``."""
+        return self.size.bit_length() - 1
+
+    @property
+    def butterflies_per_stage(self) -> int:
+        """Butterflies per stage: ``n/2``."""
+        return self.size // 2
+
+    @property
+    def total_butterflies(self) -> int:
+        """Total butterflies: ``(n/2) * log2(n)`` (the paper's denominator)."""
+        return self.butterflies_per_stage * self.stages
+
+    def forward_twiddles(self) -> list[int]:
+        """Powers ``root^0 .. root^(n/2 - 1)`` used by the forward transform."""
+        return self._powers(self.root)
+
+    def inverse_twiddles(self) -> list[int]:
+        """Powers of the inverse root used by the inverse transform."""
+        return self._powers(self.inverse_root)
+
+    def _powers(self, base: int) -> list[int]:
+        powers = [1]
+        for _ in range(self.size // 2 - 1):
+            powers.append((powers[-1] * base) % self.modulus)
+        return powers
+
+    def negacyclic_weights(self) -> tuple[list[int], list[int]]:
+        """Pre/post-weights ``psi^i`` and ``psi^{-i}`` for negacyclic use."""
+        forward = [pow(self.psi, i, self.modulus) for i in range(self.size)]
+        inverse = [pow(self.inverse_psi, i, self.modulus) for i in range(self.size)]
+        return forward, inverse
+
+
+@lru_cache(maxsize=None)
+def make_plan(size: int, modulus_bits: int, modulus: int | None = None, seed: int = 0) -> NTTPlan:
+    """Create (and cache) an NTT plan.
+
+    Args:
+        size: power-of-two transform length.
+        modulus_bits: desired prime bit-length (e.g. 124 for 128-bit MoMA
+            operands, following the paper's ``k - 4`` convention).
+        modulus: optionally a specific prime to use; it must satisfy
+            ``modulus ≡ 1 (mod 2*size)``.
+        seed: selects among the candidate primes, for experiments that need
+            several distinct moduli.
+    """
+    if size < 2 or size & (size - 1):
+        raise KernelError(f"NTT size must be a power of two >= 2, got {size}")
+    if modulus is None:
+        modulus = find_ntt_prime(modulus_bits, size, seed)
+    else:
+        if not is_prime(modulus):
+            raise KernelError(f"supplied modulus {modulus} is not prime")
+        if (modulus - 1) % (2 * size) != 0:
+            raise KernelError(
+                f"modulus {modulus} does not support a {size}-point negacyclic NTT "
+                f"(needs q ≡ 1 mod {2 * size})"
+            )
+        if modulus.bit_length() != modulus_bits:
+            raise KernelError(
+                f"modulus has {modulus.bit_length()} bits, expected {modulus_bits}"
+            )
+    psi = primitive_root_of_unity(2 * size, modulus)
+    root = (psi * psi) % modulus
+    if not is_primitive_root_of_unity(root, size, modulus):  # pragma: no cover
+        raise KernelError("internal error: psi^2 is not a primitive n-th root")
+    barrett = BarrettParams.create(modulus, modulus_bits + 4, modulus_bits)
+    return NTTPlan(
+        size=size,
+        modulus=modulus,
+        modulus_bits=modulus_bits,
+        root=root,
+        inverse_root=modinv(root, modulus),
+        size_inverse=modinv(size, modulus),
+        mu=barrett.mu,
+        psi=psi,
+        inverse_psi=modinv(psi, modulus),
+    )

@@ -1,0 +1,62 @@
+"""Reference NTT implementations.
+
+Two deliberately simple transforms used as oracles by the test suite:
+
+* :func:`ntt_definition` — the O(n^2) matrix-vector product straight from
+  Equation 12 of the paper.
+* :func:`intt_definition` — its inverse, using the inverse root and the
+  final scaling by ``n^{-1}``.
+
+They are never used on the performance path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import KernelError
+from repro.ntt.planner import NTTPlan
+
+__all__ = ["ntt_definition", "intt_definition"]
+
+
+def _check_input(values: Sequence[int], plan: NTTPlan) -> list[int]:
+    if len(values) != plan.size:
+        raise KernelError(
+            f"expected {plan.size} coefficients, got {len(values)}"
+        )
+    q = plan.modulus
+    checked = []
+    for index, value in enumerate(values):
+        if not 0 <= value < q:
+            raise KernelError(f"coefficient {index} is not reduced modulo q")
+        checked.append(value)
+    return checked
+
+
+def ntt_definition(values: Sequence[int], plan: NTTPlan) -> list[int]:
+    """Equation 12: ``y[k] = sum_j x[j] * omega^(j*k) mod q``."""
+    x = _check_input(values, plan)
+    q = plan.modulus
+    omega = plan.root
+    result = []
+    for k in range(plan.size):
+        accumulator = 0
+        for j in range(plan.size):
+            accumulator = (accumulator + x[j] * pow(omega, j * k, q)) % q
+        result.append(accumulator)
+    return result
+
+
+def intt_definition(values: Sequence[int], plan: NTTPlan) -> list[int]:
+    """Inverse of :func:`ntt_definition` (inverse root plus ``n^{-1}`` scaling)."""
+    y = _check_input(values, plan)
+    q = plan.modulus
+    omega_inverse = plan.inverse_root
+    result = []
+    for k in range(plan.size):
+        accumulator = 0
+        for j in range(plan.size):
+            accumulator = (accumulator + y[j] * pow(omega_inverse, j * k, q)) % q
+        result.append((accumulator * plan.size_inverse) % q)
+    return result

@@ -1,0 +1,27 @@
+"""Polynomial and finite-field BLAS layer built on the NTT substrate."""
+
+from repro.poly.blas import (
+    BlasEngine,
+    MomaBlasEngine,
+    PythonBlasEngine,
+    axpy,
+    vector_addmod,
+    vector_mulmod,
+    vector_submod,
+)
+from repro.poly.multiplication import multiply_negacyclic, multiply_ntt, multiply_schoolbook
+from repro.poly.polynomial import Polynomial
+
+__all__ = [
+    "BlasEngine",
+    "MomaBlasEngine",
+    "PythonBlasEngine",
+    "axpy",
+    "vector_addmod",
+    "vector_mulmod",
+    "vector_submod",
+    "multiply_negacyclic",
+    "multiply_ntt",
+    "multiply_schoolbook",
+    "Polynomial",
+]

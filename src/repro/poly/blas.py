@@ -1,0 +1,161 @@
+"""Finite-field BLAS operations on coefficient vectors (Section 2.3 / 5.2).
+
+Point-wise polynomial arithmetic — vector addition, subtraction,
+multiplication and ``axpy`` over ``Z_q`` — with two interchangeable
+execution engines:
+
+* :class:`PythonBlasEngine` — Python integer arithmetic (the role GMP plays
+  on the CPU in the paper's comparison), and
+* :class:`MomaBlasEngine` — the MoMA-generated machine-word kernels executed
+  through the Python backend, i.e. the code the CUDA backend would run one
+  element per thread.
+
+Both produce identical values; the GPU cost model (:mod:`repro.gpu`) and the
+wall-clock benchmarks quantify the difference in *how* they compute them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ArithmeticDomainError
+from repro.arith.barrett import BarrettParams
+from repro.kernels.blas_gen import compile_blas_kernel
+from repro.kernels.config import KernelConfig
+
+__all__ = [
+    "BlasEngine",
+    "PythonBlasEngine",
+    "MomaBlasEngine",
+    "vector_addmod",
+    "vector_submod",
+    "vector_mulmod",
+    "axpy",
+]
+
+
+def _check_vectors(q: int, *vectors: Sequence[int]) -> None:
+    if q < 3:
+        raise ArithmeticDomainError(f"modulus must be >= 3, got {q}")
+    lengths = {len(vector) for vector in vectors}
+    if len(lengths) != 1:
+        raise ArithmeticDomainError(f"vectors must have equal lengths, got {sorted(lengths)}")
+    for vector in vectors:
+        for index, value in enumerate(vector):
+            if not 0 <= value < q:
+                raise ArithmeticDomainError(
+                    f"element {index} = {value} is not reduced modulo {q}"
+                )
+
+
+def _check_scalar(scale: int, q: int) -> None:
+    if not 0 <= scale < q:
+        raise ArithmeticDomainError(f"scalar {scale} is not reduced modulo {q}")
+
+
+class BlasEngine:
+    """Interface for finite-field vector arithmetic engines."""
+
+    def vadd(self, x: Sequence[int], y: Sequence[int], q: int) -> list[int]:
+        """Element-wise ``(x + y) mod q``."""
+        raise NotImplementedError
+
+    def vsub(self, x: Sequence[int], y: Sequence[int], q: int) -> list[int]:
+        """Element-wise ``(x - y) mod q``."""
+        raise NotImplementedError
+
+    def vmul(self, x: Sequence[int], y: Sequence[int], q: int) -> list[int]:
+        """Element-wise ``(x * y) mod q``."""
+        raise NotImplementedError
+
+    def axpy(self, scale: int, x: Sequence[int], y: Sequence[int], q: int) -> list[int]:
+        """Element-wise ``(scale * x + y) mod q`` (Equation 10)."""
+        raise NotImplementedError
+
+
+class PythonBlasEngine(BlasEngine):
+    """Arbitrary-precision (Python integer) engine — the CPU-library analogue."""
+
+    def vadd(self, x, y, q):
+        _check_vectors(q, x, y)
+        return [(a + b) % q for a, b in zip(x, y)]
+
+    def vsub(self, x, y, q):
+        _check_vectors(q, x, y)
+        return [(a - b) % q for a, b in zip(x, y)]
+
+    def vmul(self, x, y, q):
+        _check_vectors(q, x, y)
+        return [(a * b) % q for a, b in zip(x, y)]
+
+    def axpy(self, scale, x, y, q):
+        _check_vectors(q, x, y)
+        _check_scalar(scale, q)
+        return [(scale * a + b) % q for a, b in zip(x, y)]
+
+
+class MomaBlasEngine(BlasEngine):
+    """Engine that runs the MoMA-generated machine-word kernels per element.
+
+    Args:
+        config: operand-width configuration; the modulus used at call time
+            must have exactly ``config.effective_modulus_bits`` bits.
+    """
+
+    def __init__(self, config: KernelConfig) -> None:
+        self.config = config
+        self._kernels = {
+            operation: compile_blas_kernel(operation, config)
+            for operation in ("vadd", "vsub", "vmul", "axpy")
+        }
+
+    def _mu(self, q: int) -> int:
+        modulus_bits = self.config.effective_modulus_bits
+        params = BarrettParams.create(q, modulus_bits + 4, modulus_bits)
+        return params.mu
+
+    def vadd(self, x, y, q):
+        _check_vectors(q, x, y)
+        kernel = self._kernels["vadd"]
+        return [kernel(x=a, y=b, q=q)["z"] for a, b in zip(x, y)]
+
+    def vsub(self, x, y, q):
+        _check_vectors(q, x, y)
+        kernel = self._kernels["vsub"]
+        return [kernel(x=a, y=b, q=q)["z"] for a, b in zip(x, y)]
+
+    def vmul(self, x, y, q):
+        _check_vectors(q, x, y)
+        kernel = self._kernels["vmul"]
+        mu = self._mu(q)
+        return [kernel(x=a, y=b, q=q, mu=mu)["z"] for a, b in zip(x, y)]
+
+    def axpy(self, scale, x, y, q):
+        _check_vectors(q, x, y)
+        _check_scalar(scale, q)
+        kernel = self._kernels["axpy"]
+        mu = self._mu(q)
+        return [kernel(x=a, y=b, a=scale, q=q, mu=mu)["z"] for a, b in zip(x, y)]
+
+
+_DEFAULT_ENGINE = PythonBlasEngine()
+
+
+def vector_addmod(x: Sequence[int], y: Sequence[int], q: int) -> list[int]:
+    """Element-wise modular addition with the default (Python) engine."""
+    return _DEFAULT_ENGINE.vadd(x, y, q)
+
+
+def vector_submod(x: Sequence[int], y: Sequence[int], q: int) -> list[int]:
+    """Element-wise modular subtraction with the default (Python) engine."""
+    return _DEFAULT_ENGINE.vsub(x, y, q)
+
+
+def vector_mulmod(x: Sequence[int], y: Sequence[int], q: int) -> list[int]:
+    """Element-wise modular multiplication with the default (Python) engine."""
+    return _DEFAULT_ENGINE.vmul(x, y, q)
+
+
+def axpy(scale: int, x: Sequence[int], y: Sequence[int], q: int) -> list[int]:
+    """``scale * x + y`` element-wise with the default (Python) engine."""
+    return _DEFAULT_ENGINE.axpy(scale, x, y, q)

@@ -1,0 +1,80 @@
+"""Polynomial multiplication strategies.
+
+Three routes to the product of two polynomials over ``Z_q``:
+
+* schoolbook (O(n^2), Equation 11) — the oracle;
+* cyclic NTT-based multiplication (O(n log n)) for full products, padding to
+  a transform length at least twice the operand length; and
+* negacyclic multiplication modulo ``x^n + 1`` — the FHE-style product.
+
+Each NTT-based route accepts an optional butterfly implementation, so the
+same function multiplies polynomials with either the Python reference
+butterfly or a MoMA-generated kernel.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError
+from repro.ntt.iterative import Butterfly, ntt_forward, ntt_inverse, reference_butterfly
+from repro.ntt.negacyclic import negacyclic_multiply
+from repro.ntt.planner import NTTPlan, make_plan
+from repro.poly.polynomial import Polynomial
+
+__all__ = ["multiply_schoolbook", "multiply_ntt", "multiply_negacyclic"]
+
+
+def multiply_schoolbook(a: Polynomial, b: Polynomial) -> Polynomial:
+    """O(n^2) product (Equation 11)."""
+    return a.schoolbook_multiply(b)
+
+
+def _next_power_of_two(value: int) -> int:
+    size = 1
+    while size < value:
+        size *= 2
+    return size
+
+
+def multiply_ntt(
+    a: Polynomial,
+    b: Polynomial,
+    plan: NTTPlan | None = None,
+    butterfly: Butterfly = reference_butterfly,
+) -> Polynomial:
+    """Full polynomial product via cyclic NTT convolution.
+
+    The operands are zero-padded to a power-of-two transform length at least
+    ``deg(a) + deg(b) + 1`` so the cyclic convolution equals the full product.
+    """
+    if a.modulus != b.modulus:
+        raise KernelError("operands must share a modulus")
+    result_length = a.degree + b.degree + 1
+    size = _next_power_of_two(max(2, result_length))
+    if plan is None:
+        plan = make_plan(size, a.modulus.bit_length(), modulus=a.modulus)
+    if plan.size < result_length:
+        raise KernelError(
+            f"transform of {plan.size} points cannot hold a product of length {result_length}"
+        )
+    q = plan.modulus
+    padded_a = a.padded(plan.size).coefficients
+    padded_b = b.padded(plan.size).coefficients
+    spectrum_a = ntt_forward(padded_a, plan, butterfly)
+    spectrum_b = ntt_forward(padded_b, plan, butterfly)
+    pointwise = [(x * y) % q for x, y in zip(spectrum_a, spectrum_b)]
+    product = ntt_inverse(pointwise, plan, butterfly)
+    return Polynomial(product[:result_length], q)
+
+
+def multiply_negacyclic(
+    a: Polynomial,
+    b: Polynomial,
+    plan: NTTPlan,
+    butterfly: Butterfly = reference_butterfly,
+) -> Polynomial:
+    """Product in ``Z_q[x] / (x^n + 1)`` (the FHE ring) via the weighted NTT."""
+    if a.modulus != b.modulus or a.modulus != plan.modulus:
+        raise KernelError("operands and plan must share a modulus")
+    padded_a = a.padded(plan.size).coefficients
+    padded_b = b.padded(plan.size).coefficients
+    return Polynomial(negacyclic_multiply(padded_a, padded_b, plan, butterfly), plan.modulus)

@@ -1,0 +1,146 @@
+"""Dense polynomials over ``Z_q``.
+
+A light-weight coefficient-vector polynomial type used by the examples and
+the polynomial-multiplication layer.  Coefficients are stored little-endian
+(index ``i`` holds the coefficient of ``x^i``) and always reduced modulo the
+ring modulus.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ArithmeticDomainError
+
+__all__ = ["Polynomial"]
+
+
+class Polynomial:
+    """A dense polynomial with coefficients in ``Z_q``.
+
+    Args:
+        coefficients: little-endian coefficient sequence; values are reduced
+            modulo ``modulus``.
+        modulus: the coefficient ring modulus ``q``.
+    """
+
+    __slots__ = ("coefficients", "modulus")
+
+    def __init__(self, coefficients: Sequence[int], modulus: int) -> None:
+        if modulus < 2:
+            raise ArithmeticDomainError(f"modulus must be >= 2, got {modulus}")
+        if len(coefficients) == 0:
+            coefficients = [0]
+        self.modulus = modulus
+        self.coefficients = [int(value) % modulus for value in coefficients]
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def zero(cls, length: int, modulus: int) -> "Polynomial":
+        """The zero polynomial padded to ``length`` coefficients."""
+        return cls([0] * max(1, length), modulus)
+
+    @classmethod
+    def from_degree(cls, degree: int, modulus: int, fill: int = 0) -> "Polynomial":
+        """A polynomial of the given degree with constant coefficients."""
+        return cls([fill] * (degree + 1), modulus)
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial (ignoring trailing zero coefficients)."""
+        for index in range(len(self.coefficients) - 1, -1, -1):
+            if self.coefficients[index]:
+                return index
+        return 0
+
+    def __len__(self) -> int:
+        return len(self.coefficients)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        if self.modulus != other.modulus:
+            return False
+        longest = max(len(self), len(other))
+        return self.padded(longest).coefficients == other.padded(longest).coefficients
+
+    def __hash__(self) -> int:
+        return hash((self.modulus, tuple(self.coefficients)))
+
+    def __repr__(self) -> str:
+        return f"Polynomial(degree={self.degree}, modulus={self.modulus:#x})"
+
+    def padded(self, length: int) -> "Polynomial":
+        """The same polynomial padded with zeros to ``length`` coefficients."""
+        if length < len(self.coefficients):
+            stripped = self.coefficients[length:]
+            if any(stripped):
+                raise ArithmeticDomainError(
+                    f"cannot truncate a polynomial of degree {self.degree} to {length} coefficients"
+                )
+            return Polynomial(self.coefficients[:length], self.modulus)
+        return Polynomial(
+            self.coefficients + [0] * (length - len(self.coefficients)), self.modulus
+        )
+
+    def _check_compatible(self, other: "Polynomial") -> None:
+        if self.modulus != other.modulus:
+            raise ArithmeticDomainError(
+                f"polynomials have different moduli ({self.modulus:#x} vs {other.modulus:#x})"
+            )
+
+    # -- ring operations ------------------------------------------------------
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        self._check_compatible(other)
+        longest = max(len(self), len(other))
+        a = self.padded(longest).coefficients
+        b = other.padded(longest).coefficients
+        return Polynomial([(x + y) % self.modulus for x, y in zip(a, b)], self.modulus)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        self._check_compatible(other)
+        longest = max(len(self), len(other))
+        a = self.padded(longest).coefficients
+        b = other.padded(longest).coefficients
+        return Polynomial([(x - y) % self.modulus for x, y in zip(a, b)], self.modulus)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        self._check_compatible(other)
+        return self.schoolbook_multiply(other)
+
+    def scale(self, scalar: int) -> "Polynomial":
+        """Multiply every coefficient by a scalar."""
+        scalar %= self.modulus
+        return Polynomial([(scalar * value) % self.modulus for value in self.coefficients], self.modulus)
+
+    def pointwise_multiply(self, other: "Polynomial") -> "Polynomial":
+        """Coefficient-wise (Hadamard) product — evaluation-form multiplication."""
+        self._check_compatible(other)
+        if len(self) != len(other):
+            raise ArithmeticDomainError("point-wise product needs equal lengths")
+        return Polynomial(
+            [(x * y) % self.modulus for x, y in zip(self.coefficients, other.coefficients)],
+            self.modulus,
+        )
+
+    def schoolbook_multiply(self, other: "Polynomial") -> "Polynomial":
+        """O(n^2) polynomial product (Equation 11)."""
+        self._check_compatible(other)
+        result = [0] * (len(self) + len(other) - 1)
+        for i, coefficient_a in enumerate(self.coefficients):
+            if coefficient_a == 0:
+                continue
+            for j, coefficient_b in enumerate(other.coefficients):
+                result[i + j] = (result[i + j] + coefficient_a * coefficient_b) % self.modulus
+        return Polynomial(result, self.modulus)
+
+    def evaluate(self, point: int) -> int:
+        """Horner evaluation at ``point`` (mod q)."""
+        accumulator = 0
+        for coefficient in reversed(self.coefficients):
+            accumulator = (accumulator * point + coefficient) % self.modulus
+        return accumulator

@@ -1,0 +1,24 @@
+"""Residue number system substrate (the GRNS baseline's representation)."""
+
+from repro.rns.arith import (
+    RnsValue,
+    from_rns,
+    rns_add,
+    rns_modmul,
+    rns_mul,
+    rns_sub,
+    to_rns,
+)
+from repro.rns.basis import RnsBasis, make_basis
+
+__all__ = [
+    "RnsValue",
+    "from_rns",
+    "rns_add",
+    "rns_modmul",
+    "rns_mul",
+    "rns_sub",
+    "to_rns",
+    "RnsBasis",
+    "make_basis",
+]

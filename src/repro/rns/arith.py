@@ -1,0 +1,103 @@
+"""Residue number system arithmetic.
+
+Values are represented by their residues against an :class:`RnsBasis`;
+addition, subtraction and multiplication are independent per channel (which
+is what makes RNS attractive on parallel hardware), while comparisons,
+modular reduction by an arbitrary ``q`` and conversion back to positional
+form require CRT reconstruction — the overhead the paper's introduction
+points out and that MoMA avoids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ArithmeticDomainError
+from repro.ntheory.crt import garner_reconstruct
+from repro.rns.basis import RnsBasis
+
+__all__ = ["RnsValue", "to_rns", "from_rns", "rns_add", "rns_sub", "rns_mul", "rns_modmul"]
+
+
+@dataclass(frozen=True)
+class RnsValue:
+    """A value in RNS form: one residue per basis channel."""
+
+    residues: tuple[int, ...]
+    basis: RnsBasis
+
+    def __post_init__(self) -> None:
+        if len(self.residues) != self.basis.channel_count:
+            raise ArithmeticDomainError(
+                f"expected {self.basis.channel_count} residues, got {len(self.residues)}"
+            )
+        for residue, modulus in zip(self.residues, self.basis.moduli):
+            if not 0 <= residue < modulus:
+                raise ArithmeticDomainError(
+                    f"residue {residue} is not reduced modulo {modulus}"
+                )
+
+
+def to_rns(value: int, basis: RnsBasis) -> RnsValue:
+    """Convert a non-negative integer to RNS form."""
+    if value < 0:
+        raise ArithmeticDomainError(f"value must be non-negative, got {value}")
+    if value >= basis.dynamic_range:
+        raise ArithmeticDomainError(
+            f"value of {value.bit_length()} bits exceeds the basis range of "
+            f"{basis.range_bits} bits"
+        )
+    return RnsValue(tuple(value % modulus for modulus in basis.moduli), basis)
+
+
+def from_rns(value: RnsValue) -> int:
+    """Convert back to positional form via Garner's mixed-radix CRT."""
+    return garner_reconstruct(list(value.residues), list(value.basis.moduli))
+
+
+def _check_same_basis(a: RnsValue, b: RnsValue) -> None:
+    if a.basis != b.basis:
+        raise ArithmeticDomainError("operands use different RNS bases")
+
+
+def rns_add(a: RnsValue, b: RnsValue) -> RnsValue:
+    """Channel-wise addition (mod the channel moduli)."""
+    _check_same_basis(a, b)
+    residues = tuple(
+        (x + y) % modulus
+        for x, y, modulus in zip(a.residues, b.residues, a.basis.moduli)
+    )
+    return RnsValue(residues, a.basis)
+
+
+def rns_sub(a: RnsValue, b: RnsValue) -> RnsValue:
+    """Channel-wise subtraction (mod the channel moduli)."""
+    _check_same_basis(a, b)
+    residues = tuple(
+        (x - y) % modulus
+        for x, y, modulus in zip(a.residues, b.residues, a.basis.moduli)
+    )
+    return RnsValue(residues, a.basis)
+
+
+def rns_mul(a: RnsValue, b: RnsValue) -> RnsValue:
+    """Channel-wise multiplication (mod the channel moduli)."""
+    _check_same_basis(a, b)
+    residues = tuple(
+        (x * y) % modulus
+        for x, y, modulus in zip(a.residues, b.residues, a.basis.moduli)
+    )
+    return RnsValue(residues, a.basis)
+
+
+def rns_modmul(a: RnsValue, b: RnsValue, q: int) -> RnsValue:
+    """Multiplication followed by reduction modulo an arbitrary ``q``.
+
+    RNS cannot reduce modulo a value outside its basis without leaving the
+    representation: the product is reconstructed, reduced, and converted
+    back.  This round trip is exactly the "modulus raising and reduction"
+    overhead the paper attributes to RNS-based approaches.
+    """
+    product = from_rns(rns_mul(a, b))
+    return to_rns(product % q, a.basis)

@@ -1,0 +1,97 @@
+"""Residue number system (RNS) bases.
+
+The paper's introduction describes how FHE implementations sidestep large
+integer arithmetic by representing values in an RNS of machine-word-sized
+moduli, at the cost of modulus raising/reduction and more frequent
+bootstrapping; GRNS (the GPU baseline of Figure 2) takes the same approach.
+An :class:`RnsBasis` is a list of pairwise-coprime word-sized primes whose
+product is large enough to represent the target dynamic range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import ArithmeticDomainError
+from repro.ntheory.crt import check_pairwise_coprime
+from repro.ntheory.primes import is_prime
+
+__all__ = ["RnsBasis", "make_basis"]
+
+
+@dataclass(frozen=True)
+class RnsBasis:
+    """A residue number system basis.
+
+    Attributes:
+        moduli: pairwise-coprime moduli, each fitting in ``word_bits`` bits.
+        word_bits: the machine word width the channels are sized for.
+    """
+
+    moduli: tuple[int, ...]
+    word_bits: int
+
+    def __post_init__(self) -> None:
+        if not self.moduli:
+            raise ArithmeticDomainError("an RNS basis needs at least one modulus")
+        for modulus in self.moduli:
+            if modulus.bit_length() > self.word_bits:
+                raise ArithmeticDomainError(
+                    f"modulus {modulus} does not fit in a {self.word_bits}-bit word"
+                )
+        check_pairwise_coprime(self.moduli)
+
+    @property
+    def channel_count(self) -> int:
+        """Number of RNS channels (residues per value)."""
+        return len(self.moduli)
+
+    @property
+    def dynamic_range(self) -> int:
+        """Product of the moduli: the largest representable range."""
+        product = 1
+        for modulus in self.moduli:
+            product *= modulus
+        return product
+
+    @property
+    def range_bits(self) -> int:
+        """Bit-length of the dynamic range."""
+        return self.dynamic_range.bit_length()
+
+    def covers(self, bits: int) -> bool:
+        """Whether values of ``bits`` bits (and their products' residues) fit."""
+        return self.range_bits > bits
+
+
+@lru_cache(maxsize=None)
+def make_basis(target_bits: int, word_bits: int = 64, channel_bits: int | None = None) -> RnsBasis:
+    """Build an RNS basis covering ``target_bits`` bits of dynamic range.
+
+    Channels are primes just below ``2**channel_bits`` (default: 4 bits of
+    headroom below the word width, mirroring how RNS libraries keep lazy
+    reduction cheap), chosen descending from the largest such prime.
+    """
+    if target_bits < 1:
+        raise ArithmeticDomainError(f"target_bits must be positive, got {target_bits}")
+    if channel_bits is None:
+        channel_bits = word_bits - 4
+    if channel_bits < 4 or channel_bits > word_bits:
+        raise ArithmeticDomainError(
+            f"channel_bits must be in [4, {word_bits}], got {channel_bits}"
+        )
+    moduli: list[int] = []
+    accumulated_bits = 0
+    candidate = (1 << channel_bits) - 1
+    while accumulated_bits <= target_bits:
+        while candidate > 2 and not is_prime(candidate):
+            candidate -= 2
+        if candidate <= 2:
+            raise ArithmeticDomainError(
+                f"ran out of {channel_bits}-bit primes while building the basis"
+            )
+        moduli.append(candidate)
+        accumulated_bits += candidate.bit_length() - 1
+        candidate -= 2
+    return RnsBasis(tuple(moduli), word_bits)

@@ -1,0 +1,99 @@
+"""Tests for Barrett parameters and reduction (Section 3.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.barrett import BarrettParams, barrett_mulmod, barrett_reduce, max_modulus_bits
+from repro.errors import ArithmeticDomainError
+
+
+class TestParams:
+    def test_paper_configuration_64bit(self):
+        # MBITS = 60 for 64-bit words (Listing 1).
+        assert max_modulus_bits(64) == 60
+
+    def test_paper_configuration_128bit(self):
+        # MBITS = 124 for 128-bit operands (Listing 4).
+        assert max_modulus_bits(128) == 124
+
+    def test_mu_definition(self):
+        q = (1 << 60) - 93
+        params = BarrettParams.create(q, 64)
+        assert params.mu == (1 << (2 * 60 + 3)) // q
+        assert params.mu.bit_length() <= 64
+
+    def test_shift_amounts_match_listing1(self):
+        q = (1 << 60) - 93
+        params = BarrettParams.create(q, 64)
+        assert params.pre_shift == 58  # MBITS - 2
+        assert params.post_shift == 65  # MBITS + 5
+
+    def test_rejects_modulus_with_wrong_bit_length(self):
+        with pytest.raises(ArithmeticDomainError):
+            BarrettParams.create((1 << 59) - 1, 64)  # only 59 bits
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ArithmeticDomainError):
+            BarrettParams.create(2, 64)
+
+    def test_rejects_word_width_without_headroom(self):
+        with pytest.raises(ArithmeticDomainError):
+            max_modulus_bits(4)
+
+
+class TestReduce:
+    Q = (1 << 60) - 93
+    PARAMS = BarrettParams.create(Q, 64)
+
+    @settings(max_examples=300)
+    @given(
+        st.integers(min_value=0, max_value=Q - 1),
+        st.integers(min_value=0, max_value=Q - 1),
+    )
+    def test_reduce_matches_mod(self, a, b):
+        assert barrett_reduce(a * b, self.PARAMS) == (a * b) % self.Q
+
+    def test_reduce_zero(self):
+        assert barrett_reduce(0, self.PARAMS) == 0
+
+    def test_reduce_rejects_negative(self):
+        with pytest.raises(ArithmeticDomainError):
+            barrett_reduce(-1, self.PARAMS)
+
+    def test_reduce_rejects_product_of_unreduced_operands(self):
+        with pytest.raises(ArithmeticDomainError):
+            barrett_reduce(self.Q * self.Q, self.PARAMS)
+
+    @settings(max_examples=100)
+    @given(st.data())
+    def test_many_moduli_single_correction_property(self, data):
+        # The single-conditional-subtraction property must hold for any
+        # modulus with the top bit set (Section 5.2's k-4 bit moduli).
+        bits = data.draw(st.sampled_from([28, 60, 124, 252]))
+        q = data.draw(
+            st.integers(min_value=(1 << (bits - 1)) + 1, max_value=(1 << bits) - 1)
+        )
+        word_bits = bits + 4
+        params = BarrettParams.create(q, word_bits, bits)
+        a = data.draw(st.integers(min_value=0, max_value=q - 1))
+        b = data.draw(st.integers(min_value=0, max_value=q - 1))
+        assert barrett_mulmod(a, b, params) == (a * b) % q
+
+
+class TestMulmod:
+    def test_rejects_unreduced_operands(self):
+        q = (1 << 60) - 93
+        params = BarrettParams.create(q, 64)
+        with pytest.raises(ArithmeticDomainError):
+            barrett_mulmod(q, 1, params)
+
+    @pytest.mark.parametrize("bits", [60, 124, 252, 380, 508, 764, 1020])
+    def test_all_paper_bit_widths(self, bits):
+        # The evaluation uses moduli of k-4 bits for k in {64,128,256,384,...}.
+        q = (1 << bits) - 1
+        # Make sure the modulus is odd and has exactly `bits` bits.
+        while q % 2 == 0 or q.bit_length() != bits:
+            q -= 1
+        params = BarrettParams.create(q, bits + 4, bits)
+        a, b = q - 3, q // 2 + 1
+        assert barrett_mulmod(a, b, params) == (a * b) % q

@@ -1,0 +1,164 @@
+"""Tests for double-word modular arithmetic (Listings 2-4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith import doubleword as dw
+from repro.arith.barrett import BarrettParams
+from repro.arith.limbs import int_to_limbs, limbs_to_int
+from repro.errors import ArithmeticDomainError
+
+W = 64
+DOUBLE_MAX = (1 << (2 * W)) - 1
+# 124-bit modulus, the paper's MBITS = 124 configuration (Listing 4).
+Q124 = (1 << 124) - 159
+assert Q124.bit_length() == 124
+PARAMS124 = BarrettParams.create(Q124, 2 * W, 124)
+MU124 = PARAMS124.mu
+
+
+def to_double(value):
+    return int_to_limbs(value, W, 2)
+
+
+def to_quad(value):
+    return int_to_limbs(value, W, 4)
+
+
+def from_limbs(limbs):
+    return limbs_to_int(limbs, W)
+
+
+doubles = st.integers(min_value=0, max_value=DOUBLE_MAX)
+reduced = st.integers(min_value=0, max_value=Q124 - 1)
+
+
+class TestDadd:
+    @given(doubles, doubles)
+    def test_matches_integer_sum(self, a, b):
+        assert from_limbs(dw.dadd(to_double(a), to_double(b), W)) == a + b
+
+    def test_carry_into_third_limb(self):
+        result = dw.dadd(to_double(DOUBLE_MAX), to_double(1), W)
+        assert result == (0, 1, 0, 0)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ArithmeticDomainError):
+            dw.dadd((1, 2, 3), (0, 0), W)
+
+
+class TestDsub:
+    @given(doubles, doubles)
+    def test_wraps_like_c(self, a, b):
+        assert from_limbs(dw.dsub(to_double(a), to_double(b), W)) == (a - b) % (1 << 128)
+
+    def test_borrow_across_limbs(self):
+        assert from_limbs(dw.dsub(to_double(1 << 64), to_double(1), W)) == (1 << 64) - 1
+
+
+class TestComparisons:
+    @given(doubles, doubles)
+    def test_dlt_dle_deq(self, a, b):
+        assert dw.dlt(to_double(a), to_double(b), W) == int(a < b)
+        assert dw.dle(to_double(a), to_double(b), W) == int(a <= b)
+        assert dw.deq(to_double(a), to_double(b), W) == int(a == b)
+
+    def test_equal_high_limbs(self):
+        a, b = (5, 1), (5, 2)
+        assert dw.dlt(a, b, W) == 1
+        assert dw.dlt(b, a, W) == 0
+
+
+class TestDaddmod:
+    @given(reduced, reduced)
+    def test_matches_python_mod(self, a, b):
+        got = dw.daddmod(to_double(a), to_double(b), to_double(Q124), W)
+        assert from_limbs(got) == (a + b) % Q124
+
+    def test_canonical_at_wraparound(self):
+        got = dw.daddmod(to_double(1), to_double(Q124 - 1), to_double(Q124), W)
+        assert from_limbs(got) == 0
+
+    def test_rejects_unreduced(self):
+        with pytest.raises(ArithmeticDomainError):
+            dw.daddmod(to_double(Q124), to_double(0), to_double(Q124), W)
+
+
+class TestDsubmod:
+    @given(reduced, reduced)
+    def test_matches_python_mod(self, a, b):
+        got = dw.dsubmod(to_double(a), to_double(b), to_double(Q124), W)
+        assert from_limbs(got) == (a - b) % Q124
+
+
+class TestQuadOps:
+    quads = st.integers(min_value=0, max_value=(1 << 256) - 1)
+
+    @given(quads, quads)
+    def test_qadd_wraps(self, a, b):
+        assert from_limbs(dw.qadd(to_quad(a), to_quad(b), W)) == (a + b) % (1 << 256)
+
+    @given(quads, quads)
+    def test_qsub_wraps(self, a, b):
+        assert from_limbs(dw.qsub(to_quad(a), to_quad(b), W)) == (a - b) % (1 << 256)
+
+    @given(quads, st.integers(min_value=W, max_value=2 * W))
+    def test_qshr_keeps_low_double(self, a, amount):
+        got = from_limbs(dw.qshr(to_quad(a), amount, W))
+        assert got == (a >> amount) % (1 << 128)
+
+    def test_qshr_rejects_out_of_range_shift(self):
+        with pytest.raises(ArithmeticDomainError):
+            dw.qshr(to_quad(0), W - 1, W)
+        with pytest.raises(ArithmeticDomainError):
+            dw.qshr(to_quad(0), 2 * W + 1, W)
+
+
+class TestMultiplication:
+    @given(doubles, doubles)
+    def test_schoolbook_matches_product(self, a, b):
+        assert from_limbs(dw.dmuls(to_double(a), to_double(b), W)) == a * b
+
+    @given(doubles, doubles)
+    def test_karatsuba_matches_product(self, a, b):
+        assert from_limbs(dw.dmulk(to_double(a), to_double(b), W)) == a * b
+
+    def test_schoolbook_and_karatsuba_agree_on_extremes(self):
+        for a in (0, 1, DOUBLE_MAX, 1 << 64, (1 << 64) - 1):
+            for b in (0, 1, DOUBLE_MAX, 1 << 127):
+                assert dw.dmuls(to_double(a), to_double(b), W) == dw.dmulk(
+                    to_double(a), to_double(b), W
+                )
+
+
+class TestDmulmod:
+    @settings(max_examples=200)
+    @given(reduced, reduced)
+    def test_schoolbook_matches_python_mod(self, a, b):
+        got = dw.dmulmod(
+            to_double(a), to_double(b), to_double(Q124), to_double(MU124), W
+        )
+        assert from_limbs(got) == (a * b) % Q124
+
+    @settings(max_examples=200)
+    @given(reduced, reduced)
+    def test_karatsuba_matches_python_mod(self, a, b):
+        got = dw.dmulmod(
+            to_double(a), to_double(b), to_double(Q124), to_double(MU124), W,
+            use_karatsuba=True,
+        )
+        assert from_limbs(got) == (a * b) % Q124
+
+    def test_extremes(self):
+        got = dw.dmulmod(
+            to_double(Q124 - 1), to_double(Q124 - 1), to_double(Q124), to_double(MU124), W
+        )
+        assert from_limbs(got) == pow(Q124 - 1, 2, Q124)
+
+    def test_other_modulus(self):
+        q = (1 << 124) - 2143
+        assert q.bit_length() == 124
+        params = BarrettParams.create(q, 2 * W, 124)
+        a, b = q - 12345, q // 3
+        got = dw.dmulmod(to_double(a), to_double(b), to_double(q), to_double(params.mu), W)
+        assert from_limbs(got) == (a * b) % q

@@ -1,0 +1,63 @@
+"""Tests for the generic limb-level Karatsuba multiplication."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.karatsuba import karatsuba_mul_limbs, karatsuba_threshold_mul
+from repro.arith.limbs import int_to_limbs, limbs_to_int
+from repro.arith.multiword import mw_mul_schoolbook
+from repro.errors import ArithmeticDomainError
+
+W = 64
+
+
+class TestKaratsubaLimbs:
+    @settings(max_examples=100)
+    @given(st.data())
+    def test_matches_integer_product(self, data):
+        k = data.draw(st.integers(min_value=1, max_value=16))
+        bits = k * W
+        a = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        b = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        la, lb = int_to_limbs(a, W, k), int_to_limbs(b, W, k)
+        assert limbs_to_int(karatsuba_mul_limbs(la, lb, W), W) == a * b
+
+    @settings(max_examples=50)
+    @given(st.data())
+    def test_agrees_with_schoolbook(self, data):
+        k = data.draw(st.sampled_from([2, 4, 6, 12]))
+        bits = k * W
+        a = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        b = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        la, lb = int_to_limbs(a, W, k), int_to_limbs(b, W, k)
+        assert karatsuba_mul_limbs(la, lb, W) == mw_mul_schoolbook(la, lb, W)
+
+    def test_result_limb_count(self):
+        la = int_to_limbs((1 << 256) - 1, W, 4)
+        assert len(karatsuba_mul_limbs(la, la, W)) == 8
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ArithmeticDomainError):
+            karatsuba_mul_limbs((1,), (1, 2), W)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ArithmeticDomainError):
+            karatsuba_mul_limbs((), (), W)
+
+
+class TestThresholdVariant:
+    @settings(max_examples=50)
+    @given(st.data())
+    def test_threshold_matches_product(self, data):
+        k = data.draw(st.sampled_from([2, 4, 8, 12, 16]))
+        threshold = data.draw(st.integers(min_value=1, max_value=8))
+        bits = k * W
+        a = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        b = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        la, lb = int_to_limbs(a, W, k), int_to_limbs(b, W, k)
+        got = karatsuba_threshold_mul(la, lb, W, threshold_limbs=threshold)
+        assert limbs_to_int(got, W) == a * b
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ArithmeticDomainError):
+            karatsuba_threshold_mul((1,), (1,), W, threshold_limbs=0)

@@ -1,0 +1,105 @@
+"""Tests for integer <-> limb conversions (big-endian, Equation 14)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arith import limbs
+from repro.errors import ArithmeticDomainError
+
+W = 64
+
+
+class TestLimbCount:
+    @pytest.mark.parametrize(
+        "bits,width,expected",
+        [(64, 64, 1), (65, 64, 2), (128, 64, 2), (384, 64, 6), (768, 64, 12), (1, 64, 1)],
+    )
+    def test_counts(self, bits, width, expected):
+        assert limbs.limb_count(bits, width) == expected
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ArithmeticDomainError):
+            limbs.limb_count(0, 64)
+        with pytest.raises(ArithmeticDomainError):
+            limbs.limb_count(64, 0)
+
+
+class TestRoundTrip:
+    def test_paper_decimal_example(self):
+        # [8, 9]_10 = 89 from Section 2.2, transposed to base 2**4 for clarity.
+        assert limbs.limbs_to_int((8, 9), 4) == 8 * 16 + 9
+
+    def test_big_endian_order(self):
+        value = (0xAAAA << 64) | 0xBBBB
+        assert limbs.int_to_limbs(value, W, 2) == (0xAAAA, 0xBBBB)
+
+    @given(st.integers(min_value=0, max_value=(1 << 256) - 1))
+    def test_round_trip_256(self, value):
+        assert limbs.limbs_to_int(limbs.int_to_limbs(value, W, 4), W) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 384) - 1), st.sampled_from([32, 64]))
+    def test_round_trip_varied_width(self, value, width):
+        count = limbs.limb_count(384, width)
+        assert limbs.limbs_to_int(limbs.int_to_limbs(value, width, count), width) == value
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            limbs.int_to_limbs(1 << 128, W, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            limbs.int_to_limbs(-1, W, 2)
+
+    def test_empty_limbs_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            limbs.limbs_to_int((), W)
+
+    def test_oversized_limb_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            limbs.limbs_to_int((1 << 64, 0), W)
+
+
+class TestStructuralHelpers:
+    def test_pad_limbs_prepends_zeros(self):
+        # Equation 35/36: 753-bit value in 64-bit words padded to 16 words.
+        assert limbs.pad_limbs((1, 2, 3), 5) == (0, 0, 1, 2, 3)
+
+    def test_pad_limbs_rejects_shrink(self):
+        with pytest.raises(ArithmeticDomainError):
+            limbs.pad_limbs((1, 2, 3), 2)
+
+    def test_strip_leading_zeros(self):
+        assert limbs.strip_leading_zero_limbs((0, 0, 5, 0)) == (5, 0)
+
+    def test_strip_all_zeros_keeps_one(self):
+        assert limbs.strip_leading_zero_limbs((0, 0, 0)) == (0,)
+
+    def test_split_and_join(self):
+        hi, lo = limbs.split_limb((7 << 64) | 9, W)
+        assert (hi, lo) == (7, 9)
+        assert limbs.join_limbs(hi, lo, W) == (7 << 64) | 9
+
+    def test_split_rejects_oversized(self):
+        with pytest.raises(ArithmeticDomainError):
+            limbs.split_limb(1 << 128, W)
+
+    def test_normalize(self):
+        assert limbs.normalize_limbs((1 << 64, 5), W) == (0, 5)
+
+
+class TestComparisons:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 192) - 1),
+        st.integers(min_value=0, max_value=(1 << 192) - 1),
+    )
+    def test_limbs_lt_eq_match_integers(self, a, b):
+        la = limbs.int_to_limbs(a, W, 3)
+        lb = limbs.int_to_limbs(b, W, 3)
+        assert limbs.limbs_lt(la, lb) == int(a < b)
+        assert limbs.limbs_eq(la, lb) == int(a == b)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            limbs.limbs_lt((1,), (1, 2))
+        with pytest.raises(ArithmeticDomainError):
+            limbs.limbs_eq((1,), (1, 2))

@@ -1,0 +1,104 @@
+"""Tests for Montgomery multiplication (the full-bit-width modulus path)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.limbs import int_to_limbs, limbs_to_int
+from repro.arith.montgomery import MontgomeryParams, montgomery_mulmod_limbs
+from repro.errors import ArithmeticDomainError
+
+W = 64
+# Full 128-bit prime modulus: Montgomery supports the full word width,
+# unlike the Barrett path which needs 4 bits of headroom.
+Q128 = (1 << 128) - 159
+assert Q128.bit_length() == 128
+
+
+class TestParams:
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ArithmeticDomainError):
+            MontgomeryParams.create(1 << 64, W)
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ArithmeticDomainError):
+            MontgomeryParams.create(1, W)
+
+    def test_n_prime_property(self):
+        params = MontgomeryParams.create(Q128, W)
+        assert (params.n_prime * Q128) % (1 << W) == (1 << W) - 1  # -1 mod 2^64
+
+    def test_limb_count(self):
+        params = MontgomeryParams.create(Q128, W)
+        assert params.num_limbs == 2
+        assert params.r_bits == 128
+
+    def test_rejects_too_few_limbs(self):
+        with pytest.raises(ArithmeticDomainError):
+            MontgomeryParams.create(Q128, W, num_limbs=1)
+
+
+class TestConversion:
+    params = MontgomeryParams.create(Q128, W)
+
+    @given(st.integers(min_value=0, max_value=Q128 - 1))
+    def test_round_trip(self, value):
+        mont = self.params.to_montgomery(value)
+        assert self.params.from_montgomery(mont) == value
+
+    def test_rejects_unreduced(self):
+        with pytest.raises(ArithmeticDomainError):
+            self.params.to_montgomery(Q128)
+
+
+class TestWholeIntegerMulmod:
+    params = MontgomeryParams.create(Q128, W)
+
+    @settings(max_examples=200)
+    @given(
+        st.integers(min_value=0, max_value=Q128 - 1),
+        st.integers(min_value=0, max_value=Q128 - 1),
+    )
+    def test_matches_python_mod(self, a, b):
+        am = self.params.to_montgomery(a)
+        bm = self.params.to_montgomery(b)
+        got = self.params.from_montgomery(self.params.mulmod(am, bm))
+        assert got == (a * b) % Q128
+
+
+class TestCIOSLimbs:
+    @settings(max_examples=150)
+    @given(
+        st.integers(min_value=0, max_value=Q128 - 1),
+        st.integers(min_value=0, max_value=Q128 - 1),
+    )
+    def test_cios_matches_whole_integer(self, a, b):
+        params = MontgomeryParams.create(Q128, W)
+        am = params.to_montgomery(a)
+        bm = params.to_montgomery(b)
+        got_limbs = montgomery_mulmod_limbs(
+            int_to_limbs(am, W, params.num_limbs),
+            int_to_limbs(bm, W, params.num_limbs),
+            params,
+        )
+        got = params.from_montgomery(limbs_to_int(got_limbs, W))
+        assert got == (a * b) % Q128
+
+    @pytest.mark.parametrize("bits", [64, 128, 256, 384])
+    def test_various_widths(self, bits):
+        q = (1 << bits) - 1
+        while q % 2 == 0 or q.bit_length() != bits or q % 5 == 0:
+            q -= 2
+        params = MontgomeryParams.create(q, W)
+        a, b = q - 7, (q * 2) // 3
+        am, bm = params.to_montgomery(a), params.to_montgomery(b)
+        got_limbs = montgomery_mulmod_limbs(
+            int_to_limbs(am, W, params.num_limbs),
+            int_to_limbs(bm, W, params.num_limbs),
+            params,
+        )
+        assert params.from_montgomery(limbs_to_int(got_limbs, W)) == (a * b) % q
+
+    def test_rejects_wrong_limb_count(self):
+        params = MontgomeryParams.create(Q128, W)
+        with pytest.raises(ArithmeticDomainError):
+            montgomery_mulmod_limbs((1,), (2,), params)

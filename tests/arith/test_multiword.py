@@ -1,0 +1,239 @@
+"""Tests for the recursive MoMA context and the flat k-limb helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith.barrett import BarrettParams
+from repro.arith.limbs import int_to_limbs, limbs_to_int
+from repro.arith.multiword import (
+    MoMAContext,
+    mw_add,
+    mw_addmod,
+    mw_eq,
+    mw_lt,
+    mw_mul_schoolbook,
+    mw_mulmod_barrett,
+    mw_sub,
+    mw_submod,
+)
+from repro.errors import ArithmeticDomainError
+
+W = 64
+
+
+def make_modulus(bits):
+    """Return an odd modulus with exactly `bits` bits (top bit set)."""
+    q = (1 << bits) - 1
+    while q.bit_length() != bits or q % 2 == 0:
+        q -= 2
+    return q
+
+
+class TestContextConstruction:
+    def test_rejects_non_power_of_two_multiple(self):
+        with pytest.raises(ArithmeticDomainError):
+            MoMAContext(192, W)
+
+    def test_rejects_width_below_word(self):
+        with pytest.raises(ArithmeticDomainError):
+            MoMAContext(32, W)
+
+    def test_rejects_unknown_multiplication(self):
+        with pytest.raises(ArithmeticDomainError):
+            MoMAContext(128, W, multiplication="toom-cook")
+
+    @pytest.mark.parametrize("bits,words", [(64, 1), (128, 2), (256, 4), (512, 8), (1024, 16)])
+    def test_num_words(self, bits, words):
+        assert MoMAContext(bits, W).num_words == words
+
+    def test_recursion_depth_example_from_paper(self):
+        # Section 3.2: a 512-bit integer on 64-bit words needs 3 recursion steps.
+        ctx = MoMAContext(512, W)
+        depth = 0
+        node = ctx
+        while node._child is not None:
+            depth += 1
+            node = node._child
+        assert depth == 3
+
+
+class TestPrimitives:
+    @settings(max_examples=100)
+    @given(st.data())
+    def test_add_wide(self, data):
+        bits = data.draw(st.sampled_from([64, 128, 256, 512]))
+        ctx = MoMAContext(bits, W)
+        a = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        b = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        carry, value = ctx.add_wide(a, b)
+        assert carry * (1 << bits) + value == a + b
+
+    @settings(max_examples=100)
+    @given(st.data())
+    def test_sub_with_borrow(self, data):
+        bits = data.draw(st.sampled_from([64, 128, 256, 512]))
+        ctx = MoMAContext(bits, W)
+        a = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        b = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        borrow, value = ctx.sub_with_borrow(a, b, 0)
+        assert value - borrow * (1 << bits) == a - b
+
+    @settings(max_examples=100)
+    @given(st.data())
+    def test_comparisons(self, data):
+        bits = data.draw(st.sampled_from([128, 256]))
+        ctx = MoMAContext(bits, W)
+        a = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        b = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        assert ctx.lt(a, b) == int(a < b)
+        assert ctx.eq(a, b) == int(a == b)
+        assert ctx.eq(a, a) == 1
+
+    @settings(max_examples=100)
+    @given(st.data())
+    def test_mul_wide_schoolbook(self, data):
+        bits = data.draw(st.sampled_from([64, 128, 256, 512]))
+        ctx = MoMAContext(bits, W, multiplication="schoolbook")
+        a = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        b = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        hi, lo = ctx.mul_wide(a, b)
+        assert (hi << bits) + lo == a * b
+
+    @settings(max_examples=100)
+    @given(st.data())
+    def test_mul_wide_karatsuba(self, data):
+        bits = data.draw(st.sampled_from([128, 256, 512]))
+        ctx = MoMAContext(bits, W, multiplication="karatsuba")
+        a = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        b = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        hi, lo = ctx.mul_wide(a, b)
+        assert (hi << bits) + lo == a * b
+
+    def test_rejects_oversized_operand(self):
+        ctx = MoMAContext(128, W)
+        with pytest.raises(ArithmeticDomainError):
+            ctx.add_wide(1 << 128, 0)
+
+
+class TestModularOps:
+    @settings(max_examples=60)
+    @given(st.data())
+    def test_addmod_submod_mulmod(self, data):
+        bits = data.draw(st.sampled_from([128, 256, 512, 1024]))
+        q = make_modulus(bits - 4)
+        ctx = MoMAContext(bits, W)
+        a = data.draw(st.integers(min_value=0, max_value=q - 1))
+        b = data.draw(st.integers(min_value=0, max_value=q - 1))
+        assert ctx.addmod(a, b, q) == (a + b) % q
+        assert ctx.submod(a, b, q) == (a - b) % q
+        assert ctx.mulmod(a, b, q) == (a * b) % q
+
+    def test_mulmod_karatsuba_agrees(self):
+        bits = 256
+        q = make_modulus(bits - 4)
+        school = MoMAContext(bits, W, multiplication="schoolbook")
+        karat = MoMAContext(bits, W, multiplication="karatsuba")
+        a, b = q - 12345, q // 7
+        assert school.mulmod(a, b, q) == karat.mulmod(a, b, q) == (a * b) % q
+
+    def test_mulmod_accepts_precomputed_mu(self):
+        bits = 128
+        q = make_modulus(bits - 4)
+        params = BarrettParams.create(q, bits, bits - 4)
+        ctx = MoMAContext(bits, W)
+        assert ctx.mulmod(q - 1, q - 2, q, params.mu) == ((q - 1) * (q - 2)) % q
+
+    def test_mulmod_rejects_wrong_modulus_width(self):
+        ctx = MoMAContext(128, W)
+        with pytest.raises(ArithmeticDomainError):
+            ctx.mulmod(1, 2, (1 << 100) - 1)
+
+    def test_rejects_unreduced_operands(self):
+        bits = 128
+        q = make_modulus(bits - 4)
+        ctx = MoMAContext(bits, W)
+        with pytest.raises(ArithmeticDomainError):
+            ctx.addmod(q, 0, q)
+
+
+class TestOperationCounting:
+    def test_counts_machine_word_multiplications(self):
+        q = make_modulus(124)
+        school = MoMAContext(128, W, multiplication="schoolbook", count_ops=True)
+        karat = MoMAContext(128, W, multiplication="karatsuba", count_ops=True)
+        school.mulmod(q - 1, q - 3, q)
+        karat.mulmod(q - 1, q - 3, q)
+        # Karatsuba trades multiplications for additions (Section 5.4).
+        assert karat.op_counts["mul"] < school.op_counts["mul"]
+        assert karat.op_counts["add"] + karat.op_counts["sub"] >= school.op_counts[
+            "add"
+        ] + school.op_counts["sub"]
+
+    def test_reset(self):
+        ctx = MoMAContext(128, W, count_ops=True)
+        ctx.add_wide(1, 2)
+        assert sum(ctx.op_counts.values()) > 0
+        ctx.reset_op_counts()
+        assert sum(ctx.op_counts.values()) == 0
+
+    def test_deeper_recursion_costs_more(self):
+        q256 = make_modulus(252)
+        q512 = make_modulus(508)
+        ctx256 = MoMAContext(256, W, count_ops=True)
+        ctx512 = MoMAContext(512, W, count_ops=True)
+        ctx256.mulmod(q256 - 1, q256 - 2, q256)
+        ctx512.mulmod(q512 - 1, q512 - 2, q512)
+        assert sum(ctx512.op_counts.values()) > sum(ctx256.op_counts.values())
+
+
+class TestFlatLimbHelpers:
+    @settings(max_examples=100)
+    @given(st.data())
+    def test_mw_add_sub(self, data):
+        k = data.draw(st.integers(min_value=1, max_value=8))
+        bits = k * W
+        a = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        b = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        la, lb = int_to_limbs(a, W, k), int_to_limbs(b, W, k)
+        assert limbs_to_int(mw_add(la, lb, W), W) == a + b
+        borrow, diff = mw_sub(la, lb, W)
+        assert limbs_to_int(diff, W) - borrow * (1 << bits) == a - b
+
+    @settings(max_examples=100)
+    @given(st.data())
+    def test_mw_mul_schoolbook(self, data):
+        k = data.draw(st.integers(min_value=1, max_value=6))
+        bits = k * W
+        a = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        b = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        la, lb = int_to_limbs(a, W, k), int_to_limbs(b, W, k)
+        assert limbs_to_int(mw_mul_schoolbook(la, lb, W), W) == a * b
+
+    @settings(max_examples=60)
+    @given(st.data())
+    def test_mw_modular_helpers(self, data):
+        k = data.draw(st.sampled_from([2, 4, 6]))
+        bits = k * W
+        q = make_modulus(bits - 4)
+        lq = int_to_limbs(q, W, k)
+        a = data.draw(st.integers(min_value=0, max_value=q - 1))
+        b = data.draw(st.integers(min_value=0, max_value=q - 1))
+        la, lb = int_to_limbs(a, W, k), int_to_limbs(b, W, k)
+        assert limbs_to_int(mw_addmod(la, lb, lq, W), W) == (a + b) % q
+        assert limbs_to_int(mw_submod(la, lb, lq, W), W) == (a - b) % q
+        params = BarrettParams.create(q, bits, bits - 4)
+        assert limbs_to_int(mw_mulmod_barrett(la, lb, params, W), W) == (a * b) % q
+
+    def test_mw_comparisons(self):
+        assert mw_lt((0, 5), (0, 6)) == 1
+        assert mw_lt((1, 0), (0, 6)) == 0
+        assert mw_eq((1, 2), (1, 2)) == 1
+        assert mw_eq((1, 2), (2, 1)) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            mw_add((1,), (1, 2), W)
+        with pytest.raises(ArithmeticDomainError):
+            mw_mulmod_barrett(
+                (1,), (1,), BarrettParams.create(make_modulus(124), 128, 124), W
+            )

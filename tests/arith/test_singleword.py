@@ -1,0 +1,99 @@
+"""Tests for single-word modular arithmetic (Listing 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arith import singleword as sw
+from repro.arith.barrett import BarrettParams
+from repro.errors import ArithmeticDomainError
+
+W = 64
+# A 60-bit prime, matching the paper's MBITS = 60 configuration for 64-bit words.
+Q60 = (1 << 60) - 93
+assert Q60.bit_length() == 60
+
+PARAMS60 = BarrettParams.create(Q60, W, 60)
+
+reduced = st.integers(min_value=0, max_value=Q60 - 1)
+words = st.integers(min_value=0, max_value=(1 << W) - 1)
+
+
+class TestSadd:
+    @given(words, words)
+    def test_matches_integer_sum(self, a, b):
+        hi, lo = sw.sadd(a, b, W)
+        assert (hi << W) + lo == a + b
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ArithmeticDomainError):
+            sw.sadd(1 << W, 0, W)
+
+
+class TestSaddmod:
+    @given(reduced, reduced)
+    def test_matches_python_mod(self, a, b):
+        assert sw.saddmod(a, b, Q60, W) == (a + b) % Q60
+
+    def test_result_is_canonical_at_wraparound(self):
+        # a + b == q must give exactly 0 (the listing's `>` would give q).
+        assert sw.saddmod(1, Q60 - 1, Q60, W) == 0
+
+    def test_rejects_unreduced_operand(self):
+        with pytest.raises(ArithmeticDomainError):
+            sw.saddmod(Q60, 0, Q60, W)
+
+    def test_rejects_zero_modulus(self):
+        with pytest.raises(ArithmeticDomainError):
+            sw.saddmod(0, 0, 0, W)
+
+
+class TestSsub:
+    @given(words, words)
+    def test_wraps_like_c(self, a, b):
+        assert sw.ssub(a, b, W) == (a - b) % (1 << W)
+
+
+class TestSsubmod:
+    @given(reduced, reduced)
+    def test_matches_python_mod(self, a, b):
+        assert sw.ssubmod(a, b, Q60, W) == (a - b) % Q60
+
+    def test_zero_difference(self):
+        assert sw.ssubmod(5, 5, Q60, W) == 0
+
+    def test_borrow_case(self):
+        assert sw.ssubmod(0, 1, Q60, W) == Q60 - 1
+
+
+class TestSmul:
+    @given(words, words)
+    def test_matches_integer_product(self, a, b):
+        hi, lo = sw.smul(a, b, W)
+        assert (hi << W) + lo == a * b
+
+
+class TestSmulmod:
+    @settings(max_examples=300)
+    @given(reduced, reduced)
+    def test_matches_python_mod(self, a, b):
+        assert sw.smulmod(a, b, PARAMS60) == (a * b) % Q60
+
+    def test_extremes(self):
+        assert sw.smulmod(Q60 - 1, Q60 - 1, PARAMS60) == ((Q60 - 1) * (Q60 - 1)) % Q60
+        assert sw.smulmod(0, Q60 - 1, PARAMS60) == 0
+        assert sw.smulmod(1, Q60 - 1, PARAMS60) == Q60 - 1
+
+    def test_rejects_unreduced(self):
+        with pytest.raises(ArithmeticDomainError):
+            sw.smulmod(Q60, 1, PARAMS60)
+
+    @given(st.integers(min_value=3, max_value=200))
+    def test_many_small_word_widths(self, seed):
+        # Exercise the same code path on an abstract 16-bit "word" with a
+        # 12-bit modulus, checking every operand pair near the extremes.
+        q = 0xFFF1 >> 4  # 12-bit value 0xFFF
+        q = 0xFFF
+        params = BarrettParams.create(q, 16, 12)
+        a = seed % q
+        b = (seed * 7919) % q
+        assert sw.smulmod(a, b, params) == (a * b) % q

@@ -1,0 +1,138 @@
+"""Unit and property tests for the machine-word primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arith import word
+from repro.errors import ArithmeticDomainError
+
+WORD_BITS = 64
+WORD_MAX = (1 << WORD_BITS) - 1
+
+words = st.integers(min_value=0, max_value=WORD_MAX)
+
+
+class TestMask:
+    def test_mask_64(self):
+        assert word.mask(64) == 0xFFFFFFFFFFFFFFFF
+
+    def test_mask_1(self):
+        assert word.mask(1) == 1
+
+    def test_mask_rejects_non_positive(self):
+        with pytest.raises(ArithmeticDomainError):
+            word.mask(0)
+
+
+class TestCheckWord:
+    def test_accepts_in_range(self):
+        assert word.check_word(WORD_MAX, WORD_BITS) == WORD_MAX
+
+    def test_rejects_negative(self):
+        with pytest.raises(ArithmeticDomainError):
+            word.check_word(-1, WORD_BITS)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ArithmeticDomainError):
+            word.check_word(1 << WORD_BITS, WORD_BITS)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ArithmeticDomainError):
+            word.check_word(1.5, WORD_BITS)
+
+
+class TestAddition:
+    def test_add_wide_no_carry(self):
+        assert word.add_wide(1, 2, WORD_BITS) == (0, 3)
+
+    def test_add_wide_carry(self):
+        assert word.add_wide(WORD_MAX, 1, WORD_BITS) == (1, 0)
+
+    def test_add_with_carry_chains(self):
+        assert word.add_with_carry(WORD_MAX, WORD_MAX, 1, WORD_BITS) == (1, WORD_MAX)
+
+    @given(words, words)
+    def test_add_wide_reconstructs(self, a, b):
+        carry, lo = word.add_wide(a, b, WORD_BITS)
+        assert carry * (1 << WORD_BITS) + lo == a + b
+        assert carry in (0, 1)
+
+
+class TestSubtraction:
+    def test_sub_no_borrow(self):
+        assert word.sub_with_borrow(5, 3, 0, WORD_BITS) == (0, 2)
+
+    def test_sub_borrow(self):
+        borrow, diff = word.sub_with_borrow(3, 5, 0, WORD_BITS)
+        assert borrow == 1
+        assert diff == (3 - 5) % (1 << WORD_BITS)
+
+    @given(words, words, st.integers(min_value=0, max_value=1))
+    def test_sub_with_borrow_reconstructs(self, a, b, borrow_in):
+        borrow, diff = word.sub_with_borrow(a, b, borrow_in, WORD_BITS)
+        assert diff - borrow * (1 << WORD_BITS) == a - b - borrow_in
+
+
+class TestMultiplication:
+    def test_mul_wide_small(self):
+        assert word.mul_wide(3, 4, WORD_BITS) == (0, 12)
+
+    def test_mul_wide_max(self):
+        hi, lo = word.mul_wide(WORD_MAX, WORD_MAX, WORD_BITS)
+        assert (hi << WORD_BITS) | lo == WORD_MAX * WORD_MAX
+
+    @given(words, words)
+    def test_mul_wide_reconstructs(self, a, b):
+        hi, lo = word.mul_wide(a, b, WORD_BITS)
+        assert (hi << WORD_BITS) + lo == a * b
+
+    @given(words, words)
+    def test_mul_lo_hi_consistent(self, a, b):
+        assert word.mul_lo(a, b, WORD_BITS) == (a * b) & WORD_MAX
+        assert word.mul_hi(a, b, WORD_BITS) == (a * b) >> WORD_BITS
+
+
+class TestShifts:
+    def test_shr_basic(self):
+        assert word.shr(0b1000, 3, WORD_BITS) == 1
+
+    def test_shl_discards_high_bits(self):
+        assert word.shl(WORD_MAX, 1, WORD_BITS) == WORD_MAX - 1
+
+    def test_shift_by_width_is_zero(self):
+        assert word.shr(123, WORD_BITS, WORD_BITS) == 0
+        assert word.shl(123, WORD_BITS, WORD_BITS) == 0
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            word.shr(1, -1, WORD_BITS)
+        with pytest.raises(ArithmeticDomainError):
+            word.shl(1, -1, WORD_BITS)
+
+    @given(words, st.integers(min_value=0, max_value=63))
+    def test_shr_matches_python(self, a, k):
+        assert word.shr(a, k, WORD_BITS) == a >> k
+
+
+class TestComparisonsAndSelect:
+    @given(words, words)
+    def test_lt_le_eq(self, a, b):
+        assert word.lt(a, b) == int(a < b)
+        assert word.le(a, b) == int(a <= b)
+        assert word.eq(a, b) == int(a == b)
+
+    def test_select(self):
+        assert word.select(1, 10, 20) == 10
+        assert word.select(0, 10, 20) == 20
+
+
+class TestBitwise:
+    @given(words, words)
+    def test_bitwise_match_python(self, a, b):
+        assert word.bit_or(a, b, WORD_BITS) == a | b
+        assert word.bit_and(a, b, WORD_BITS) == a & b
+        assert word.bit_xor(a, b, WORD_BITS) == a ^ b
+
+    @given(words)
+    def test_not_is_involution(self, a):
+        assert word.bit_not(word.bit_not(a, WORD_BITS), WORD_BITS) == a

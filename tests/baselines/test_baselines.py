@@ -1,0 +1,124 @@
+"""Tests for the GMP-like, GRNS-like and published-system baselines."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    BigIntBaseline,
+    GrnsBaseline,
+    baseline_runtime_ns,
+    blas_baselines,
+    gmp_cost_model_ns,
+    ntt_baselines,
+)
+from repro.errors import ArithmeticDomainError, EvaluationError
+from repro.ntheory import find_ntt_prime
+from repro.ntt import make_plan, ntt_forward
+from repro.poly import PythonBlasEngine
+
+Q = find_ntt_prime(124, 256)
+
+
+class TestBigIntBaseline:
+    def test_matches_python_engine(self):
+        baseline = BigIntBaseline()
+        engine = PythonBlasEngine()
+        rng = random.Random(0)
+        x = [rng.randrange(Q) for _ in range(32)]
+        y = [rng.randrange(Q) for _ in range(32)]
+        scale = rng.randrange(Q)
+        assert baseline.vadd(x, y, Q) == engine.vadd(x, y, Q)
+        assert baseline.vsub(x, y, Q) == engine.vsub(x, y, Q)
+        assert baseline.vmul(x, y, Q) == engine.vmul(x, y, Q)
+        assert baseline.axpy(scale, x, y, Q) == engine.axpy(scale, x, y, Q)
+
+    def test_ntt_round_trip(self):
+        baseline = BigIntBaseline()
+        plan = make_plan(64, 60)
+        rng = random.Random(1)
+        values = [rng.randrange(plan.modulus) for _ in range(64)]
+        assert baseline.intt(baseline.ntt(values, plan), plan) == values
+
+    def test_validation(self):
+        with pytest.raises(ArithmeticDomainError):
+            BigIntBaseline().vadd([1], [1, 2], Q)
+        with pytest.raises(ArithmeticDomainError):
+            BigIntBaseline().vadd([1], [1], 2)
+
+    def test_gmp_cost_model_shapes(self):
+        # Addition cost grows slowly with width; multiplication much faster,
+        # but sub-quadratically past the crossover.
+        assert gmp_cost_model_ns("vadd", 1024) < 3 * gmp_cost_model_ns("vadd", 128)
+        assert gmp_cost_model_ns("vmul", 512) > gmp_cost_model_ns("vmul", 128)
+        quad_ratio = gmp_cost_model_ns("vmul", 1024) / gmp_cost_model_ns("vmul", 512)
+        assert quad_ratio < 4  # sub-quadratic growth past the FFT crossover
+        with pytest.raises(ArithmeticDomainError):
+            gmp_cost_model_ns("dot", 128)
+
+
+class TestGrnsBaseline:
+    def test_matches_reference_arithmetic(self):
+        baseline = GrnsBaseline(124)
+        rng = random.Random(2)
+        x = [rng.randrange(Q) for _ in range(16)]
+        y = [rng.randrange(Q) for _ in range(16)]
+        scale = rng.randrange(Q)
+        assert baseline.vadd(x, y, Q) == [(a + b) % Q for a, b in zip(x, y)]
+        assert baseline.vsub(x, y, Q) == [(a - b) % Q for a, b in zip(x, y)]
+        assert baseline.vmul(x, y, Q) == [(a * b) % Q for a, b in zip(x, y)]
+        assert baseline.axpy(scale, x, y, Q) == [(scale * a + b) % Q for a, b in zip(x, y)]
+
+    def test_channel_count_grows_with_width(self):
+        assert GrnsBaseline(1020).channel_count > GrnsBaseline(124).channel_count
+
+    def test_validation(self):
+        baseline = GrnsBaseline(124)
+        with pytest.raises(ArithmeticDomainError):
+            baseline.vadd([Q], [0], Q)
+        with pytest.raises(ArithmeticDomainError):
+            baseline.axpy(Q, [0], [0], Q)
+        with pytest.raises(ArithmeticDomainError):
+            GrnsBaseline(4)
+
+
+class TestPublishedAnchors:
+    def test_ntt_anchor_coverage(self):
+        assert {a.name for a in ntt_baselines(256)} == {"ICICLE", "GZKP", "PipeZK", "FPMM"}
+        assert {a.name for a in ntt_baselines(128)} >= {"RPU", "FPMM"}
+        assert {a.name for a in ntt_baselines(768)} >= {"PipeZK", "GZKP", "Libsnark"}
+        with pytest.raises(EvaluationError):
+            ntt_baselines(512)
+
+    def test_factors_encode_paper_statements(self):
+        by_name = {a.name: a for a in ntt_baselines(256)}
+        assert by_name["ICICLE"].factor_at(1 << 16) == pytest.approx(13.0)
+        # GZKP crossover: slower than MoMA at small sizes, faster at large.
+        assert by_name["GZKP"].factor_at(1 << 10) > 1.0
+        assert by_name["GZKP"].factor_at(1 << 20) < 1.0
+        # 384-bit: FPMM is 1.7x faster than MoMA.
+        fpmm_384 = {a.name: a for a in ntt_baselines(384)}["FPMM"]
+        assert fpmm_384.factor_at(1 << 16) < 1.0
+
+    def test_blas_anchor_magnitudes(self):
+        gmp_add = {a.name: a for a in blas_baselines("vadd", 1024)}["GMP"]
+        assert gmp_add.factor_at(1) >= 527.0
+        grns_add = {a.name: a for a in blas_baselines("vadd", 512)}["GRNS"]
+        assert grns_add.factor_at(1) >= 31.0
+        gmp_mul = {a.name: a for a in blas_baselines("vmul", 1024)}["GMP"]
+        assert gmp_mul.factor_at(1) >= 10.0
+        with pytest.raises(EvaluationError):
+            blas_baselines("vadd", 384)
+        with pytest.raises(EvaluationError):
+            blas_baselines("dot", 128)
+
+    def test_baseline_runtime_requires_reference_device(self):
+        anchor = ntt_baselines(256)[0]
+        assert baseline_runtime_ns(anchor, {"h100": 1.0, "v100": 2.0}, 1 << 16) > 0
+        with pytest.raises(EvaluationError):
+            baseline_runtime_ns(anchor, {"rtx4090": 1.0}, 1 << 16)
+
+    def test_every_anchor_documents_its_source(self):
+        for bits in (128, 256, 384, 768):
+            for anchor in ntt_baselines(bits):
+                assert anchor.source

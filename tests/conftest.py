@@ -1,0 +1,16 @@
+"""Test-suite wide configuration.
+
+Property-based tests exercise the full rewrite/codegen pipeline, whose first
+invocation for a given width can take tens of milliseconds (legalization plus
+optimization); Hypothesis' default per-example deadline is disabled so those
+warm-up examples are not reported as flaky.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,189 @@
+"""Tests for the kernel builder, validation, interpreter and printer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ir.builder import KernelBuilder
+from repro.core.ir.interp import interpret
+from repro.core.ir.kernel import Kernel
+from repro.core.ir.ops import OpKind, Statement
+from repro.core.ir.printer import format_kernel, format_signature
+from repro.core.ir.types import IntType, u64
+from repro.core.ir.values import Const, Group, Var
+from repro.errors import IRError
+
+
+def build_addmod_kernel(bits=128):
+    builder = KernelBuilder("addmod_test")
+    x = builder.param("x", bits)
+    y = builder.param("y", bits)
+    q = builder.param("q", bits)
+    builder.output("z", builder.addmod(x, y, q))
+    return builder.build()
+
+
+class TestBuilder:
+    def test_builds_valid_kernel(self):
+        kernel = build_addmod_kernel()
+        assert kernel.name == "addmod_test"
+        assert [p.name for p in kernel.params] == ["x", "y", "q"]
+        assert [o.name for o in kernel.outputs] == ["z"]
+        assert kernel.statement_count() == 2  # addmod + output mov
+
+    def test_metadata(self):
+        builder = KernelBuilder("k")
+        builder.param("x", 64)
+        builder.output("z", builder.mov(builder.constant(1, 64)))
+        builder.metadata(family="demo", bits=64)
+        kernel = builder.build()
+        assert kernel.metadata["family"] == "demo"
+
+    def test_compare_rejects_non_comparison_op(self):
+        builder = KernelBuilder("k")
+        x = builder.param("x", 64)
+        with pytest.raises(IRError):
+            builder.compare(OpKind.ADD, x, x)
+
+    def test_full_op_surface(self):
+        builder = KernelBuilder("ops")
+        x = builder.param("x", 64)
+        y = builder.param("y", 64)
+        q = builder.param("q", 64)
+        total = builder.add(x, y)
+        diff = builder.sub(x, y)
+        product = builder.mul(x, y)
+        flag = builder.compare(OpKind.LT, x, y)
+        picked = builder.select(flag, x, y)
+        shifted = builder.shr(product, 64, 64)
+        shifted_left = builder.shl(x, 3, 64)
+        reduced = builder.reduce(builder.add(x, builder.constant(0, 64), result_bits=65), q)
+        builder.output("a", total)
+        builder.output("b", diff)
+        builder.output("c", picked)
+        builder.output("d", shifted)
+        builder.output("e", shifted_left)
+        builder.output("f", reduced)
+        kernel = builder.build()
+        assert kernel.statement_count() > 8
+
+
+class TestKernelValidation:
+    def test_use_before_definition_rejected(self):
+        ghost = Var("ghost", u64)
+        statement = Statement(OpKind.MOV, Group((Var("out", u64),)), (Group((ghost,)),))
+        kernel = Kernel("bad", [], [Var("out", u64)], [statement])
+        with pytest.raises(IRError):
+            kernel.validate()
+
+    def test_redefinition_rejected(self):
+        x = Var("x", u64)
+        out = Var("out", u64)
+        mov = Statement(OpKind.MOV, Group((out,)), (Group((x,)),))
+        kernel = Kernel("bad", [x], [out], [mov, mov])
+        with pytest.raises(IRError):
+            kernel.validate()
+
+    def test_undefined_output_rejected(self):
+        x = Var("x", u64)
+        kernel = Kernel("bad", [x], [Var("missing", u64)], [])
+        with pytest.raises(IRError):
+            kernel.validate()
+
+    def test_type_mismatch_rejected(self):
+        x = Var("x", u64)
+        wrong = Var("x", IntType(32))
+        out = Var("out", IntType(32))
+        statement = Statement(OpKind.MOV, Group((out,)), (Group((wrong,)),))
+        kernel = Kernel("bad", [x], [out], [statement])
+        with pytest.raises(IRError):
+            kernel.validate()
+
+    def test_statement_arity_checked(self):
+        x = Var("x", u64)
+        with pytest.raises(IRError):
+            Statement(OpKind.ADD, Group((Var("d", u64),)), (Group((x,)),))
+
+    def test_shift_requires_amount(self):
+        x = Var("x", u64)
+        with pytest.raises(IRError):
+            Statement(OpKind.SHR, Group((Var("d", u64),)), (Group((x,)),))
+
+
+class TestInterpreter:
+    @settings(max_examples=100)
+    @given(st.data())
+    def test_addmod_matches_reference(self, data):
+        kernel = build_addmod_kernel(128)
+        q = data.draw(st.integers(min_value=3, max_value=(1 << 124) - 1))
+        a = data.draw(st.integers(min_value=0, max_value=q - 1))
+        b = data.draw(st.integers(min_value=0, max_value=q - 1))
+        assert interpret(kernel, {"x": a, "y": b, "q": q})["z"] == (a + b) % q
+
+    def test_missing_parameter_rejected(self):
+        kernel = build_addmod_kernel()
+        with pytest.raises(IRError):
+            interpret(kernel, {"x": 1, "y": 2})
+
+    def test_unknown_parameter_rejected(self):
+        kernel = build_addmod_kernel()
+        with pytest.raises(IRError):
+            interpret(kernel, {"x": 1, "y": 2, "q": 5, "bogus": 1})
+
+    def test_unreduced_modular_operand_rejected(self):
+        kernel = build_addmod_kernel()
+        with pytest.raises(IRError):
+            interpret(kernel, {"x": 10, "y": 0, "q": 5})
+
+    def test_effective_bits_enforced(self):
+        builder = KernelBuilder("k")
+        x = builder.param("x", 128, effective_bits=100)
+        builder.output("z", builder.mov(x))
+        kernel = builder.build()
+        with pytest.raises(IRError):
+            interpret(kernel, {"x": 1 << 120})
+        assert interpret(kernel, {"x": 1 << 99})["z"] == 1 << 99
+
+    def test_add_overflow_detected(self):
+        builder = KernelBuilder("k")
+        x = builder.param("x", 64)
+        builder.output("z", builder.add(x, x, result_bits=64))
+        kernel = builder.build()
+        with pytest.raises(IRError):
+            interpret(kernel, {"x": 2**63})
+
+    def test_sub_wraps(self):
+        builder = KernelBuilder("k")
+        x = builder.param("x", 64)
+        y = builder.param("y", 64)
+        builder.output("z", builder.sub(x, y))
+        kernel = builder.build()
+        assert interpret(kernel, {"x": 0, "y": 1})["z"] == 2**64 - 1
+
+    def test_reduce_precondition(self):
+        builder = KernelBuilder("k")
+        x = builder.param("x", 64)
+        q = builder.param("q", 64)
+        builder.output("z", builder.reduce(x, q))
+        kernel = builder.build()
+        assert interpret(kernel, {"x": 7, "q": 5})["z"] == 2
+        with pytest.raises(IRError):
+            interpret(kernel, {"x": 11, "q": 5})
+
+
+class TestPrinter:
+    def test_signature_and_body(self):
+        kernel = build_addmod_kernel(256)
+        signature = format_signature(kernel)
+        assert "addmod_test" in signature
+        assert "x: u256" in signature
+        text = format_kernel(kernel)
+        assert text.startswith("kernel ")
+        assert "addmod(" in text
+        assert text.rstrip().endswith("}")
+
+    def test_effective_bits_annotation(self):
+        builder = KernelBuilder("k")
+        builder.param("x", 512, effective_bits=384)
+        builder.output("z", builder.mov(builder.constant(0, 64)))
+        text = format_signature(builder.build())
+        assert "effective 384" in text

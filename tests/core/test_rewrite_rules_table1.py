@@ -1,0 +1,280 @@
+"""Table 1 rule-by-rule verification.
+
+Each test constructs the smallest statement a given rewrite rule applies to
+(a double-word operation over an abstract single word of 64 bits), legalizes
+it, and checks both semantic equivalence against the interpreter on the
+original statement and the structural properties the paper states (number of
+single-word multiplications, carry-chain shape, and so on).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ir.builder import KernelBuilder
+from repro.core.ir.interp import interpret
+from repro.core.ir.ops import OpKind
+from repro.core.rewrite.legalize import is_machine_legal, kernel_is_machine_legal, legalize
+from repro.core.rewrite.options import RewriteOptions
+from repro.core.rewrite.splitting import SplitContext, group_columns
+from repro.core.ir.values import Const, Group, NameGenerator, Var
+from repro.core.ir.types import IntType
+from repro.core.codegen.python_exec import compile_kernel
+from repro.errors import RewriteError
+
+WORD = 64
+DOUBLE = 128
+double_values = st.integers(min_value=0, max_value=(1 << DOUBLE) - 1)
+
+
+def legalized_and_compiled(kernel, **options):
+    legalized = legalize(kernel, RewriteOptions(word_bits=WORD, **options))
+    assert kernel_is_machine_legal(legalized, WORD)
+    return legalized, compile_kernel(legalized)
+
+
+def op_histogram(kernel):
+    counts = {}
+    for statement in kernel.body:
+        counts[statement.op] = counts.get(statement.op, 0) + 1
+    return counts
+
+
+class TestRule19Splitting:
+    """Rule (19): a^{2w} -> [a0^w, a1^w], plus rules (20)/(21) on values."""
+
+    def test_split_var_halves(self):
+        context = SplitContext(WORD, NameGenerator())
+        wide = Var("a", IntType(DOUBLE))
+        high, low = context.split_var(wide)
+        assert high.bits == WORD and low.bits == WORD
+        assert context.split_var(wide) == (high, low)  # stable across uses
+
+    def test_split_const_floor_div_and_mod(self):
+        # Rules (20)/(21): the halves are floor(value / 2^w) and value mod 2^w.
+        context = SplitContext(WORD, NameGenerator())
+        value = (7 << WORD) | 9
+        high, low = context.split_const(Const(value, IntType(DOUBLE)))
+        assert high.value == value >> WORD == 7
+        assert low.value == value % (1 << WORD) == 9
+
+    def test_effective_bits_prune_high_half_to_zero(self):
+        # Equation 35: known-zero high words become constants.
+        context = SplitContext(WORD, NameGenerator())
+        padded = Var("x", IntType(DOUBLE), effective_bits=60)
+        high, low = context.split_var(padded)
+        assert isinstance(high, Const) and high.value == 0
+        assert isinstance(low, Var)
+
+    def test_odd_width_rejected(self):
+        context = SplitContext(WORD, NameGenerator())
+        with pytest.raises(RewriteError):
+            context.split_var(Var("a", IntType(65)))
+
+    def test_group_columns_alignment_enforced(self):
+        misaligned = Group((Var("a", IntType(64)), Var("flag", IntType(1))))
+        with pytest.raises(RewriteError):
+            group_columns(misaligned, 64)
+
+
+class TestRules22And23Addition:
+    """Rules (22)/(23): double-word addition becomes a two-step carry chain."""
+
+    def _kernel(self):
+        builder = KernelBuilder("rule22")
+        a = builder.param("a", DOUBLE)
+        b = builder.param("b", DOUBLE)
+        # The sum of two double words needs 2w+1 bits; a quad-word destination
+        # keeps widths power-of-two for the splitter (its top limbs fold away).
+        builder.output("c", builder.add(a, b, result_bits=2 * DOUBLE))
+        return builder.build()
+
+    @settings(max_examples=100)
+    @given(double_values, double_values)
+    def test_semantics(self, a, b):
+        kernel = self._kernel()
+        legalized, compiled = legalized_and_compiled(kernel)
+        assert compiled(a=a, b=b)["c"] == a + b
+
+    def test_two_word_adds_with_carry_chain(self):
+        legalized, _ = legalized_and_compiled(self._kernel())
+        adds = [s for s in legalized.body if s.op is OpKind.ADD]
+        assert len(adds) == 2
+        # The low-limb addition produces a carry consumed by the high-limb one.
+        low, high = adds
+        carry = low.dests.parts[0]
+        assert carry.bits == 1
+        assert any(carry.name == part.name for group in high.operands for part in group.variables())
+
+
+class TestRule29QuadAddition:
+    """Rule (29): quad-word addition is a four-step carry chain."""
+
+    def test_carry_chain_length(self):
+        builder = KernelBuilder("rule29")
+        a = builder.param("a", 256)
+        b = builder.param("b", 256)
+        builder.output("c", builder.add(a, b, result_bits=512))
+        legalized, compiled = legalized_and_compiled(builder.build())
+        adds = [s for s in legalized.body if s.op is OpKind.ADD]
+        assert len(adds) == 4
+        a_value = (1 << 256) - 1
+        assert compiled(a=a_value, b=a_value)["c"] == 2 * a_value
+
+
+class TestRule25Subtraction:
+    """Rule (25): subtraction uses a borrow computed by a limb comparison."""
+
+    def _kernel(self):
+        builder = KernelBuilder("rule25")
+        a = builder.param("a", DOUBLE)
+        b = builder.param("b", DOUBLE)
+        builder.output("c", builder.sub(a, b))
+        return builder.build()
+
+    @settings(max_examples=100)
+    @given(double_values, double_values)
+    def test_semantics_wrap_around(self, a, b):
+        _, compiled = legalized_and_compiled(self._kernel())
+        assert compiled(a=a, b=b)["c"] == (a - b) % (1 << DOUBLE)
+
+    def test_structure(self):
+        legalized, _ = legalized_and_compiled(self._kernel())
+        histogram = op_histogram(legalized)
+        assert histogram[OpKind.SUB] == 2
+        assert histogram[OpKind.LT] == 1  # the borrow
+
+
+class TestRules26And27Comparisons:
+    """Rules (26)/(27): multi-word comparisons from limb comparisons."""
+
+    @settings(max_examples=100)
+    @given(double_values, double_values)
+    def test_lt_semantics(self, a, b):
+        builder = KernelBuilder("rule26")
+        x = builder.param("a", DOUBLE)
+        y = builder.param("b", DOUBLE)
+        builder.output("f", builder.compare(OpKind.LT, x, y))
+        _, compiled = legalized_and_compiled(builder.build())
+        assert compiled(a=a, b=b)["f"] == int(a < b)
+
+    @settings(max_examples=100)
+    @given(double_values, double_values)
+    def test_eq_semantics(self, a, b):
+        builder = KernelBuilder("rule27")
+        x = builder.param("a", DOUBLE)
+        y = builder.param("b", DOUBLE)
+        builder.output("f", builder.compare(OpKind.EQ, x, y))
+        _, compiled = legalized_and_compiled(builder.build())
+        assert compiled(a=a, b=b)["f"] == int(a == b)
+        assert compiled(a=a, b=a)["f"] == 1
+
+    def test_lt_structure_matches_rule26(self):
+        builder = KernelBuilder("rule26s")
+        x = builder.param("a", DOUBLE)
+        y = builder.param("b", DOUBLE)
+        builder.output("f", builder.compare(OpKind.LT, x, y))
+        legalized, _ = legalized_and_compiled(builder.build())
+        histogram = op_histogram(legalized)
+        # (a0 < b0) or ((a0 == b0) and (a1 < b1)): two LT, one EQ, AND, OR.
+        assert histogram[OpKind.LT] == 2
+        assert histogram[OpKind.EQ] == 1
+        assert histogram[OpKind.AND] == 1
+        assert histogram[OpKind.OR] == 1
+
+    def test_eq_structure_matches_rule27(self):
+        builder = KernelBuilder("rule27s")
+        x = builder.param("a", DOUBLE)
+        y = builder.param("b", DOUBLE)
+        builder.output("f", builder.compare(OpKind.EQ, x, y))
+        legalized, _ = legalized_and_compiled(builder.build())
+        histogram = op_histogram(legalized)
+        assert histogram[OpKind.EQ] == 2
+        assert histogram[OpKind.AND] == 1
+
+
+class TestRule24ModularReduction:
+    """Rule (24): modulo after addition via compare / subtract / select."""
+
+    @settings(max_examples=60)
+    @given(st.data())
+    def test_addmod_semantics(self, data):
+        builder = KernelBuilder("rule24")
+        a = builder.param("a", DOUBLE)
+        b = builder.param("b", DOUBLE)
+        q = builder.param("q", DOUBLE)
+        builder.output("c", builder.addmod(a, b, q))
+        _, compiled = legalized_and_compiled(builder.build())
+        modulus = data.draw(st.integers(min_value=3, max_value=(1 << 124) - 1))
+        x = data.draw(st.integers(min_value=0, max_value=modulus - 1))
+        y = data.draw(st.integers(min_value=0, max_value=modulus - 1))
+        assert compiled(a=x, b=y, q=modulus)["c"] == (x + y) % modulus
+
+    def test_select_count_matches_limbs(self):
+        builder = KernelBuilder("rule24s")
+        a = builder.param("a", DOUBLE)
+        b = builder.param("b", DOUBLE)
+        q = builder.param("q", DOUBLE)
+        builder.output("c", builder.addmod(a, b, q))
+        legalized, _ = legalized_and_compiled(builder.build())
+        histogram = op_histogram(legalized)
+        assert histogram[OpKind.SELECT] == 2  # one per destination limb
+
+
+class TestRule28Multiplication:
+    """Rule (28): schoolbook double-word multiplication has 4 limb products."""
+
+    def _kernel(self):
+        builder = KernelBuilder("rule28")
+        a = builder.param("a", DOUBLE)
+        b = builder.param("b", DOUBLE)
+        builder.output("c", builder.mul(a, b))
+        return builder.build()
+
+    @settings(max_examples=100)
+    @given(double_values, double_values)
+    def test_semantics(self, a, b):
+        _, compiled = legalized_and_compiled(self._kernel())
+        assert compiled(a=a, b=b)["c"] == a * b
+
+    def test_four_single_word_multiplications(self):
+        legalized, _ = legalized_and_compiled(self._kernel(), multiplication="schoolbook")
+        histogram = op_histogram(legalized)
+        assert histogram[OpKind.MUL] == 4
+
+    def test_karatsuba_uses_three_multiplications(self):
+        legalized, compiled = legalized_and_compiled(self._kernel(), multiplication="karatsuba")
+        histogram = op_histogram(legalized)
+        assert histogram[OpKind.MUL] == 3
+        a = (1 << DOUBLE) - 12345
+        b = (1 << DOUBLE) - 99991
+        assert compiled(a=a, b=b)["c"] == a * b
+
+    def test_karatsuba_trades_multiplications_for_additions(self):
+        # Section 5.4: schoolbook = 4 muls + 6 adds, Karatsuba = 3 muls but
+        # more additions/subtractions and several comparisons/selects.
+        school, _ = legalized_and_compiled(self._kernel(), multiplication="schoolbook")
+        karatsuba, _ = legalized_and_compiled(self._kernel(), multiplication="karatsuba")
+        school_hist = op_histogram(school)
+        karatsuba_hist = op_histogram(karatsuba)
+        school_addsub = school_hist.get(OpKind.ADD, 0) + school_hist.get(OpKind.SUB, 0)
+        karatsuba_addsub = karatsuba_hist.get(OpKind.ADD, 0) + karatsuba_hist.get(OpKind.SUB, 0)
+        assert karatsuba_hist[OpKind.MUL] < school_hist[OpKind.MUL]
+        assert karatsuba_addsub > school_addsub
+
+
+class TestMachineLegalityPredicate:
+    def test_modular_ops_never_legal(self):
+        builder = KernelBuilder("k")
+        x = builder.param("x", 64)
+        q = builder.param("q", 64)
+        builder.output("z", builder.addmod(x, x, q))
+        statement = builder.build().body[0]
+        assert not is_machine_legal(statement, 64)
+
+    def test_wide_parts_not_legal(self):
+        builder = KernelBuilder("k")
+        x = builder.param("x", 128)
+        builder.output("z", builder.mov(x))
+        statement = builder.build().body[0]
+        assert not is_machine_legal(statement, 64)
+        assert is_machine_legal(statement, 128)

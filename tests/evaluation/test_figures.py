@@ -1,0 +1,204 @@
+"""Tests for the per-figure evaluation harnesses (shape assertions)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.evaluation import (
+    format_table,
+    format_table2,
+    geometric_mean_ratio,
+    headline_speedups,
+    run_figure1,
+    run_figure2_panel,
+    run_figure3_panel,
+    run_figure4,
+    run_figure5a,
+    run_figure5b,
+    table1_rule_inventory,
+    table2_devices,
+)
+from repro.evaluation.common import Series
+
+#: Reduced size sweep so the harness tests stay quick; the benchmarks run the
+#: full 2^8..2^22 sweep.
+SIZES = (1 << 8, 1 << 12, 1 << 16, 1 << 20)
+
+
+class TestCommon:
+    def test_series_accessors(self):
+        series = Series("demo", "cpu", {1: 2.0, 4: 8.0})
+        assert series.at(1) == 2.0
+        assert series.xs() == [1, 4]
+        with pytest.raises(EvaluationError):
+            series.at(2)
+
+    def test_geometric_mean_ratio(self):
+        a = Series("a", "x", {1: 2.0, 2: 8.0})
+        b = Series("b", "x", {1: 1.0, 2: 2.0})
+        assert geometric_mean_ratio(a, b) == pytest.approx((2.0 * 4.0) ** 0.5)
+        with pytest.raises(EvaluationError):
+            geometric_mean_ratio(a, Series("c", "x", {5: 1.0}))
+
+    def test_format_table_renders_all_series(self):
+        figure = run_figure2_panel(128)
+        text = format_table(figure)
+        assert "MoMA" in text and "GMP" in text and "GRNS" in text
+
+
+class TestFigure1:
+    def test_headline_speedups_match_paper_shape(self):
+        speedups = headline_speedups(sizes=SIZES)
+        # Paper: 14x average over ICICLE-on-H100, near-ASIC performance.
+        assert 8 <= speedups["speedup_vs_icicle_h100"] <= 25
+        assert speedups["ratio_to_fpmm_asic"] <= 1.3
+
+    def test_series_present(self):
+        figure = run_figure1(sizes=SIZES)
+        assert set(figure.names()) >= {"MoMA (RTX 4090)", "ICICLE", "FPMM"}
+
+
+class TestFigure2:
+    @pytest.mark.parametrize("bits", [128, 256, 512, 1024])
+    def test_moma_wins_every_operation(self, bits):
+        figure = run_figure2_panel(bits)
+        moma = figure.get("MoMA")
+        for baseline_name in ("GMP", "GRNS"):
+            baseline = figure.get(baseline_name)
+            for x in moma.xs():
+                assert baseline.at(x) / moma.at(x) >= 10  # "at least 13 times"
+
+    def test_addsub_gaps_match_text(self):
+        # >= 527x over GMP and >= 31x over GRNS for addition/subtraction.
+        figure = run_figure2_panel(1024)
+        moma, gmp, grns = figure.get("MoMA"), figure.get("GMP"), figure.get("GRNS")
+        for index in (0, 1):  # vadd, vsub
+            assert gmp.at(index) / moma.at(index) >= 500
+            assert grns.at(index) / moma.at(index) >= 30
+
+    def test_mul_trend_with_bit_width(self):
+        # Speedup vs GRNS grows with bit-width, vs GMP shrinks (Section 5.2).
+        ratios_grns = []
+        ratios_gmp = []
+        for bits in (128, 1024):
+            figure = run_figure2_panel(bits)
+            moma = figure.get("MoMA").at(2)  # vmul
+            ratios_grns.append(figure.get("GRNS").at(2) / moma)
+            ratios_gmp.append(figure.get("GMP").at(2) / moma)
+        assert ratios_grns[1] > ratios_grns[0]
+        assert ratios_gmp[1] < ratios_gmp[0]
+
+    def test_invalid_bit_width(self):
+        with pytest.raises(EvaluationError):
+            run_figure2_panel(384)
+
+
+class TestFigure3:
+    def test_256_bit_panel_orderings(self):
+        figure = run_figure3_panel(256, sizes=SIZES)
+        moma_h100 = figure.get("MoMA (H100)")
+        icicle = figure.get("ICICLE")
+        # ICICLE is ~13x slower at every size.
+        ratio = geometric_mean_ratio(icicle, moma_h100)
+        assert 10 <= ratio <= 16
+        # PipeZK loses to MoMA on every GPU (Section 5.3).
+        pipezk = figure.get("PipeZK")
+        for device in ("MoMA (H100)", "MoMA (RTX 4090)", "MoMA (V100)"):
+            assert geometric_mean_ratio(pipezk, figure.get(device)) > 1
+
+    def test_gzkp_crossover_at_256_bits(self):
+        figure = run_figure3_panel(256, sizes=SIZES)
+        gzkp = figure.get("GZKP")
+        moma_v100 = figure.get("MoMA (V100)")
+        assert gzkp.at(1 << 8) > moma_v100.at(1 << 8)      # MoMA wins small sizes
+        assert gzkp.at(1 << 20) < moma_v100.at(1 << 20)    # GZKP wins large sizes
+
+    def test_384_bit_relationships(self):
+        figure = run_figure3_panel(384, sizes=SIZES)
+        icicle_ratio = geometric_mean_ratio(figure.get("ICICLE"), figure.get("MoMA (H100)"))
+        assert 3.5 <= icicle_ratio <= 6.5  # paper: 4.8x
+        # FPMM beats MoMA at 384 bits (1.7x).
+        assert geometric_mean_ratio(figure.get("MoMA (H100)"), figure.get("FPMM")) > 1.3
+        # MoMA on V100 still beats ICICLE-on-H100 (paper: by ~3x; our device
+        # model gives the V100 a larger handicap relative to the H100, so the
+        # margin shrinks — see EXPERIMENTS.md — but the ordering holds).
+        assert geometric_mean_ratio(figure.get("ICICLE"), figure.get("MoMA (V100)")) > 1.0
+
+    def test_128_bit_near_asic(self):
+        figure = run_figure3_panel(128, sizes=SIZES)
+        rpu_ratio = geometric_mean_ratio(figure.get("RPU"), figure.get("MoMA (H100)"))
+        assert 1.1 <= rpu_ratio <= 1.8  # paper: 1.4x
+        assert geometric_mean_ratio(figure.get("OpenFHE"), figure.get("MoMA (H100)")) > 50
+
+    def test_768_bit_relationships(self):
+        figure = run_figure3_panel(768, sizes=SIZES)
+        # RTX 4090 beats H100 at 768 bits (Section 5.3).
+        assert geometric_mean_ratio(figure.get("MoMA (H100)"), figure.get("MoMA (RTX 4090)")) > 1
+        # GZKP overtakes MoMA at 2^16 and beyond.
+        assert figure.get("GZKP").at(1 << 20) < figure.get("MoMA (H100)").at(1 << 20)
+        assert figure.get("GZKP").at(1 << 8) > figure.get("MoMA (H100)").at(1 << 8)
+
+    def test_invalid_bit_width(self):
+        with pytest.raises(EvaluationError):
+            run_figure3_panel(512)
+
+
+class TestFigure4:
+    def test_crosscut_contains_all_bit_widths_and_beats_gmp(self):
+        figure = run_figure4()
+        moma = figure.get("MoMA (H100)")
+        gmp = figure.get("GMP-NTT")
+        assert moma.xs() == [128, 256, 384, 512, 768, 1024]
+        for bits in moma.xs():
+            assert gmp.at(bits) > moma.at(bits)
+        # Runtime per butterfly grows with the bit-width.
+        values = [moma.at(bits) for bits in moma.xs()]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestFigure5:
+    def test_5a_monotone_and_device_gap(self):
+        figure = run_figure5a()
+        h100 = figure.get("H100")
+        rtx = figure.get("RTX 4090")
+        widths = h100.xs()
+        assert widths[0] == 64 and widths[-1] == 1024
+        h100_values = [h100.at(bits) for bits in widths]
+        assert all(b > a for a, b in zip(h100_values, h100_values[1:]))
+        # Beyond 512 bits the two GPUs stay within a bounded gap (paper:
+        # "the performance gap ... remains relatively constant").
+        gap_512 = h100.at(512) / rtx.at(512)
+        gap_1024 = h100.at(1024) / rtx.at(1024)
+        assert 0.5 < gap_1024 / gap_512 < 2.0
+
+    def test_5a_slowdown_factors_same_order_as_paper(self):
+        figure = run_figure5a()
+        h100 = figure.get("H100")
+        # Paper: 2.9x (64->128), 5.6x (128->256), 4.8x (256->512), 4.7x
+        # (512->1024) on H100.  The model reproduces the order of magnitude
+        # (between 2x and 8x per doubling).
+        for low, high in ((64, 128), (128, 256), (256, 512), (512, 1024)):
+            ratio = h100.at(high) / h100.at(low)
+            assert 2.0 <= ratio <= 8.0
+
+    def test_5b_reports_both_algorithms(self):
+        figure = run_figure5b()
+        school = figure.get("Schoolbook")
+        karatsuba = figure.get("Karatsuba")
+        assert school.xs() == karatsuba.xs() == [128, 256, 384, 768]
+        for bits in school.xs():
+            assert school.at(bits) > 0 and karatsuba.at(bits) > 0
+
+
+class TestTables:
+    def test_table1_inventory_covers_all_operations(self):
+        inventory = table1_rule_inventory()
+        operations = {entry["operation"] for entry in inventory}
+        assert {"addmod", "submod", "mulmod", "add", "sub", "mul", "lt", "eq"} <= operations
+        assert all(entry["implementation"] for entry in inventory)
+
+    def test_table2_matches_paper(self):
+        rows = {row["Model"]: row for row in table2_devices()}
+        assert rows["NVIDIA H100 Tensor Core"]["#Cores"] == 16896
+        assert rows["NVIDIA GeForce RTX 4090"]["Max Freq."] == "2595 MHz"
+        assert rows["NVIDIA Tesla V100 Tensor Core"]["Bus Type"] == "HBM2"
+        assert "16896" in format_table2()

@@ -1,0 +1,154 @@
+"""Tests for the GPU device catalog, cost model and simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu import (
+    DEVICES,
+    cost_kernel,
+    estimate_blas,
+    estimate_ntt,
+    get_device,
+    moma_ntt_per_butterfly_ns,
+)
+from repro.gpu.cost_model import elementwise_kernel_time
+from repro.kernels import KernelConfig, build_blas_kernel, generate_blas_kernel, generate_butterfly_kernel
+
+
+class TestDeviceCatalog:
+    def test_table2_values(self):
+        h100 = get_device("h100")
+        rtx = get_device("RTX4090")
+        v100 = get_device("v100")
+        assert h100.cuda_cores == 16896 and h100.max_clock_mhz == 1980
+        assert rtx.cuda_cores == 16384 and rtx.max_clock_mhz == 2595
+        assert v100.cuda_cores == 5120 and v100.max_clock_mhz == 1530
+        assert (h100.memory_gb, rtx.memory_gb, v100.memory_gb) == (80, 24, 32)
+        assert {d.memory_type for d in DEVICES.values()} == {"HBM3", "GDDR6X", "HBM2"}
+
+    def test_unknown_device(self):
+        with pytest.raises(SimulationError):
+            get_device("a100")
+
+    def test_derived_rates_positive_and_ordered(self):
+        assert get_device("h100").peak_int64_ops_per_second > get_device("v100").peak_int64_ops_per_second
+        assert get_device("h100").memory_bandwidth_bytes_per_second > get_device(
+            "rtx4090"
+        ).memory_bandwidth_bytes_per_second
+
+
+class TestKernelCost:
+    def test_requires_legalized_kernel(self):
+        with pytest.raises(SimulationError):
+            cost_kernel(build_blas_kernel("vadd", KernelConfig(bits=128)))
+
+    def test_cost_grows_with_bit_width(self):
+        costs = [
+            cost_kernel(generate_butterfly_kernel(KernelConfig(bits=bits))).weighted_ops
+            for bits in (128, 256, 512)
+        ]
+        assert costs[0] < costs[1] < costs[2]
+        # Multiplication-dominated growth is super-linear in the word count.
+        assert costs[2] / costs[0] > 4
+
+    def test_mul_heavier_than_add(self):
+        add_cost = cost_kernel(generate_blas_kernel("vadd", KernelConfig(bits=256)))
+        mul_cost = cost_kernel(generate_blas_kernel("vmul", KernelConfig(bits=256)))
+        assert mul_cost.weighted_ops > 3 * add_cost.weighted_ops
+        assert mul_cost.multiplications > add_cost.multiplications
+
+    def test_pruning_reduces_cost(self):
+        pruned = cost_kernel(generate_butterfly_kernel(KernelConfig(bits=384)))
+        padded = cost_kernel(generate_butterfly_kernel(KernelConfig(bits=512)))
+        assert pruned.weighted_ops < padded.weighted_ops
+        assert pruned.input_words < padded.input_words
+
+    def test_elementwise_time_positive_and_monotone_in_elements(self):
+        cost = cost_kernel(generate_blas_kernel("vadd", KernelConfig(bits=128)))
+        device = get_device("v100")
+        small = elementwise_kernel_time(cost, device, 1 << 10)
+        large = elementwise_kernel_time(cost, device, 1 << 20)
+        assert 0 < small < large
+        with pytest.raises(SimulationError):
+            elementwise_kernel_time(cost, device, 0)
+
+
+class TestBlasEstimates:
+    def test_steady_state_improves_on_tiny_batches(self):
+        config = KernelConfig(bits=128)
+        estimate = estimate_blas("vadd", config, "v100")
+        assert estimate.per_element_ns > 0
+        assert estimate.batch >= 1
+
+    def test_cost_ordering_across_operations(self):
+        config = KernelConfig(bits=256)
+        vadd = estimate_blas("vadd", config, "v100").per_element_ns
+        vmul = estimate_blas("vmul", config, "v100").per_element_ns
+        axpy = estimate_blas("axpy", config, "v100").per_element_ns
+        assert vadd < vmul <= axpy
+
+    def test_wider_operands_cost_more(self):
+        narrow = estimate_blas("vmul", KernelConfig(bits=128), "v100").per_element_ns
+        wide = estimate_blas("vmul", KernelConfig(bits=1024), "v100").per_element_ns
+        assert wide > 10 * narrow
+
+    def test_invalid_elements(self):
+        with pytest.raises(SimulationError):
+            estimate_blas("vadd", KernelConfig(bits=128), "v100", elements=0)
+
+
+class TestNttEstimates:
+    def test_shared_memory_boundary(self):
+        config = KernelConfig(bits=128)
+        inside = estimate_ntt(config, 1 << 10, "v100")
+        outside = estimate_ntt(config, 1 << 11, "v100")
+        assert inside.shared_memory_fit
+        assert not outside.shared_memory_fit
+        # Figure 3a: leaving shared memory costs noticeably more per butterfly,
+        # and more on the V100 than on the newer GPUs.
+        v100_ratio = outside.per_butterfly_ns / inside.per_butterfly_ns
+        h100_ratio = (
+            estimate_ntt(config, 1 << 11, "h100").per_butterfly_ns
+            / estimate_ntt(config, 1 << 10, "h100").per_butterfly_ns
+        )
+        assert v100_ratio > 1.3
+        assert v100_ratio > h100_ratio
+
+    def test_device_ordering(self):
+        config = KernelConfig(bits=256)
+        estimates = moma_ntt_per_butterfly_ns(256, 1 << 16)
+        assert estimates["v100"] > estimates["h100"]
+        assert estimates["v100"] > estimates["rtx4090"]
+        assert set(estimates) == {"h100", "rtx4090", "v100"}
+        del config
+
+    def test_rtx4090_wins_at_high_bit_widths(self):
+        # Section 5.3 (768-bit): "RTX 4090 outperforms H100", attributed to
+        # its higher clock speed; at 128-bit the H100's bandwidth advantage
+        # keeps it competitive.
+        wide = moma_ntt_per_butterfly_ns(768, 1 << 14)
+        assert wide["rtx4090"] < wide["h100"]
+
+    def test_per_ntt_time_scales_with_size(self):
+        config = KernelConfig(bits=128)
+        small = estimate_ntt(config, 1 << 10, "h100").per_ntt_us
+        large = estimate_ntt(config, 1 << 16, "h100").per_ntt_us
+        assert large > 30 * small
+
+    def test_batch_override_and_validation(self):
+        config = KernelConfig(bits=128)
+        fixed = estimate_ntt(config, 1 << 12, "h100", batch=1)
+        steady = estimate_ntt(config, 1 << 12, "h100")
+        assert steady.per_ntt_us <= fixed.per_ntt_us
+        with pytest.raises(SimulationError):
+            estimate_ntt(config, 1000, "h100")  # not a power of two
+        with pytest.raises(SimulationError):
+            estimate_ntt(config, 1 << 12, "h100", batch=0)
+
+    def test_bit_width_scaling_monotone(self):
+        # Figure 5a: runtime increases monotonically with the input bit-width.
+        times = [
+            estimate_ntt(KernelConfig(bits=bits), 4096, "h100").per_ntt_us
+            for bits in (64, 128, 256, 512, 1024)
+        ]
+        assert all(later > earlier for earlier, later in zip(times, times[1:]))

@@ -1,0 +1,167 @@
+"""Tests for the BLAS and NTT kernel frontends."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KernelError
+from repro.kernels import (
+    BLAS_OPERATIONS,
+    KernelConfig,
+    build_blas_kernel,
+    build_butterfly_kernel,
+    compile_blas_kernel,
+    compile_butterfly_kernel,
+    generate_blas_kernel,
+    generate_butterfly_kernel,
+    padded_width,
+)
+from repro.core.rewrite.legalize import kernel_is_machine_legal
+from repro.ntheory import find_ntt_prime
+
+
+def barrett_mu(q, modulus_bits):
+    return (1 << (2 * modulus_bits + 3)) // q
+
+
+class TestKernelConfig:
+    def test_defaults(self):
+        config = KernelConfig(bits=256)
+        assert config.effective_modulus_bits == 252
+        assert config.container_bits == 256
+        assert config.operand_words == 4
+        assert not config.is_single_word
+
+    @pytest.mark.parametrize(
+        "bits,container", [(128, 128), (384, 512), (768, 1024), (320, 512), (64, 64)]
+    )
+    def test_padding(self, bits, container):
+        assert KernelConfig(bits=bits).container_bits == container
+        assert padded_width(bits, 64) == container
+
+    def test_single_word(self):
+        assert KernelConfig(bits=64).is_single_word
+
+    def test_invalid_configs(self):
+        with pytest.raises(KernelError):
+            KernelConfig(bits=32)  # below the word width
+        with pytest.raises(KernelError):
+            KernelConfig(bits=128, modulus_bits=126)  # not enough headroom
+        with pytest.raises(KernelError):
+            KernelConfig(bits=128, multiplication="fft")
+        with pytest.raises(KernelError):
+            padded_width(0, 64)
+
+    def test_label(self):
+        assert KernelConfig(bits=384).label() == "384b_schoolbook"
+
+
+class TestBlasFrontend:
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(KernelError):
+            build_blas_kernel("dot", KernelConfig(bits=128))
+
+    @pytest.mark.parametrize("operation", BLAS_OPERATIONS)
+    def test_kernels_are_legalized(self, operation):
+        config = KernelConfig(bits=128)
+        kernel = generate_blas_kernel(operation, config)
+        assert kernel_is_machine_legal(kernel, 64)
+        assert kernel.metadata["family"] == "blas"
+        assert kernel.metadata["operation"] == operation
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_vadd_vsub_vmul_semantics(self, data):
+        config = KernelConfig(bits=128)
+        q = find_ntt_prime(124, 64)
+        mu = barrett_mu(q, 124)
+        x = data.draw(st.integers(min_value=0, max_value=q - 1))
+        y = data.draw(st.integers(min_value=0, max_value=q - 1))
+        assert compile_blas_kernel("vadd", config)(x=x, y=y, q=q)["z"] == (x + y) % q
+        assert compile_blas_kernel("vsub", config)(x=x, y=y, q=q)["z"] == (x - y) % q
+        assert compile_blas_kernel("vmul", config)(x=x, y=y, q=q, mu=mu)["z"] == (x * y) % q
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.data())
+    def test_axpy_semantics(self, data):
+        config = KernelConfig(bits=256)
+        q = find_ntt_prime(252, 64)
+        mu = barrett_mu(q, 252)
+        x = data.draw(st.integers(min_value=0, max_value=q - 1))
+        y = data.draw(st.integers(min_value=0, max_value=q - 1))
+        a = data.draw(st.integers(min_value=0, max_value=q - 1))
+        result = compile_blas_kernel("axpy", config)(x=x, y=y, a=a, q=q, mu=mu)["z"]
+        assert result == (a * x + y) % q
+
+    def test_non_power_of_two_width(self):
+        config = KernelConfig(bits=384)
+        q = find_ntt_prime(380, 64)
+        mu = barrett_mu(q, 380)
+        kernel = compile_blas_kernel("vmul", config)
+        x, y = q - 3, q // 5
+        assert kernel(x=x, y=y, q=q, mu=mu)["z"] == (x * y) % q
+        # Pruning: 384-bit operands need 6 words, not the container's 8.
+        assert len(kernel.kernel.metadata["param_layout"]["x"]) == 8
+        assert sum(1 for limb in kernel.kernel.metadata["param_layout"]["x"] if limb) == 6
+
+    def test_uniform_params_recorded(self):
+        kernel = generate_blas_kernel("axpy", KernelConfig(bits=128))
+        assert set(kernel.metadata["uniform_params"]) == {"a", "q", "mu"}
+
+
+class TestButterflyFrontend:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(KernelError):
+            build_butterfly_kernel(KernelConfig(bits=128), "stockham")
+
+    @pytest.mark.parametrize("variant", ["cooley_tukey", "gentleman_sande"])
+    def test_kernels_are_legalized(self, variant):
+        kernel = generate_butterfly_kernel(KernelConfig(bits=128), variant)
+        assert kernel_is_machine_legal(kernel, 64)
+        assert kernel.metadata["variant"] == variant
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_cooley_tukey_semantics(self, data):
+        config = KernelConfig(bits=256)
+        q = find_ntt_prime(252, 128)
+        mu = barrett_mu(q, 252)
+        x = data.draw(st.integers(min_value=0, max_value=q - 1))
+        y = data.draw(st.integers(min_value=0, max_value=q - 1))
+        w = data.draw(st.integers(min_value=0, max_value=q - 1))
+        out = compile_butterfly_kernel(config)(x=x, y=y, w=w, q=q, mu=mu)
+        assert out["x_out"] == (x + w * y) % q
+        assert out["y_out"] == (x - w * y) % q
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_gentleman_sande_semantics(self, data):
+        config = KernelConfig(bits=128)
+        q = find_ntt_prime(124, 128)
+        mu = barrett_mu(q, 124)
+        x = data.draw(st.integers(min_value=0, max_value=q - 1))
+        y = data.draw(st.integers(min_value=0, max_value=q - 1))
+        w = data.draw(st.integers(min_value=0, max_value=q - 1))
+        out = compile_butterfly_kernel(config, "gentleman_sande")(x=x, y=y, w=w, q=q, mu=mu)
+        assert out["x_out"] == (x + y) % q
+        assert out["y_out"] == ((x - y) * w) % q
+
+    def test_karatsuba_configuration(self):
+        config = KernelConfig(bits=256, multiplication="karatsuba")
+        q = find_ntt_prime(252, 64)
+        mu = barrett_mu(q, 252)
+        out = compile_butterfly_kernel(config)(x=1, y=2, w=3, q=q, mu=mu)
+        assert out["x_out"] == 7
+        assert out["y_out"] == (1 - 6) % q
+
+    def test_butterfly_inverse_round_trip(self):
+        # Applying the butterfly and then undoing it recovers the inputs:
+        # x = (x' + y') / 2, w*y = (x' - y') / 2.
+        config = KernelConfig(bits=128)
+        q = find_ntt_prime(124, 64)
+        mu = barrett_mu(q, 124)
+        kernel = compile_butterfly_kernel(config)
+        x, y, w = 123456789, 987654321, 555555
+        out = kernel(x=x, y=y, w=w, q=q, mu=mu)
+        inv2 = pow(2, -1, q)
+        assert (out["x_out"] + out["y_out"]) * inv2 % q == x
+        assert (out["x_out"] - out["y_out"]) * inv2 % q == (w * y) % q

@@ -1,0 +1,147 @@
+"""Tests for modular inverses, roots of unity and CRT reconstruction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ArithmeticDomainError
+from repro.ntheory.crt import check_pairwise_coprime, crt_reconstruct, garner_reconstruct
+from repro.ntheory.modinv import modexp, modinv, xgcd
+from repro.ntheory.primes import find_ntt_prime
+from repro.ntheory.roots import (
+    factorize,
+    find_generator,
+    inverse_root,
+    is_primitive_root_of_unity,
+    primitive_root_of_unity,
+)
+
+
+class TestXgcd:
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=0, max_value=10**9))
+    def test_bezout_identity(self, a, b):
+        g, x, y = xgcd(a, b)
+        assert a * x + b * y == g
+
+
+class TestModinv:
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_inverse_property(self, value):
+        p = 2**61 - 1
+        inv = modinv(value, p)
+        assert (value * inv) % p == 1
+
+    def test_no_inverse(self):
+        with pytest.raises(ArithmeticDomainError):
+            modinv(6, 12)
+
+    def test_bad_modulus(self):
+        with pytest.raises(ArithmeticDomainError):
+            modinv(3, 1)
+
+
+class TestModexp:
+    def test_negative_exponent(self):
+        p = 97
+        assert modexp(5, -1, p) == modinv(5, p)
+        assert (modexp(5, -3, p) * pow(5, 3, p)) % p == 1
+
+    def test_positive_matches_pow(self):
+        assert modexp(7, 20, 101) == pow(7, 20, 101)
+
+    def test_bad_modulus(self):
+        with pytest.raises(ArithmeticDomainError):
+            modexp(2, 3, 0)
+
+
+class TestFactorize:
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_product_of_factors(self, value):
+        factors = factorize(value)
+        product = 1
+        for prime, exponent in factors.items():
+            product *= prime**exponent
+        assert product == value
+
+    def test_large_smooth_number(self):
+        p = find_ntt_prime(60, 4096)
+        factors = factorize(p - 1)
+        product = 1
+        for prime, exponent in factors.items():
+            product *= prime**exponent
+        assert product == p - 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ArithmeticDomainError):
+            factorize(0)
+
+
+class TestRootsOfUnity:
+    def test_generator_order(self):
+        p = 97
+        g = find_generator(p)
+        seen = {pow(g, k, p) for k in range(p - 1)}
+        assert len(seen) == p - 1
+
+    def test_generator_rejects_composite(self):
+        with pytest.raises(ArithmeticDomainError):
+            find_generator(100)
+
+    @pytest.mark.parametrize("bits,size", [(28, 64), (60, 256), (60, 4096)])
+    def test_primitive_root_properties(self, bits, size):
+        p = find_ntt_prime(bits, size)
+        omega = primitive_root_of_unity(size, p)
+        assert pow(omega, size, p) == 1
+        assert pow(omega, size // 2, p) == p - 1  # omega^(n/2) = -1 for even n
+        assert is_primitive_root_of_unity(omega, size, p)
+
+    def test_root_of_wrong_order_detected(self):
+        p = find_ntt_prime(28, 64)
+        omega = primitive_root_of_unity(64, p)
+        assert not is_primitive_root_of_unity(pow(omega, 2, p), 64, p)
+
+    def test_no_root_when_order_does_not_divide(self):
+        with pytest.raises(ArithmeticDomainError):
+            primitive_root_of_unity(3, 257)  # 3 does not divide 256
+
+    def test_inverse_root(self):
+        p = find_ntt_prime(60, 256)
+        omega = primitive_root_of_unity(256, p)
+        assert (omega * inverse_root(omega, p)) % p == 1
+
+
+class TestCRT:
+    MODULI = [(1 << 61) - 1, (1 << 31) - 1, 2**13 - 1, 97]
+
+    def test_pairwise_coprime_check(self):
+        check_pairwise_coprime(self.MODULI)
+        with pytest.raises(ArithmeticDomainError):
+            check_pairwise_coprime([6, 10])
+        with pytest.raises(ArithmeticDomainError):
+            check_pairwise_coprime([1, 3])
+
+    @settings(max_examples=100)
+    @given(st.integers(min_value=0))
+    def test_reconstruction_round_trip(self, value):
+        product = 1
+        for m in self.MODULI:
+            product *= m
+        value %= product
+        residues = [value % m for m in self.MODULI]
+        assert crt_reconstruct(residues, self.MODULI) == value
+        assert garner_reconstruct(residues, self.MODULI) == value
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ArithmeticDomainError):
+            crt_reconstruct([1], [3, 5])
+        with pytest.raises(ArithmeticDomainError):
+            garner_reconstruct([1], [3, 5])
+
+    def test_unreduced_residue_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            crt_reconstruct([5], [3])
+        with pytest.raises(ArithmeticDomainError):
+            garner_reconstruct([5], [3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            crt_reconstruct([], [])

@@ -1,0 +1,101 @@
+"""Tests for primality testing and NTT-friendly prime generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ArithmeticDomainError
+from repro.ntheory.primes import (
+    find_ntt_prime,
+    find_prime_with_bits,
+    is_prime,
+    next_prime,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 61, 97, 101, 2**13 - 1, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 561, 1105, 6601, 2**32 - 1, 2**61 + 1, 2**67 - 1]
+# Carmichael numbers (strong pseudoprime traps).
+CARMICHAELS = [561, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841, 29341]
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("value", KNOWN_PRIMES)
+    def test_known_primes(self, value):
+        assert is_prime(value)
+
+    @pytest.mark.parametrize("value", KNOWN_COMPOSITES)
+    def test_known_composites(self, value):
+        assert not is_prime(value)
+
+    @pytest.mark.parametrize("value", CARMICHAELS)
+    def test_carmichael_numbers(self, value):
+        assert not is_prime(value)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    def test_matches_trial_division(self, value):
+        by_trial = all(value % d for d in range(2, int(value**0.5) + 1)) and value >= 2
+        assert is_prime(value) == by_trial
+
+    def test_large_prime(self):
+        # 2^127 - 1 is a Mersenne prime; exercises the wide-input path.
+        assert is_prime((1 << 127) - 1)
+
+    def test_large_composite(self):
+        assert not is_prime((1 << 127) - 3)
+
+
+class TestNextPrime:
+    def test_small(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 3
+        assert next_prime(3) == 5
+        assert next_prime(13) == 17
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    def test_result_is_prime_and_greater(self, start):
+        p = next_prime(start)
+        assert p > start
+        assert is_prime(p)
+
+
+class TestFindPrimeWithBits:
+    @pytest.mark.parametrize("bits", [8, 16, 32, 60, 124])
+    def test_exact_bit_length(self, bits):
+        p = find_prime_with_bits(bits)
+        assert p.bit_length() == bits
+        assert is_prime(p)
+
+    def test_different_seeds_give_different_primes(self):
+        assert find_prime_with_bits(60, seed=0) != find_prime_with_bits(60, seed=50)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ArithmeticDomainError):
+            find_prime_with_bits(1)
+
+
+class TestFindNttPrime:
+    @pytest.mark.parametrize("bits,size", [(28, 256), (60, 1024), (60, 4096), (124, 256)])
+    def test_congruence_and_bit_length(self, bits, size):
+        p = find_ntt_prime(bits, size)
+        assert p.bit_length() == bits
+        assert is_prime(p)
+        assert (p - 1) % (2 * size) == 0
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(ArithmeticDomainError):
+            find_ntt_prime(60, 1000)
+
+    def test_rejects_size_too_large_for_bits(self):
+        with pytest.raises(ArithmeticDomainError):
+            find_ntt_prime(8, 1 << 20)
+
+    def test_rejects_tiny_bits(self):
+        with pytest.raises(ArithmeticDomainError):
+            find_ntt_prime(2, 4)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=3))
+    def test_seed_determinism(self, seed):
+        assert find_ntt_prime(60, 256, seed) == find_ntt_prime(60, 256, seed)

@@ -1,0 +1,200 @@
+"""Tests for NTT planning, reference, iterative and generated-kernel paths."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KernelError
+from repro.kernels import KernelConfig
+from repro.ntt import (
+    GeneratedNTT,
+    bit_reverse_permutation,
+    intt_definition,
+    make_plan,
+    negacyclic_convolution_reference,
+    negacyclic_multiply,
+    ntt_definition,
+    ntt_forward,
+    ntt_inverse,
+)
+
+
+class TestPlanner:
+    @pytest.mark.parametrize("size", [2, 8, 64, 256, 4096])
+    def test_plan_properties(self, size):
+        plan = make_plan(size, 60)
+        assert plan.size == size
+        assert (plan.modulus - 1) % (2 * size) == 0
+        assert pow(plan.root, size, plan.modulus) == 1
+        assert pow(plan.root, size // 2, plan.modulus) == plan.modulus - 1
+        assert (plan.root * pow(plan.inverse_root, 1, plan.modulus)) % plan.modulus == 1
+        assert (plan.size_inverse * size) % plan.modulus == 1
+        assert (plan.psi * plan.psi) % plan.modulus == plan.root
+
+    def test_stage_and_butterfly_counts(self):
+        plan = make_plan(1024, 60)
+        assert plan.stages == 10
+        assert plan.butterflies_per_stage == 512
+        assert plan.total_butterflies == 512 * 10  # (n/2) log2 n
+
+    def test_twiddle_tables(self):
+        plan = make_plan(16, 28)
+        twiddles = plan.forward_twiddles()
+        assert len(twiddles) == 8
+        assert twiddles[0] == 1
+        assert twiddles[1] == plan.root
+
+    def test_explicit_modulus_validation(self):
+        plan = make_plan(8, 60)
+        again = make_plan(8, 60, modulus=plan.modulus)
+        assert again.modulus == plan.modulus
+        with pytest.raises(KernelError):
+            make_plan(8, 60, modulus=plan.modulus + 2)  # not prime / wrong form
+        with pytest.raises(KernelError):
+            make_plan(6, 60)  # not a power of two
+
+    def test_bit_reverse_permutation(self):
+        assert bit_reverse_permutation(8) == [0, 4, 2, 6, 1, 5, 3, 7]
+        with pytest.raises(KernelError):
+            bit_reverse_permutation(12)
+
+
+class TestReferenceAndIterativeAgree:
+    @pytest.mark.parametrize("size,bits", [(8, 28), (16, 60), (64, 60), (32, 124)])
+    def test_forward_matches_definition(self, size, bits):
+        plan = make_plan(size, bits)
+        rng = random.Random(size)
+        values = [rng.randrange(plan.modulus) for _ in range(size)]
+        assert ntt_forward(values, plan) == ntt_definition(values, plan)
+
+    @pytest.mark.parametrize("size,bits", [(8, 28), (32, 60)])
+    def test_inverse_matches_definition(self, size, bits):
+        plan = make_plan(size, bits)
+        rng = random.Random(size + 1)
+        values = [rng.randrange(plan.modulus) for _ in range(size)]
+        assert ntt_inverse(values, plan) == intt_definition(values, plan)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_round_trip_property(self, data):
+        size = data.draw(st.sampled_from([4, 8, 16, 64, 256]))
+        plan = make_plan(size, 60)
+        values = [
+            data.draw(st.integers(min_value=0, max_value=plan.modulus - 1))
+            for _ in range(size)
+        ]
+        assert ntt_inverse(ntt_forward(values, plan), plan) == values
+
+    def test_linearity_property(self):
+        plan = make_plan(64, 60)
+        rng = random.Random(7)
+        q = plan.modulus
+        a = [rng.randrange(q) for _ in range(64)]
+        b = [rng.randrange(q) for _ in range(64)]
+        lhs = ntt_forward([(x + y) % q for x, y in zip(a, b)], plan)
+        rhs = [
+            (x + y) % q
+            for x, y in zip(ntt_forward(a, plan), ntt_forward(b, plan))
+        ]
+        assert lhs == rhs
+
+    def test_convolution_theorem(self):
+        # INTT(NTT(a) . NTT(b)) is the cyclic convolution of a and b.
+        plan = make_plan(16, 60)
+        q = plan.modulus
+        rng = random.Random(11)
+        a = [rng.randrange(q) for _ in range(16)]
+        b = [rng.randrange(q) for _ in range(16)]
+        spectrum = [(x * y) % q for x, y in zip(ntt_forward(a, plan), ntt_forward(b, plan))]
+        got = ntt_inverse(spectrum, plan)
+        expected = [0] * 16
+        for i in range(16):
+            for j in range(16):
+                expected[(i + j) % 16] = (expected[(i + j) % 16] + a[i] * b[j]) % q
+        assert got == expected
+
+    def test_input_validation(self):
+        plan = make_plan(8, 28)
+        with pytest.raises(KernelError):
+            ntt_forward([0] * 4, plan)
+        with pytest.raises(KernelError):
+            ntt_forward([plan.modulus] + [0] * 7, plan)
+
+
+class TestNegacyclic:
+    @pytest.mark.parametrize("size,bits", [(8, 28), (16, 60), (64, 60)])
+    def test_matches_reference_convolution(self, size, bits):
+        plan = make_plan(size, bits)
+        rng = random.Random(size * 3)
+        q = plan.modulus
+        a = [rng.randrange(q) for _ in range(size)]
+        b = [rng.randrange(q) for _ in range(size)]
+        assert negacyclic_multiply(a, b, plan) == negacyclic_convolution_reference(a, b, q)
+
+    def test_x_to_n_wraps_negatively(self):
+        # (x^(n-1)) * x = x^n = -1 in Z_q[x]/(x^n + 1).
+        plan = make_plan(8, 28)
+        q = plan.modulus
+        a = [0] * 8
+        a[7] = 1
+        b = [0] * 8
+        b[1] = 1
+        product = negacyclic_multiply(a, b, plan)
+        assert product[0] == q - 1
+        assert all(value == 0 for value in product[1:])
+
+    def test_length_mismatch_rejected(self):
+        plan = make_plan(8, 28)
+        with pytest.raises(KernelError):
+            negacyclic_multiply([0] * 4, [0] * 8, plan)
+
+
+class TestGeneratedNTT:
+    """The full pipeline: MoMA-generated butterflies driving real transforms."""
+
+    @pytest.mark.parametrize("bits", [128, 256])
+    def test_matches_reference_transform(self, bits):
+        size = 16
+        config = KernelConfig(bits=bits)
+        transform = GeneratedNTT(size, config)
+        rng = random.Random(bits)
+        values = [rng.randrange(transform.modulus) for _ in range(size)]
+        assert transform.forward(values) == ntt_forward(values, transform.plan)
+        assert transform.inverse(transform.forward(values)) == values
+
+    def test_non_power_of_two_bit_width(self):
+        config = KernelConfig(bits=384)
+        transform = GeneratedNTT(8, config)
+        rng = random.Random(384)
+        values = [rng.randrange(transform.modulus) for _ in range(8)]
+        assert transform.inverse(transform.forward(values)) == values
+        assert transform.modulus.bit_length() == 380
+
+    def test_karatsuba_configuration_agrees(self):
+        size = 8
+        school = GeneratedNTT(size, KernelConfig(bits=128))
+        karatsuba = GeneratedNTT(size, KernelConfig(bits=128, multiplication="karatsuba"),
+                                 plan=school.plan)
+        rng = random.Random(99)
+        values = [rng.randrange(school.modulus) for _ in range(size)]
+        assert school.forward(values) == karatsuba.forward(values)
+
+    def test_polynomial_multiply_cyclic(self):
+        size = 8
+        transform = GeneratedNTT(size, KernelConfig(bits=128))
+        q = transform.modulus
+        a = [1, 2, 3, 4, 0, 0, 0, 0]
+        b = [5, 6, 7, 8, 0, 0, 0, 0]
+        expected = [0] * size
+        for i in range(size):
+            for j in range(size):
+                expected[(i + j) % size] = (expected[(i + j) % size] + a[i] * b[j]) % q
+        assert transform.polynomial_multiply(a, b) == expected
+
+    def test_plan_mismatch_rejected(self):
+        plan = make_plan(16, 124)
+        with pytest.raises(KernelError):
+            GeneratedNTT(8, KernelConfig(bits=128), plan=plan)
+        with pytest.raises(KernelError):
+            GeneratedNTT(16, KernelConfig(bits=256), plan=plan)

@@ -1,0 +1,141 @@
+"""Tests for polynomials, BLAS engines and polynomial multiplication."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ArithmeticDomainError, KernelError
+from repro.kernels import KernelConfig
+from repro.ntt import make_plan
+from repro.poly import (
+    MomaBlasEngine,
+    Polynomial,
+    PythonBlasEngine,
+    axpy,
+    multiply_negacyclic,
+    multiply_ntt,
+    multiply_schoolbook,
+    vector_addmod,
+    vector_mulmod,
+    vector_submod,
+)
+from repro.ntheory import find_ntt_prime
+
+Q = find_ntt_prime(60, 1024)
+
+
+class TestPolynomial:
+    def test_construction_reduces_coefficients(self):
+        poly = Polynomial([Q + 1, -1], Q)
+        assert poly.coefficients == [1, Q - 1]
+
+    def test_zero_length_becomes_zero_polynomial(self):
+        assert Polynomial([], Q).coefficients == [0]
+
+    def test_bad_modulus(self):
+        with pytest.raises(ArithmeticDomainError):
+            Polynomial([1], 1)
+
+    def test_degree_ignores_trailing_zeros(self):
+        assert Polynomial([1, 2, 0, 0], Q).degree == 1
+        assert Polynomial([0], Q).degree == 0
+
+    def test_add_sub_roundtrip(self):
+        rng = random.Random(0)
+        a = Polynomial([rng.randrange(Q) for _ in range(10)], Q)
+        b = Polynomial([rng.randrange(Q) for _ in range(7)], Q)
+        assert (a + b) - b == a
+
+    def test_mul_matches_naive(self):
+        a = Polynomial([1, 2, 3], Q)
+        b = Polynomial([4, 5], Q)
+        assert (a * b).coefficients == [4, 13, 22, 15]
+
+    def test_modulus_mismatch_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            Polynomial([1], Q) + Polynomial([1], Q - 2)
+
+    def test_pointwise_requires_equal_lengths(self):
+        with pytest.raises(ArithmeticDomainError):
+            Polynomial([1, 2], Q).pointwise_multiply(Polynomial([1], Q))
+
+    def test_padded_cannot_truncate_nonzero(self):
+        with pytest.raises(ArithmeticDomainError):
+            Polynomial([1, 2, 3], Q).padded(2)
+
+    def test_evaluate_horner(self):
+        poly = Polynomial([1, 2, 5, 1], Q)  # paper's example f(x) = x^3 + 5x^2 + 2x + 1
+        assert poly.evaluate(0) == 1
+        assert poly.evaluate(1) == 9 % Q
+        assert poly.evaluate(2) == (8 + 20 + 4 + 1) % Q
+
+    def test_scale(self):
+        poly = Polynomial([1, 2], Q).scale(3)
+        assert poly.coefficients == [3, 6]
+
+
+class TestBlasEngines:
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_python_engine_matches_modular_arithmetic(self, data):
+        length = data.draw(st.integers(min_value=1, max_value=16))
+        x = [data.draw(st.integers(min_value=0, max_value=Q - 1)) for _ in range(length)]
+        y = [data.draw(st.integers(min_value=0, max_value=Q - 1)) for _ in range(length)]
+        scale = data.draw(st.integers(min_value=0, max_value=Q - 1))
+        assert vector_addmod(x, y, Q) == [(a + b) % Q for a, b in zip(x, y)]
+        assert vector_submod(x, y, Q) == [(a - b) % Q for a, b in zip(x, y)]
+        assert vector_mulmod(x, y, Q) == [(a * b) % Q for a, b in zip(x, y)]
+        assert axpy(scale, x, y, Q) == [(scale * a + b) % Q for a, b in zip(x, y)]
+
+    def test_unreduced_input_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            vector_addmod([Q], [0], Q)
+        with pytest.raises(ArithmeticDomainError):
+            vector_addmod([0, 1], [0], Q)
+
+    def test_moma_engine_matches_python_engine(self):
+        config = KernelConfig(bits=128)
+        q = find_ntt_prime(124, 16)
+        moma = MomaBlasEngine(config)
+        python = PythonBlasEngine()
+        rng = random.Random(1)
+        x = [rng.randrange(q) for _ in range(8)]
+        y = [rng.randrange(q) for _ in range(8)]
+        scale = rng.randrange(q)
+        assert moma.vadd(x, y, q) == python.vadd(x, y, q)
+        assert moma.vsub(x, y, q) == python.vsub(x, y, q)
+        assert moma.vmul(x, y, q) == python.vmul(x, y, q)
+        assert moma.axpy(scale, x, y, q) == python.axpy(scale, x, y, q)
+
+
+class TestMultiplication:
+    def test_ntt_multiplication_matches_schoolbook(self):
+        plan_modulus = make_plan(32, 60).modulus
+        rng = random.Random(3)
+        a = Polynomial([rng.randrange(plan_modulus) for _ in range(12)], plan_modulus)
+        b = Polynomial([rng.randrange(plan_modulus) for _ in range(9)], plan_modulus)
+        assert multiply_ntt(a, b) == multiply_schoolbook(a, b)
+
+    def test_negacyclic_matches_schoolbook_reduction(self):
+        plan = make_plan(16, 60)
+        q = plan.modulus
+        rng = random.Random(4)
+        a = Polynomial([rng.randrange(q) for _ in range(16)], q)
+        b = Polynomial([rng.randrange(q) for _ in range(16)], q)
+        full = multiply_schoolbook(a, b).padded(32).coefficients
+        reduced = [(full[i] - full[i + 16]) % q for i in range(16)]
+        assert multiply_negacyclic(a, b, plan).coefficients == reduced
+
+    def test_modulus_mismatch_rejected(self):
+        plan = make_plan(8, 60)
+        a = Polynomial([1], plan.modulus)
+        b = Polynomial([1], Q if Q != plan.modulus else Q - 2)
+        with pytest.raises(KernelError):
+            multiply_ntt(a, b)
+
+    def test_non_ntt_friendly_modulus_rejected(self):
+        # 2^61 - 1 is prime but 2^61 - 2 is not divisible by large powers of two.
+        bad = Polynomial([1, 1], (1 << 61) - 1)
+        with pytest.raises(Exception):
+            multiply_ntt(bad, bad)

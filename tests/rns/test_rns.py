@@ -1,0 +1,92 @@
+"""Tests for the residue number system substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ArithmeticDomainError
+from repro.rns import (
+    RnsBasis,
+    from_rns,
+    make_basis,
+    rns_add,
+    rns_modmul,
+    rns_mul,
+    rns_sub,
+    to_rns,
+)
+
+
+class TestBasis:
+    @pytest.mark.parametrize("bits", [128, 256, 512, 1024])
+    def test_basis_covers_target(self, bits):
+        basis = make_basis(bits)
+        assert basis.covers(bits)
+        assert basis.range_bits > bits
+
+    def test_channels_fit_word(self):
+        basis = make_basis(256, word_bits=64)
+        assert all(m.bit_length() <= 64 for m in basis.moduli)
+        assert basis.channel_count >= 5  # 60-bit channels for 256+ bits of range
+
+    def test_channels_grow_with_target(self):
+        assert make_basis(1024).channel_count > make_basis(128).channel_count
+
+    def test_invalid_configs(self):
+        with pytest.raises(ArithmeticDomainError):
+            make_basis(0)
+        with pytest.raises(ArithmeticDomainError):
+            make_basis(128, channel_bits=2)
+        with pytest.raises(ArithmeticDomainError):
+            RnsBasis((6, 10), 64)  # not coprime
+        with pytest.raises(ArithmeticDomainError):
+            RnsBasis((), 64)
+        with pytest.raises(ArithmeticDomainError):
+            RnsBasis(((1 << 65), 3), 64)  # channel too wide
+
+
+class TestConversion:
+    basis = make_basis(256)
+
+    @settings(max_examples=60)
+    @given(st.integers(min_value=0, max_value=(1 << 256) - 1))
+    def test_round_trip(self, value):
+        assert from_rns(to_rns(value, self.basis)) == value
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            to_rns(self.basis.dynamic_range, self.basis)
+        with pytest.raises(ArithmeticDomainError):
+            to_rns(-1, self.basis)
+
+    def test_wrong_residue_count_rejected(self):
+        from repro.rns.arith import RnsValue
+
+        with pytest.raises(ArithmeticDomainError):
+            RnsValue((1, 2), self.basis)
+
+
+class TestArithmetic:
+    basis = make_basis(300)
+
+    @settings(max_examples=60)
+    @given(st.data())
+    def test_ring_operations_match_integers(self, data):
+        limit = self.basis.dynamic_range
+        a = data.draw(st.integers(min_value=0, max_value=(1 << 140) - 1))
+        b = data.draw(st.integers(min_value=0, max_value=(1 << 140) - 1))
+        ra, rb = to_rns(a, self.basis), to_rns(b, self.basis)
+        assert from_rns(rns_add(ra, rb)) == (a + b) % limit
+        assert from_rns(rns_sub(ra, rb)) == (a - b) % limit
+        assert from_rns(rns_mul(ra, rb)) == (a * b) % limit
+
+    def test_modmul_reduces_by_external_modulus(self):
+        q = (1 << 124) - 159
+        a, b = q - 5, q - 11
+        ra, rb = to_rns(a, self.basis), to_rns(b, self.basis)
+        assert from_rns(rns_modmul(ra, rb, q)) == (a * b) % q
+
+    def test_mixed_bases_rejected(self):
+        other = make_basis(600)
+        assert other.channel_count != self.basis.channel_count
+        with pytest.raises(ArithmeticDomainError):
+            rns_add(to_rns(1, self.basis), to_rns(1, other))
