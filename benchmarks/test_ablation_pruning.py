@@ -7,9 +7,8 @@ knowledge — i.e. plain zero-padding of the inputs to 512 bits, which is what
 the paper identifies as the naive alternative.
 """
 
+from repro.core.driver import get_default_session
 from repro.core.ir import KernelBuilder
-from repro.core.passes import optimize
-from repro.core.rewrite import legalize
 from repro.gpu import cost_kernel, estimate_ntt
 from repro.kernels import KernelConfig, generate_butterfly_kernel
 
@@ -34,7 +33,8 @@ def _padded_butterfly_kernel(container_bits: int, modulus_bits: int):
         uniform_params=["q", "mu"],
     )
     config = KernelConfig(bits=container_bits, modulus_bits=modulus_bits)
-    return optimize(legalize(builder.build(), config.rewrite_options())), config
+    session = get_default_session()
+    return session.lower(builder.build(), options=config.rewrite_options()), config
 
 
 def _pruning_comparison():

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 
+from repro.core.driver import CompilerSession
 from repro.kernels import KernelConfig
 from repro.ntt import make_plan, negacyclic_convolution_reference, negacyclic_multiply
 from repro.ntt.generated import GeneratedNTT
@@ -39,8 +40,10 @@ def main() -> None:
     a = [rng.randrange(q) for _ in range(RING_DEGREE)]
     b = [rng.randrange(q) for _ in range(RING_DEGREE)]
 
-    # MoMA route: 128-bit residues handled directly by generated kernels.
-    transform = GeneratedNTT(RING_DEGREE, config, plan=plan)
+    # MoMA route: 128-bit residues handled directly by generated kernels,
+    # compiled through one driver session.
+    session = CompilerSession()
+    transform = GeneratedNTT(RING_DEGREE, config, plan=plan, session=session)
     product = negacyclic_multiply(a, b, plan, transform._butterfly)
     assert product == negacyclic_convolution_reference(a, b, q)
     print("negacyclic product with generated 128-bit butterflies: OK")

@@ -1,10 +1,11 @@
 """Emit the full set of CUDA kernels the paper's evaluation uses.
 
 Generates the BLAS kernels (vadd/vsub/vmul/axpy) and the NTT butterfly for a
-chosen bit-width, writes them to ``generated_cuda/``, and prints a summary of
-their interfaces and instruction mixes.  On a machine with ``nvcc`` these
-files compile as-is; in this environment they are the artifact the golden
-tests inspect.
+chosen bit-width through one :class:`~repro.core.driver.CompilerSession`,
+writes both the ``cuda`` and ``c99`` target artifacts to ``generated_cuda/``,
+and prints a summary of their interfaces and instruction mixes.  On a machine
+with ``nvcc`` these files compile as-is; in this environment they are the
+artifact the golden tests inspect.
 
 Run with:  python examples/generate_cuda_kernels.py [bits]
 """
@@ -14,13 +15,13 @@ from __future__ import annotations
 import pathlib
 import sys
 
-from repro.core.codegen import generate_c99, generate_cuda
+from repro.core.driver import CompilerSession
 from repro.gpu import cost_kernel
 from repro.kernels import (
     BLAS_OPERATIONS,
     KernelConfig,
-    generate_blas_kernel,
-    generate_butterfly_kernel,
+    build_blas_kernel,
+    build_butterfly_kernel,
 )
 
 OUTPUT_DIRECTORY = pathlib.Path(__file__).resolve().parent / "generated_cuda"
@@ -29,23 +30,32 @@ OUTPUT_DIRECTORY = pathlib.Path(__file__).resolve().parent / "generated_cuda"
 def main() -> None:
     bits = int(sys.argv[1]) if len(sys.argv) > 1 else 256
     config = KernelConfig(bits=bits)
+    session = CompilerSession(options=config.rewrite_options())
     OUTPUT_DIRECTORY.mkdir(exist_ok=True)
 
-    kernels = {
-        operation: generate_blas_kernel(operation, config) for operation in BLAS_OPERATIONS
+    wide_kernels = {
+        operation: build_blas_kernel(operation, config) for operation in BLAS_OPERATIONS
     }
-    kernels["ntt_butterfly"] = generate_butterfly_kernel(config)
+    wide_kernels["ntt_butterfly"] = build_butterfly_kernel(config)
 
     print(f"Generating {bits}-bit kernels into {OUTPUT_DIRECTORY}/")
-    for name, kernel in kernels.items():
-        cuda_path = OUTPUT_DIRECTORY / f"{kernel.name}.cu"
-        c_path = OUTPUT_DIRECTORY / f"{kernel.name}.c"
-        cuda_path.write_text(generate_cuda(kernel))
-        c_path.write_text(generate_c99(kernel))
-        cost = cost_kernel(kernel)
+    for name, wide in wide_kernels.items():
+        # Both emissions share one cached lowering inside the session.
+        cuda_source = session.compile(wide, target="cuda")
+        c_source = session.compile(wide, target="c99")
+        lowered = session.lower(wide)
+        cuda_path = OUTPUT_DIRECTORY / f"{lowered.name}.cu"
+        c_path = OUTPUT_DIRECTORY / f"{lowered.name}.c"
+        cuda_path.write_text(cuda_source)
+        c_path.write_text(c_source)
+        cost = cost_kernel(lowered)
         print(f"  {name:>14}: {cost.statement_count:5d} statements, "
               f"{cost.multiplications:4d} word multiplies, "
-              f"{len(kernel.params):3d} word parameters -> {cuda_path.name}")
+              f"{len(lowered.params):3d} word parameters -> {cuda_path.name}")
+
+    cache = session.cache_info()
+    print(f"session cache: {cache.hits} hits / {cache.misses} misses; "
+          f"one lowering serves both targets per kernel")
 
 
 if __name__ == "__main__":

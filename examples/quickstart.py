@@ -1,12 +1,14 @@
-"""Quickstart: generate, inspect and run a MoMA kernel.
+"""Quickstart: generate, inspect and run a MoMA kernel via the driver.
 
-Walks through the paper's pipeline on one kernel:
+Walks through the paper's pipeline on one kernel, driven by the unified
+compiler entry point (:class:`repro.core.driver.CompilerSession`):
 
 1. build a 256-bit NTT butterfly as wide-typed abstract code,
-2. legalize it with the MoMA rewrite system (Table 1) down to 64-bit words,
-3. run the optimization passes,
-4. emit CUDA (what the paper ships) and execute the same kernel through the
-   Python backend to check it against big-integer arithmetic, and
+2. lower it — MoMA legalization (Table 1) down to 64-bit words plus the
+   optimization passes — through the session (one call, cached),
+3. emit CUDA (what the paper ships) and compile the same kernel for the
+   executable Python backend to check it against big-integer arithmetic,
+4. read the session's pipeline instrumentation and cache counters, and
 5. ask the GPU cost model what it would cost on the paper's three GPUs.
 
 Run with:  python examples/quickstart.py
@@ -16,10 +18,8 @@ from __future__ import annotations
 
 import random
 
-from repro.core.codegen import compile_kernel, generate_cuda
+from repro.core.driver import CompilerSession
 from repro.core.ir import format_kernel, format_signature
-from repro.core.passes import optimize
-from repro.core.rewrite import legalize
 from repro.gpu import estimate_ntt
 from repro.kernels import KernelConfig, build_butterfly_kernel
 from repro.ntheory import find_ntt_prime
@@ -27,27 +27,28 @@ from repro.ntheory import find_ntt_prime
 
 def main() -> None:
     config = KernelConfig(bits=256)
+    session = CompilerSession()
 
     # 1. Frontend: the butterfly as wide-typed IR.
     wide = build_butterfly_kernel(config)
     print("=== wide-typed kernel (before MoMA) ===")
     print(format_kernel(wide))
 
-    # 2-3. MoMA legalization + optimization passes.
-    legalized = optimize(legalize(wide, config.rewrite_options()))
+    # 2. One driver call replaces the old legalize + optimize hand-chain.
+    legalized = session.lower(wide, options=config.rewrite_options())
     print()
     print("=== after MoMA legalization ===")
     print(f"signature: {format_signature(legalized)[:120]}...")
     print(f"machine-word statements: {len(legalized.body)}")
 
-    # 4a. CUDA emission (the artifact the paper generates with SPIRAL).
-    cuda_source = generate_cuda(legalized)
+    # 3a. CUDA emission (the artifact the paper generates with SPIRAL).
+    cuda_source = session.compile(wide, target="cuda", options=config.rewrite_options())
     print()
     print("=== generated CUDA (first 12 lines) ===")
     print("\n".join(cuda_source.splitlines()[:12]))
 
-    # 4b. Execute the generated machine-word code and verify it.
-    compiled = compile_kernel(legalized)
+    # 3b. Execute the generated machine-word code and verify it.
+    compiled = session.compile(wide, target="python_exec", options=config.rewrite_options())
     q = find_ntt_prime(config.effective_modulus_bits, 1 << 10)
     mu = (1 << (2 * config.effective_modulus_bits + 3)) // q
     rng = random.Random(0)
@@ -57,13 +58,22 @@ def main() -> None:
     assert outputs["y_out"] == (x - w * y) % q
     print()
     print("=== execution check ===")
-    print(f"butterfly on 256-bit operands matches big-integer arithmetic: OK")
+    print("butterfly on 256-bit operands matches big-integer arithmetic: OK")
+
+    # 4. The driver instruments every compilation: per-pass timings,
+    #    statement deltas, and kernel-cache hit/miss counters.
+    print()
+    print("=== session instrumentation ===")
+    print(session.stats().report())
+    cache = session.cache_info()
+    print(f"kernel cache: {cache.hits} hits / {cache.misses} misses "
+          f"({cache.currsize}/{cache.maxsize} entries)")
 
     # 5. What would this cost on the paper's GPUs?
     print()
     print("=== modelled 2^16-point NTT cost (ns / butterfly) ===")
     for device in ("h100", "rtx4090", "v100"):
-        estimate = estimate_ntt(config, 1 << 16, device)
+        estimate = estimate_ntt(config, 1 << 16, device, session=session)
         print(f"  {device:>8}: {estimate.per_butterfly_ns:6.3f} ns")
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 
+from repro.core.driver import CompilerSession
 from repro.gpu import cost_kernel, estimate_ntt
 from repro.kernels import KernelConfig
 from repro.ntt import GeneratedNTT
@@ -28,7 +29,8 @@ TRANSFORM_SIZE = 16
 
 def main() -> None:
     config = KernelConfig(bits=FIELD_BITS)
-    transform = GeneratedNTT(TRANSFORM_SIZE, config)
+    session = CompilerSession()
+    transform = GeneratedNTT(TRANSFORM_SIZE, config, session=session)
     q = transform.modulus
     print(f"384-bit ZKP-style field: q has {q.bit_length()} bits")
     print(f"container width {config.container_bits} bits, "
@@ -52,7 +54,7 @@ def main() -> None:
           f"384-bit butterflies: OK")
 
     # The surrounding prover arithmetic: batched vector operations.
-    moma = MomaBlasEngine(config)
+    moma = MomaBlasEngine(config, session=session)
     python_engine = PythonBlasEngine()
     x = [rng.randrange(q) for _ in range(8)]
     y = [rng.randrange(q) for _ in range(8)]
@@ -66,10 +68,14 @@ def main() -> None:
     print(f"generated butterfly: {butterfly_cost.statement_count} machine statements, "
           f"{butterfly_cost.multiplications} word multiplications")
     for size_log in (12, 16, 20):
-        estimate = estimate_ntt(config, 1 << size_log, "rtx4090")
+        estimate = estimate_ntt(config, 1 << size_log, "rtx4090", session=session)
         print(f"  2^{size_log:>2} NTT on RTX 4090 (modelled): "
               f"{estimate.per_ntt_us:9.1f} us / transform, "
               f"{estimate.per_butterfly_ns:6.3f} ns / butterfly")
+
+    cache = session.cache_info()
+    print(f"\nsession kernel cache: {cache.hits} hits / {cache.misses} misses "
+          f"(the butterfly is compiled once, reused everywhere)")
 
 
 if __name__ == "__main__":

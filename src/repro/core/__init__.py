@@ -1,7 +1,18 @@
 """The paper's contribution: abstract-code IR, MoMA rewrite system,
-optimization passes and code generators."""
+optimization passes, code generators, and the compiler driver that ties
+them together behind one entry point."""
 
 from repro.core.ir import KernelBuilder, Kernel, interpret
 from repro.core.rewrite import RewriteOptions, legalize
+from repro.core.driver import CompilerSession, Target, get_default_session
 
-__all__ = ["KernelBuilder", "Kernel", "interpret", "RewriteOptions", "legalize"]
+__all__ = [
+    "KernelBuilder",
+    "Kernel",
+    "interpret",
+    "RewriteOptions",
+    "legalize",
+    "CompilerSession",
+    "Target",
+    "get_default_session",
+]

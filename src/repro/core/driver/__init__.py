@@ -1,0 +1,50 @@
+"""The unified compiler driver.
+
+One subsystem that every layer — kernel frontends, NTT/BLAS libraries, GPU
+model, evaluation harnesses, examples — uses to turn wide-typed IR into
+artifacts:
+
+* :mod:`repro.core.driver.targets` — the target registry (``cuda``, ``c99``,
+  ``python_exec``) behind one ``emit(kernel, target)`` API;
+* :mod:`repro.core.driver.cache` — the bounded content-addressed kernel
+  cache with hit/miss counters;
+* :mod:`repro.core.driver.stats` — per-pass timing and statement-count
+  instrumentation;
+* :mod:`repro.core.driver.session` — :class:`CompilerSession`, which ties
+  the three together and is the single compile entry point.
+"""
+
+from repro.core.driver.cache import CacheStats, ContentAddressedCache
+from repro.core.driver.session import (
+    DEFAULT_CACHE_SIZE,
+    CompilerSession,
+    get_default_session,
+    reset_default_session,
+    set_default_session,
+)
+from repro.core.driver.stats import CompileRecord, CompileStats, PassRecord
+from repro.core.driver.targets import (
+    Target,
+    emit,
+    get_target,
+    list_targets,
+    register_target,
+)
+
+__all__ = [
+    "CacheStats",
+    "ContentAddressedCache",
+    "DEFAULT_CACHE_SIZE",
+    "CompilerSession",
+    "get_default_session",
+    "reset_default_session",
+    "set_default_session",
+    "CompileRecord",
+    "CompileStats",
+    "PassRecord",
+    "Target",
+    "emit",
+    "get_target",
+    "list_targets",
+    "register_target",
+]

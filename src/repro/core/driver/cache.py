@@ -1,0 +1,93 @@
+"""Bounded content-addressed cache with hit/miss accounting.
+
+The driver keys every lowered kernel and emitted artifact by a stable
+content digest (see :func:`repro.core.ir.fingerprint.kernel_digest`), so two
+sessions — or two processes — compiling the same IR with the same options on
+the same target share one cache entry semantics-wise: same key, same value.
+This module supplies the storage: an LRU-evicting mapping with the counters
+the north-star service needs to observe (hits, misses, evictions, size).
+
+It replaces the ``functools.lru_cache`` decorators that used to sit on every
+frontend: those were keyed by Python argument identity, invisible to
+instrumentation, unbounded, and impossible to share across layers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import DriverError
+
+__all__ = ["CacheStats", "ContentAddressedCache"]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    currsize: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class ContentAddressedCache:
+    """An LRU-evicting key/value store with hit/miss/eviction counters."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise DriverError(f"cache maxsize must be positive, got {maxsize}")
+        self._maxsize = maxsize
+        self._entries: OrderedDict = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key, default=None):
+        """Look up ``key``, counting a hit or a miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self._misses += 1
+            return default
+        self._hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        """Store ``key``, evicting the least recently used entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Current counter snapshot."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            currsize=len(self._entries),
+            maxsize=self._maxsize,
+        )

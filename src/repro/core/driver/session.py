@@ -1,0 +1,220 @@
+"""The unified compiler driver: one entry point for every layer.
+
+A :class:`CompilerSession` owns the three things the frontends used to
+hand-chain on their own — the :class:`RewriteOptions`, the optimization pass
+pipeline, and a backend target — plus a content-addressed kernel cache and
+per-pass instrumentation:
+
+    session = CompilerSession()
+    kernel = build_butterfly_kernel(KernelConfig(bits=256))
+    lowered = session.lower(kernel)                      # legalize + passes
+    cuda = session.compile(kernel, target="cuda")        # ... + emission
+    runnable = session.compile(kernel, target="python_exec")
+    print(session.stats().report())
+
+Cache keys are stable content digests of (builder IR, options, pipeline,
+target), so identical requests — within a session or across sessions — are
+recognized as the same compilation; ``session.cache_info()`` exposes the
+hit/miss counters and the LRU bound keeps memory finite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.core.ir.fingerprint import kernel_digest
+from repro.core.ir.kernel import Kernel
+from repro.core.passes.pipeline import DEFAULT_PIPELINE, optimize
+from repro.core.rewrite.legalize import legalize
+from repro.core.rewrite.options import RewriteOptions
+from repro.core.driver.cache import CacheStats, ContentAddressedCache
+from repro.core.driver.stats import CompileRecord, CompileStats, PassRecord
+from repro.core.driver.targets import Target, emit, get_target
+
+__all__ = [
+    "CompilerSession",
+    "DEFAULT_CACHE_SIZE",
+    "get_default_session",
+    "set_default_session",
+    "reset_default_session",
+]
+
+#: Default bound on cached lowered kernels + emitted artifacts per session.
+#: Sized so a full evaluation sweep (every figure at every bit-width, both
+#: lowered IR and emitted artifacts) stays resident.
+DEFAULT_CACHE_SIZE = 1024
+
+
+class CompilerSession:
+    """Drives build → legalize → optimize → emit with caching and stats.
+
+    Args:
+        options: default legalization options; per-call ``options`` (e.g.
+            from a :class:`~repro.kernels.config.KernelConfig`) override them.
+        pipeline: the optimization pass sequence run by :meth:`lower`.
+        cache_size: LRU bound on cache entries (lowered kernels and emitted
+            artifacts share the one cache).
+    """
+
+    def __init__(
+        self,
+        options: RewriteOptions | None = None,
+        pipeline=DEFAULT_PIPELINE,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        self.options = options if options is not None else RewriteOptions()
+        self.pipeline = tuple(pipeline)
+        self._pipeline_token = tuple(p.__name__ for p in self.pipeline)
+        self._cache = ContentAddressedCache(maxsize=cache_size)
+        self._stats = CompileStats()
+
+    # -- cache keys ---------------------------------------------------------
+
+    @staticmethod
+    def _options_token(options: RewriteOptions) -> tuple:
+        # astuple tracks the dataclass: a future RewriteOptions field can
+        # never be silently excluded from the cache key.
+        return dataclasses.astuple(options)
+
+    def _key(
+        self,
+        kernel: Kernel,
+        stage: str,
+        options: RewriteOptions,
+        run_passes: bool,
+        target_name: str = "",
+    ) -> str:
+        return kernel_digest(
+            kernel,
+            extra=(
+                stage,
+                self._options_token(options),
+                run_passes,
+                self._pipeline_token,
+                target_name,
+            ),
+        )
+
+    # -- compilation --------------------------------------------------------
+
+    def lower(
+        self,
+        kernel: Kernel,
+        options: RewriteOptions | None = None,
+        run_passes: bool = True,
+    ) -> Kernel:
+        """Legalize a wide-typed kernel and run the pass pipeline (cached)."""
+        options = options if options is not None else self.options
+        key = self._key(kernel, "lower", options, run_passes)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._stats.record_hit()
+            return cached
+
+        started = time.perf_counter()
+        legalized = legalize(kernel, options)
+        legalize_seconds = time.perf_counter() - started
+        statements_legalized = len(legalized.body)
+
+        pass_records: list[PassRecord] = []
+        if run_passes:
+            legalized = optimize(
+                legalized,
+                pipeline=self.pipeline,
+                observer=lambda name, round_index, seconds, before, after: (
+                    pass_records.append(
+                        PassRecord(name, round_index, seconds, before, after)
+                    )
+                ),
+            )
+        self._stats.record(
+            CompileRecord(
+                kernel_name=kernel.name,
+                key=key,
+                target=None,
+                seconds=time.perf_counter() - started,
+                legalize_seconds=legalize_seconds,
+                statements_wide=len(kernel.body),
+                statements_legalized=statements_legalized,
+                statements_final=len(legalized.body),
+                passes=tuple(pass_records),
+            )
+        )
+        self._cache.put(key, legalized)
+        return legalized
+
+    def compile(
+        self,
+        kernel: Kernel,
+        target: str | Target = "python_exec",
+        options: RewriteOptions | None = None,
+        run_passes: bool = True,
+    ) -> object:
+        """Lower a wide-typed kernel and emit it on a target (cached).
+
+        Returns the target's artifact: CUDA/C source for the ``cuda`` and
+        ``c99`` targets, a :class:`CompiledKernel` for ``python_exec``.
+        """
+        resolved = get_target(target)
+        options = options if options is not None else self.options
+        key = self._key(kernel, "emit", options, run_passes, resolved.name)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._stats.record_hit()
+            return cached
+
+        lowered = self.lower(kernel, options=options, run_passes=run_passes)
+        started = time.perf_counter()
+        artifact = emit(lowered, resolved)
+        self._stats.record(
+            CompileRecord(
+                kernel_name=kernel.name,
+                key=key,
+                target=resolved.name,
+                seconds=time.perf_counter() - started,
+                legalize_seconds=0.0,
+                statements_wide=len(kernel.body),
+                statements_legalized=len(lowered.body),
+                statements_final=len(lowered.body),
+            )
+        )
+        self._cache.put(key, artifact)
+        return artifact
+
+    # -- observability ------------------------------------------------------
+
+    def stats(self) -> CompileStats:
+        """The session's compilation records (live object, not a copy)."""
+        return self._stats
+
+    def cache_info(self) -> CacheStats:
+        """Hit/miss/eviction counters and current size of the kernel cache."""
+        return self._cache.stats()
+
+    def clear_cache(self) -> None:
+        """Drop every cached kernel and artifact (counters are preserved)."""
+        self._cache.clear()
+
+
+_DEFAULT_SESSION: CompilerSession | None = None
+
+
+def get_default_session() -> CompilerSession:
+    """The process-wide session used when callers do not supply their own."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = CompilerSession()
+    return _DEFAULT_SESSION
+
+
+def set_default_session(session: CompilerSession) -> CompilerSession:
+    """Replace the process-wide default session (returns it for chaining)."""
+    global _DEFAULT_SESSION
+    _DEFAULT_SESSION = session
+    return session
+
+
+def reset_default_session() -> CompilerSession:
+    """Install (and return) a fresh default session — used by tests."""
+    return set_default_session(CompilerSession())

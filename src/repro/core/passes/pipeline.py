@@ -8,8 +8,10 @@ iterating to a fixed point (each pass can expose work for the others).
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Sequence
 
+from repro.core.ir.fingerprint import body_signature
 from repro.core.ir.kernel import Kernel
 from repro.core.passes.constant_fold import fold_constants
 from repro.core.passes.copy_propagation import propagate_copies
@@ -17,9 +19,13 @@ from repro.core.passes.cse import eliminate_common_subexpressions
 from repro.core.passes.dce import eliminate_dead_code
 from repro.core.passes.simplify import simplify
 
-__all__ = ["optimize", "run_pipeline", "DEFAULT_PIPELINE"]
+__all__ = ["optimize", "run_pipeline", "DEFAULT_PIPELINE", "PassObserver"]
 
 Pass = Callable[[Kernel], Kernel]
+
+#: Callback invoked after each pass application:
+#: ``observer(pass_name, round_index, seconds, statements_before, statements_after)``.
+PassObserver = Callable[[str, int, float, int, int], None]
 
 #: The default pass order; one round of this list is one pipeline iteration.
 DEFAULT_PIPELINE: tuple[Pass, ...] = (
@@ -39,17 +45,37 @@ def run_pipeline(kernel: Kernel, passes: Sequence[Pass]) -> Kernel:
     return kernel
 
 
-def optimize(kernel: Kernel, max_rounds: int = 8) -> Kernel:
-    """Run the default pipeline until the body stops changing.
+def optimize(
+    kernel: Kernel,
+    max_rounds: int = 8,
+    pipeline: Sequence[Pass] = DEFAULT_PIPELINE,
+    observer: PassObserver | None = None,
+) -> Kernel:
+    """Run the pipeline until the body stops changing.
 
     ``max_rounds`` bounds the iteration; in practice two or three rounds
-    reach the fixed point even for 1,024-bit kernels.
+    reach the fixed point even for 1,024-bit kernels.  The fixed point is
+    detected with :func:`body_signature` — a structural hash, much cheaper
+    than re-stringifying every statement each round.  ``observer`` (used by
+    the driver's :class:`~repro.core.driver.session.CompilerSession` for
+    pipeline instrumentation) receives per-pass timing and statement counts.
     """
-    previous_fingerprint = None
-    for _ in range(max_rounds):
-        kernel = run_pipeline(kernel, DEFAULT_PIPELINE)
-        fingerprint = tuple(str(statement) for statement in kernel.body)
-        if fingerprint == previous_fingerprint:
+    previous_signature = body_signature(kernel)
+    for round_index in range(max_rounds):
+        for optimization in pipeline:
+            statements_before = len(kernel.body)
+            started = time.perf_counter()
+            kernel = optimization(kernel)
+            if observer is not None:
+                observer(
+                    optimization.__name__,
+                    round_index,
+                    time.perf_counter() - started,
+                    statements_before,
+                    len(kernel.body),
+                )
+        signature = body_signature(kernel)
+        if signature == previous_signature:
             break
-        previous_fingerprint = fingerprint
+        previous_signature = signature
     return kernel

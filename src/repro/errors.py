@@ -48,3 +48,12 @@ class SimulationError(ReproError):
 class EvaluationError(ReproError):
     """An evaluation harness was configured with parameters outside the
     range reported in the paper."""
+
+
+class DriverError(ReproError):
+    """The compiler driver was misused (bad target registration, a kernel
+    emitted on a target that does not support its word width, ...)."""
+
+
+class UnknownTargetError(DriverError):
+    """A compilation target name is not present in the target registry."""

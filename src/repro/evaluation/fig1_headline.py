@@ -9,6 +9,7 @@ series shown in Figure 1.
 
 from __future__ import annotations
 
+from repro.core.driver import CompilerSession
 from repro.evaluation.common import FigureResult, geometric_mean_ratio
 from repro.evaluation.fig3_ntt import DEFAULT_SIZES, run_figure3_panel
 
@@ -18,9 +19,11 @@ __all__ = ["run_figure1", "headline_speedups"]
 FIGURE1_SERIES = ("MoMA (RTX 4090)", "MoMA (H100)", "MoMA (V100)", "ICICLE", "FPMM")
 
 
-def run_figure1(sizes: tuple[int, ...] = DEFAULT_SIZES) -> FigureResult:
+def run_figure1(
+    sizes: tuple[int, ...] = DEFAULT_SIZES, session: CompilerSession | None = None
+) -> FigureResult:
     """Regenerate Figure 1 (256-bit NTT across GPUs and ASIC)."""
-    panel = run_figure3_panel(256, sizes)
+    panel = run_figure3_panel(256, sizes, session=session)
     series = [panel.get(name) for name in FIGURE1_SERIES]
     return FigureResult(
         figure="Figure 1",
@@ -32,14 +35,16 @@ def run_figure1(sizes: tuple[int, ...] = DEFAULT_SIZES) -> FigureResult:
     )
 
 
-def headline_speedups(sizes: tuple[int, ...] = DEFAULT_SIZES) -> dict[str, float]:
+def headline_speedups(
+    sizes: tuple[int, ...] = DEFAULT_SIZES, session: CompilerSession | None = None
+) -> dict[str, float]:
     """The two headline numbers of Figure 1's caption.
 
     Returns the average speedup of MoMA on the RTX 4090 over ICICLE on the
     H100, and the ratio of MoMA (RTX 4090) to the FPMM ASIC (values close to
     or below 1 mean "near-ASIC performance").
     """
-    figure = run_figure1(sizes)
+    figure = run_figure1(sizes, session=session)
     moma_rtx = figure.get("MoMA (RTX 4090)")
     return {
         "speedup_vs_icicle_h100": geometric_mean_ratio(figure.get("ICICLE"), moma_rtx),

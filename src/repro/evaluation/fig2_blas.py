@@ -11,6 +11,7 @@ EXPERIMENTS.md for provenance).
 from __future__ import annotations
 
 from repro.baselines.published import blas_baselines
+from repro.core.driver import CompilerSession
 from repro.errors import EvaluationError
 from repro.evaluation.common import FigureResult, Series
 from repro.gpu.simulator import estimate_blas
@@ -29,7 +30,9 @@ ELEMENTS = 1 << 20
 MOMA_DEVICE = "v100"
 
 
-def run_figure2_panel(bits: int, elements: int = ELEMENTS) -> FigureResult:
+def run_figure2_panel(
+    bits: int, elements: int = ELEMENTS, session: CompilerSession | None = None
+) -> FigureResult:
     """Regenerate one panel (one bit-width) of Figure 2.
 
     The series map each BLAS operation to nanoseconds per element for MoMA,
@@ -43,7 +46,7 @@ def run_figure2_panel(bits: int, elements: int = ELEMENTS) -> FigureResult:
     gmp_points: dict[int, float] = {}
     grns_points: dict[int, float] = {}
     for index, operation in enumerate(BLAS_OPERATIONS):
-        estimate = estimate_blas(operation, config, MOMA_DEVICE, elements)
+        estimate = estimate_blas(operation, config, MOMA_DEVICE, elements, session=session)
         moma_points[index] = estimate.per_element_ns
         for anchor in blas_baselines(operation, bits):
             target = gmp_points if anchor.name == "GMP" else grns_points
@@ -68,6 +71,8 @@ def run_figure2_panel(bits: int, elements: int = ELEMENTS) -> FigureResult:
     return result
 
 
-def run_figure2(elements: int = ELEMENTS) -> dict[int, FigureResult]:
+def run_figure2(
+    elements: int = ELEMENTS, session: CompilerSession | None = None
+) -> dict[int, FigureResult]:
     """Regenerate all four panels of Figure 2."""
-    return {bits: run_figure2_panel(bits, elements) for bits in BIT_WIDTHS}
+    return {bits: run_figure2_panel(bits, elements, session=session) for bits in BIT_WIDTHS}

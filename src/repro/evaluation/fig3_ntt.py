@@ -11,6 +11,7 @@ RPU, FPMM, OpenFHE, AVX-NTT, Libsnark) come from the documented anchors in
 from __future__ import annotations
 
 from repro.baselines.published import ntt_baselines
+from repro.core.driver import CompilerSession
 from repro.errors import EvaluationError
 from repro.evaluation.common import FigureResult, Series
 from repro.gpu.simulator import estimate_ntt
@@ -35,6 +36,7 @@ def run_figure3_panel(
     bits: int,
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     multiplication: str = "schoolbook",
+    session: CompilerSession | None = None,
 ) -> FigureResult:
     """Regenerate one panel of Figure 3 for a given input bit-width."""
     if bits not in NTT_BIT_WIDTHS:
@@ -44,7 +46,9 @@ def run_figure3_panel(
     moma_series: dict[str, dict[int, float]] = {device: {} for device in MOMA_DEVICES}
     for size in sizes:
         for device in MOMA_DEVICES:
-            moma_series[device][size] = estimate_ntt(config, size, device).per_butterfly_ns
+            moma_series[device][size] = estimate_ntt(
+                config, size, device, session=session
+            ).per_butterfly_ns
 
     series = [
         Series(_DEVICE_LABELS[device], device, moma_series[device]) for device in MOMA_DEVICES
@@ -70,9 +74,12 @@ def run_figure3_panel(
 
 
 def run_figure3(
-    sizes: tuple[int, ...] = DEFAULT_SIZES, multiplication: str = "schoolbook"
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    multiplication: str = "schoolbook",
+    session: CompilerSession | None = None,
 ) -> dict[int, FigureResult]:
     """Regenerate all four panels of Figure 3."""
     return {
-        bits: run_figure3_panel(bits, sizes, multiplication) for bits in NTT_BIT_WIDTHS
+        bits: run_figure3_panel(bits, sizes, multiplication, session=session)
+        for bits in NTT_BIT_WIDTHS
     }

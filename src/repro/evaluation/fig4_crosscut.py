@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.baselines.bigint import gmp_cost_model_ns
 from repro.baselines.published import ntt_baselines
+from repro.core.driver import CompilerSession
 from repro.evaluation.common import FigureResult, Series
 from repro.evaluation.fig3_ntt import MOMA_DEVICES, _DEVICE_LABELS
 from repro.gpu.simulator import estimate_ntt
@@ -41,7 +42,9 @@ def _gmp_ntt_per_butterfly_ns(bits: int) -> float:
     return single_thread / openmp_cores
 
 
-def run_figure4(size: int = CROSSCUT_SIZE) -> FigureResult:
+def run_figure4(
+    size: int = CROSSCUT_SIZE, session: CompilerSession | None = None
+) -> FigureResult:
     """Regenerate Figure 4 (2^16-point NTT across bit-widths)."""
     moma_points: dict[str, dict[int, float]] = {device: {} for device in MOMA_DEVICES}
     gmp_points: dict[int, float] = {}
@@ -51,7 +54,7 @@ def run_figure4(size: int = CROSSCUT_SIZE) -> FigureResult:
     for bits in CROSSCUT_BIT_WIDTHS:
         config = KernelConfig(bits=bits)
         estimates = {
-            device: estimate_ntt(config, size, device).per_butterfly_ns
+            device: estimate_ntt(config, size, device, session=session).per_butterfly_ns
             for device in MOMA_DEVICES
         }
         for device in MOMA_DEVICES:

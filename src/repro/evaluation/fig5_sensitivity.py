@@ -11,6 +11,7 @@ Two panels:
 
 from __future__ import annotations
 
+from repro.core.driver import CompilerSession
 from repro.evaluation.common import FigureResult, Series
 from repro.gpu.simulator import estimate_ntt
 from repro.kernels.config import KernelConfig
@@ -33,14 +34,16 @@ FIG5A_BIT_WIDTHS = (64, 128, 192, 256, 320, 384, 448, 512, 576, 640, 768, 896, 1
 FIG5B_BIT_WIDTHS = (128, 256, 384, 768)
 
 
-def run_figure5a(size: int = SENSITIVITY_SIZE) -> FigureResult:
+def run_figure5a(
+    size: int = SENSITIVITY_SIZE, session: CompilerSession | None = None
+) -> FigureResult:
     """Regenerate Figure 5a: NTT runtime versus input bit-width."""
     devices = ("h100", "rtx4090")
     points: dict[str, dict[int, float]] = {device: {} for device in devices}
     for bits in FIG5A_BIT_WIDTHS:
         config = KernelConfig(bits=bits)
         for device in devices:
-            points[device][bits] = estimate_ntt(config, size, device).per_ntt_us
+            points[device][bits] = estimate_ntt(config, size, device, session=session).per_ntt_us
     return FigureResult(
         figure="Figure 5a",
         title=f"{size}-point NTT runtime vs input bit-width",
@@ -54,7 +57,9 @@ def run_figure5a(size: int = SENSITIVITY_SIZE) -> FigureResult:
     )
 
 
-def run_figure5b(size: int = SENSITIVITY_SIZE) -> FigureResult:
+def run_figure5b(
+    size: int = SENSITIVITY_SIZE, session: CompilerSession | None = None
+) -> FigureResult:
     """Regenerate Figure 5b: Karatsuba versus schoolbook multiplication.
 
     Both series run on the RTX 4090 model; see EXPERIMENTS.md for the
@@ -65,7 +70,9 @@ def run_figure5b(size: int = SENSITIVITY_SIZE) -> FigureResult:
     for bits in FIG5B_BIT_WIDTHS:
         for algorithm in algorithms:
             config = KernelConfig(bits=bits, multiplication=algorithm)
-            points[algorithm][bits] = estimate_ntt(config, size, "rtx4090").per_ntt_us
+            points[algorithm][bits] = estimate_ntt(
+                config, size, "rtx4090", session=session
+            ).per_ntt_us
     return FigureResult(
         figure="Figure 5b",
         title=f"{size}-point NTT: Karatsuba vs schoolbook multiplication (RTX 4090)",

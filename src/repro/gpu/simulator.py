@@ -13,9 +13,9 @@ bit-width scaling curves of Figure 5a at very wide operands.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.errors import SimulationError
+from repro.core.driver import CompilerSession
 from repro.gpu.cost_model import (
     EFFICIENCY,
     KERNEL_LAUNCH_OVERHEAD_S,
@@ -101,14 +101,16 @@ class NttEstimate:
         return (self.size // 2) * stages
 
 
-@lru_cache(maxsize=None)
-def _blas_cost(operation: str, config: KernelConfig) -> KernelCost:
-    return cost_kernel(generate_blas_kernel(operation, config))
+def _blas_cost(
+    operation: str, config: KernelConfig, session: CompilerSession | None
+) -> KernelCost:
+    # The kernel itself is cached by the driver session; costing the cached
+    # statement list is a cheap linear walk.
+    return cost_kernel(generate_blas_kernel(operation, config, session=session))
 
 
-@lru_cache(maxsize=None)
-def _butterfly_cost(config: KernelConfig) -> KernelCost:
-    return cost_kernel(generate_butterfly_kernel(config))
+def _butterfly_cost(config: KernelConfig, session: CompilerSession | None) -> KernelCost:
+    return cost_kernel(generate_butterfly_kernel(config, session=session))
 
 
 def estimate_blas(
@@ -116,6 +118,7 @@ def estimate_blas(
     config: KernelConfig,
     device_name: str,
     elements: int = 1 << 20,
+    session: CompilerSession | None = None,
 ) -> BlasEstimate:
     """Steady-state per-element runtime of a batched BLAS kernel.
 
@@ -126,7 +129,7 @@ def estimate_blas(
     if elements < 1:
         raise SimulationError("elements must be positive")
     device = get_device(device_name)
-    cost = _blas_cost(operation, config)
+    cost = _blas_cost(operation, config, session)
     sustained = device.peak_int64_ops_per_second * EFFICIENCY
     occupancy = _occupancy_factor(device, config.operand_words)
 
@@ -159,6 +162,7 @@ def estimate_ntt(
     size: int,
     device_name: str,
     batch: int | None = None,
+    session: CompilerSession | None = None,
 ) -> NttEstimate:
     """Steady-state runtime of an ``size``-point NTT with MoMA butterflies.
 
@@ -167,11 +171,13 @@ def estimate_ntt(
         size: transform length (power of two).
         device_name: ``h100``, ``rtx4090`` or ``v100``.
         batch: fix the batch size instead of searching for the steady state.
+        session: compiler session used to generate the butterfly kernel
+            (defaults to the process-wide session).
     """
     if size < 2 or size & (size - 1):
         raise SimulationError(f"NTT size must be a power of two, got {size}")
     device = get_device(device_name)
-    cost = _butterfly_cost(config)
+    cost = _butterfly_cost(config, session)
     stages = size.bit_length() - 1
     butterflies = (size // 2) * stages
     words = config.operand_words
@@ -220,7 +226,12 @@ def estimate_ntt(
     )
 
 
-def moma_ntt_per_butterfly_ns(bits: int, size: int, multiplication: str = "schoolbook") -> dict[str, float]:
+def moma_ntt_per_butterfly_ns(
+    bits: int,
+    size: int,
+    multiplication: str = "schoolbook",
+    session: CompilerSession | None = None,
+) -> dict[str, float]:
     """MoMA per-butterfly estimates on all three paper GPUs.
 
     Convenience helper used by the evaluation harnesses and the published
@@ -228,6 +239,6 @@ def moma_ntt_per_butterfly_ns(bits: int, size: int, multiplication: str = "schoo
     """
     config = KernelConfig(bits=bits, multiplication=multiplication)
     return {
-        device: estimate_ntt(config, size, device).per_butterfly_ns
+        device: estimate_ntt(config, size, device, session=session).per_butterfly_ns
         for device in ("h100", "rtx4090", "v100")
     }

@@ -17,14 +17,11 @@ evaluation.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.errors import KernelError
+from repro.core.driver import CompilerSession, get_default_session
 from repro.core.ir.builder import KernelBuilder
 from repro.core.ir.kernel import Kernel
-from repro.core.codegen.python_exec import CompiledKernel, compile_kernel
-from repro.core.passes.pipeline import optimize
-from repro.core.rewrite.legalize import legalize
+from repro.core.codegen.python_exec import CompiledKernel
 from repro.kernels.config import KernelConfig
 
 __all__ = [
@@ -83,17 +80,33 @@ def build_blas_kernel(operation: str, config: KernelConfig) -> Kernel:
     return builder.build()
 
 
-@lru_cache(maxsize=None)
-def generate_blas_kernel(operation: str, config: KernelConfig, run_passes: bool = True) -> Kernel:
-    """Legalized (and optionally optimized) machine-word kernel."""
-    kernel = build_blas_kernel(operation, config)
-    legalized = legalize(kernel, config.rewrite_options())
-    if run_passes:
-        legalized = optimize(legalized)
-    return legalized
+def generate_blas_kernel(
+    operation: str,
+    config: KernelConfig,
+    run_passes: bool = True,
+    session: CompilerSession | None = None,
+) -> Kernel:
+    """Legalized (and optionally optimized) machine-word kernel.
+
+    Compilation goes through the driver's content-addressed cache, so
+    repeated requests for the same (operation, config) return the cached
+    kernel.
+    """
+    session = session if session is not None else get_default_session()
+    return session.lower(
+        build_blas_kernel(operation, config),
+        options=config.rewrite_options(),
+        run_passes=run_passes,
+    )
 
 
-@lru_cache(maxsize=None)
-def compile_blas_kernel(operation: str, config: KernelConfig) -> CompiledKernel:
+def compile_blas_kernel(
+    operation: str, config: KernelConfig, session: CompilerSession | None = None
+) -> CompiledKernel:
     """Legalized kernel compiled to an executable Python function."""
-    return compile_kernel(generate_blas_kernel(operation, config))
+    session = session if session is not None else get_default_session()
+    return session.compile(
+        build_blas_kernel(operation, config),
+        target="python_exec",
+        options=config.rewrite_options(),
+    )

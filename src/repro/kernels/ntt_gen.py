@@ -15,14 +15,11 @@ Two butterfly flavours are provided:
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.errors import KernelError
+from repro.core.driver import CompilerSession, get_default_session
 from repro.core.ir.builder import KernelBuilder
 from repro.core.ir.kernel import Kernel
-from repro.core.codegen.python_exec import CompiledKernel, compile_kernel
-from repro.core.passes.pipeline import optimize
-from repro.core.rewrite.legalize import legalize
+from repro.core.codegen.python_exec import CompiledKernel
 from repro.kernels.config import KernelConfig
 
 __all__ = [
@@ -74,21 +71,35 @@ def build_butterfly_kernel(config: KernelConfig, variant: str = "cooley_tukey") 
     return builder.build()
 
 
-@lru_cache(maxsize=None)
 def generate_butterfly_kernel(
-    config: KernelConfig, variant: str = "cooley_tukey", run_passes: bool = True
+    config: KernelConfig,
+    variant: str = "cooley_tukey",
+    run_passes: bool = True,
+    session: CompilerSession | None = None,
 ) -> Kernel:
-    """Legalized (and optionally optimized) machine-word butterfly kernel."""
-    kernel = build_butterfly_kernel(config, variant)
-    legalized = legalize(kernel, config.rewrite_options())
-    if run_passes:
-        legalized = optimize(legalized)
-    return legalized
+    """Legalized (and optionally optimized) machine-word butterfly kernel.
+
+    Compilation goes through the driver's content-addressed cache, so
+    repeated requests for the same (config, variant) return the cached
+    kernel.
+    """
+    session = session if session is not None else get_default_session()
+    return session.lower(
+        build_butterfly_kernel(config, variant),
+        options=config.rewrite_options(),
+        run_passes=run_passes,
+    )
 
 
-@lru_cache(maxsize=None)
 def compile_butterfly_kernel(
-    config: KernelConfig, variant: str = "cooley_tukey"
+    config: KernelConfig,
+    variant: str = "cooley_tukey",
+    session: CompilerSession | None = None,
 ) -> CompiledKernel:
     """Legalized butterfly compiled to an executable Python function."""
-    return compile_kernel(generate_butterfly_kernel(config, variant))
+    session = session if session is not None else get_default_session()
+    return session.compile(
+        build_butterfly_kernel(config, variant),
+        target="python_exec",
+        options=config.rewrite_options(),
+    )

@@ -4,7 +4,7 @@ MoMA-generated-kernel-backed transforms, plus negacyclic convolution."""
 from repro.ntt.generated import GeneratedNTT
 from repro.ntt.iterative import ntt_forward, ntt_inverse, reference_butterfly
 from repro.ntt.negacyclic import negacyclic_convolution_reference, negacyclic_multiply
-from repro.ntt.planner import NTTPlan, bit_reverse_permutation, make_plan
+from repro.ntt.planner import NTTPlan, bit_reverse_permutation, make_plan, plan_cache_stats
 from repro.ntt.reference import intt_definition, ntt_definition
 
 __all__ = [
@@ -17,6 +17,7 @@ __all__ = [
     "NTTPlan",
     "bit_reverse_permutation",
     "make_plan",
+    "plan_cache_stats",
     "intt_definition",
     "ntt_definition",
 ]

@@ -10,10 +10,10 @@ pipeline on a real transform, not just on isolated scalar operations.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from functools import lru_cache
 
 from repro.errors import KernelError
 from repro.core.codegen.python_exec import CompiledKernel
+from repro.core.driver import CompilerSession
 from repro.kernels.config import KernelConfig
 from repro.kernels.ntt_gen import compile_butterfly_kernel
 from repro.ntt.iterative import ntt_forward, ntt_inverse
@@ -31,10 +31,17 @@ class GeneratedNTT:
             algorithm, machine word width).
         plan: optionally a pre-built :class:`NTTPlan`; by default a plan with
             a ``config.effective_modulus_bits``-bit prime is created.
+        session: compiler session used to compile the butterfly (defaults to
+            the process-wide session, so identical configurations share one
+            cached kernel).
     """
 
     def __init__(
-        self, size: int, config: KernelConfig, plan: NTTPlan | None = None
+        self,
+        size: int,
+        config: KernelConfig,
+        plan: NTTPlan | None = None,
+        session: CompilerSession | None = None,
     ) -> None:
         self.config = config
         self.plan = plan if plan is not None else make_plan(size, config.effective_modulus_bits)
@@ -47,7 +54,7 @@ class GeneratedNTT:
                 f"plan modulus has {self.plan.modulus_bits} bits but the kernel "
                 f"configuration expects {config.effective_modulus_bits}"
             )
-        self._kernel: CompiledKernel = compile_butterfly_kernel(config)
+        self._kernel: CompiledKernel = compile_butterfly_kernel(config, session=session)
 
     @property
     def size(self) -> int:

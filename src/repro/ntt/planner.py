@@ -11,15 +11,15 @@ bit-reversal permutation.  Plans are deterministic for a given
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 from repro.errors import KernelError
+from repro.core.driver import ContentAddressedCache
 from repro.arith.barrett import BarrettParams
 from repro.ntheory.modinv import modinv
 from repro.ntheory.primes import find_ntt_prime, is_prime
 from repro.ntheory.roots import is_primitive_root_of_unity, primitive_root_of_unity
 
-__all__ = ["NTTPlan", "make_plan", "bit_reverse_permutation"]
+__all__ = ["NTTPlan", "make_plan", "bit_reverse_permutation", "plan_cache_stats"]
 
 
 def bit_reverse_permutation(size: int) -> list[int]:
@@ -99,7 +99,17 @@ class NTTPlan:
         return forward, inverse
 
 
-@lru_cache(maxsize=None)
+#: Plans are pure functions of their arguments; a bounded driver cache
+#: (instead of an unbounded ``lru_cache``) keeps the working set finite and
+#: its hit/miss counters observable via :func:`plan_cache_stats`.
+_PLAN_CACHE = ContentAddressedCache(maxsize=128)
+
+
+def plan_cache_stats():
+    """Hit/miss/eviction counters of the plan cache."""
+    return _PLAN_CACHE.stats()
+
+
 def make_plan(size: int, modulus_bits: int, modulus: int | None = None, seed: int = 0) -> NTTPlan:
     """Create (and cache) an NTT plan.
 
@@ -114,6 +124,10 @@ def make_plan(size: int, modulus_bits: int, modulus: int | None = None, seed: in
     """
     if size < 2 or size & (size - 1):
         raise KernelError(f"NTT size must be a power of two >= 2, got {size}")
+    cache_key = (size, modulus_bits, modulus, seed)
+    cached = _PLAN_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     if modulus is None:
         modulus = find_ntt_prime(modulus_bits, size, seed)
     else:
@@ -133,7 +147,7 @@ def make_plan(size: int, modulus_bits: int, modulus: int | None = None, seed: in
     if not is_primitive_root_of_unity(root, size, modulus):  # pragma: no cover
         raise KernelError("internal error: psi^2 is not a primitive n-th root")
     barrett = BarrettParams.create(modulus, modulus_bits + 4, modulus_bits)
-    return NTTPlan(
+    plan = NTTPlan(
         size=size,
         modulus=modulus,
         modulus_bits=modulus_bits,
@@ -144,3 +158,5 @@ def make_plan(size: int, modulus_bits: int, modulus: int | None = None, seed: in
         psi=psi,
         inverse_psi=modinv(psi, modulus),
     )
+    _PLAN_CACHE.put(cache_key, plan)
+    return plan

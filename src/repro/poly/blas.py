@@ -20,6 +20,7 @@ from collections.abc import Sequence
 
 from repro.errors import ArithmeticDomainError
 from repro.arith.barrett import BarrettParams
+from repro.core.driver import CompilerSession
 from repro.kernels.blas_gen import compile_blas_kernel
 from repro.kernels.config import KernelConfig
 
@@ -100,12 +101,14 @@ class MomaBlasEngine(BlasEngine):
     Args:
         config: operand-width configuration; the modulus used at call time
             must have exactly ``config.effective_modulus_bits`` bits.
+        session: compiler session used to compile the kernels (defaults to
+            the process-wide session).
     """
 
-    def __init__(self, config: KernelConfig) -> None:
+    def __init__(self, config: KernelConfig, session: CompilerSession | None = None) -> None:
         self.config = config
         self._kernels = {
-            operation: compile_blas_kernel(operation, config)
+            operation: compile_blas_kernel(operation, config, session=session)
             for operation in ("vadd", "vsub", "vmul", "axpy")
         }
 

@@ -11,8 +11,8 @@ product is large enough to represent the target dynamic range.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
+from repro.core.driver import ContentAddressedCache
 from repro.errors import ArithmeticDomainError
 from repro.ntheory.crt import check_pairwise_coprime
 from repro.ntheory.primes import is_prime
@@ -65,7 +65,11 @@ class RnsBasis:
         return self.range_bits > bits
 
 
-@lru_cache(maxsize=None)
+#: Bases are pure functions of their arguments; cached like the driver's
+#: kernels (bounded, counted) instead of through an unbounded ``lru_cache``.
+_BASIS_CACHE = ContentAddressedCache(maxsize=128)
+
+
 def make_basis(target_bits: int, word_bits: int = 64, channel_bits: int | None = None) -> RnsBasis:
     """Build an RNS basis covering ``target_bits`` bits of dynamic range.
 
@@ -73,6 +77,10 @@ def make_basis(target_bits: int, word_bits: int = 64, channel_bits: int | None =
     headroom below the word width, mirroring how RNS libraries keep lazy
     reduction cheap), chosen descending from the largest such prime.
     """
+    cache_key = (target_bits, word_bits, channel_bits)
+    cached = _BASIS_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     if target_bits < 1:
         raise ArithmeticDomainError(f"target_bits must be positive, got {target_bits}")
     if channel_bits is None:
@@ -94,4 +102,6 @@ def make_basis(target_bits: int, word_bits: int = 64, channel_bits: int | None =
         moduli.append(candidate)
         accumulated_bits += candidate.bit_length() - 1
         candidate -= 2
-    return RnsBasis(tuple(moduli), word_bits)
+    basis = RnsBasis(tuple(moduli), word_bits)
+    _BASIS_CACHE.put(cache_key, basis)
+    return basis

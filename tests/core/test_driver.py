@@ -1,0 +1,205 @@
+"""Tests for the unified compiler driver (targets, cache, session, stats)."""
+
+import pytest
+
+from repro.errors import DriverError, UnknownTargetError
+from repro.core.driver import (
+    CompilerSession,
+    ContentAddressedCache,
+    Target,
+    emit,
+    get_default_session,
+    get_target,
+    list_targets,
+    register_target,
+    reset_default_session,
+    set_default_session,
+)
+from repro.core.ir.fingerprint import kernel_digest
+from repro.core.rewrite import kernel_is_machine_legal
+from repro.kernels import KernelConfig, build_blas_kernel, build_butterfly_kernel
+
+
+@pytest.fixture
+def config():
+    return KernelConfig(bits=128)
+
+
+@pytest.fixture
+def session():
+    return CompilerSession()
+
+
+class TestTargetRegistry:
+    def test_seed_backends_are_registered(self):
+        assert {"c99", "cuda", "python_exec"} <= set(list_targets())
+
+    def test_get_target_passes_instances_through(self):
+        target = get_target("cuda")
+        assert get_target(target) is target
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(UnknownTargetError, match="ptx"):
+            get_target("ptx")
+
+    def test_session_compile_unknown_target_raises(self, session, config):
+        kernel = build_butterfly_kernel(config)
+        with pytest.raises(UnknownTargetError):
+            session.compile(kernel, target="ptx", options=config.rewrite_options())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(DriverError, match="already registered"):
+            register_target(Target(name="cuda", description="dup", emit=lambda k: ""))
+
+    def test_word_width_mismatch_rejected(self, session, config):
+        kernel = session.lower(build_butterfly_kernel(config), options=config.rewrite_options())
+        narrow = Target(name="w8", description="", emit=lambda k: "", word_bits=(8,))
+        with pytest.raises(DriverError, match="machine"):
+            emit(kernel, narrow)
+
+
+class TestContentAddressedCache:
+    def test_hit_miss_counters(self):
+        cache = ContentAddressedCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_eviction_bound(self):
+        cache = ContentAddressedCache(maxsize=2)
+        for index in range(5):
+            cache.put(index, index)
+        stats = cache.stats()
+        assert stats.currsize == 2
+        assert stats.evictions == 3
+        # Least-recently-used entries were dropped, newest survive.
+        assert 4 in cache and 0 not in cache
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(DriverError):
+            ContentAddressedCache(maxsize=0)
+
+
+class TestSessionCaching:
+    def test_lower_hits_cache_on_identical_ir(self, session, config):
+        options = config.rewrite_options()
+        first = session.lower(build_butterfly_kernel(config), options=options)
+        second = session.lower(build_butterfly_kernel(config), options=options)
+        assert second is first
+        info = session.cache_info()
+        assert info.hits == 1 and info.misses == 1
+
+    def test_different_options_miss(self, session, config):
+        karatsuba = KernelConfig(bits=128, multiplication="karatsuba")
+        session.lower(build_butterfly_kernel(config), options=config.rewrite_options())
+        session.lower(build_butterfly_kernel(config), options=karatsuba.rewrite_options())
+        assert session.cache_info().hits == 0
+
+    def test_targets_cached_independently_share_lowering(self, session, config):
+        kernel = build_butterfly_kernel(config)
+        options = config.rewrite_options()
+        session.compile(kernel, target="cuda", options=options)
+        hits_after_cuda = session.cache_info().hits
+        session.compile(kernel, target="c99", options=options)
+        # The c99 emission misses its own artifact entry but reuses the
+        # lowered kernel.
+        assert session.cache_info().hits == hits_after_cuda + 1
+
+    def test_compile_returns_cached_artifact(self, session, config):
+        kernel = build_blas_kernel("vadd", config)
+        options = config.rewrite_options()
+        first = session.compile(kernel, target="python_exec", options=options)
+        second = session.compile(kernel, target="python_exec", options=options)
+        assert second is first
+
+    def test_eviction_bound_applies_to_session(self, config):
+        session = CompilerSession(cache_size=2)
+        options = config.rewrite_options()
+        for operation in ("vadd", "vsub", "vmul"):
+            session.lower(build_blas_kernel(operation, config), options=options)
+        info = session.cache_info()
+        assert info.currsize == 2
+        assert info.evictions == 1
+
+    def test_default_session_is_shared_and_resettable(self):
+        original = get_default_session()
+        assert get_default_session() is original
+        try:
+            fresh = reset_default_session()
+            assert get_default_session() is fresh
+            assert fresh is not original
+        finally:
+            # Restore the shared session (and its warm kernel cache) so the
+            # rest of the suite keeps its hits.
+            set_default_session(original)
+
+
+class TestDeterminism:
+    def test_emitted_code_identical_across_sessions(self, config):
+        options = config.rewrite_options()
+        artifacts = []
+        for _ in range(2):
+            session = CompilerSession()
+            artifacts.append(
+                session.compile(build_butterfly_kernel(config), target="cuda", options=options)
+            )
+        assert artifacts[0] == artifacts[1]
+
+    def test_digest_stable_for_equal_ir(self, config):
+        first = kernel_digest(build_butterfly_kernel(config))
+        second = kernel_digest(build_butterfly_kernel(config))
+        assert first == second
+
+    def test_digest_differs_for_different_ir(self, config):
+        butterfly = kernel_digest(build_butterfly_kernel(config))
+        blas = kernel_digest(build_blas_kernel("vadd", config))
+        assert butterfly != blas
+
+    def test_lowered_kernels_are_machine_legal(self, session, config):
+        lowered = session.lower(build_butterfly_kernel(config), options=config.rewrite_options())
+        assert kernel_is_machine_legal(lowered, config.word_bits)
+
+
+class TestCompileStats:
+    def test_pass_deltas_sum_to_total(self, session, config):
+        session.lower(build_butterfly_kernel(config), options=config.rewrite_options())
+        records = session.stats().records
+        assert len(records) == 1
+        record = records[0]
+        assert record.passes, "instrumentation recorded no passes"
+        assert record.deltas_consistent()
+        assert sum(p.delta for p in record.passes) == (
+            record.statements_final - record.statements_legalized
+        )
+
+    def test_statement_counts_monotone_sensible(self, session, config):
+        session.lower(build_butterfly_kernel(config), options=config.rewrite_options())
+        record = session.stats().records[0]
+        assert record.statements_wide < record.statements_legalized
+        assert record.statements_final <= record.statements_legalized
+        assert record.seconds >= record.legalize_seconds >= 0.0
+
+    def test_cache_hits_counted_in_stats(self, session, config):
+        options = config.rewrite_options()
+        session.lower(build_butterfly_kernel(config), options=options)
+        session.lower(build_butterfly_kernel(config), options=options)
+        stats = session.stats()
+        assert stats.compilations == 1
+        assert stats.cache_hits == 1
+
+    def test_report_mentions_passes_and_kernel(self, session, config):
+        session.lower(build_butterfly_kernel(config), options=config.rewrite_options())
+        report = session.stats().report()
+        assert "ntt_butterfly" in report
+        assert "eliminate_dead_code" in report
+
+    def test_run_passes_false_records_no_passes(self, session, config):
+        session.lower(
+            build_butterfly_kernel(config), options=config.rewrite_options(), run_passes=False
+        )
+        record = session.stats().records[0]
+        assert record.passes == ()
+        assert record.statements_final == record.statements_legalized
