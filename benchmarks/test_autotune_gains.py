@@ -1,0 +1,77 @@
+"""Autotuner non-regression: tuned configs beat (or tie) the paper defaults.
+
+Two properties anchor the ``repro.tune`` subsystem:
+
+* for every Figure 5b bit-width — on both Figure 5 devices — the tuned
+  configuration's modeled cost is never worse than the paper-default
+  configuration's (the default is always in the search space, so the winner
+  can only improve on it); and
+* a warm tuning-database lookup skips the search entirely: zero candidates
+  scored, zero additional kernel compilations (verified through both the
+  session's cache counters and the database's hit counters).
+"""
+
+from repro.core.driver import CompilerSession
+from repro.evaluation.fig5_sensitivity import FIG5B_BIT_WIDTHS, SENSITIVITY_SIZE
+from repro.tune import Autotuner, TuningDatabase, Workload
+
+
+_STATE = {}
+
+
+def _tune_all(devices=("rtx4090", "h100")):
+    # The cold sweep is shared between the two tests: the first call tunes
+    # every (bit-width, device) pair, the second exercises the warm path.
+    if "results" not in _STATE:
+        session = CompilerSession()
+        db = TuningDatabase()
+        tuner = Autotuner(session=session, db=db)
+        _STATE["results"] = {
+            (bits, device): tuner.tune(
+                Workload(kind="ntt", bits=bits, size=SENSITIVITY_SIZE), device
+            )
+            for bits in FIG5B_BIT_WIDTHS
+            for device in devices
+        }
+        _STATE["session"], _STATE["db"], _STATE["tuner"] = session, db, tuner
+    return _STATE["session"], _STATE["db"], _STATE["tuner"], _STATE["results"]
+
+
+def test_tuned_never_worse_than_paper_default(run_once):
+    _, _, _, results = run_once(_tune_all)
+    print()
+    for (bits, device), result in sorted(results.items()):
+        print(
+            f"# {device:8s} {bits:4d}b: default {result.baseline_seconds * 1e6:8.3f} us, "
+            f"tuned {result.score_seconds * 1e6:8.3f} us "
+            f"({result.speedup:.2f}x, {result.candidate.label()})"
+        )
+    for (bits, device), result in results.items():
+        assert result.score_seconds <= result.baseline_seconds, (
+            f"tuned config for {bits}b on {device} is worse than the paper default"
+        )
+        assert not result.from_database
+        assert result.evaluations > 0
+
+
+def test_warm_tuning_db_skips_search_entirely(run_once):
+    session, db, tuner, cold = run_once(_tune_all)
+    hits_before = db.stats().hits
+    misses_before = session.cache_info().misses
+
+    for (bits, device), cold_result in cold.items():
+        warm = tuner.tune(Workload(kind="ntt", bits=bits, size=SENSITIVITY_SIZE), device)
+        assert warm.from_database
+        assert warm.strategy == "database"
+        assert warm.evaluations == 0
+        assert warm.candidate == cold_result.candidate
+        assert warm.score_seconds == cold_result.score_seconds
+
+    # Zero additional candidate compilations: every warm answer came from the
+    # database, not from the compiler.
+    assert session.cache_info().misses == misses_before
+    assert db.stats().hits == hits_before + len(cold)
+    print(
+        f"\n# warm lookups: {len(cold)} served from the tuning db, "
+        f"0 additional kernel compilations"
+    )

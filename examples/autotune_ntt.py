@@ -1,0 +1,79 @@
+"""Autotuning walkthrough: let the system pick the kernel configuration.
+
+The paper fixes one configuration per experiment by hand (schoolbook
+multiplication, 64-bit words, one butterfly stage per launch).  The
+``repro.tune`` subsystem searches that configuration space against the GPU
+cost model and remembers winners per device:
+
+1. describe the workload — a 4,096-point NTT on 256-bit operands,
+2. tune it for the RTX 4090: space -> search -> evaluate, winner stored in a
+   persistent JSON tuning database,
+3. tune it again — the warm database answers instantly, with zero candidate
+   compilations (watch the session's cache counters not move),
+4. compile the tuned kernel in one driver call with
+   :meth:`CompilerSession.compile_tuned`, and
+5. sweep the Figure 5b bit-widths with tuned configurations
+   (:func:`repro.evaluation.run_figure5b_tuned`).
+
+Run with:  python examples/autotune_ntt.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core.driver import CompilerSession
+from repro.evaluation import format_table, run_figure5b_tuned
+from repro.tune import Autotuner, TuningDatabase, Workload
+
+
+def main() -> None:
+    session = CompilerSession()
+    db_path = Path(tempfile.gettempdir()) / "repro_autotune_ntt.json"
+    db = TuningDatabase(db_path)
+    tuner = Autotuner(session=session, db=db)
+
+    # 1. The workload: what is computed, not how.
+    workload = Workload(kind="ntt", bits=256, size=4096)
+    print(f"=== tuning {workload.key} for the RTX 4090 ===")
+
+    # 2. Cold tune: search the configuration space against the cost model.
+    result = tuner.tune(workload, "rtx4090")
+    print(f"strategy     {result.strategy}")
+    print(f"space        {result.space_size} candidates, {result.evaluations} scored")
+    print(f"winner       {result.candidate.label()}")
+    print(
+        f"cost         {result.score_seconds * 1e6:.3f} us/NTT "
+        f"(paper default {result.baseline_seconds * 1e6:.3f}, "
+        f"speedup {result.speedup:.2f}x)"
+    )
+    print(f"database     saved to {db_path}")
+
+    # 3. Warm tune: the database remembers, the search never runs.
+    misses_before = session.cache_info().misses
+    warm = tuner.tune(workload, "rtx4090")
+    print()
+    print("=== tuning the same workload again ===")
+    print(f"from_database={warm.from_database}, evaluations={warm.evaluations}")
+    print(
+        f"additional kernel compilations: "
+        f"{session.cache_info().misses - misses_before}"
+    )
+
+    # 4. One driver call: tune (warm) + compile the winner.
+    tuned = session.compile_tuned(workload, target="cuda", device="rtx4090", db=db)
+    first_line = str(tuned.artifact).splitlines()[0]
+    print()
+    print("=== compile_tuned -> CUDA ===")
+    print(f"config   {tuned.config.label()} (word_bits={tuned.config.word_bits})")
+    print(f"artifact {first_line}")
+
+    # 5. The Figure 5b sweep, self-optimized per bit-width.
+    print()
+    print("=== Figure 5b with autotuned configurations ===")
+    print(format_table(run_figure5b_tuned(session=session, tuning_db=db)))
+
+
+if __name__ == "__main__":
+    main()

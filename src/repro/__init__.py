@@ -15,6 +15,8 @@ The package is organised around the paper's pipeline:
 * :mod:`repro.baselines` — GMP-like, GRNS-like and published-system baselines.
 * :mod:`repro.gpu` — the GPU device catalog and instruction-level cost model
   standing in for the paper's H100 / RTX 4090 / V100 testbed.
+* :mod:`repro.tune` — the cost-model-guided kernel autotuner with a
+  persistent per-device tuning database.
 * :mod:`repro.evaluation` — per-figure harnesses regenerating the paper's
   tables and figures.
 """

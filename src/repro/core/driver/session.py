@@ -68,6 +68,7 @@ class CompilerSession:
         self._pipeline_token = tuple(p.__name__ for p in self.pipeline)
         self._cache = ContentAddressedCache(maxsize=cache_size)
         self._stats = CompileStats()
+        self._tuning_db = None  # lazily created by compile_tuned
 
     # -- cache keys ---------------------------------------------------------
 
@@ -181,6 +182,57 @@ class CompilerSession:
         )
         self._cache.put(key, artifact)
         return artifact
+
+    def compile_tuned(
+        self,
+        kernel_or_workload,
+        target: str | Target = "python_exec",
+        device: str = "rtx4090",
+        db=None,
+        strategy: str = "auto",
+        seed: int = 0,
+    ):
+        """Autotune a workload's configuration, then compile the winner.
+
+        Accepts either a frontend-built wide :class:`Kernel` (the workload is
+        derived from its metadata) or a :class:`repro.tune.Workload`.  The
+        autotuner searches the configuration space against the GPU cost model
+        for ``device`` — consulting (and updating) the tuning database ``db``
+        so each (kernel family, device) pair is searched once — and the
+        winning configuration's kernel is compiled on ``target``.  When no
+        ``db`` is supplied the session keeps its own in-memory database, so
+        repeated calls within one session still search only once.
+
+        Returns a :class:`repro.tune.TunedCompilation` carrying the artifact
+        and the tuned configuration; its modeled cost is ≤ the paper-default
+        configuration's by construction.
+        """
+        # Imported lazily: repro.tune sits above the driver in the layer
+        # graph (it compiles candidates *through* sessions).
+        from repro.tune import Autotuner, TunedCompilation, TuningDatabase, Workload
+
+        if db is None:
+            if self._tuning_db is None:
+                self._tuning_db = TuningDatabase()
+            db = self._tuning_db
+        if isinstance(kernel_or_workload, Kernel):
+            workload = Workload.from_kernel(kernel_or_workload)
+        else:
+            workload = kernel_or_workload
+        tuner = Autotuner(session=self, db=db, strategy=strategy, seed=seed)
+        tuning = tuner.tune(workload, device)
+        resolved = get_target(target)
+        artifact = self.compile(
+            workload.build(tuning.config),
+            target=resolved,
+            options=tuning.config.rewrite_options(),
+        )
+        return TunedCompilation(
+            artifact=artifact,
+            config=tuning.config,
+            target=resolved.name,
+            tuning=tuning,
+        )
 
     # -- observability ------------------------------------------------------
 

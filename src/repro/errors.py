@@ -55,5 +55,10 @@ class DriverError(ReproError):
     emitted on a target that does not support its word width, ...)."""
 
 
+class TuningError(ReproError):
+    """The autotuner was asked to tune an unknown workload, search with an
+    unknown strategy, or read a corrupt tuning database."""
+
+
 class UnknownTargetError(DriverError):
     """A compilation target name is not present in the target registry."""

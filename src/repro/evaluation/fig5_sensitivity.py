@@ -22,6 +22,7 @@ __all__ = [
     "FIG5B_BIT_WIDTHS",
     "run_figure5a",
     "run_figure5b",
+    "run_figure5b_tuned",
 ]
 
 #: The fixed NTT size of both sensitivity analyses (Section 5.4).
@@ -83,4 +84,43 @@ def run_figure5b(
             Series("Karatsuba", "RTX 4090", points["karatsuba"]),
         ],
         notes=["generated-kernel operation counts drive both curves"],
+    )
+
+
+def run_figure5b_tuned(
+    size: int = SENSITIVITY_SIZE,
+    device: str = "rtx4090",
+    session: CompilerSession | None = None,
+    tuning_db=None,
+) -> FigureResult:
+    """The Figure 5b sweep with the autotuner choosing each configuration.
+
+    Compares the paper-default configuration (schoolbook, 64-bit words,
+    stage-per-launch) against the tuned winner for every bit-width — the
+    "self-optimizing frontend" view of the sensitivity analysis.
+    """
+    # Imported lazily: repro.tune evaluates candidates through this package's
+    # underlying simulator, not through the harnesses.
+    from repro.tune import Autotuner, Workload
+
+    tuner = Autotuner(session=session, db=tuning_db)
+    default_points: dict[int, float] = {}
+    tuned_points: dict[int, float] = {}
+    speedups: list[str] = []
+    for bits in FIG5B_BIT_WIDTHS:
+        workload = Workload(kind="ntt", bits=bits, size=size)
+        result = tuner.tune(workload, device)
+        default_points[bits] = result.baseline_seconds * 1e6
+        tuned_points[bits] = result.score_seconds * 1e6
+        speedups.append(f"{bits}b: {result.speedup:.2f}x ({result.candidate.label()})")
+    return FigureResult(
+        figure="Figure 5b (tuned)",
+        title=f"{size}-point NTT: paper-default vs autotuned configuration ({device})",
+        x_label="input bit-width",
+        y_label="us / NTT",
+        series=[
+            Series("Default", device, default_points),
+            Series("Autotuned", device, tuned_points),
+        ],
+        notes=["modeled speedups: " + ", ".join(speedups)],
     )

@@ -26,6 +26,7 @@ from repro.gpu.device import DeviceSpec, get_device
 from repro.kernels.blas_gen import generate_blas_kernel
 from repro.kernels.config import KernelConfig
 from repro.kernels.ntt_gen import generate_butterfly_kernel
+from repro.ntt.planner import StagePlan
 
 __all__ = [
     "BlasEstimate",
@@ -93,6 +94,7 @@ class NttEstimate:
     per_butterfly_ns: float
     shared_memory_fit: bool
     cost: KernelCost
+    launches: int = 1
 
     @property
     def total_butterflies(self) -> int:
@@ -118,13 +120,15 @@ def estimate_blas(
     config: KernelConfig,
     device_name: str,
     elements: int = 1 << 20,
+    batch: int | None = None,
     session: CompilerSession | None = None,
 ) -> BlasEstimate:
     """Steady-state per-element runtime of a batched BLAS kernel.
 
     ``elements`` is the total number of vector elements processed (the paper
     uses 2^20); the batch dimension of the paper's methodology is the vector
-    length per launch, explored here to find the steady state.
+    length per launch, explored here to find the steady state.  Passing
+    ``batch`` fixes the batch size instead (the autotuner's batch axis).
     """
     if elements < 1:
         raise SimulationError("elements must be positive")
@@ -136,7 +140,9 @@ def estimate_blas(
     best_per_element = None
     best_batch = 1
     compute_bound = False
-    for batch in _BATCH_SIZES:
+    for batch in (batch,) if batch is not None else _BATCH_SIZES:
+        if batch < 1:
+            raise SimulationError("batch size must be positive")
         vector_length = max(1, elements // batch)
         compute = vector_length * cost.weighted_ops * occupancy / sustained
         memory = vector_length * cost.bytes_per_element / device.memory_bandwidth_bytes_per_second
@@ -162,6 +168,7 @@ def estimate_ntt(
     size: int,
     device_name: str,
     batch: int | None = None,
+    stage_plan: StagePlan | None = None,
     session: CompilerSession | None = None,
 ) -> NttEstimate:
     """Steady-state runtime of an ``size``-point NTT with MoMA butterflies.
@@ -171,11 +178,20 @@ def estimate_ntt(
         size: transform length (power of two).
         device_name: ``h100``, ``rtx4090`` or ``v100``.
         batch: fix the batch size instead of searching for the steady state.
+        stage_plan: how butterfly stages split into launches when the
+            transform streams through global memory; defaults to the paper's
+            stage-per-launch plan.  Irrelevant for shared-memory-resident
+            transforms, which always run as one fused launch.
         session: compiler session used to generate the butterfly kernel
             (defaults to the process-wide session).
     """
     if size < 2 or size & (size - 1):
         raise SimulationError(f"NTT size must be a power of two, got {size}")
+    if stage_plan is not None and stage_plan.size != size:
+        raise SimulationError(
+            f"stage plan covers a {stage_plan.size}-point transform, "
+            f"but the estimate is for {size} points"
+        )
     device = get_device(device_name)
     cost = _butterfly_cost(config, session)
     stages = size.bit_length() - 1
@@ -189,6 +205,7 @@ def estimate_ntt(
     sustained = device.peak_int64_ops_per_second * EFFICIENCY
     occupancy = _occupancy_factor(device, words)
 
+    launches = 1 if shared_fit else (stage_plan.launches if stage_plan is not None else stages)
     batches = (batch,) if batch is not None else _BATCH_SIZES
     best = None
     for candidate in batches:
@@ -203,13 +220,15 @@ def estimate_ntt(
             memory = traffic / device.memory_bandwidth_bytes_per_second
             total = max(compute, memory) + KERNEL_LAUNCH_OVERHEAD_S
         else:
-            # Each stage is a separate launch that round-trips the data
-            # through global memory; compute and traffic serialise at kernel
-            # boundaries (the out-of-shared-memory slowdown of Figure 3a).
-            traffic = 2 * candidate * poly_bytes * stages
+            # Each launch round-trips the data through global memory; compute
+            # and traffic serialise at kernel boundaries (the out-of-shared-
+            # memory slowdown of Figure 3a).  The paper launches one stage at
+            # a time; a stage plan that fuses several stages per launch cuts
+            # both the round trips and the launch overhead.
+            traffic = 2 * candidate * poly_bytes * launches
             memory = traffic / device.memory_bandwidth_bytes_per_second
             compute *= _SPILL_COMPUTE_PENALTY.get(device.name, 1.0)
-            total = compute + memory + stages * KERNEL_LAUNCH_OVERHEAD_S
+            total = compute + memory + launches * KERNEL_LAUNCH_OVERHEAD_S
         per_ntt = total / candidate
         if best is None or per_ntt < best[0]:
             best = (per_ntt, candidate)
@@ -223,6 +242,7 @@ def estimate_ntt(
         per_butterfly_ns=per_ntt_seconds / butterflies * 1e9,
         shared_memory_fit=shared_fit,
         cost=cost,
+        launches=launches,
     )
 
 

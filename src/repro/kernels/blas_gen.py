@@ -35,6 +35,26 @@ __all__ = [
 BLAS_OPERATIONS = ("vadd", "vsub", "vmul", "axpy")
 
 
+def _autotuned_config(
+    operation: str,
+    config: KernelConfig,
+    session: CompilerSession | None,
+    device: str,
+    tuning_db,
+) -> KernelConfig:
+    """The tuned configuration for this BLAS operation on ``device``."""
+    # Imported lazily: repro.tune builds its candidates through this module.
+    from repro.tune import Autotuner, Workload
+
+    workload = Workload(
+        kind="blas",
+        bits=config.bits,
+        operation=operation,
+        modulus_bits=config.modulus_bits,
+    )
+    return Autotuner(session=session, db=tuning_db).tuned_config(workload, device)
+
+
 def build_blas_kernel(operation: str, config: KernelConfig) -> Kernel:
     """Build the wide-typed (pre-legalization) IR for one BLAS operation."""
     if operation not in BLAS_OPERATIONS:
@@ -85,14 +105,22 @@ def generate_blas_kernel(
     config: KernelConfig,
     run_passes: bool = True,
     session: CompilerSession | None = None,
+    autotune: bool = False,
+    device: str = "rtx4090",
+    tuning_db=None,
 ) -> Kernel:
     """Legalized (and optionally optimized) machine-word kernel.
 
     Compilation goes through the driver's content-addressed cache, so
     repeated requests for the same (operation, config) return the cached
-    kernel.
+    kernel.  With ``autotune=True`` the multiplication algorithm and word
+    width of ``config`` are replaced by the autotuner's winner for
+    ``device`` (searched once per kernel family, then served from
+    ``tuning_db``).
     """
     session = session if session is not None else get_default_session()
+    if autotune:
+        config = _autotuned_config(operation, config, session, device, tuning_db)
     return session.lower(
         build_blas_kernel(operation, config),
         options=config.rewrite_options(),
@@ -101,10 +129,17 @@ def generate_blas_kernel(
 
 
 def compile_blas_kernel(
-    operation: str, config: KernelConfig, session: CompilerSession | None = None
+    operation: str,
+    config: KernelConfig,
+    session: CompilerSession | None = None,
+    autotune: bool = False,
+    device: str = "rtx4090",
+    tuning_db=None,
 ) -> CompiledKernel:
     """Legalized kernel compiled to an executable Python function."""
     session = session if session is not None else get_default_session()
+    if autotune:
+        config = _autotuned_config(operation, config, session, device, tuning_db)
     return session.compile(
         build_blas_kernel(operation, config),
         target="python_exec",

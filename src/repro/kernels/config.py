@@ -27,6 +27,10 @@ def padded_width(bits: int, word_bits: int) -> int:
     """
     if bits <= 0:
         raise KernelError(f"bit-width must be positive, got {bits}")
+    if word_bits <= 0 or word_bits & (word_bits - 1):
+        # A non-power-of-two word width would produce a container the
+        # legalizer cannot split evenly into machine words.
+        raise KernelError(f"word width must be a positive power of two, got {word_bits}")
     width = word_bits
     while width < bits:
         width *= 2
@@ -52,6 +56,10 @@ class KernelConfig:
     multiplication: str = SCHOOLBOOK
 
     def __post_init__(self) -> None:
+        if self.word_bits <= 0 or self.word_bits & (self.word_bits - 1):
+            raise KernelError(
+                f"word width must be a positive power of two, got {self.word_bits}"
+            )
         if self.bits < self.word_bits:
             raise KernelError(
                 f"operand width {self.bits} must be at least the machine word "

@@ -33,6 +33,28 @@ __all__ = [
 BUTTERFLY_VARIANTS = ("cooley_tukey", "gentleman_sande")
 
 
+def _autotuned_config(
+    config: KernelConfig,
+    variant: str,
+    size: int,
+    session: CompilerSession | None,
+    device: str,
+    tuning_db,
+) -> KernelConfig:
+    """The tuned configuration for this butterfly family on ``device``."""
+    # Imported lazily: repro.tune builds its candidates through this module.
+    from repro.tune import Autotuner, Workload
+
+    workload = Workload(
+        kind="ntt",
+        bits=config.bits,
+        operation=variant,
+        size=size,
+        modulus_bits=config.modulus_bits,
+    )
+    return Autotuner(session=session, db=tuning_db).tuned_config(workload, device)
+
+
 def build_butterfly_kernel(config: KernelConfig, variant: str = "cooley_tukey") -> Kernel:
     """Build the wide-typed IR for one NTT butterfly."""
     if variant not in BUTTERFLY_VARIANTS:
@@ -76,14 +98,23 @@ def generate_butterfly_kernel(
     variant: str = "cooley_tukey",
     run_passes: bool = True,
     session: CompilerSession | None = None,
+    autotune: bool = False,
+    device: str = "rtx4090",
+    ntt_size: int = 4096,
+    tuning_db=None,
 ) -> Kernel:
     """Legalized (and optionally optimized) machine-word butterfly kernel.
 
     Compilation goes through the driver's content-addressed cache, so
     repeated requests for the same (config, variant) return the cached
-    kernel.
+    kernel.  With ``autotune=True`` the multiplication algorithm and word
+    width of ``config`` are replaced by the autotuner's winner for
+    ``device`` (searched once per kernel family, then served from
+    ``tuning_db``).
     """
     session = session if session is not None else get_default_session()
+    if autotune:
+        config = _autotuned_config(config, variant, ntt_size, session, device, tuning_db)
     return session.lower(
         build_butterfly_kernel(config, variant),
         options=config.rewrite_options(),
@@ -95,9 +126,15 @@ def compile_butterfly_kernel(
     config: KernelConfig,
     variant: str = "cooley_tukey",
     session: CompilerSession | None = None,
+    autotune: bool = False,
+    device: str = "rtx4090",
+    ntt_size: int = 4096,
+    tuning_db=None,
 ) -> CompiledKernel:
     """Legalized butterfly compiled to an executable Python function."""
     session = session if session is not None else get_default_session()
+    if autotune:
+        config = _autotuned_config(config, variant, ntt_size, session, device, tuning_db)
     return session.compile(
         build_butterfly_kernel(config, variant),
         target="python_exec",

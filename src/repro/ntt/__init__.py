@@ -4,7 +4,14 @@ MoMA-generated-kernel-backed transforms, plus negacyclic convolution."""
 from repro.ntt.generated import GeneratedNTT
 from repro.ntt.iterative import ntt_forward, ntt_inverse, reference_butterfly
 from repro.ntt.negacyclic import negacyclic_convolution_reference, negacyclic_multiply
-from repro.ntt.planner import NTTPlan, bit_reverse_permutation, make_plan, plan_cache_stats
+from repro.ntt.planner import (
+    NTTPlan,
+    StagePlan,
+    bit_reverse_permutation,
+    make_plan,
+    make_stage_plan,
+    plan_cache_stats,
+)
 from repro.ntt.reference import intt_definition, ntt_definition
 
 __all__ = [
@@ -15,8 +22,10 @@ __all__ = [
     "negacyclic_convolution_reference",
     "negacyclic_multiply",
     "NTTPlan",
+    "StagePlan",
     "bit_reverse_permutation",
     "make_plan",
+    "make_stage_plan",
     "plan_cache_stats",
     "intt_definition",
     "ntt_definition",

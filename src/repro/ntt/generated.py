@@ -34,6 +34,13 @@ class GeneratedNTT:
         session: compiler session used to compile the butterfly (defaults to
             the process-wide session, so identical configurations share one
             cached kernel).
+        autotune: replace the configuration's multiplication algorithm and
+            word width with the autotuner's winner for ``device`` before
+            compiling (searched once per kernel family, then served from
+            ``tuning_db``).
+        device: device model the autotuner optimizes for.
+        tuning_db: persistent :class:`repro.tune.TuningDatabase` consulted
+            and updated by the autotuner.
     """
 
     def __init__(
@@ -42,7 +49,17 @@ class GeneratedNTT:
         config: KernelConfig,
         plan: NTTPlan | None = None,
         session: CompilerSession | None = None,
+        autotune: bool = False,
+        device: str = "rtx4090",
+        tuning_db=None,
     ) -> None:
+        if autotune:
+            # Imported lazily: repro.tune drives this class's frontends.
+            from repro.kernels.ntt_gen import _autotuned_config
+
+            config = _autotuned_config(
+                config, "cooley_tukey", size, session, device, tuning_db
+            )
         self.config = config
         self.plan = plan if plan is not None else make_plan(size, config.effective_modulus_bits)
         if self.plan.size != size:

@@ -19,7 +19,14 @@ from repro.ntheory.modinv import modinv
 from repro.ntheory.primes import find_ntt_prime, is_prime
 from repro.ntheory.roots import is_primitive_root_of_unity, primitive_root_of_unity
 
-__all__ = ["NTTPlan", "make_plan", "bit_reverse_permutation", "plan_cache_stats"]
+__all__ = [
+    "NTTPlan",
+    "StagePlan",
+    "make_plan",
+    "make_stage_plan",
+    "bit_reverse_permutation",
+    "plan_cache_stats",
+]
 
 
 def bit_reverse_permutation(size: int) -> list[int]:
@@ -97,6 +104,59 @@ class NTTPlan:
         forward = [pow(self.psi, i, self.modulus) for i in range(self.size)]
         inverse = [pow(self.inverse_psi, i, self.modulus) for i in range(self.size)]
         return forward, inverse
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """How the ``log2(n)`` butterfly stages of an NTT split into launches.
+
+    The paper's execution model launches one kernel per stage once the
+    transform no longer fits in shared memory (Figure 3a); fusing several
+    stages per launch trades shared-memory tiles for fewer global-memory
+    round trips.  A :class:`StagePlan` records that split: ``spans[i]`` is
+    the number of butterfly stages fused into launch ``i``.
+
+    Attributes:
+        size: transform length the plan covers.
+        spans: stages fused per launch, in launch order (sums to ``log2(n)``).
+    """
+
+    size: int
+    spans: tuple[int, ...]
+
+    @property
+    def stages(self) -> int:
+        """Total butterfly stages: ``log2(n)``."""
+        return self.size.bit_length() - 1
+
+    @property
+    def launches(self) -> int:
+        """Number of kernel launches (global-memory round trips)."""
+        return len(self.spans)
+
+    @property
+    def max_span(self) -> int:
+        """The widest launch (bounds the shared-memory tile: 2^span points)."""
+        return max(self.spans)
+
+
+def make_stage_plan(size: int, stage_span: int = 1) -> StagePlan:
+    """Split an ``n``-point NTT's stages into launches of ``stage_span`` stages.
+
+    ``stage_span=1`` is the paper's stage-per-launch plan; larger spans fuse
+    consecutive stages (the final launch takes the remainder).
+    """
+    if size < 2 or size & (size - 1):
+        raise KernelError(f"NTT size must be a power of two >= 2, got {size}")
+    stages = size.bit_length() - 1
+    if stage_span < 1 or stage_span > stages:
+        raise KernelError(
+            f"stage span must be between 1 and {stages} for a {size}-point "
+            f"transform, got {stage_span}"
+        )
+    full, remainder = divmod(stages, stage_span)
+    spans = (stage_span,) * full + ((remainder,) if remainder else ())
+    return StagePlan(size=size, spans=spans)
 
 
 #: Plans are pure functions of their arguments; a bounded driver cache

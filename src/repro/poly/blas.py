@@ -103,14 +103,45 @@ class MomaBlasEngine(BlasEngine):
             must have exactly ``config.effective_modulus_bits`` bits.
         session: compiler session used to compile the kernels (defaults to
             the process-wide session).
+        autotune: let the autotuner pick each operation's multiplication
+            algorithm and word width for ``device`` (values are unchanged;
+            only the generated machine-word code differs).
+        device: device model the autotuner optimizes for.
+        tuning_db: persistent :class:`repro.tune.TuningDatabase` consulted
+            and updated by the autotuner.
+
+    Attributes:
+        config: the requested (semantic) configuration — bit-widths and
+            modulus convention; unchanged by autotuning.
+        operation_configs: the configuration each operation's kernel was
+            actually generated with (differs from ``config`` only when
+            ``autotune=True`` picked a different algorithm or word width).
     """
 
-    def __init__(self, config: KernelConfig, session: CompilerSession | None = None) -> None:
+    def __init__(
+        self,
+        config: KernelConfig,
+        session: CompilerSession | None = None,
+        autotune: bool = False,
+        device: str = "rtx4090",
+        tuning_db=None,
+    ) -> None:
         self.config = config
-        self._kernels = {
-            operation: compile_blas_kernel(operation, config, session=session)
-            for operation in ("vadd", "vsub", "vmul", "axpy")
-        }
+        self.operation_configs: dict[str, KernelConfig] = {}
+        self._kernels = {}
+        for operation in ("vadd", "vsub", "vmul", "axpy"):
+            generated = config
+            if autotune:
+                # Imported lazily: repro.tune drives this module's frontends.
+                from repro.kernels.blas_gen import _autotuned_config
+
+                generated = _autotuned_config(
+                    operation, config, session, device, tuning_db
+                )
+            self.operation_configs[operation] = generated
+            self._kernels[operation] = compile_blas_kernel(
+                operation, generated, session=session
+            )
 
     def _mu(self, q: int) -> int:
         modulus_bits = self.config.effective_modulus_bits

@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.tune ...``."""
+
+import sys
+
+from repro.tune.cli import main
+
+sys.exit(main())

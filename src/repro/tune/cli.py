@@ -1,0 +1,134 @@
+"""``python -m repro.tune`` — tune one named workload from the command line.
+
+Examples::
+
+    python -m repro.tune ntt --size 4096 --bits 256 --device rtx4090
+    python -m repro.tune blas --op vmul --bits 384 --device h100 \\
+        --strategy exhaustive --db tuning_db.json
+
+Prints the winning configuration, its modeled speedup over the paper
+default, and a cost table of the best candidates the search scored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.core.driver import CompilerSession
+from repro.gpu.device import DEVICES
+from repro.kernels.blas_gen import BLAS_OPERATIONS
+from repro.kernels.ntt_gen import BUTTERFLY_VARIANTS
+from repro.tune.db import TuningDatabase
+from repro.tune.search import STRATEGIES
+from repro.tune.space import BLAS, NTT, Workload
+from repro.tune.tuner import Autotuner
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.tune`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tune",
+        description="Cost-model-guided kernel autotuner with a persistent "
+        "per-device tuning database.",
+    )
+    parser.add_argument("workload", choices=(NTT, BLAS), help="workload kind to tune")
+    parser.add_argument("--bits", type=int, default=256, help="operand bit-width")
+    parser.add_argument("--size", type=int, default=4096, help="NTT transform length")
+    parser.add_argument(
+        "--variant",
+        choices=BUTTERFLY_VARIANTS,
+        default="cooley_tukey",
+        help="NTT butterfly dataflow",
+    )
+    parser.add_argument(
+        "--op", choices=BLAS_OPERATIONS, default="vmul", help="BLAS operation"
+    )
+    parser.add_argument(
+        "--elements", type=int, default=1 << 20, help="BLAS vector elements"
+    )
+    parser.add_argument(
+        "--device",
+        choices=sorted(DEVICES),
+        default="rtx4090",
+        help="device model to tune for",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=("auto", *sorted(STRATEGIES)),
+        default="auto",
+        help="search strategy (auto: exhaustive for small spaces)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="determinism seed")
+    parser.add_argument(
+        "--db", metavar="PATH", default=None, help="persistent tuning database file"
+    )
+    parser.add_argument(
+        "--top", type=int, default=8, help="cost-table rows to print (best first)"
+    )
+    return parser
+
+
+def _workload_from_args(args: argparse.Namespace) -> Workload:
+    if args.workload == NTT:
+        return Workload(kind=NTT, bits=args.bits, operation=args.variant, size=args.size)
+    return Workload(kind=BLAS, bits=args.bits, operation=args.op, elements=args.elements)
+
+
+def _unit(workload: Workload) -> str:
+    return "us/NTT" if workload.kind == NTT else "ns/element"
+
+
+def _scale(workload: Workload, seconds: float) -> float:
+    return seconds * (1e6 if workload.kind == NTT else 1e9)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        workload = _workload_from_args(args)
+        session = CompilerSession()
+        db = TuningDatabase(args.db)
+        tuner = Autotuner(session=session, db=db, strategy=args.strategy, seed=args.seed)
+        result = tuner.tune(workload, args.device)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    unit = _unit(workload)
+    print(f"workload    {workload.key}")
+    print(f"device      {result.device}")
+    print(f"strategy    {result.strategy} (seed {args.seed})")
+    print(f"space       {result.space_size} candidates, {result.evaluations} scored")
+    if result.from_database:
+        print(f"database    warm hit (tuned previously; no search performed)")
+    elif args.db:
+        print(f"database    winner saved to {args.db}")
+    print()
+    print(f"winner      {result.candidate.label()}")
+    print(
+        f"cost        {_scale(workload, result.score_seconds):.3f} {unit} "
+        f"(paper default {_scale(workload, result.baseline_seconds):.3f}, "
+        f"speedup {result.speedup:.2f}x)"
+    )
+
+    # Cost table: the trials the search actually scored, best first.  A warm
+    # database lookup scores nothing, so there is no table to print.
+    rows = result.trials[: max(args.top, 1)]
+    print()
+    if not rows:
+        print("(no candidates scored — winner served from the tuning database)")
+        return 0
+    width = max(len(trial.candidate.label()) for trial in rows)
+    print(f"{'candidate'.ljust(width)}  {unit:>12}  vs default")
+    for trial in rows:
+        ratio = result.baseline_seconds / trial.score
+        print(
+            f"{trial.candidate.label().ljust(width)}  "
+            f"{_scale(workload, trial.score):12.3f}  {ratio:9.2f}x"
+        )
+    return 0

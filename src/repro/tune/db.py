@@ -1,0 +1,222 @@
+"""The persistent per-device tuning database.
+
+Winning configurations are remembered so a workload is searched once per
+(kernel family, device, tuner version) and served from disk afterwards:
+
+* records are keyed by the workload's *kernel fingerprint family*
+  (:meth:`~repro.tune.space.Workload.fingerprint`, which hashes the wide IR
+  the frontend builds — so records go stale when the frontend changes), the
+  device name, and :data:`TUNER_VERSION`;
+* each record stores the winning candidate, its modeled score, the paper-
+  default baseline, and search provenance (strategy, evaluations scored,
+  space size, creation time);
+* the JSON file is written atomically (temp file + ``os.replace``) so a
+  crashed tuning run can never corrupt previously saved winners;
+* lookups are counted (:meth:`TuningDatabase.stats`), which is how the
+  harnesses verify that a warm database skips the search entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import TuningError
+from repro.core.rewrite.options import KARATSUBA, SCHOOLBOOK
+from repro.tune.space import Candidate, Workload
+
+__all__ = ["TUNER_VERSION", "DbStats", "TuningRecord", "TuningDatabase"]
+
+#: Bump when the search space, the cost model's candidate axes, or the record
+#: schema change incompatibly: old records then miss and workloads re-tune.
+TUNER_VERSION = 1
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DbStats:
+    """Lookup/store counters of one database instance."""
+
+    hits: int
+    misses: int
+    stores: int
+    records: int
+
+
+@dataclass(frozen=True)
+class TuningRecord:
+    """One remembered winner for a (workload family, device, version) key.
+
+    Attributes:
+        fingerprint: the workload's kernel-family fingerprint.
+        workload_key: human-readable workload identity (for provenance only).
+        device: device short name the record was tuned for.
+        tuner_version: :data:`TUNER_VERSION` at tuning time.
+        candidate: the winning configuration.
+        score_seconds: the winner's modeled seconds per workload unit.
+        baseline_seconds: the paper-default configuration's modeled seconds.
+        strategy: search strategy that found the winner.
+        evaluations: distinct candidates scored by the search.
+        space_size: size of the configuration space that was searched.
+        created_at: UNIX timestamp of the tuning run.
+    """
+
+    fingerprint: str
+    workload_key: str
+    device: str
+    tuner_version: int
+    candidate: Candidate
+    score_seconds: float
+    baseline_seconds: float
+    strategy: str
+    evaluations: int
+    space_size: int
+    created_at: float
+
+    def key(self) -> str:
+        """The database key: fingerprint family + device + tuner version."""
+        return f"{self.fingerprint}::{self.device}::v{self.tuner_version}"
+
+    def to_json(self) -> dict:
+        """JSON-serializable form of the record."""
+        payload = dataclasses.asdict(self)
+        payload["candidate"] = dataclasses.asdict(self.candidate)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> TuningRecord:
+        """Rebuild a record from its JSON form (raising on corrupt data).
+
+        Validates semantics, not just structure: a hand-edited database with
+        an impossible candidate (unknown algorithm, non-power-of-two word
+        width, zero batch) must fail *here* with a :class:`TuningError`, not
+        later inside the frontends as a served "winner".
+        """
+        try:
+            candidate = Candidate(**payload["candidate"])
+            fields = {f.name: payload[f.name] for f in dataclasses.fields(cls)}
+        except (KeyError, TypeError) as error:
+            raise TuningError(f"corrupt tuning record: {error}") from None
+        _validate_candidate(candidate)
+        for name in ("score_seconds", "baseline_seconds"):
+            if not isinstance(fields[name], (int, float)) or fields[name] <= 0:
+                raise TuningError(f"corrupt tuning record: bad {name} {fields[name]!r}")
+        for name in ("evaluations", "space_size", "tuner_version"):
+            if not isinstance(fields[name], int) or fields[name] < 0:
+                raise TuningError(f"corrupt tuning record: bad {name} {fields[name]!r}")
+        fields["candidate"] = candidate
+        return cls(**fields)
+
+
+def _validate_candidate(candidate: Candidate) -> None:
+    if candidate.multiplication not in (SCHOOLBOOK, KARATSUBA):
+        raise TuningError(
+            f"corrupt tuning record: unknown multiplication "
+            f"{candidate.multiplication!r}"
+        )
+    word = candidate.word_bits
+    if not isinstance(word, int) or word < 8 or word & (word - 1):
+        raise TuningError(f"corrupt tuning record: bad word width {word!r}")
+    if not isinstance(candidate.stage_span, int) or candidate.stage_span < 1:
+        raise TuningError(
+            f"corrupt tuning record: bad stage span {candidate.stage_span!r}"
+        )
+    if candidate.batch is not None and (
+        not isinstance(candidate.batch, int) or candidate.batch < 1
+    ):
+        raise TuningError(f"corrupt tuning record: bad batch {candidate.batch!r}")
+
+
+class TuningDatabase:
+    """A JSON-backed store of winning configurations, one record per key.
+
+    Args:
+        path: JSON file to load from / save to; ``None`` keeps the database
+            in memory only (handy for tests and one-shot tuning).
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: dict[str, TuningRecord] = {}
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise TuningError(f"cannot read tuning database {self.path}: {error}") from None
+        if not isinstance(payload, dict) or "records" not in payload:
+            raise TuningError(f"tuning database {self.path} has no 'records' section")
+        if payload.get("schema") != _SCHEMA_VERSION:
+            raise TuningError(
+                f"tuning database {self.path} has schema {payload.get('schema')!r}, "
+                f"expected {_SCHEMA_VERSION}"
+            )
+        for key, record in payload["records"].items():
+            self._records[key] = TuningRecord.from_json(record)
+
+    @staticmethod
+    def _key(workload: Workload, device_name: str) -> str:
+        return f"{workload.fingerprint()}::{device_name}::v{TUNER_VERSION}"
+
+    def lookup(self, workload: Workload, device_name: str) -> TuningRecord | None:
+        """The remembered winner for (workload family, device), if any."""
+        record = self._records.get(self._key(workload, device_name))
+        if record is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        return record
+
+    def store(self, record: TuningRecord, save: bool = True) -> TuningRecord:
+        """Remember a winner (and persist the database when file-backed)."""
+        self._records[record.key()] = record
+        self._stores += 1
+        if save:
+            self.save()
+        return record
+
+    def save(self) -> None:
+        """Atomically write the database to its file (no-op when in-memory)."""
+        if self.path is None:
+            return
+        payload = {
+            "schema": _SCHEMA_VERSION,
+            "tuner_version": TUNER_VERSION,
+            "records": {
+                key: record.to_json() for key, record in sorted(self._records.items())
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = self.path.with_name(self.path.name + f".tmp.{os.getpid()}")
+        temporary.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(temporary, self.path)
+
+    @staticmethod
+    def timestamp() -> float:
+        """The provenance timestamp used for new records."""
+        return time.time()
+
+    def stats(self) -> DbStats:
+        """Lookup/store counters and the current record count."""
+        return DbStats(
+            hits=self._hits,
+            misses=self._misses,
+            stores=self._stores,
+            records=len(self._records),
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records

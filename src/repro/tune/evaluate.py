@@ -1,0 +1,114 @@
+"""Candidate scoring: compile through the driver, cost with the GPU model.
+
+The evaluator is the bridge between the search strategies (which only see an
+opaque ``candidate -> seconds`` objective) and the rest of the system: each
+candidate is compiled through a :class:`CompilerSession` — so repeated
+candidates, across strategies or across tuning runs in one session, hit the
+content-addressed kernel cache and cost nothing — and then priced on a
+:class:`DeviceSpec` by the analytic cost model (:func:`cost_kernel` via
+:func:`estimate_blas` / :func:`estimate_ntt`).
+
+No hardware is in the loop: a full exhaustive search over a typical space is
+a few dozen cached compilations plus arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.driver import CompilerSession, get_default_session
+from repro.gpu.device import DeviceSpec, get_device
+from repro.gpu.simulator import BlasEstimate, NttEstimate, estimate_blas, estimate_ntt
+from repro.ntt.planner import make_stage_plan
+from repro.tune.space import NTT, Candidate, Workload, default_candidate
+
+__all__ = ["CandidateScore", "CandidateEvaluator"]
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """One candidate's modeled performance on one (workload, device) pair.
+
+    Attributes:
+        candidate: the configuration that was scored.
+        seconds: the objective — modeled wall time of one workload unit
+            (one NTT, or one BLAS element), lower is better.
+        estimate: the full cost-model estimate behind the score.
+        compile_misses: kernel-cache misses this scoring caused (0 when the
+            candidate's kernel was already compiled).
+    """
+
+    candidate: Candidate
+    seconds: float
+    estimate: NttEstimate | BlasEstimate
+    compile_misses: int
+
+
+class CandidateEvaluator:
+    """Scores candidates for one workload on one device.
+
+    Args:
+        workload: what to tune.
+        device: device name (``h100``/``rtx4090``/``v100``) or spec.
+        session: compiler session whose kernel cache absorbs repeated
+            candidate compilations (defaults to the process-wide session).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        device: str | DeviceSpec,
+        session: CompilerSession | None = None,
+    ) -> None:
+        self.workload = workload
+        self.device = device if isinstance(device, DeviceSpec) else get_device(device)
+        self.session = session if session is not None else get_default_session()
+        self._scores: dict[Candidate, CandidateScore] = {}
+
+    def score(self, candidate: Candidate) -> CandidateScore:
+        """Score one candidate (memoized per evaluator)."""
+        cached = self._scores.get(candidate)
+        if cached is not None:
+            return cached
+        config = candidate.kernel_config(self.workload)
+        misses_before = self.session.cache_info().misses
+        if self.workload.kind == NTT:
+            estimate = estimate_ntt(
+                config,
+                self.workload.size,
+                self.device.name,
+                batch=candidate.batch,
+                stage_plan=make_stage_plan(self.workload.size, candidate.stage_span),
+                session=self.session,
+            )
+            seconds = estimate.per_ntt_us * 1e-6
+        else:
+            estimate = estimate_blas(
+                self.workload.operation,
+                config,
+                self.device.name,
+                elements=self.workload.elements,
+                batch=candidate.batch,
+                session=self.session,
+            )
+            seconds = estimate.per_element_ns * 1e-9
+        score = CandidateScore(
+            candidate=candidate,
+            seconds=seconds,
+            estimate=estimate,
+            compile_misses=self.session.cache_info().misses - misses_before,
+        )
+        self._scores[candidate] = score
+        return score
+
+    def __call__(self, candidate: Candidate) -> float:
+        """The search objective: modeled seconds per workload unit."""
+        return self.score(candidate).seconds
+
+    def baseline(self) -> CandidateScore:
+        """The paper-default candidate's score (the non-regression anchor)."""
+        return self.score(default_candidate(self.workload))
+
+    def scores(self) -> dict[Candidate, CandidateScore]:
+        """Every score this evaluator has produced (insertion order)."""
+        return dict(self._scores)

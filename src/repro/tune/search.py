@@ -1,0 +1,178 @@
+"""Search strategies over a :class:`~repro.tune.space.TuningSpace`.
+
+Three strategies cover the space sizes that occur in practice:
+
+* :func:`exhaustive_search` — every candidate; exact, and affordable because
+  the evaluator compiles through the driver's content-addressed cache and
+  the analytic cost model (no hardware in the loop).
+* :func:`random_search` — a seeded sample for large spaces; the paper
+  default is always included so the result can never regress below it.
+* :func:`hillclimb_search` — greedy steepest-descent from the paper default
+  over single-axis moves, with early stopping once no neighbor improves (or
+  ``patience`` consecutive steps improve by less than ``min_improvement``).
+
+Every strategy is deterministic under its ``seed`` and returns a
+:class:`SearchResult` recording each scored trial, so tuning runs are
+reproducible and auditable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import TuningError
+from repro.tune.space import Candidate, TuningSpace, default_candidate
+
+__all__ = [
+    "Trial",
+    "SearchResult",
+    "exhaustive_search",
+    "random_search",
+    "hillclimb_search",
+    "STRATEGIES",
+    "get_strategy",
+    "resolve_strategy",
+]
+
+#: Space size at or below which ``"auto"`` resolves to exhaustive search.
+_EXHAUSTIVE_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One scored candidate (lower score is better; seconds)."""
+
+    candidate: Candidate
+    score: float
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one search: the winner plus every trial that was scored."""
+
+    strategy: str
+    best: Trial
+    trials: tuple[Trial, ...]
+
+    @property
+    def evaluations(self) -> int:
+        """Number of distinct candidates that were scored."""
+        return len(self.trials)
+
+
+class _Memo:
+    """Score memoizer: each candidate is evaluated at most once per search."""
+
+    def __init__(self, evaluate) -> None:
+        self._evaluate = evaluate
+        self._scores: dict[Candidate, float] = {}
+
+    def __call__(self, candidate: Candidate) -> float:
+        if candidate not in self._scores:
+            self._scores[candidate] = self._evaluate(candidate)
+        return self._scores[candidate]
+
+    def trials(self) -> tuple[Trial, ...]:
+        return tuple(Trial(c, s) for c, s in self._scores.items())
+
+    def best(self) -> Trial:
+        if not self._scores:
+            raise TuningError("search scored no candidates")
+        return min(self.trials(), key=lambda trial: (trial.score, repr(trial.candidate)))
+
+
+def exhaustive_search(space: TuningSpace, evaluate, seed: int = 0) -> SearchResult:
+    """Score every candidate in the space (the seed is unused but accepted)."""
+    memo = _Memo(evaluate)
+    for candidate in space:
+        memo(candidate)
+    return SearchResult(strategy="exhaustive", best=memo.best(), trials=memo.trials())
+
+
+def random_search(
+    space: TuningSpace, evaluate, seed: int = 0, samples: int = 16
+) -> SearchResult:
+    """Score a seeded sample of the space, always including the paper default.
+
+    Including the default makes the result a guaranteed non-regression: the
+    winner is at worst the configuration the paper would have used.
+    """
+    if samples < 1:
+        raise TuningError(f"samples must be positive, got {samples}")
+    memo = _Memo(evaluate)
+    default = default_candidate(space.workload)
+    memo(default)
+    pool = [c for c in space.candidates() if c != default]
+    rng = random.Random(seed)
+    for candidate in rng.sample(pool, min(samples, len(pool))):
+        memo(candidate)
+    return SearchResult(strategy="random", best=memo.best(), trials=memo.trials())
+
+
+def hillclimb_search(
+    space: TuningSpace,
+    evaluate,
+    seed: int = 0,
+    max_steps: int = 32,
+    patience: int = 2,
+    min_improvement: float = 0.01,
+) -> SearchResult:
+    """Greedy steepest-descent from the paper default over single-axis moves.
+
+    Each step scores every neighbor of the current candidate and moves to the
+    best one if it improves the score.  Early stopping: the climb ends when
+    no neighbor improves, when ``max_steps`` moves were taken, or when
+    ``patience`` consecutive moves each improved by less than
+    ``min_improvement`` (relative).
+    """
+    if max_steps < 1:
+        raise TuningError(f"max_steps must be positive, got {max_steps}")
+    memo = _Memo(evaluate)
+    current = default_candidate(space.workload)
+    current_score = memo(current)
+    stale = 0
+    for _ in range(max_steps):
+        neighbors = space.neighbors(current)
+        if not neighbors:
+            break
+        scored = [(memo(n), n) for n in neighbors]
+        best_score, best_neighbor = min(scored, key=lambda pair: (pair[0], repr(pair[1])))
+        if best_score >= current_score:
+            break
+        improvement = (current_score - best_score) / current_score
+        stale = stale + 1 if improvement < min_improvement else 0
+        current, current_score = best_neighbor, best_score
+        if stale >= patience:
+            break
+    return SearchResult(strategy="hillclimb", best=memo.best(), trials=memo.trials())
+
+
+#: Strategy registry: name -> callable(space, evaluate, seed) -> SearchResult.
+STRATEGIES = {
+    "exhaustive": exhaustive_search,
+    "random": random_search,
+    "hillclimb": hillclimb_search,
+}
+
+
+def resolve_strategy(name: str, space: TuningSpace) -> str:
+    """Resolve ``"auto"`` to a concrete strategy for the given space size."""
+    if name == "auto":
+        return "exhaustive" if len(space) <= _EXHAUSTIVE_LIMIT else "hillclimb"
+    if name not in STRATEGIES:
+        raise TuningError(
+            f"unknown search strategy {name!r}; available: "
+            f"{', '.join(sorted(STRATEGIES))} (or 'auto')"
+        )
+    return name
+
+
+def get_strategy(name: str):
+    """Look a concrete strategy up by name (``"auto"`` is not concrete)."""
+    if name not in STRATEGIES:
+        raise TuningError(
+            f"unknown search strategy {name!r}; available: "
+            f"{', '.join(sorted(STRATEGIES))}"
+        )
+    return STRATEGIES[name]

@@ -1,0 +1,180 @@
+"""The autotuner: space → search → evaluate → database, behind one call.
+
+:class:`Autotuner` ties the subsystem together.  ``tune(workload, device)``
+first consults the tuning database; on a hit the remembered winner is
+returned without scoring a single candidate (a warm lookup performs zero
+candidate compilations).  On a miss it builds the :class:`TuningSpace` for
+the (workload, device) pair, runs the selected search strategy against a
+:class:`CandidateEvaluator`, records the winner — with the paper-default
+baseline and full search provenance — and persists the database.
+
+The winner can never be worse than the paper default: every strategy scores
+the default candidate (exhaustive/random include it; hill-climbing starts
+from it), so the returned configuration's modeled cost is ≤ the default's
+by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.driver import CompilerSession
+from repro.gpu.device import DeviceSpec, get_device
+from repro.kernels.config import KernelConfig
+from repro.tune.db import TUNER_VERSION, TuningDatabase, TuningRecord
+from repro.tune.evaluate import CandidateEvaluator
+from repro.tune.search import STRATEGIES, SearchResult, Trial, resolve_strategy
+from repro.tune.space import Candidate, TuningSpace, Workload
+
+__all__ = ["TuningResult", "TunedCompilation", "Autotuner", "tune_workload"]
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of one ``tune()`` call.
+
+    Attributes:
+        workload: what was tuned.
+        device: device short name.
+        candidate: the winning configuration point.
+        config: the winning :class:`KernelConfig` (ready for the frontends).
+        score_seconds: the winner's modeled seconds per workload unit.
+        baseline_seconds: the paper-default configuration's modeled seconds.
+        strategy: search strategy used (``"database"`` for warm lookups).
+        evaluations: candidates scored by this call (0 on a warm lookup).
+        space_size: size of the searched space (as recorded).
+        from_database: whether the result came from a warm database record.
+        trials: every (candidate, score) the search scored, best first
+            (empty on a warm lookup — nothing was scored).
+    """
+
+    workload: Workload
+    device: str
+    candidate: Candidate
+    config: KernelConfig
+    score_seconds: float
+    baseline_seconds: float
+    strategy: str
+    evaluations: int
+    space_size: int
+    from_database: bool
+    trials: tuple[Trial, ...] = ()
+
+    @property
+    def speedup(self) -> float:
+        """Modeled baseline/winner runtime ratio (≥ 1.0 by construction)."""
+        return self.baseline_seconds / self.score_seconds if self.score_seconds else 1.0
+
+
+@dataclass(frozen=True)
+class TunedCompilation:
+    """What :meth:`CompilerSession.compile_tuned` returns.
+
+    Attributes:
+        artifact: the target's artifact for the tuned kernel (CUDA/C source
+            or an executable ``CompiledKernel``).
+        config: the tuned kernel configuration the artifact was built with.
+        target: the compilation target name.
+        tuning: the full tuning result behind the configuration choice.
+    """
+
+    artifact: object
+    config: KernelConfig
+    target: str
+    tuning: TuningResult
+
+
+class Autotuner:
+    """Cost-model-guided configuration search with a persistent memory.
+
+    Args:
+        session: compiler session used to compile candidates (its content-
+            addressed cache makes repeated candidates free).
+        db: tuning database; defaults to a fresh in-memory database.
+        strategy: ``"auto"`` (exhaustive for small spaces, hill-climbing
+            otherwise), ``"exhaustive"``, ``"random"`` or ``"hillclimb"``.
+        seed: determinism seed threaded through every strategy.
+    """
+
+    def __init__(
+        self,
+        session: CompilerSession | None = None,
+        db: TuningDatabase | None = None,
+        strategy: str = "auto",
+        seed: int = 0,
+    ) -> None:
+        self.session = session
+        self.db = db if db is not None else TuningDatabase()
+        self.strategy = strategy
+        self.seed = seed
+
+    def tune(self, workload: Workload, device: str | DeviceSpec) -> TuningResult:
+        """Find (or remember) the best configuration for a workload/device."""
+        spec = device if isinstance(device, DeviceSpec) else get_device(device)
+        record = self.db.lookup(workload, spec.name)
+        if record is not None:
+            return TuningResult(
+                workload=workload,
+                device=spec.name,
+                candidate=record.candidate,
+                config=record.candidate.kernel_config(workload),
+                score_seconds=record.score_seconds,
+                baseline_seconds=record.baseline_seconds,
+                strategy="database",
+                evaluations=0,
+                space_size=record.space_size,
+                from_database=True,
+            )
+
+        space = TuningSpace(workload, spec)
+        evaluator = CandidateEvaluator(workload, spec, session=self.session)
+        strategy = resolve_strategy(self.strategy, space)
+        result: SearchResult = STRATEGIES[strategy](space, evaluator, seed=self.seed)
+        baseline = evaluator.baseline()  # memoized: every strategy scored it
+
+        self.db.store(
+            TuningRecord(
+                fingerprint=workload.fingerprint(),
+                workload_key=workload.key,
+                device=spec.name,
+                tuner_version=TUNER_VERSION,
+                candidate=result.best.candidate,
+                score_seconds=result.best.score,
+                baseline_seconds=baseline.seconds,
+                strategy=strategy,
+                evaluations=result.evaluations,
+                space_size=len(space),
+                created_at=TuningDatabase.timestamp(),
+            )
+        )
+        return TuningResult(
+            workload=workload,
+            device=spec.name,
+            candidate=result.best.candidate,
+            config=result.best.candidate.kernel_config(workload),
+            score_seconds=result.best.score,
+            baseline_seconds=baseline.seconds,
+            strategy=strategy,
+            evaluations=result.evaluations,
+            space_size=len(space),
+            from_database=False,
+            trials=tuple(sorted(result.trials, key=lambda t: (t.score, repr(t.candidate)))),
+        )
+
+    def tuned_config(self, workload: Workload, device: str | DeviceSpec) -> KernelConfig:
+        """Just the winning kernel configuration (tuning on first use)."""
+        return self.tune(workload, device).config
+
+
+def tune_workload(
+    workload: Workload,
+    device: str | DeviceSpec,
+    session: CompilerSession | None = None,
+    db: TuningDatabase | None = None,
+    strategy: str = "auto",
+    seed: int = 0,
+) -> TuningResult:
+    """One-shot convenience wrapper around :class:`Autotuner`."""
+    return Autotuner(session=session, db=db, strategy=strategy, seed=seed).tune(
+        workload, device
+    )

@@ -82,6 +82,65 @@ class TestContentAddressedCache:
         with pytest.raises(DriverError):
             ContentAddressedCache(maxsize=0)
 
+    def test_get_refreshes_lru_order(self):
+        cache = ContentAddressedCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "a" becomes most recent, so "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_put_overwrite_refreshes_lru_order_without_evicting(self):
+        cache = ContentAddressedCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # overwrite: refreshes recency, no eviction
+        assert cache.stats().evictions == 0
+        cache.put("c", 3)
+        assert cache.get("a") == 10 and "b" not in cache
+
+    def test_eviction_is_lru_not_fifo(self):
+        cache = ContentAddressedCache(maxsize=3)
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")  # insertion order a,b,c but recency order b,c,a
+        cache.put("d", "d")
+        assert "b" not in cache
+        assert all(key in cache for key in "acd")
+
+    def test_counters_under_interleaved_lower_compile(self, config):
+        # cache_size=3 holds at most three of {A_low, A_art, B_low, B_art};
+        # the trace below interleaves lower/compile so both recency refreshes
+        # (hits) and LRU evictions occur, and checks every counter exactly.
+        session = CompilerSession(cache_size=3)
+        options = config.rewrite_options()
+        kernel_a = build_blas_kernel("vadd", config)
+        kernel_b = build_blas_kernel("vsub", config)
+
+        session.lower(kernel_a, options=options)  # miss; cache [A_low]
+        session.compile(kernel_a, options=options)  # art miss + lower hit; [A_low, A_art]
+        session.lower(kernel_b, options=options)  # miss; [A_low, A_art, B_low]
+        # art miss + lower hit, then the artifact insert evicts A_low (LRU):
+        session.compile(kernel_b, options=options)  # [A_art, B_low, B_art]
+        info = session.cache_info()
+        assert (info.hits, info.misses, info.evictions) == (2, 4, 1)
+        assert info.currsize == 3
+
+        # A's lowering was evicted: re-lowering misses and evicts A_art.
+        session.lower(kernel_a, options=options)  # miss; [B_low, B_art, A_low]
+        # ... so recompiling A misses its artifact but reuses the fresh
+        # lowering, evicting B_low on insert.
+        session.compile(kernel_a, options=options)  # [B_art, A_low, A_art]
+        info = session.cache_info()
+        assert (info.hits, info.misses, info.evictions) == (3, 6, 3)
+
+        # Recency check: A survived (hit), B's lowering did not (miss).
+        session.lower(kernel_a, options=options)
+        session.lower(kernel_b, options=options)
+        info = session.cache_info()
+        assert (info.hits, info.misses, info.evictions) == (4, 7, 4)
+        assert info.currsize == 3
+
 
 class TestSessionCaching:
     def test_lower_hits_cache_on_identical_ir(self, session, config):

@@ -51,6 +51,19 @@ class TestKernelConfig:
         with pytest.raises(KernelError):
             padded_width(0, 64)
 
+    @pytest.mark.parametrize("word_bits", [0, -64, 48, 63, 96])
+    def test_non_power_of_two_word_width_rejected(self, word_bits):
+        # A 48-bit "word" would build a container the legalizer cannot split
+        # evenly into machine words; padded_width must reject it up front.
+        with pytest.raises(KernelError, match="power of two"):
+            padded_width(256, word_bits)
+        with pytest.raises(KernelError, match="power of two"):
+            KernelConfig(bits=256, word_bits=word_bits)
+
+    def test_power_of_two_word_widths_accepted(self):
+        assert padded_width(256, 32) == 256
+        assert KernelConfig(bits=256, word_bits=32).operand_words == 8
+
     def test_label(self):
         assert KernelConfig(bits=384).label() == "384b_schoolbook"
 

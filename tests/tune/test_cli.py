@@ -1,0 +1,53 @@
+"""Tests for the ``python -m repro.tune`` command-line entry point."""
+
+import pytest
+
+from repro.tune.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["ntt"])
+        assert args.bits == 256
+        assert args.size == 4096
+        assert args.device == "rtx4090"
+        assert args.strategy == "auto"
+
+    def test_rejects_unknown_device(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ntt", "--device", "a100"])
+
+
+class TestMain:
+    def test_ntt_tuning_prints_winner_and_cost_table(self, capsys):
+        assert main(["ntt", "--size", "4096", "--bits", "256", "--device", "rtx4090"]) == 0
+        out = capsys.readouterr().out
+        assert "ntt/cooley_tukey/n4096/256b" in out
+        assert "winner" in out
+        assert "us/NTT" in out
+        assert "vs default" in out
+
+    def test_blas_tuning_uses_element_units(self, capsys):
+        assert main(["blas", "--op", "vmul", "--bits", "128", "--device", "h100"]) == 0
+        out = capsys.readouterr().out
+        assert "blas/vmul" in out
+        assert "ns/element" in out
+
+    def test_warm_database_run_reports_hit(self, tmp_path, capsys):
+        db = str(tmp_path / "tuning.json")
+        argv = ["ntt", "--bits", "128", "--size", "1024", "--db", db]
+        assert main(argv) == 0
+        assert "winner saved to" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "warm hit" in capsys.readouterr().out
+
+    def test_invalid_workload_reports_error(self, capsys):
+        assert main(["ntt", "--size", "1000"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_top_limits_cost_table(self, capsys):
+        assert main(["blas", "--op", "vadd", "--bits", "128", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        table = [line for line in out.splitlines() if line.endswith("x")]
+        # speedup line + 3 table rows
+        assert len([line for line in table if "/w" in line]) == 3

@@ -1,0 +1,150 @@
+"""Tests for the persistent tuning database (round trips, atomicity, counters)."""
+
+import json
+
+import pytest
+
+from repro.errors import TuningError
+from repro.tune import (
+    TUNER_VERSION,
+    Candidate,
+    TuningDatabase,
+    TuningRecord,
+    Workload,
+)
+
+
+@pytest.fixture
+def workload():
+    return Workload(kind="ntt", bits=256, size=4096)
+
+
+def make_record(workload, device="rtx4090", candidate=None):
+    return TuningRecord(
+        fingerprint=workload.fingerprint(),
+        workload_key=workload.key,
+        device=device,
+        tuner_version=TUNER_VERSION,
+        candidate=candidate or Candidate(multiplication="karatsuba", batch=256),
+        score_seconds=1.0e-5,
+        baseline_seconds=1.5e-5,
+        strategy="exhaustive",
+        evaluations=72,
+        space_size=72,
+        created_at=1700000000.0,
+    )
+
+
+class TestRecord:
+    def test_json_round_trip(self, workload):
+        record = make_record(workload)
+        assert TuningRecord.from_json(record.to_json()) == record
+
+    def test_key_includes_device_and_version(self, workload):
+        record = make_record(workload)
+        assert record.key() == f"{workload.fingerprint()}::rtx4090::v{TUNER_VERSION}"
+
+    def test_corrupt_payload_rejected(self):
+        with pytest.raises(TuningError, match="corrupt"):
+            TuningRecord.from_json({"candidate": {"multiplication": "schoolbook"}})
+
+    @pytest.mark.parametrize(
+        "patch",
+        [
+            {"candidate": {"multiplication": "fft"}},
+            {"candidate": {"word_bits": 48}},
+            {"candidate": {"stage_span": 0}},
+            {"candidate": {"batch": -1}},
+            {"score_seconds": 0.0},
+            {"score_seconds": "fast"},
+            {"evaluations": -3},
+        ],
+    )
+    def test_semantically_corrupt_records_rejected_at_load(self, workload, patch):
+        # A hand-edited database must fail with TuningError at load time, not
+        # later as a KernelError inside the frontends serving the "winner".
+        payload = make_record(workload).to_json()
+        for key, value in patch.items():
+            if key == "candidate":
+                payload["candidate"].update(value)
+            else:
+                payload[key] = value
+        with pytest.raises(TuningError, match="corrupt"):
+            TuningRecord.from_json(payload)
+
+
+class TestDatabase:
+    def test_in_memory_store_and_lookup(self, workload):
+        db = TuningDatabase()
+        assert db.lookup(workload, "rtx4090") is None
+        db.store(make_record(workload))
+        found = db.lookup(workload, "rtx4090")
+        assert found is not None and found.candidate.multiplication == "karatsuba"
+        stats = db.stats()
+        assert (stats.hits, stats.misses, stats.stores, stats.records) == (1, 1, 1, 1)
+
+    def test_lookup_is_device_scoped(self, workload):
+        db = TuningDatabase()
+        db.store(make_record(workload, device="rtx4090"))
+        assert db.lookup(workload, "h100") is None
+        assert db.lookup(workload, "rtx4090") is not None
+
+    def test_lookup_is_workload_scoped(self, workload):
+        db = TuningDatabase()
+        db.store(make_record(workload))
+        other = Workload(kind="ntt", bits=384, size=4096)
+        assert db.lookup(other, "rtx4090") is None
+
+    def test_persistence_round_trip(self, tmp_path, workload):
+        path = tmp_path / "tuning.json"
+        db = TuningDatabase(path)
+        db.store(make_record(workload))
+        assert path.exists()
+
+        warm = TuningDatabase(path)
+        assert len(warm) == 1
+        found = warm.lookup(workload, "rtx4090")
+        assert found == make_record(workload)
+
+    def test_save_is_atomic_no_temp_left_behind(self, tmp_path, workload):
+        path = tmp_path / "tuning.json"
+        db = TuningDatabase(path)
+        db.store(make_record(workload))
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "tuning.json"]
+        assert leftovers == []
+        # The file is valid JSON with the schema header.
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert payload["tuner_version"] == TUNER_VERSION
+
+    def test_store_without_save_keeps_file_unchanged(self, tmp_path, workload):
+        path = tmp_path / "tuning.json"
+        db = TuningDatabase(path)
+        db.store(make_record(workload), save=False)
+        assert not path.exists()
+        db.save()
+        assert path.exists()
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(TuningError, match="cannot read"):
+            TuningDatabase(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema": 99, "records": {}}))
+        with pytest.raises(TuningError, match="schema"):
+            TuningDatabase(path)
+
+    def test_missing_records_section_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"schema": 1}))
+        with pytest.raises(TuningError, match="records"):
+            TuningDatabase(path)
+
+    def test_creates_parent_directories(self, tmp_path, workload):
+        path = tmp_path / "nested" / "dir" / "tuning.json"
+        db = TuningDatabase(path)
+        db.store(make_record(workload))
+        assert path.exists()

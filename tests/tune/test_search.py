@@ -1,0 +1,131 @@
+"""Tests for the search strategies (determinism, optimality, early stop)."""
+
+import pytest
+
+from repro.errors import TuningError
+from repro.gpu.device import get_device
+from repro.tune import (
+    TuningSpace,
+    Workload,
+    default_candidate,
+    exhaustive_search,
+    get_strategy,
+    hillclimb_search,
+    random_search,
+    resolve_strategy,
+)
+
+
+@pytest.fixture
+def space():
+    return TuningSpace(Workload(kind="ntt", bits=256, size=4096), get_device("rtx4090"))
+
+
+def synthetic_objective(space):
+    """A deterministic objective with a unique global optimum."""
+    ranked = {candidate: index for index, candidate in enumerate(space.candidates())}
+    target = space.candidates()[len(space) // 2]
+
+    def evaluate(candidate):
+        if candidate == target:
+            return 0.5
+        return 1.0 + ranked[candidate] * 0.01
+
+    return evaluate, target
+
+
+class TestExhaustive:
+    def test_finds_global_optimum(self, space):
+        evaluate, target = synthetic_objective(space)
+        result = exhaustive_search(space, evaluate)
+        assert result.best.candidate == target
+        assert result.best.score == 0.5
+        assert result.evaluations == len(space)
+
+    def test_each_candidate_scored_once(self, space):
+        calls = []
+        exhaustive_search(space, lambda c: calls.append(c) or 1.0)
+        assert len(calls) == len(set(calls)) == len(space)
+
+
+class TestRandom:
+    def test_deterministic_under_seed(self, space):
+        evaluate, _ = synthetic_objective(space)
+        first = random_search(space, evaluate, seed=7, samples=10)
+        second = random_search(space, evaluate, seed=7, samples=10)
+        assert first.trials == second.trials
+        assert first.best == second.best
+
+    def test_different_seeds_sample_differently(self, space):
+        evaluate, _ = synthetic_objective(space)
+        first = random_search(space, evaluate, seed=1, samples=5)
+        second = random_search(space, evaluate, seed=2, samples=5)
+        assert {t.candidate for t in first.trials} != {t.candidate for t in second.trials}
+
+    def test_default_always_included(self, space):
+        evaluate, _ = synthetic_objective(space)
+        result = random_search(space, evaluate, seed=3, samples=2)
+        assert default_candidate() in {trial.candidate for trial in result.trials}
+
+    def test_never_worse_than_default(self, space):
+        evaluate, _ = synthetic_objective(space)
+        for seed in range(5):
+            result = random_search(space, evaluate, seed=seed, samples=4)
+            assert result.best.score <= evaluate(default_candidate())
+
+    def test_invalid_samples_rejected(self, space):
+        with pytest.raises(TuningError):
+            random_search(space, lambda c: 1.0, samples=0)
+
+
+class TestHillclimb:
+    def test_never_worse_than_default(self, space):
+        evaluate, _ = synthetic_objective(space)
+        result = hillclimb_search(space, evaluate)
+        assert result.best.score <= evaluate(default_candidate())
+
+    def test_deterministic(self, space):
+        evaluate, _ = synthetic_objective(space)
+        first = hillclimb_search(space, evaluate, seed=0)
+        second = hillclimb_search(space, evaluate, seed=0)
+        assert first.trials == second.trials
+
+    def test_early_stop_on_local_optimum(self, space):
+        # An objective where the default is already optimal: the climb must
+        # stop after scoring just the default and its immediate neighbors.
+        def evaluate(candidate):
+            return 1.0 if candidate == default_candidate() else 2.0
+
+        result = hillclimb_search(space, evaluate)
+        assert result.best.candidate == default_candidate()
+        assert result.evaluations <= 1 + len(space.neighbors(default_candidate()))
+
+    def test_explores_less_than_exhaustive_on_large_space(self, space):
+        evaluate, _ = synthetic_objective(space)
+        result = hillclimb_search(space, evaluate)
+        assert result.evaluations < len(space)
+
+    def test_invalid_max_steps_rejected(self, space):
+        with pytest.raises(TuningError):
+            hillclimb_search(space, lambda c: 1.0, max_steps=0)
+
+
+class TestRegistry:
+    def test_get_strategy(self):
+        assert get_strategy("exhaustive") is exhaustive_search
+        with pytest.raises(TuningError, match="unknown search strategy"):
+            get_strategy("simulated_annealing")
+
+    def test_resolve_auto_by_space_size(self, space):
+        # The rtx4090 256-bit NTT space has 72 candidates (> 64): hillclimb.
+        assert len(space) > 64
+        assert resolve_strategy("auto", space) == "hillclimb"
+        small = TuningSpace(
+            Workload(kind="blas", bits=256, operation="vadd"), get_device("rtx4090")
+        )
+        assert resolve_strategy("auto", small) == "exhaustive"
+
+    def test_resolve_concrete_passthrough(self, space):
+        assert resolve_strategy("random", space) == "random"
+        with pytest.raises(TuningError):
+            resolve_strategy("anneal", space)

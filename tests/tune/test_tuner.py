@@ -1,0 +1,251 @@
+"""Tests for the evaluator, the autotuner, and the driver/frontend plumbing."""
+
+import pytest
+
+from repro.core.driver import CompilerSession
+from repro.gpu.simulator import estimate_blas, estimate_ntt
+from repro.kernels import KernelConfig, build_butterfly_kernel
+from repro.kernels.blas_gen import generate_blas_kernel
+from repro.kernels.ntt_gen import generate_butterfly_kernel
+from repro.ntt import GeneratedNTT, make_stage_plan
+from repro.poly.blas import MomaBlasEngine, PythonBlasEngine
+from repro.tune import (
+    Autotuner,
+    CandidateEvaluator,
+    Candidate,
+    TuningDatabase,
+    Workload,
+    default_candidate,
+    tune_workload,
+)
+
+
+@pytest.fixture
+def session():
+    return CompilerSession()
+
+
+@pytest.fixture
+def ntt_workload():
+    return Workload(kind="ntt", bits=256, size=4096)
+
+
+@pytest.fixture
+def blas_workload():
+    return Workload(kind="blas", bits=256, operation="vmul")
+
+
+class TestEvaluator:
+    def test_scores_are_memoized_and_cached(self, session, ntt_workload):
+        evaluator = CandidateEvaluator(ntt_workload, "rtx4090", session=session)
+        first = evaluator.score(default_candidate())
+        assert first.compile_misses > 0
+        second = evaluator.score(default_candidate())
+        assert second is first  # evaluator-level memo
+        # A same-kernel candidate (different batch only) hits the driver cache.
+        rebatched = evaluator.score(Candidate(batch=64))
+        assert rebatched.compile_misses == 0
+
+    def test_ntt_score_matches_simulator(self, session, ntt_workload):
+        evaluator = CandidateEvaluator(ntt_workload, "rtx4090", session=session)
+        score = evaluator.score(default_candidate())
+        direct = estimate_ntt(
+            ntt_workload.default_config(), 4096, "rtx4090", session=session
+        )
+        assert score.seconds == pytest.approx(direct.per_ntt_us * 1e-6)
+
+    def test_blas_score_matches_simulator(self, session, blas_workload):
+        evaluator = CandidateEvaluator(blas_workload, "h100", session=session)
+        score = evaluator.score(default_candidate())
+        direct = estimate_blas(
+            "vmul", blas_workload.default_config(), "h100", session=session
+        )
+        assert score.seconds == pytest.approx(direct.per_element_ns * 1e-9)
+
+    def test_stage_span_reduces_staged_ntt_cost(self, session, ntt_workload):
+        evaluator = CandidateEvaluator(ntt_workload, "rtx4090", session=session)
+        stage_per_launch = evaluator.score(default_candidate())
+        fused = evaluator.score(Candidate(stage_span=4))
+        assert fused.seconds < stage_per_launch.seconds
+        assert fused.estimate.launches < stage_per_launch.estimate.launches
+
+
+class TestAutotuner:
+    @pytest.mark.parametrize("strategy", ["exhaustive", "random", "hillclimb", "auto"])
+    def test_winner_never_worse_than_default(self, session, ntt_workload, strategy):
+        result = Autotuner(session=session, strategy=strategy).tune(ntt_workload, "rtx4090")
+        assert result.score_seconds <= result.baseline_seconds
+        assert result.speedup >= 1.0
+        assert not result.from_database
+
+    def test_result_config_matches_candidate(self, session, ntt_workload):
+        result = Autotuner(session=session).tune(ntt_workload, "rtx4090")
+        assert result.config == result.candidate.kernel_config(ntt_workload)
+
+    def test_warm_database_skips_search_entirely(self, session, ntt_workload):
+        db = TuningDatabase()
+        tuner = Autotuner(session=session, db=db)
+        cold = tuner.tune(ntt_workload, "rtx4090")
+        assert cold.evaluations > 0
+
+        misses_before = session.cache_info().misses
+        warm = tuner.tune(ntt_workload, "rtx4090")
+        assert warm.from_database
+        assert warm.strategy == "database"
+        assert warm.evaluations == 0
+        assert warm.candidate == cold.candidate
+        assert session.cache_info().misses == misses_before  # zero compilations
+        assert db.stats().hits == 1
+
+    def test_devices_are_tuned_independently(self, session, ntt_workload):
+        db = TuningDatabase()
+        tuner = Autotuner(session=session, db=db)
+        tuner.tune(ntt_workload, "rtx4090")
+        other = tuner.tune(ntt_workload, "h100")
+        assert not other.from_database
+        assert db.stats().records == 2
+
+    def test_persistent_database_warm_across_tuners(self, tmp_path, ntt_workload):
+        path = tmp_path / "tuning.json"
+        first = tune_workload(ntt_workload, "rtx4090", db=TuningDatabase(path))
+        second = tune_workload(ntt_workload, "rtx4090", db=TuningDatabase(path))
+        assert not first.from_database
+        assert second.from_database
+        assert second.candidate == first.candidate
+
+    def test_blas_workload_tunes(self, session, blas_workload):
+        result = Autotuner(session=session).tune(blas_workload, "v100")
+        assert result.score_seconds <= result.baseline_seconds
+        assert result.candidate.stage_span == 1
+
+
+class TestCompileTuned:
+    def test_compile_tuned_from_kernel(self, session):
+        wide = build_butterfly_kernel(KernelConfig(bits=256))
+        tuned = session.compile_tuned(wide, target="cuda", device="rtx4090")
+        assert isinstance(tuned.artifact, str) and "__global__" in tuned.artifact
+        assert tuned.target == "cuda"
+        assert tuned.tuning.score_seconds <= tuned.tuning.baseline_seconds
+
+    def test_compile_tuned_from_workload(self, session, blas_workload):
+        tuned = session.compile_tuned(blas_workload, target="python_exec", device="h100")
+        assert tuned.config.bits == 256
+        assert callable(tuned.artifact)  # python_exec returns a CompiledKernel
+
+    def test_warm_db_second_compile_is_all_cache_hits(self, session, ntt_workload):
+        db = TuningDatabase()
+        session.compile_tuned(ntt_workload, target="cuda", device="rtx4090", db=db)
+        misses = session.cache_info().misses
+        again = session.compile_tuned(ntt_workload, target="cuda", device="rtx4090", db=db)
+        assert again.tuning.from_database
+        assert session.cache_info().misses == misses
+
+    def test_session_owns_default_db_so_repeat_calls_skip_search(
+        self, session, ntt_workload
+    ):
+        cold = session.compile_tuned(ntt_workload, target="cuda", device="rtx4090")
+        misses = session.cache_info().misses
+        warm = session.compile_tuned(ntt_workload, target="cuda", device="rtx4090")
+        assert not cold.tuning.from_database
+        assert warm.tuning.from_database
+        assert session.cache_info().misses == misses
+
+    def test_cold_result_carries_sorted_trials(self, session, ntt_workload):
+        result = Autotuner(session=session).tune(ntt_workload, "rtx4090")
+        scores = [trial.score for trial in result.trials]
+        assert scores == sorted(scores)
+        assert result.trials[0].candidate == result.candidate
+        warm_db = TuningDatabase()
+        tuner = Autotuner(session=session, db=warm_db)
+        tuner.tune(ntt_workload, "rtx4090")
+        assert tuner.tune(ntt_workload, "rtx4090").trials == ()
+
+
+class TestFrontendPlumbing:
+    def test_generate_butterfly_autotune(self, session):
+        db = TuningDatabase()
+        kernel = generate_butterfly_kernel(
+            KernelConfig(bits=256), session=session, autotune=True, tuning_db=db
+        )
+        assert kernel.metadata["legalized"]
+        assert db.stats().records == 1
+
+    def test_generate_blas_autotune(self, session):
+        db = TuningDatabase()
+        kernel = generate_blas_kernel(
+            "vmul", KernelConfig(bits=256), session=session, autotune=True, tuning_db=db
+        )
+        assert kernel.metadata["legalized"]
+        assert db.stats().records == 1
+
+    def test_generated_ntt_autotune_round_trips(self, session):
+        db = TuningDatabase()
+        ntt = GeneratedNTT(
+            64, KernelConfig(bits=64), session=session, autotune=True, tuning_db=db
+        )
+        values = list(range(64))
+        assert ntt.inverse(ntt.forward(values)) == values
+        assert db.stats().records == 1
+
+    def test_moma_blas_engine_autotune_matches_python(self, session):
+        db = TuningDatabase()
+        from repro.ntheory import find_ntt_prime
+
+        q = find_ntt_prime(60, 8)
+        config = KernelConfig(bits=64, modulus_bits=60)
+        tuned = MomaBlasEngine(config, session=session, autotune=True, tuning_db=db)
+        x = [3, 5, 7, q - 1]
+        y = [2, 9, 0, q - 2]
+        reference = PythonBlasEngine()
+        assert tuned.vmul(x, y, q) == reference.vmul(x, y, q)
+        assert tuned.axpy(4, x, y, q) == reference.axpy(4, x, y, q)
+        assert db.stats().records == 4  # one tuned record per BLAS operation
+        # The engine reports what each kernel was actually generated with,
+        # while config keeps the requested semantic identity.
+        assert set(tuned.operation_configs) == {"vadd", "vsub", "vmul", "axpy"}
+        for generated in tuned.operation_configs.values():
+            assert generated.bits == config.bits
+            assert generated.effective_modulus_bits == config.effective_modulus_bits
+        assert tuned.config == config
+
+    def test_autotune_works_on_sub_64_bit_configs(self, session):
+        # KernelConfig(bits=32, word_bits=32) is valid; turning autotune on
+        # must tune against a 32-bit-word baseline, not raise.
+        db = TuningDatabase()
+        config = KernelConfig(bits=32, word_bits=32)
+        kernel = generate_blas_kernel(
+            "vadd", config, session=session, autotune=True, tuning_db=db
+        )
+        assert kernel.metadata["legalized"]
+        assert db.stats().records == 1
+
+
+class TestSimulatorExtensions:
+    def test_estimate_blas_fixed_batch_no_better_than_auto(self, session):
+        config = KernelConfig(bits=256)
+        auto = estimate_blas("vmul", config, "rtx4090", session=session)
+        fixed = estimate_blas("vmul", config, "rtx4090", batch=1, session=session)
+        assert fixed.batch == 1
+        assert fixed.per_element_ns >= auto.per_element_ns
+
+    def test_estimate_ntt_stage_plan_mismatch_rejected(self, session):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="stage plan"):
+            estimate_ntt(
+                KernelConfig(bits=256),
+                4096,
+                "rtx4090",
+                stage_plan=make_stage_plan(2048, 2),
+                session=session,
+            )
+
+    def test_stage_plan_irrelevant_for_shared_memory_transforms(self, session):
+        config = KernelConfig(bits=256)
+        base = estimate_ntt(config, 1024, "rtx4090", session=session)
+        fused = estimate_ntt(
+            config, 1024, "rtx4090", stage_plan=make_stage_plan(1024, 2), session=session
+        )
+        assert base.shared_memory_fit and fused.shared_memory_fit
+        assert base.per_ntt_us == fused.per_ntt_us
+        assert base.launches == fused.launches == 1
