@@ -1,0 +1,87 @@
+"""Serving non-regression: warm serving crushes per-request cold compilation.
+
+The point of the ``repro.serve`` subsystem is that a long-running server
+pays tuning + compilation once per kernel family, then answers identical
+requests from its resident table.  This benchmark measures both regimes for
+one NTT butterfly family:
+
+* **cold** — what per-request compilation costs: a fresh
+  :class:`CompilerSession` per request (no shared cache, the pre-server
+  world), legalizing and compiling the kernel every time;
+* **warm** — the same request served repeatedly by a warm
+  :class:`KernelServer`.
+
+and asserts a wide separation, plus the serving invariant that the warm loop
+performed zero compilations and zero tuning-database lookups.  The measured
+per-request latencies land in the BENCH artifact via ``extra_info``.
+"""
+
+import time
+
+from repro.core.driver import CompilerSession
+from repro.kernels.config import KernelConfig
+from repro.kernels.ntt_gen import build_butterfly_kernel
+from repro.serve import KernelServer, ServeRequest
+
+#: The served kernel family (modest size keeps the cold loop affordable).
+BITS = 256
+SIZE = 256
+#: Warm serving must beat per-request cold compilation by at least this much.
+REQUIRED_SPEEDUP = 25.0
+
+_WARM_REQUESTS = 200
+_COLD_REQUESTS = 5
+
+
+def _measure():
+    server = KernelServer(devices=("rtx4090",))
+    try:
+        request = ServeRequest(kind="ntt", bits=BITS, size=SIZE)
+        server.serve(request)  # tune + compile once (the warmup equivalent)
+
+        compilations_before = server.session.stats().compilations
+        db_before = server.db.stats()
+        started = time.perf_counter()
+        for _ in range(_WARM_REQUESTS):
+            result = server.serve(request)
+            assert result.warm
+        warm_seconds = (time.perf_counter() - started) / _WARM_REQUESTS
+        compilations = server.session.stats().compilations - compilations_before
+        db_after = server.db.stats()
+        db_lookups = (db_after.hits + db_after.misses) - (db_before.hits + db_before.misses)
+
+        config = KernelConfig(bits=BITS)
+        started = time.perf_counter()
+        for _ in range(_COLD_REQUESTS):
+            cold_session = CompilerSession()
+            cold_session.compile(
+                build_butterfly_kernel(config),
+                target="python_exec",
+                options=config.rewrite_options(),
+            )
+        cold_seconds = (time.perf_counter() - started) / _COLD_REQUESTS
+        return warm_seconds, cold_seconds, compilations, db_lookups
+    finally:
+        server.close()
+
+
+def test_warm_serving_beats_cold_compilation(run_once, benchmark):
+    warm_seconds, cold_seconds, compilations, db_lookups = run_once(_measure)
+    speedup = cold_seconds / warm_seconds
+    benchmark.extra_info["warm_us_per_request"] = warm_seconds * 1e6
+    benchmark.extra_info["cold_ms_per_request"] = cold_seconds * 1e3
+    benchmark.extra_info["serving_speedup"] = speedup
+    print(
+        f"\n# warm serve {warm_seconds * 1e6:8.1f} us/request, "
+        f"cold compile {cold_seconds * 1e3:8.2f} ms/request "
+        f"({speedup:,.0f}x)"
+    )
+
+    # The serving invariant: the warm loop never compiled and never touched
+    # the tuning database.
+    assert compilations == 0
+    assert db_lookups == 0
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"warm serving is only {speedup:.1f}x faster than per-request cold "
+        f"compilation; expected at least {REQUIRED_SPEEDUP}x"
+    )

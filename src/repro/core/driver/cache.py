@@ -10,10 +10,16 @@ the north-star service needs to observe (hits, misses, evictions, size).
 It replaces the ``functools.lru_cache`` decorators that used to sit on every
 frontend: those were keyed by Python argument identity, invisible to
 instrumentation, unbounded, and impossible to share across layers.
+
+The cache is thread-safe: the serving subsystem (:mod:`repro.serve`) issues
+concurrent ``compile()`` calls against one shared session, and an unguarded
+``OrderedDict.move_to_end`` racing a ``popitem`` corrupts the LRU order, so
+every operation — including the counter updates — holds one reentrant lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -33,6 +39,9 @@ class CacheStats:
     evictions: int
     currsize: int
     maxsize: int
+    #: Entries dropped explicitly via :meth:`ContentAddressedCache.discard`
+    #: (cache invalidation), as opposed to LRU pressure (``evictions``).
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -52,42 +61,65 @@ class ContentAddressedCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
+        self._lock = threading.RLock()
 
     def get(self, key, default=None):
         """Look up ``key``, counting a hit or a miss."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self._misses += 1
-            return default
-        self._hits += 1
-        self._entries.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return value
 
     def put(self, key, value) -> None:
         """Store ``key``, evicting the least recently used entry when full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self._maxsize:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def discard(self, key) -> bool:
+        """Drop one entry (cache invalidation); True when it was present."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self._invalidations += 1
+            return True
+
+    def items(self) -> list:
+        """A snapshot of (key, value) pairs, least recently used first."""
+        with self._lock:
+            return list(self._entries.items())
 
     def __contains__(self, key) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> CacheStats:
         """Current counter snapshot."""
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            currsize=len(self._entries),
-            maxsize=self._maxsize,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                currsize=len(self._entries),
+                maxsize=self._maxsize,
+                invalidations=self._invalidations,
+            )

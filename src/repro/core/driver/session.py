@@ -21,6 +21,7 @@ hit/miss counters and the LRU bound keeps memory finite.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 
 from repro.core.ir.fingerprint import kernel_digest
@@ -69,6 +70,9 @@ class CompilerSession:
         self._cache = ContentAddressedCache(maxsize=cache_size)
         self._stats = CompileStats()
         self._tuning_db = None  # lazily created by compile_tuned
+        # Guards lazy members (the tuning db); the cache and the stats carry
+        # their own locks, so compile()/lower() never serialize on this.
+        self._lock = threading.RLock()
 
     # -- cache keys ---------------------------------------------------------
 
@@ -212,9 +216,10 @@ class CompilerSession:
         from repro.tune import Autotuner, TunedCompilation, TuningDatabase, Workload
 
         if db is None:
-            if self._tuning_db is None:
-                self._tuning_db = TuningDatabase()
-            db = self._tuning_db
+            with self._lock:
+                if self._tuning_db is None:
+                    self._tuning_db = TuningDatabase()
+                db = self._tuning_db
         if isinstance(kernel_or_workload, Kernel):
             workload = Workload.from_kernel(kernel_or_workload)
         else:
@@ -234,6 +239,30 @@ class CompilerSession:
             tuning=tuning,
         )
 
+    # -- cache management ---------------------------------------------------
+
+    def cache_key(
+        self,
+        kernel: Kernel,
+        target: str | Target | None = None,
+        options: RewriteOptions | None = None,
+        run_passes: bool = True,
+    ) -> str:
+        """The content-addressed key :meth:`compile` (or, with ``target=None``,
+        :meth:`lower`) would use for this request.
+
+        Exposed so cache invalidation (:mod:`repro.serve.invalidate`) can
+        evict exactly the artifacts belonging to a stale kernel family.
+        """
+        options = options if options is not None else self.options
+        if target is None:
+            return self._key(kernel, "lower", options, run_passes)
+        return self._key(kernel, "emit", options, run_passes, get_target(target).name)
+
+    def evict(self, key: str) -> bool:
+        """Drop one cache entry by key; True when it was present."""
+        return self._cache.discard(key)
+
     # -- observability ------------------------------------------------------
 
     def stats(self) -> CompileStats:
@@ -250,18 +279,34 @@ class CompilerSession:
 
 
 _DEFAULT_SESSION: CompilerSession | None = None
+_DEFAULT_SESSION_LOCK = threading.Lock()
 
 
 def get_default_session() -> CompilerSession:
-    """The process-wide session used when callers do not supply their own."""
-    global _DEFAULT_SESSION
-    if _DEFAULT_SESSION is None:
-        _DEFAULT_SESSION = CompilerSession()
-    return _DEFAULT_SESSION
+    """The process-wide session used when callers do not supply their own.
+
+    Initialization is race-free (double-checked locking): concurrent first
+    callers all receive the *same* session, so its kernel cache is genuinely
+    process-wide.  The fast path reads the module global once without taking
+    the lock — safe because the binding is only ever replaced atomically,
+    never mutated in place.
+    """
+    session = _DEFAULT_SESSION
+    if session is None:
+        with _DEFAULT_SESSION_LOCK:
+            session = _DEFAULT_SESSION
+            if session is None:
+                session = set_default_session(CompilerSession())
+    return session
 
 
 def set_default_session(session: CompilerSession) -> CompilerSession:
-    """Replace the process-wide default session (returns it for chaining)."""
+    """Replace the process-wide default session (returns it for chaining).
+
+    The swap is atomic, but callers racing :func:`get_default_session` may
+    still observe the previous session until the assignment lands; callers
+    that need a hard handoff should pass sessions explicitly.
+    """
     global _DEFAULT_SESSION
     _DEFAULT_SESSION = session
     return session

@@ -10,6 +10,7 @@ the report surfaced by ``session.stats()``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["PassRecord", "CompileRecord", "CompileStats"]
@@ -57,18 +58,27 @@ class CompileRecord:
 
 @dataclass
 class CompileStats:
-    """Aggregate view over a session's compilations."""
+    """Aggregate view over a session's compilations.
+
+    Mutations are lock-guarded: sessions are shared across the serving
+    subsystem's worker threads, and ``cache_hits += 1`` is not atomic.
+    """
 
     records: list[CompileRecord] = field(default_factory=list)
     cache_hits: int = 0
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def record(self, entry: CompileRecord) -> None:
         """Append one cache-missing compilation."""
-        self.records.append(entry)
+        with self._lock:
+            self.records.append(entry)
 
     def record_hit(self) -> None:
         """Count one compilation served entirely from the cache."""
-        self.cache_hits += 1
+        with self._lock:
+            self.cache_hits += 1
 
     @property
     def compilations(self) -> int:

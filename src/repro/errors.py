@@ -60,5 +60,10 @@ class TuningError(ReproError):
     unknown strategy, or read a corrupt tuning database."""
 
 
+class ServingError(ReproError):
+    """The kernel-serving subsystem was misconfigured or asked to serve a
+    request it cannot satisfy (closed server, unparsable workload key, ...)."""
+
+
 class UnknownTargetError(DriverError):
     """A compilation target name is not present in the target registry."""

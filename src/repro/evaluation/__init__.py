@@ -5,7 +5,12 @@ from repro.evaluation.fig1_headline import headline_speedups, run_figure1
 from repro.evaluation.fig2_blas import run_figure2, run_figure2_panel
 from repro.evaluation.fig3_ntt import run_figure3, run_figure3_panel
 from repro.evaluation.fig4_crosscut import run_figure4
-from repro.evaluation.fig5_sensitivity import run_figure5a, run_figure5b, run_figure5b_tuned
+from repro.evaluation.fig5_sensitivity import (
+    run_figure5a,
+    run_figure5b,
+    run_figure5b_served,
+    run_figure5b_tuned,
+)
 from repro.evaluation.tables import format_table2, table1_rule_inventory, table2_devices
 
 __all__ = [
@@ -22,6 +27,7 @@ __all__ = [
     "run_figure4",
     "run_figure5a",
     "run_figure5b",
+    "run_figure5b_served",
     "run_figure5b_tuned",
     "format_table2",
     "table1_rule_inventory",

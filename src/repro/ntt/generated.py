@@ -41,6 +41,10 @@ class GeneratedNTT:
         device: device model the autotuner optimizes for.
         tuning_db: persistent :class:`repro.tune.TuningDatabase` consulted
             and updated by the autotuner.
+        serve: a :class:`repro.serve.KernelServer` to delegate tuning and
+            compilation to; the butterfly is requested through the server's
+            shared caches (``autotune`` selects tuned vs pinned) and
+            ``session``/``tuning_db`` are unused.
     """
 
     def __init__(
@@ -52,8 +56,18 @@ class GeneratedNTT:
         autotune: bool = False,
         device: str = "rtx4090",
         tuning_db=None,
+        serve=None,
     ) -> None:
-        if autotune:
+        served = None
+        if serve is not None:
+            # Imported lazily: repro.serve sits above this frontend.
+            from repro.serve.client import serve_ntt_kernel
+
+            served = serve_ntt_kernel(
+                serve, config, size, device=device, tune=autotune
+            )
+            config = served.config
+        elif autotune:
             # Imported lazily: repro.tune drives this class's frontends.
             from repro.kernels.ntt_gen import _autotuned_config
 
@@ -71,7 +85,11 @@ class GeneratedNTT:
                 f"plan modulus has {self.plan.modulus_bits} bits but the kernel "
                 f"configuration expects {config.effective_modulus_bits}"
             )
-        self._kernel: CompiledKernel = compile_butterfly_kernel(config, session=session)
+        self._kernel: CompiledKernel = (
+            served.artifact
+            if served is not None
+            else compile_butterfly_kernel(config, session=session)
+        )
 
     @property
     def size(self) -> int:

@@ -109,6 +109,10 @@ class MomaBlasEngine(BlasEngine):
         device: device model the autotuner optimizes for.
         tuning_db: persistent :class:`repro.tune.TuningDatabase` consulted
             and updated by the autotuner.
+        serve: a :class:`repro.serve.KernelServer` to delegate tuning and
+            compilation to; each operation's kernel is requested through the
+            server's shared caches (``autotune`` selects tuned vs pinned)
+            and ``session``/``tuning_db`` are unused.
 
     Attributes:
         config: the requested (semantic) configuration — bit-widths and
@@ -125,11 +129,25 @@ class MomaBlasEngine(BlasEngine):
         autotune: bool = False,
         device: str = "rtx4090",
         tuning_db=None,
+        serve=None,
     ) -> None:
         self.config = config
         self.operation_configs: dict[str, KernelConfig] = {}
         self._kernels = {}
-        for operation in ("vadd", "vsub", "vmul", "axpy"):
+        operations = ("vadd", "vsub", "vmul", "axpy")
+        if serve is not None:
+            # Imported lazily: repro.serve sits above this frontend.  All
+            # four requests are submitted together so cold kernels compile
+            # concurrently on the server's pool and share one tuning batch.
+            from repro.serve.client import serve_blas_kernels
+
+            for operation, result in serve_blas_kernels(
+                serve, operations, config, device=device, tune=autotune
+            ).items():
+                self.operation_configs[operation] = result.config
+                self._kernels[operation] = result.artifact
+            return
+        for operation in operations:
             generated = config
             if autotune:
                 # Imported lazily: repro.tune drives this module's frontends.

@@ -1,0 +1,68 @@
+"""``repro.serve`` — the long-running tuned-kernel serving subsystem.
+
+``repro.tune`` (the autotuner) finds and remembers the winning kernel
+configuration per (kernel family, device); this package *serves* those
+winners to heavy concurrent traffic from one long-running process:
+
+* :mod:`repro.serve.server` — :class:`KernelServer`: a thread-safe front
+  door over one shared :class:`~repro.core.driver.CompilerSession` and
+  :class:`~repro.tune.TuningDatabase`, with a worker pool, per-key in-flight
+  deduplication, a resident table of served results, and micro-batching of
+  tuning requests grouped by device;
+* :mod:`repro.serve.warmup` — startup pre-warming: every recorded winner is
+  compiled into the kernel cache before traffic arrives, so first requests
+  are already warm;
+* :mod:`repro.serve.invalidate` — live invalidation: records stale by
+  :data:`~repro.tune.db.TUNER_VERSION` or kernel-family fingerprint are
+  dropped (with their cached artifacts) and optionally re-tuned;
+* :mod:`repro.serve.client` — :class:`ServedNTT` / :class:`ServedBlasEngine`
+  and the ``serve=`` hook behind the existing frontends;
+* :mod:`repro.serve.metrics` — request/dedup/warm/cold counters and latency
+  percentiles behind :meth:`KernelServer.metrics_snapshot`.
+
+``python -m repro.serve --warmup --once ntt --bits 256 --stats`` drives a
+server from the command line; ``--demo N`` generates benchmark traffic.
+"""
+
+from repro.serve.client import (
+    ServedBlasEngine,
+    ServedNTT,
+    serve_blas_kernel,
+    serve_blas_kernels,
+    serve_ntt_kernel,
+)
+from repro.serve.invalidate import (
+    InvalidationReport,
+    StaleRecord,
+    find_stale,
+    invalidate_stale,
+)
+from repro.serve.metrics import MetricsSnapshot, ServerMetrics
+from repro.serve.server import KernelServer, ServeRequest, ServeResult
+from repro.serve.warmup import (
+    WarmupEntry,
+    WarmupReport,
+    request_from_record,
+    warm_server,
+)
+
+__all__ = [
+    "KernelServer",
+    "ServeRequest",
+    "ServeResult",
+    "MetricsSnapshot",
+    "ServerMetrics",
+    "WarmupEntry",
+    "WarmupReport",
+    "request_from_record",
+    "warm_server",
+    "InvalidationReport",
+    "StaleRecord",
+    "find_stale",
+    "invalidate_stale",
+    "ServedNTT",
+    "ServedBlasEngine",
+    "serve_ntt_kernel",
+    "serve_blas_kernel",
+    "serve_blas_kernels",
+]

@@ -1,0 +1,199 @@
+"""``python -m repro.serve`` — drive a kernel server from the command line.
+
+Examples::
+
+    # serve one request (cold: tune + compile) and print the metrics
+    python -m repro.serve --once ntt --bits 256 --size 4096 --stats
+
+    # persist winners, then pre-warm a fresh server from them
+    python -m repro.serve --once ntt --bits 256 --db tuning_db.json
+    python -m repro.serve --warmup --db tuning_db.json --stats
+
+    # drop stale records (and re-tune their families)
+    python -m repro.serve --invalidate --refresh --db tuning_db.json
+
+    # demo traffic: repeated mixed requests showing warm/dedup serving
+    python -m repro.serve --demo 64 --stats
+
+Actions compose left to right: ``--warmup`` runs before ``--once``/``--demo``,
+``--stats`` prints last.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.errors import ReproError
+from repro.gpu.device import DEVICES
+from repro.kernels.blas_gen import BLAS_OPERATIONS
+from repro.kernels.ntt_gen import BUTTERFLY_VARIANTS
+from repro.tune.db import TuningDatabase
+from repro.tune.space import BLAS, NTT
+from repro.serve.server import KernelServer, ServeRequest
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Long-running tuned-kernel server: request batching, "
+        "pre-warmed caches, and live invalidation.",
+    )
+    parser.add_argument(
+        "--db", metavar="PATH", default=None, help="persistent tuning database file"
+    )
+    parser.add_argument(
+        "--devices",
+        nargs="+",
+        choices=sorted(DEVICES),
+        default=["rtx4090"],
+        help="devices this server serves (first is the request default)",
+    )
+    parser.add_argument("--workers", type=int, default=4, help="worker-pool threads")
+    parser.add_argument(
+        "--warmup",
+        action="store_true",
+        help="pre-compile every recorded winner before other actions",
+    )
+    parser.add_argument(
+        "--invalidate",
+        action="store_true",
+        help="drop tuning records with stale versions or fingerprints",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="with --invalidate: re-tune the dropped families",
+    )
+    parser.add_argument(
+        "--once",
+        choices=(NTT, BLAS),
+        default=None,
+        help="serve a single request of this kind and print the result",
+    )
+    parser.add_argument("--bits", type=int, default=256, help="operand bit-width (--once)")
+    parser.add_argument("--size", type=int, default=4096, help="NTT transform length (--once)")
+    parser.add_argument(
+        "--variant",
+        choices=BUTTERFLY_VARIANTS,
+        default="cooley_tukey",
+        help="NTT butterfly dataflow (--once)",
+    )
+    parser.add_argument(
+        "--op", choices=BLAS_OPERATIONS, default="vmul", help="BLAS operation (--once)"
+    )
+    parser.add_argument(
+        "--elements", type=int, default=1 << 20, help="BLAS vector elements (--once)"
+    )
+    parser.add_argument(
+        "--target",
+        default="python_exec",
+        help="backend artifact to serve (--once; default python_exec)",
+    )
+    parser.add_argument(
+        "--no-tune",
+        action="store_true",
+        help="serve the paper-default configuration instead of the tuned winner",
+    )
+    parser.add_argument(
+        "--demo",
+        type=int,
+        metavar="N",
+        default=None,
+        help="fire N mixed demo requests (repeated keys show warm/dedup serving)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print the metrics snapshot at the end"
+    )
+    return parser
+
+
+def _once_request(args: argparse.Namespace) -> ServeRequest:
+    if args.once == NTT:
+        return ServeRequest(
+            kind=NTT,
+            bits=args.bits,
+            operation=args.variant,
+            size=args.size,
+            device=args.devices[0],
+            target=args.target,
+            tune=not args.no_tune,
+        )
+    return ServeRequest(
+        kind=BLAS,
+        bits=args.bits,
+        operation=args.op,
+        elements=args.elements,
+        device=args.devices[0],
+        target=args.target,
+        tune=not args.no_tune,
+    )
+
+
+def _print_once(result) -> None:
+    print(f"served      {result.request.workload().key} on {result.request.device}")
+    print(f"target      {result.request.target}")
+    print(f"config      {result.config.label()} (w{result.config.word_bits})")
+    if result.tuning is not None:
+        source = "database" if result.tuning.from_database else result.tuning.strategy
+        print(
+            f"tuning      {result.tuning.candidate.label()} via {source}, "
+            f"{result.tuning.speedup:.2f}x over the paper default"
+        )
+    print(f"serve       {'warm' if result.warm else 'cold'}, "
+          f"{result.latency_s * 1e3:.2f} ms")
+
+
+def _demo_requests(args: argparse.Namespace) -> list[ServeRequest]:
+    device = args.devices[0]
+    return [
+        ServeRequest(kind=NTT, bits=128, size=args.size, device=device),
+        ServeRequest(kind=NTT, bits=256, size=args.size, device=device),
+        ServeRequest(kind=BLAS, bits=128, operation="vmul", device=device),
+        ServeRequest(kind=BLAS, bits=256, operation="vadd", device=device),
+    ]
+
+
+def _run_demo(server: KernelServer, args: argparse.Namespace) -> None:
+    mix = _demo_requests(args)
+    started = time.perf_counter()
+    futures = [server.submit(mix[i % len(mix)]) for i in range(args.demo)]
+    for future in futures:
+        future.result()
+    seconds = time.perf_counter() - started
+    rate = args.demo / seconds if seconds else float("inf")
+    print(
+        f"demo        {args.demo} requests over {len(mix)} kernel families in "
+        f"{seconds * 1e3:.1f} ms ({rate:.0f} req/s)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if not (args.warmup or args.invalidate or args.once or args.demo or args.stats):
+        build_parser().print_help()
+        return 2
+    try:
+        db = TuningDatabase(args.db)
+        with KernelServer(
+            db=db, devices=tuple(args.devices), workers=args.workers
+        ) as server:
+            if args.invalidate:
+                print(server.invalidate(refresh=args.refresh).report())
+            if args.warmup:
+                print(server.warm().report())
+            if args.once:
+                _print_once(server.serve(_once_request(args)))
+            if args.demo:
+                _run_demo(server, args)
+            if args.stats:
+                print(server.metrics_snapshot().report())
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,168 @@
+"""Client API: frontends that delegate kernel compilation to a server.
+
+Two layers:
+
+* :func:`serve_ntt_kernel` / :func:`serve_blas_kernel` — the hook functions
+  the existing frontends (:class:`~repro.ntt.generated.GeneratedNTT`,
+  :class:`~repro.poly.blas.MomaBlasEngine`) call when constructed with
+  ``serve=server``: one blocking request through the server's front door,
+  returning the served result (tuned configuration + compiled kernel).
+* :class:`ServedNTT` / :class:`ServedBlasEngine` — ready-made wrappers: the
+  familiar frontends, constructed against a server, so every instance in a
+  long-running process shares the server's pre-warmed caches instead of
+  paying its own cold compilation.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.config import KernelConfig
+from repro.ntt.generated import GeneratedNTT
+from repro.ntt.planner import NTTPlan
+from repro.poly.blas import MomaBlasEngine
+from repro.serve.server import KernelServer, ServeRequest, ServeResult
+from repro.tune.space import BLAS, NTT
+
+__all__ = [
+    "serve_ntt_kernel",
+    "serve_blas_kernel",
+    "serve_blas_kernels",
+    "ServedNTT",
+    "ServedBlasEngine",
+]
+
+
+def serve_ntt_kernel(
+    server: KernelServer,
+    config: KernelConfig,
+    size: int,
+    variant: str = "cooley_tukey",
+    device: str | None = None,
+    tune: bool = True,
+) -> ServeResult:
+    """Request one NTT butterfly kernel (executable target) from a server.
+
+    With ``tune=True`` the served configuration is the autotuner's winner for
+    the family; otherwise ``config``'s word width and multiplication
+    algorithm are pinned.  Either way the operand/modulus semantics of
+    ``config`` are preserved.
+    """
+    request = ServeRequest(
+        kind=NTT,
+        bits=config.bits,
+        operation=variant,
+        size=size,
+        modulus_bits=config.modulus_bits,
+        device=device if device is not None else server.devices[0],
+        target="python_exec",
+        tune=tune,
+        word_bits=config.word_bits,
+        multiplication=config.multiplication,
+    )
+    return server.serve(request)
+
+
+def serve_blas_kernel(
+    server: KernelServer,
+    operation: str,
+    config: KernelConfig,
+    device: str | None = None,
+    tune: bool = True,
+) -> ServeResult:
+    """Request one BLAS kernel (executable target) from a server."""
+    return serve_blas_kernels(server, (operation,), config, device=device, tune=tune)[
+        operation
+    ]
+
+
+def serve_blas_kernels(
+    server: KernelServer,
+    operations: tuple[str, ...],
+    config: KernelConfig,
+    device: str | None = None,
+    tune: bool = True,
+) -> dict[str, ServeResult]:
+    """Request several BLAS kernels concurrently from a server.
+
+    All requests are submitted before any is awaited, so cold requests run
+    on the worker pool together and their tuning searches join one
+    micro-batch (one database save) instead of serializing.
+    """
+    futures = {
+        operation: server.submit(
+            ServeRequest(
+                kind=BLAS,
+                bits=config.bits,
+                operation=operation,
+                modulus_bits=config.modulus_bits,
+                device=device if device is not None else server.devices[0],
+                target="python_exec",
+                tune=tune,
+                word_bits=config.word_bits,
+                multiplication=config.multiplication,
+            )
+        )
+        for operation in operations
+    }
+    return {operation: future.result() for operation, future in futures.items()}
+
+
+class ServedNTT(GeneratedNTT):
+    """A :class:`GeneratedNTT` whose butterfly kernel comes from a server.
+
+    Args:
+        server: the kernel server to request the butterfly from.
+        size: power-of-two transform length.
+        bits: logical operand bit-width.
+        modulus_bits: modulus width (``None``: the paper's ``bits - 4``).
+        device: device the tuned configuration targets (the server's first
+            device by default).
+        tune: serve the autotuned winner (default) or the paper default.
+        plan: optionally a pre-built :class:`NTTPlan`.
+    """
+
+    def __init__(
+        self,
+        server: KernelServer,
+        size: int,
+        bits: int,
+        modulus_bits: int | None = None,
+        device: str | None = None,
+        tune: bool = True,
+        plan: NTTPlan | None = None,
+    ) -> None:
+        super().__init__(
+            size,
+            KernelConfig(bits=bits, modulus_bits=modulus_bits),
+            plan=plan,
+            autotune=tune,
+            device=device if device is not None else server.devices[0],
+            serve=server,
+        )
+
+
+class ServedBlasEngine(MomaBlasEngine):
+    """A :class:`MomaBlasEngine` whose four kernels come from a server.
+
+    Args:
+        server: the kernel server to request the kernels from.
+        bits: logical operand bit-width.
+        modulus_bits: modulus width (``None``: the paper's ``bits - 4``).
+        device: device the tuned configurations target (the server's first
+            device by default).
+        tune: serve the autotuned winners (default) or the paper defaults.
+    """
+
+    def __init__(
+        self,
+        server: KernelServer,
+        bits: int,
+        modulus_bits: int | None = None,
+        device: str | None = None,
+        tune: bool = True,
+    ) -> None:
+        super().__init__(
+            KernelConfig(bits=bits, modulus_bits=modulus_bits),
+            autotune=tune,
+            device=device if device is not None else server.devices[0],
+            serve=server,
+        )

@@ -1,0 +1,173 @@
+"""Serving observability: request counters and latency percentiles.
+
+A :class:`ServerMetrics` lives inside every :class:`~repro.serve.KernelServer`
+and classifies each request into exactly one of four outcomes:
+
+* **warm** — answered from the server's resident table: no compilation, no
+  tuning-database access, no worker dispatch (the steady state after warmup);
+* **dedup** — attached to an identical request already in flight, sharing its
+  single compilation;
+* **cold** — went through the full path (tuning lookup/search + compilation);
+* **error** — the request raised.
+
+Latencies are recorded for warm and cold serves (dedup'd requests resolve
+with their leader); :meth:`snapshot` folds everything into an immutable
+:class:`MetricsSnapshot` with p50/p95 latency, suitable for logging or the
+``--stats`` CLI flag.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["MetricsSnapshot", "ServerMetrics"]
+
+#: Latency samples retained per class (oldest dropped first); bounds memory
+#: on a long-running server while keeping the percentiles current.
+LATENCY_WINDOW = 4096
+
+
+def _percentile(samples: tuple[float, ...], q: float) -> float:
+    """The ``q``-quantile (0 < q <= 1) by the nearest-rank method, or 0.0."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """One immutable view of a server's counters.
+
+    Attributes:
+        requests: every request received (sum of the four outcome classes).
+        warm_serves: requests answered from the resident table.
+        cold_serves: requests that went through tuning + compilation.
+        dedup_hits: requests that shared an in-flight identical request.
+        errors: requests that raised.
+        tune_batches: micro-batches the tuning batcher executed.
+        batched_tunes: tuning requests processed inside those batches.
+        queue_depth: in-flight (submitted, unfinished) requests right now.
+        resident_kernels: fully-served results held in the resident table.
+        p50_latency_ms: median serve latency (warm + cold samples).
+        p95_latency_ms: 95th-percentile serve latency.
+        warm_p50_latency_ms: median latency of warm serves alone.
+        cold_p50_latency_ms: median latency of cold serves alone.
+    """
+
+    requests: int
+    warm_serves: int
+    cold_serves: int
+    dedup_hits: int
+    errors: int
+    tune_batches: int
+    batched_tunes: int
+    queue_depth: int
+    resident_kernels: int
+    p50_latency_ms: float
+    p95_latency_ms: float
+    warm_p50_latency_ms: float
+    cold_p50_latency_ms: float
+
+    @property
+    def warm_rate(self) -> float:
+        """Fraction of served requests answered warm (0.0 when unused)."""
+        served = self.warm_serves + self.cold_serves
+        return self.warm_serves / served if served else 0.0
+
+    def report(self) -> str:
+        """Human-readable multi-line summary (the ``--stats`` output)."""
+        return "\n".join(
+            [
+                f"requests      {self.requests} "
+                f"(warm {self.warm_serves}, cold {self.cold_serves}, "
+                f"dedup {self.dedup_hits}, errors {self.errors})",
+                f"warm rate     {self.warm_rate * 100:.1f}%",
+                f"tuning        {self.batched_tunes} tunes in {self.tune_batches} batches",
+                f"queue depth   {self.queue_depth} in flight, "
+                f"{self.resident_kernels} resident kernels",
+                f"latency       p50 {self.p50_latency_ms:.3f} ms, "
+                f"p95 {self.p95_latency_ms:.3f} ms "
+                f"(warm p50 {self.warm_p50_latency_ms:.3f} ms, "
+                f"cold p50 {self.cold_p50_latency_ms:.3f} ms)",
+            ]
+        )
+
+
+class ServerMetrics:
+    """Thread-safe counters behind :meth:`KernelServer.metrics_snapshot`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._warm = 0
+        self._cold = 0
+        self._dedup = 0
+        self._errors = 0
+        self._tune_batches = 0
+        self._batched_tunes = 0
+        self._warm_latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._cold_latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    def record_request(self) -> None:
+        """Count one incoming request (before its outcome is known)."""
+        with self._lock:
+            self._requests += 1
+
+    def record_warm(self, latency_s: float) -> None:
+        """Count one resident-table serve."""
+        with self._lock:
+            self._warm += 1
+            self._warm_latencies.append(latency_s)
+
+    def record_cold(self, latency_s: float) -> None:
+        """Count one full-path (tune + compile) serve."""
+        with self._lock:
+            self._cold += 1
+            self._cold_latencies.append(latency_s)
+
+    def record_dedup(self) -> None:
+        """Count one request attached to an in-flight identical request."""
+        with self._lock:
+            self._dedup += 1
+
+    def record_error(self) -> None:
+        """Count one failed request."""
+        with self._lock:
+            self._errors += 1
+
+    def record_tune_batch(self, size: int) -> None:
+        """Count one executed tuning micro-batch of ``size`` requests."""
+        with self._lock:
+            self._tune_batches += 1
+            self._batched_tunes += size
+
+    def snapshot(self, queue_depth: int = 0, resident_kernels: int = 0) -> MetricsSnapshot:
+        """Fold the counters into an immutable snapshot.
+
+        ``queue_depth`` and ``resident_kernels`` are gauges owned by the
+        server (they are sizes of its tables), passed in at snapshot time.
+        """
+        with self._lock:
+            warm = tuple(self._warm_latencies)
+            cold = tuple(self._cold_latencies)
+            combined = warm + cold
+            return MetricsSnapshot(
+                requests=self._requests,
+                warm_serves=self._warm,
+                cold_serves=self._cold,
+                dedup_hits=self._dedup,
+                errors=self._errors,
+                tune_batches=self._tune_batches,
+                batched_tunes=self._batched_tunes,
+                queue_depth=queue_depth,
+                resident_kernels=resident_kernels,
+                p50_latency_ms=_percentile(combined, 0.50) * 1e3,
+                p95_latency_ms=_percentile(combined, 0.95) * 1e3,
+                warm_p50_latency_ms=_percentile(warm, 0.50) * 1e3,
+                cold_p50_latency_ms=_percentile(cold, 0.50) * 1e3,
+            )

@@ -1,0 +1,182 @@
+"""Startup pre-warming: compile every recorded winner before traffic.
+
+``warm_server`` walks the server's tuning database and serves every record
+that (a) was tuned for one of the server's devices, (b) carries the current
+:data:`~repro.tune.db.TUNER_VERSION`, and (c) still matches its kernel
+family's fingerprint.  Each serve runs through the normal front door, so the
+winning configuration is looked up warm in the database (zero search), its
+kernel is compiled into the session's content-addressed cache, and the
+result lands in the server's resident table — after which identical traffic
+is answered with no compilation and no database access at all.
+
+Records that fail (b) or (c) are *stale*; warmup skips them (they would
+trigger a fresh search, defeating the point of pre-warming) and reports
+them, so operators can run :func:`repro.serve.invalidate.invalidate_stale`.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+
+from repro.errors import ServingError
+from repro.tune.db import TUNER_VERSION, TuningRecord
+from repro.tune.space import BLAS, NTT
+from repro.serve.server import KernelServer, ServeRequest
+
+__all__ = ["WarmupEntry", "WarmupReport", "request_from_record", "warm_server"]
+
+_NTT_KEY = re.compile(r"^ntt/(?P<op>[a-z_]+)/n(?P<size>\d+)/(?P<bits>\d+)b$")
+_BLAS_KEY = re.compile(r"^blas/(?P<op>[a-z_]+)/e(?P<elements>\d+)/(?P<bits>\d+)b$")
+
+
+def request_from_record(record: TuningRecord, target: str = "python_exec") -> ServeRequest:
+    """Rebuild the serve request a tuning record answers.
+
+    Parses the record's human-readable ``workload_key`` (the only workload
+    identity a record stores besides the fingerprint); raises
+    :class:`ServingError` for keys this version cannot parse.  Records tuned
+    with a non-default ``modulus_bits`` rebuild under the paper convention
+    and are then caught by the fingerprint check as stale.
+    """
+    match = _NTT_KEY.match(record.workload_key)
+    if match:
+        return ServeRequest(
+            kind=NTT,
+            bits=int(match.group("bits")),
+            operation=match.group("op"),
+            size=int(match.group("size")),
+            device=record.device,
+            target=target,
+        )
+    match = _BLAS_KEY.match(record.workload_key)
+    if match:
+        return ServeRequest(
+            kind=BLAS,
+            bits=int(match.group("bits")),
+            operation=match.group("op"),
+            elements=int(match.group("elements")),
+            device=record.device,
+            target=target,
+        )
+    raise ServingError(
+        f"cannot parse workload key {record.workload_key!r} from the tuning database"
+    )
+
+
+@dataclass(frozen=True)
+class WarmupEntry:
+    """Outcome of one database record during warmup."""
+
+    db_key: str
+    workload_key: str
+    device: str
+    status: str  # "warmed" | "stale-version" | "stale-fingerprint" | "other-device" | "error"
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class WarmupReport:
+    """What warmup did, record by record."""
+
+    entries: tuple[WarmupEntry, ...]
+    seconds: float
+
+    def _count(self, status: str) -> int:
+        return sum(1 for entry in self.entries if entry.status == status)
+
+    @property
+    def warmed(self) -> int:
+        """Records compiled into the cache and the resident table."""
+        return self._count("warmed")
+
+    @property
+    def stale(self) -> int:
+        """Records skipped because their version or fingerprint is stale."""
+        return self._count("stale-version") + self._count("stale-fingerprint")
+
+    @property
+    def skipped_other_device(self) -> int:
+        """Records for devices this server does not serve."""
+        return self._count("other-device")
+
+    @property
+    def errors(self) -> int:
+        """Records that failed to parse or compile."""
+        return self._count("error")
+
+    def report(self) -> str:
+        """Human-readable summary (one line per non-warmed record)."""
+        lines = [
+            f"warmup: {self.warmed}/{len(self.entries)} records warmed in "
+            f"{self.seconds * 1e3:.1f} ms "
+            f"({self.stale} stale, {self.skipped_other_device} other-device, "
+            f"{self.errors} errors)"
+        ]
+        for entry in self.entries:
+            if entry.status != "warmed":
+                detail = f" ({entry.detail})" if entry.detail else ""
+                lines.append(
+                    f"  {entry.status}: {entry.workload_key} on {entry.device}{detail}"
+                )
+        return "\n".join(lines)
+
+
+def warm_server(server: KernelServer, target: str = "python_exec") -> WarmupReport:
+    """Serve every live database record so later traffic is answered warm.
+
+    Requests are submitted together (the worker pool compiles them
+    concurrently) and then awaited, so warmup wall time is bounded by the
+    slowest family, not the sum.
+    """
+    started = time.perf_counter()
+    entries: list[WarmupEntry] = []
+    pending: list[tuple[TuningRecord, str, object]] = []
+    for db_key, record in server.db.records().items():
+        if record.device not in server.devices:
+            entries.append(
+                WarmupEntry(db_key, record.workload_key, record.device, "other-device")
+            )
+            continue
+        if record.tuner_version != TUNER_VERSION:
+            entries.append(
+                WarmupEntry(
+                    db_key,
+                    record.workload_key,
+                    record.device,
+                    "stale-version",
+                    f"record v{record.tuner_version}, tuner v{TUNER_VERSION}",
+                )
+            )
+            continue
+        try:
+            request = request_from_record(record, target=target)
+            if request.workload().fingerprint() != record.fingerprint:
+                entries.append(
+                    WarmupEntry(
+                        db_key,
+                        record.workload_key,
+                        record.device,
+                        "stale-fingerprint",
+                        "kernel family changed since tuning",
+                    )
+                )
+                continue
+            pending.append((record, db_key, server.submit(request)))
+        except ServingError as error:
+            entries.append(
+                WarmupEntry(db_key, record.workload_key, record.device, "error", str(error))
+            )
+    for record, db_key, future in pending:
+        try:
+            result = future.result()
+            detail = "tuned from database" if result.from_database else "re-tuned"
+            entries.append(
+                WarmupEntry(db_key, record.workload_key, record.device, "warmed", detail)
+            )
+        except Exception as error:  # noqa: BLE001 - reported, not fatal
+            entries.append(
+                WarmupEntry(db_key, record.workload_key, record.device, "error", str(error))
+            )
+    return WarmupReport(entries=tuple(entries), seconds=time.perf_counter() - started)

@@ -10,10 +10,15 @@ Winning configurations are remembered so a workload is searched once per
 * each record stores the winning candidate, its modeled score, the paper-
   default baseline, and search provenance (strategy, evaluations scored,
   space size, creation time);
-* the JSON file is written atomically (temp file + ``os.replace``) so a
-  crashed tuning run can never corrupt previously saved winners;
+* the JSON file is written atomically (temp file + ``os.replace``), and every
+  save first *merges* the current on-disk records (newest ``created_at`` per
+  key wins) so parallel tuners writing to one database file cannot drop each
+  other's winners — a crashed run can never corrupt previously saved ones;
 * lookups are counted (:meth:`TuningDatabase.stats`), which is how the
   harnesses verify that a warm database skips the search entirely.
+
+Instances are thread-safe: the serving subsystem (:mod:`repro.serve`) shares
+one database across its worker pool, so every record access holds a lock.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -146,10 +152,16 @@ class TuningDatabase:
         self._hits = 0
         self._misses = 0
         self._stores = 0
+        # Tombstones: key -> removal timestamp.  Persisted in the file and
+        # merged like records, so a removal in one process cannot be
+        # resurrected by another process's later save — unless that process
+        # stores a strictly newer record under the key (a re-tune wins).
+        self._dropped: dict[str, float] = {}
+        self._lock = threading.RLock()
         if self.path is not None and self.path.exists():
             self._load()
 
-    def _load(self) -> None:
+    def _parse_file(self) -> tuple[dict[str, TuningRecord], dict[str, float]]:
         try:
             payload = json.loads(self.path.read_text())
         except (OSError, json.JSONDecodeError) as error:
@@ -161,8 +173,23 @@ class TuningDatabase:
                 f"tuning database {self.path} has schema {payload.get('schema')!r}, "
                 f"expected {_SCHEMA_VERSION}"
             )
-        for key, record in payload["records"].items():
-            self._records[key] = TuningRecord.from_json(record)
+        dropped = payload.get("dropped", {})
+        if not isinstance(dropped, dict) or not all(
+            isinstance(stamp, (int, float)) for stamp in dropped.values()
+        ):
+            raise TuningError(f"tuning database {self.path} has a corrupt 'dropped' section")
+        records = {
+            key: TuningRecord.from_json(record)
+            for key, record in payload["records"].items()
+        }
+        return records, dict(dropped)
+
+    def _load(self) -> None:
+        records, dropped = self._parse_file()
+        self._dropped.update(dropped)
+        for key, record in records.items():
+            if self._dropped.get(key, float("-inf")) < record.created_at:
+                self._records[key] = record
 
     @staticmethod
     def _key(workload: Workload, device_name: str) -> str:
@@ -170,36 +197,96 @@ class TuningDatabase:
 
     def lookup(self, workload: Workload, device_name: str) -> TuningRecord | None:
         """The remembered winner for (workload family, device), if any."""
-        record = self._records.get(self._key(workload, device_name))
-        if record is None:
-            self._misses += 1
-            return None
-        self._hits += 1
-        return record
+        with self._lock:
+            record = self._records.get(self._key(workload, device_name))
+            if record is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            return record
 
     def store(self, record: TuningRecord, save: bool = True) -> TuningRecord:
         """Remember a winner (and persist the database when file-backed)."""
-        self._records[record.key()] = record
-        self._stores += 1
-        if save:
-            self.save()
-        return record
+        with self._lock:
+            self._records[record.key()] = record
+            self._dropped.pop(record.key(), None)
+            self._stores += 1
+            if save:
+                self.save()
+            return record
+
+    def remove(self, key: str, save: bool = True) -> bool:
+        """Forget one record by key; True when it was present.
+
+        The key is tombstoned — in this instance and, once saved, in the
+        file — so a concurrent writer's copy of the record cannot be
+        resurrected by merge-on-save in *any* process; only a record created
+        after the removal (a re-tune, via :meth:`store`) outlives it.
+        """
+        with self._lock:
+            present = self._records.pop(key, None) is not None
+            self._dropped[key] = self.timestamp()
+            if save:
+                self.save()
+            return present
+
+    def records(self) -> dict[str, TuningRecord]:
+        """A snapshot of every record, keyed as stored (sorted by key)."""
+        with self._lock:
+            return dict(sorted(self._records.items()))
+
+    def _merge_from_disk(self) -> None:
+        # Parallel tuners share one database file; a blind write would be
+        # last-writer-wins and drop their records.  Adopt every on-disk
+        # record and tombstone we do not have (or have an older version of);
+        # a tombstone beats any record created at or before it, and a newer
+        # record (a re-tune) beats the tombstone.  A corrupt or foreign
+        # on-disk file is ignored: our snapshot then simply replaces it.
+        if not self.path.exists():
+            return
+        try:
+            on_disk, dropped = self._parse_file()
+        except TuningError:
+            return
+        for key, stamp in dropped.items():
+            if stamp > self._dropped.get(key, float("-inf")):
+                self._dropped[key] = stamp
+        for key, stamp in self._dropped.items():
+            mine = self._records.get(key)
+            if mine is not None and mine.created_at <= stamp:
+                del self._records[key]
+        for key, record in on_disk.items():
+            if self._dropped.get(key, float("-inf")) >= record.created_at:
+                continue
+            mine = self._records.get(key)
+            if mine is None or record.created_at > mine.created_at:
+                self._records[key] = record
+                self._dropped.pop(key, None)
 
     def save(self) -> None:
-        """Atomically write the database to its file (no-op when in-memory)."""
+        """Atomically write the database to its file (no-op when in-memory).
+
+        Concurrent-writer safe: the current on-disk records are merged in
+        (newest ``created_at`` per key wins) before the atomic replace, so
+        two processes tuning different workloads against one file both keep
+        their winners regardless of save order.
+        """
         if self.path is None:
             return
-        payload = {
-            "schema": _SCHEMA_VERSION,
-            "tuner_version": TUNER_VERSION,
-            "records": {
-                key: record.to_json() for key, record in sorted(self._records.items())
-            },
-        }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        temporary = self.path.with_name(self.path.name + f".tmp.{os.getpid()}")
-        temporary.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        os.replace(temporary, self.path)
+        with self._lock:
+            self._merge_from_disk()
+            payload = {
+                "schema": _SCHEMA_VERSION,
+                "tuner_version": TUNER_VERSION,
+                "records": {
+                    key: record.to_json() for key, record in sorted(self._records.items())
+                },
+                "dropped": dict(sorted(self._dropped.items())),
+            }
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            temporary = self.path.with_name(self.path.name + f".tmp.{os.getpid()}")
+            temporary.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            os.replace(temporary, self.path)
 
     @staticmethod
     def timestamp() -> float:
@@ -208,15 +295,18 @@ class TuningDatabase:
 
     def stats(self) -> DbStats:
         """Lookup/store counters and the current record count."""
-        return DbStats(
-            hits=self._hits,
-            misses=self._misses,
-            stores=self._stores,
-            records=len(self._records),
-        )
+        with self._lock:
+            return DbStats(
+                hits=self._hits,
+                misses=self._misses,
+                stores=self._stores,
+                records=len(self._records),
+            )
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._records
+        with self._lock:
+            return key in self._records

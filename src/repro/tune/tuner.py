@@ -94,6 +94,9 @@ class Autotuner:
         strategy: ``"auto"`` (exhaustive for small spaces, hill-climbing
             otherwise), ``"exhaustive"``, ``"random"`` or ``"hillclimb"``.
         seed: determinism seed threaded through every strategy.
+        save: persist the database after every stored winner.  The serving
+            subsystem batches tuning requests and saves once per batch, so
+            its tuners run with ``save=False``.
     """
 
     def __init__(
@@ -102,11 +105,13 @@ class Autotuner:
         db: TuningDatabase | None = None,
         strategy: str = "auto",
         seed: int = 0,
+        save: bool = True,
     ) -> None:
         self.session = session
         self.db = db if db is not None else TuningDatabase()
         self.strategy = strategy
         self.seed = seed
+        self.save = save
 
     def tune(self, workload: Workload, device: str | DeviceSpec) -> TuningResult:
         """Find (or remember) the best configuration for a workload/device."""
@@ -145,7 +150,8 @@ class Autotuner:
                 evaluations=result.evaluations,
                 space_size=len(space),
                 created_at=TuningDatabase.timestamp(),
-            )
+            ),
+            save=self.save,
         )
         return TuningResult(
             workload=workload,

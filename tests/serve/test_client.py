@@ -1,0 +1,71 @@
+"""Client API: served frontends compute the same values, share one cache."""
+
+import pytest
+
+from repro.kernels.config import KernelConfig
+from repro.ntt.generated import GeneratedNTT
+from repro.poly.blas import MomaBlasEngine, PythonBlasEngine
+from repro.serve import KernelServer, ServedBlasEngine, ServedNTT
+
+BITS = 128
+SIZE = 16
+
+
+@pytest.fixture(scope="module")
+def server():
+    with KernelServer(devices=("rtx4090",)) as instance:
+        yield instance
+
+
+class TestServedNTT:
+    def test_round_trip_and_convolution(self, server):
+        ntt = ServedNTT(server, size=SIZE, bits=BITS)
+        values = [(i * 37) % ntt.modulus for i in range(SIZE)]
+        assert ntt.inverse(ntt.forward(values)) == values
+
+    def test_matches_locally_compiled_frontend(self, server):
+        served = ServedNTT(server, size=SIZE, bits=BITS, tune=False)
+        local = GeneratedNTT(SIZE, KernelConfig(bits=BITS), plan=served.plan)
+        values = list(range(SIZE))
+        assert served.forward(values) == local.forward(values)
+
+    def test_instances_share_the_server_cache(self, server):
+        ServedNTT(server, size=SIZE, bits=BITS)
+        compilations_before = server.session.stats().compilations
+        ServedNTT(server, size=SIZE, bits=BITS)
+        assert server.session.stats().compilations == compilations_before
+
+    def test_generated_ntt_serve_hook(self, server):
+        ntt = GeneratedNTT(SIZE, KernelConfig(bits=BITS), serve=server, autotune=True)
+        values = list(range(SIZE))
+        assert ntt.inverse(ntt.forward(values)) == values
+        # The tuned configuration preserves the semantic widths.
+        assert ntt.config.bits == BITS
+        assert ntt.config.effective_modulus_bits == BITS - 4
+
+
+class TestServedBlasEngine:
+    def test_matches_python_engine(self, server):
+        served = ServedBlasEngine(server, bits=BITS)
+        python = PythonBlasEngine()
+        q = (1 << (BITS - 4)) - 159  # any (BITS-4)-bit odd modulus works
+        x = [i % q for i in (3, 1 << 100, q - 1, 12345)]
+        y = [i % q for i in (9, 1 << 90, q - 2, 54321)]
+        assert served.vadd(x, y, q) == python.vadd(x, y, q)
+        assert served.vsub(x, y, q) == python.vsub(x, y, q)
+        assert served.vmul(x, y, q) == python.vmul(x, y, q)
+        assert served.axpy(7, x, y, q) == python.axpy(7, x, y, q)
+
+    def test_moma_engine_serve_hook_pins_config(self, server):
+        config = KernelConfig(bits=BITS, multiplication="karatsuba")
+        engine = MomaBlasEngine(config, serve=server)  # autotune=False: pinned
+        assert all(
+            generated.multiplication == "karatsuba"
+            for generated in engine.operation_configs.values()
+        )
+
+    def test_served_engine_adds_no_compilations_second_time(self, server):
+        ServedBlasEngine(server, bits=BITS)
+        compilations_before = server.session.stats().compilations
+        ServedBlasEngine(server, bits=BITS)
+        assert server.session.stats().compilations == compilations_before

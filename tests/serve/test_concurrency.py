@@ -1,0 +1,164 @@
+"""Concurrency guarantees of the shared compiler/tuning infrastructure.
+
+These are the serving subsystem's foundations: the content-addressed cache
+and session counters survive thread hammering, the process-wide default
+session initializes exactly once under a race, and concurrent writers to one
+tuning-database file merge instead of clobbering each other.
+"""
+
+import threading
+
+import repro.core.driver.session as session_module
+from repro.core.driver import CompilerSession, get_default_session
+from repro.core.driver.cache import ContentAddressedCache
+from repro.kernels.config import KernelConfig
+from repro.kernels.ntt_gen import build_butterfly_kernel
+from repro.tune import Autotuner, TuningDatabase, Workload
+
+
+def _run_threads(count, target):
+    threads = [threading.Thread(target=target, args=(i,)) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestCacheThreadSafety:
+    def test_hammered_cache_keeps_consistent_counters(self):
+        cache = ContentAddressedCache(maxsize=8)
+        lookups_per_thread = 500
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(lookups_per_thread):
+                    key = f"k{(seed * 7 + i) % 32}"
+                    if cache.get(key) is None:
+                        cache.put(key, seed)
+            except Exception as error:  # pragma: no cover - the failure mode
+                errors.append(error)
+
+        _run_threads(8, worker)
+        assert not errors
+        stats = cache.stats()
+        # Every get() counted exactly one hit or one miss, no updates lost.
+        assert stats.hits + stats.misses == 8 * lookups_per_thread
+        assert stats.currsize <= stats.maxsize
+        assert len(cache) == stats.currsize
+
+    def test_discard_counts_invalidations(self):
+        cache = ContentAddressedCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.discard("a") is True
+        assert cache.discard("a") is False
+        stats = cache.stats()
+        assert stats.invalidations == 1
+        assert stats.evictions == 0
+
+    def test_concurrent_session_compiles_keep_counters_consistent(self):
+        session = CompilerSession()
+        config = KernelConfig(bits=128)
+        kernel = build_butterfly_kernel(config)
+        errors = []
+
+        def worker(_):
+            try:
+                for _ in range(5):
+                    session.compile(
+                        kernel, target="python_exec", options=config.rewrite_options()
+                    )
+            except Exception as error:  # pragma: no cover - the failure mode
+                errors.append(error)
+
+        _run_threads(8, worker)
+        assert not errors
+        info = session.cache_info()
+        assert info.hits + info.misses == session.stats().cache_hits + len(
+            session.stats().records
+        )
+
+
+class TestDefaultSessionRace:
+    def test_racing_initialization_yields_one_session(self):
+        barrier = threading.Barrier(16)
+        seen = []
+        lock = threading.Lock()
+        # Reset the module global so every thread races first-initialization.
+        session_module._DEFAULT_SESSION = None
+
+        def worker(_):
+            barrier.wait()
+            session = get_default_session()
+            with lock:
+                seen.append(session)
+
+        _run_threads(16, worker)
+        assert len({id(session) for session in seen}) == 1
+
+
+class TestDatabaseMergeOnSave:
+    def _tune(self, db, bits, device="rtx4090"):
+        workload = Workload(kind="ntt", bits=bits, size=16)
+        return Autotuner(session=CompilerSession(), db=db).tune(workload, device)
+
+    def test_parallel_writers_keep_each_others_records(self, tmp_path):
+        path = tmp_path / "db.json"
+        # Two database instances over one file: each tunes a different
+        # workload, saving in sequence.  Without merge-on-save the second
+        # save would drop the first writer's record (last-writer-wins).
+        first = TuningDatabase(path)
+        second = TuningDatabase(path)
+        self._tune(first, 128)
+        self._tune(second, 256)
+
+        merged = TuningDatabase(path)
+        assert len(merged) == 2
+        keys = set(merged.records())
+        assert any("::rtx4090::" in key for key in keys)
+        workloads = {record.workload_key for record in merged.records().values()}
+        assert workloads == {"ntt/cooley_tukey/n16/128b", "ntt/cooley_tukey/n16/256b"}
+
+    def test_removed_record_is_not_resurrected_by_merge(self, tmp_path):
+        path = tmp_path / "db.json"
+        db = TuningDatabase(path)
+        result = self._tune(db, 128)
+        [key] = db.records().keys()
+        assert result.candidate is not None
+
+        # A stale copy of the record still sits on disk in another writer's
+        # snapshot; remove + save must tombstone it, not merge it back.
+        assert db.remove(key) is True
+        assert len(TuningDatabase(path)) == 0
+        db.save()
+        assert len(TuningDatabase(path)) == 0
+
+    def test_removal_survives_another_processes_save(self, tmp_path):
+        path = tmp_path / "db.json"
+        shared = TuningDatabase(path)
+        self._tune(shared, 128)
+        [key] = shared.records().keys()
+
+        # "Process B" loads the file (and the record) before the removal...
+        other = TuningDatabase(path)
+        assert key in other
+        # ..."process A" removes the record and saves a tombstone...
+        shared.remove(key)
+        # ...then B saves: merge-on-save must honor the on-disk tombstone,
+        # not write B's stale in-memory copy back.
+        other.save()
+        assert key not in TuningDatabase(path)
+
+    def test_concurrent_instances_store_threads(self, tmp_path):
+        path = tmp_path / "db.json"
+        errors = []
+
+        def worker(index):
+            try:
+                self._tune(TuningDatabase(path), 128 + 64 * index)
+            except Exception as error:  # pragma: no cover - the failure mode
+                errors.append(error)
+
+        _run_threads(4, worker)
+        assert not errors
+        assert len(TuningDatabase(path)) == 4

@@ -1,0 +1,110 @@
+"""Live invalidation: stale records are dropped, evicted, and re-tuned."""
+
+import dataclasses
+
+from repro.serve import KernelServer, ServeRequest, find_stale, invalidate_stale
+from repro.tune import TUNER_VERSION, TuningDatabase
+
+BITS = 128
+SIZE = 16
+
+REQUEST = ServeRequest(kind="ntt", bits=BITS, size=SIZE)
+
+
+def _stale_version_db(path):
+    """A database whose only record was tuned under an older tuner version."""
+    with KernelServer(db=TuningDatabase(path), devices=("rtx4090",)) as server:
+        server.serve(REQUEST)
+    db = TuningDatabase(path)
+    [(key, record)] = db.records().items()
+    db.remove(key)
+    db.store(dataclasses.replace(record, tuner_version=0))
+    return TuningDatabase(path)
+
+
+class TestFindStale:
+    def test_fresh_records_are_live(self, tmp_path):
+        path = tmp_path / "db.json"
+        with KernelServer(db=TuningDatabase(path), devices=("rtx4090",)) as server:
+            server.serve(REQUEST)
+            assert find_stale(server.db) == ()
+
+    def test_version_and_fingerprint_staleness_detected(self, tmp_path):
+        path = tmp_path / "db.json"
+        db = _stale_version_db(path)
+        [record] = db.records().values()
+        db.store(dataclasses.replace(record, tuner_version=TUNER_VERSION, fingerprint="0" * 16))
+        stale = find_stale(db)
+        assert {entry.reason for entry in stale} == {"version", "fingerprint"}
+
+
+class TestInvalidateStale:
+    def test_tuner_version_bump_evicts_and_retunes(self, tmp_path):
+        """Acceptance: a version bump drops the record and re-tunes the family."""
+        db = _stale_version_db(tmp_path / "db.json")
+        with KernelServer(db=db, devices=("rtx4090",)) as server:
+            searches_before = server.metrics_snapshot().batched_tunes
+            report = invalidate_stale(server, refresh=True)
+
+            assert report.stale_version == 1
+            assert report.dropped_records == 1
+            assert report.refreshed == (REQUEST.workload().key,)
+            # The stale record is gone; the re-tune wrote a current-version one.
+            keys = set(server.db.records())
+            assert not any(key.endswith("::v0") for key in keys)
+            assert any(key.endswith(f"::v{TUNER_VERSION}") for key in keys)
+            # The refresh genuinely searched (no warm record to lean on).
+            assert server.metrics_snapshot().batched_tunes == searches_before + 1
+            # Traffic after the refresh is answered warm.
+            assert server.serve(REQUEST).warm
+
+    def test_stale_records_evict_resident_results_and_artifacts(self, tmp_path):
+        path = tmp_path / "db.json"
+        with KernelServer(db=TuningDatabase(path), devices=("rtx4090",)) as server:
+            result = server.serve(REQUEST)
+            assert server.resident_count == 1
+            # Simulate the family having gone stale: plant a bogus-fingerprint
+            # record for the same (workload, device).
+            [(key, record)] = server.db.records().items()
+            server.db.store(dataclasses.replace(record, fingerprint="0" * 16))
+
+            invalidations_before = server.session.cache_info().invalidations
+            report = invalidate_stale(server)
+
+            assert report.stale_fingerprint == 1
+            assert report.evicted_resident == 1
+            assert report.evicted_artifacts == 1
+            assert server.resident_count == 0
+            assert server.session.cache_info().invalidations == invalidations_before + 1
+            # The next serve re-compiles (cold) rather than using stale
+            # state; the family's live record still answers the tuning.
+            fresh = server.serve(REQUEST)
+            assert not fresh.warm
+            assert fresh.from_database
+            assert fresh.cache_key == result.cache_key
+            assert fresh.artifact is not result.artifact
+
+    def test_dropped_records_stay_dropped_on_disk(self, tmp_path):
+        path = tmp_path / "db.json"
+        db = _stale_version_db(path)
+        with KernelServer(db=db, devices=("rtx4090",)) as server:
+            invalidate_stale(server)
+        # Merge-on-save must not resurrect the tombstoned record from disk.
+        db.save()
+        assert not any(
+            key.endswith("::v0") for key in TuningDatabase(path).records()
+        )
+
+    def test_refresh_skips_other_devices(self, tmp_path):
+        path = tmp_path / "db.json"
+        with KernelServer(db=TuningDatabase(path), devices=("h100",)) as server:
+            server.serve(dataclasses.replace(REQUEST, device="h100"))
+        db = TuningDatabase(path)
+        [(key, record)] = db.records().items()
+        db.remove(key)
+        db.store(dataclasses.replace(record, tuner_version=0))
+
+        with KernelServer(db=db, devices=("rtx4090",)) as server:
+            report = invalidate_stale(server, refresh=True)
+            assert report.dropped_records == 1
+            assert report.refreshed == ()

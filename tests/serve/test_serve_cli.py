@@ -1,0 +1,71 @@
+"""``python -m repro.serve`` CLI: request modes, warmup, demo, errors."""
+
+import json
+
+from repro.serve.cli import main
+
+NTT_ARGS = ["--once", "ntt", "--bits", "128", "--size", "16"]
+
+
+class TestOnce:
+    def test_ntt_request(self, capsys):
+        assert main(NTT_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "served      ntt/cooley_tukey/n16/128b" in out
+        assert "tuning" in out
+        assert "cold" in out
+
+    def test_blas_request_no_tune(self, capsys):
+        assert main(["--once", "blas", "--bits", "128", "--op", "vadd", "--no-tune"]) == 0
+        out = capsys.readouterr().out
+        assert "served      blas/vadd/" in out
+        assert "tuning" not in out
+
+    def test_cuda_target(self, capsys):
+        assert main(NTT_ARGS + ["--target", "cuda"]) == 0
+        assert "target      cuda" in capsys.readouterr().out
+
+    def test_stats_flag_prints_metrics(self, capsys):
+        assert main(NTT_ARGS + ["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "requests      1" in out
+        assert "resident kernels" in out
+
+
+class TestWarmupFlow:
+    def test_tune_then_warm_across_processes(self, tmp_path, capsys):
+        db = str(tmp_path / "db.json")
+        assert main(NTT_ARGS + ["--db", db]) == 0
+        capsys.readouterr()
+
+        # A fresh "process": warm from the database, then serve warm.
+        assert main(["--warmup", "--db", db] + NTT_ARGS + ["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "warmup: 1/1 records warmed" in out
+        assert "serve       warm" in out
+
+        payload = json.loads((tmp_path / "db.json").read_text())
+        assert len(payload["records"]) == 1
+
+    def test_invalidate_on_fresh_db_is_clean(self, tmp_path, capsys):
+        db = str(tmp_path / "db.json")
+        assert main(NTT_ARGS + ["--db", db]) == 0
+        capsys.readouterr()
+        assert main(["--invalidate", "--refresh", "--db", db]) == 0
+        assert "0/1 records stale" in capsys.readouterr().out
+
+
+class TestDemoAndErrors:
+    def test_demo_traffic(self, capsys):
+        assert main(["--demo", "8", "--size", "16", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "demo        8 requests" in out
+        assert "requests      8" in out
+
+    def test_no_action_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage:" in capsys.readouterr().out
+
+    def test_domain_error_is_reported(self, capsys):
+        assert main(["--once", "ntt", "--bits", "128", "--size", "3"]) == 1
+        assert "error:" in capsys.readouterr().err
