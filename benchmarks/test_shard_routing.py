@@ -1,0 +1,64 @@
+"""Shard-routing non-regression: the router must never be the bottleneck.
+
+The sharded serving tier puts a :class:`ShardRouter` decision in front of
+every request, so routing must be orders of magnitude cheaper than even a
+warm serve (which is itself microseconds).  This benchmark measures
+steady-state routing throughput over a synthetic key population and checks
+the two structural properties that justify consistent hashing at all:
+
+* **spread** — no shard owns a degenerate share of the key space;
+* **minimal movement** — when one of N shards is lost, close to 1/N of the
+  keys move (and never the majority, which a naive ``hash % N`` would do).
+
+The measured numbers land in the BENCH artifact via ``extra_info``.
+"""
+
+import time
+
+from repro.serve.shard import ShardRouter
+
+SHARDS = 4
+KEYS = [f"family-{index:05x}::rtx4090" for index in range(4096)]
+
+#: Routing must stay comfortably below warm-serve latency (~tens of µs).
+REQUIRED_ROUTES_PER_S = 50_000.0
+
+#: Losing 1 of 4 shards should move about a quarter of the keys; a naive
+#: modulo scheme moves ~3/4.  Anything under half keeps resident tables warm.
+MAX_MOVED_FRACTION = 0.5
+
+
+def _measure():
+    router = ShardRouter(range(SHARDS))
+
+    started = time.perf_counter()
+    before = {key: router.route_key(key) for key in KEYS}
+    seconds = time.perf_counter() - started
+    routes_per_s = len(KEYS) / seconds if seconds else float("inf")
+
+    counts = {shard_id: 0 for shard_id in range(SHARDS)}
+    for owner in before.values():
+        counts[owner] += 1
+
+    router.remove_shard(0)
+    after = {key: router.route_key(key) for key in KEYS}
+    moved = sum(1 for key in KEYS if before[key] != after[key])
+
+    return {
+        "routes_per_s": routes_per_s,
+        "max_share": max(counts.values()) / len(KEYS),
+        "moved_fraction": moved / len(KEYS),
+        "lost_share": counts[0] / len(KEYS),
+    }
+
+
+def test_routing_throughput_and_rebalance(run_once, benchmark):
+    measured = run_once(_measure)
+    benchmark.extra_info.update(measured)
+
+    assert measured["routes_per_s"] >= REQUIRED_ROUTES_PER_S
+    assert measured["max_share"] < 0.5
+    # Only keys owned by the lost shard move: the moved fraction equals the
+    # lost shard's share exactly, and stays far below the modulo disaster.
+    assert measured["moved_fraction"] == measured["lost_share"]
+    assert measured["moved_fraction"] <= MAX_MOVED_FRACTION

@@ -16,6 +16,12 @@
 5. print the server's metrics snapshot: warm rate, dedup hits, latency
    percentiles.
 
+This walkthrough is the **single-process** tier (``python -m repro.serve``
+with the default ``--shards 1``).  The same request surface also scales
+horizontally: ``--shards N`` — or a :class:`ShardSupervisor` in code — runs
+N such servers as separate processes behind a consistent-hash router; see
+``examples/shard_cluster.py`` and ``docs/serving.md`` for that tier.
+
 Run with:  python examples/serve_kernels.py
 """
 
@@ -83,6 +89,11 @@ def main() -> None:
     print("=== metrics ===")
     print(server.metrics_snapshot().report())
     server.close()
+    print()
+    print(
+        "next: examples/shard_cluster.py serves this same traffic across "
+        "multiple server processes (python -m repro.serve --shards 2 --demo)"
+    )
 
 
 if __name__ == "__main__":

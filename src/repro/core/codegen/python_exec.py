@@ -204,13 +204,44 @@ class CompiledKernel:
         """Run the kernel directly on machine-word limbs (no packing)."""
         return self.function(*limb_arguments)
 
+    # -- pickling ----------------------------------------------------------
+    #
+    # The exec'd function cannot be pickled by reference (it lives in no
+    # importable module), but the kernel and its source can — so a pickled
+    # CompiledKernel ships (kernel, source, word_bits) and the receiving
+    # process re-execs the source.  This is what lets the serving tier's
+    # wire protocol move executable artifacts between shard processes.
+
+    def __getstate__(self) -> dict:
+        return {"kernel": self.kernel, "source": self.source, "word_bits": self.word_bits}
+
+    def __setstate__(self, state: dict) -> None:
+        self.kernel = state["kernel"]
+        self.source = state["source"]
+        self.word_bits = state["word_bits"]
+        self.function = _exec_source(self.source, self.kernel.name)
+        self.__post_init__()
+
+
+def _exec_source(source: str, kernel_name: str):
+    """Exec generated kernel source and return the single function it defines."""
+    namespace: dict = {}
+    exec(compile(source, f"<moma:{kernel_name}>", "exec"), namespace)  # noqa: S102
+    functions = [value for name, value in namespace.items() if not name.startswith("__")]
+    if len(functions) != 1 or not callable(functions[0]):
+        raise CodegenError(
+            f"generated source for {kernel_name!r} must define exactly one function"
+        )
+    return functions[0]
+
 
 def compile_kernel(kernel: Kernel) -> CompiledKernel:
     """Compile a legalized kernel into a :class:`CompiledKernel`."""
     word_bits = kernel.metadata.get("word_bits", 64)
     source = generate_python_source(kernel, function_name="_generated")
-    namespace: dict = {}
-    exec(compile(source, f"<moma:{kernel.name}>", "exec"), namespace)  # noqa: S102
     return CompiledKernel(
-        kernel=kernel, source=source, function=namespace["_generated"], word_bits=word_bits
+        kernel=kernel,
+        source=source,
+        function=_exec_source(source, kernel.name),
+        word_bits=word_bits,
     )

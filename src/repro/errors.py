@@ -65,5 +65,10 @@ class ServingError(ReproError):
     request it cannot satisfy (closed server, unparsable workload key, ...)."""
 
 
+class ProtocolError(ServingError):
+    """A wire-protocol message is malformed, carries an unsupported protocol
+    version, or uses an artifact encoding the receiver does not accept."""
+
+
 class UnknownTargetError(DriverError):
     """A compilation target name is not present in the target registry."""

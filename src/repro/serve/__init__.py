@@ -16,12 +16,29 @@ winners to heavy concurrent traffic from one long-running process:
   :data:`~repro.tune.db.TUNER_VERSION` or kernel-family fingerprint are
   dropped (with their cached artifacts) and optionally re-tuned;
 * :mod:`repro.serve.client` — :class:`ServedNTT` / :class:`ServedBlasEngine`
-  and the ``serve=`` hook behind the existing frontends;
-* :mod:`repro.serve.metrics` — request/dedup/warm/cold counters and latency
-  percentiles behind :meth:`KernelServer.metrics_snapshot`.
+  and the ``serve=`` hook behind the existing frontends (both accept a
+  :class:`KernelServer` or a :class:`ShardSupervisor`);
+* :mod:`repro.serve.metrics` — request/dedup/warm/cold counters, latency
+  percentiles, and the fixed-bucket histograms the shard tier merges.
+
+One process stops scaling eventually; the **sharded tier** spreads kernel
+families across server processes:
+
+* :mod:`repro.serve.protocol` — the versioned JSON wire protocol
+  (``ServeCall``/``ServeReply``/``StatsCall``/...; artifacts as source text
+  or pickled ``python_exec`` kernels);
+* :mod:`repro.serve.shard` — :class:`ShardRouter` (consistent hashing of
+  (kernel-family fingerprint, device) onto shards) and the shard process
+  main loop;
+* :mod:`repro.serve.supervisor` — :class:`ShardSupervisor`: spawns,
+  monitors and restarts shard processes, each with its own tuning-db
+  replica, and aggregates metrics across them into a
+  :class:`ClusterStats`.
 
 ``python -m repro.serve --warmup --once ntt --bits 256 --stats`` drives a
-server from the command line; ``--demo N`` generates benchmark traffic.
+single-process server from the command line; ``--shards N`` serves the same
+actions through N shard processes; ``--demo [N]`` generates mixed traffic.
+See ``docs/serving.md`` and ``docs/wire-protocol.md`` for the full story.
 """
 
 from repro.serve.client import (
@@ -38,7 +55,10 @@ from repro.serve.invalidate import (
     invalidate_stale,
 )
 from repro.serve.metrics import MetricsSnapshot, ServerMetrics
+from repro.serve.protocol import PROTOCOL_VERSION, ShardStats
 from repro.serve.server import KernelServer, ServeRequest, ServeResult
+from repro.serve.shard import ShardRouter
+from repro.serve.supervisor import ClusterStats, ShardSupervisor
 from repro.serve.warmup import (
     WarmupEntry,
     WarmupReport,
@@ -50,6 +70,11 @@ __all__ = [
     "KernelServer",
     "ServeRequest",
     "ServeResult",
+    "PROTOCOL_VERSION",
+    "ShardStats",
+    "ShardRouter",
+    "ClusterStats",
+    "ShardSupervisor",
     "MetricsSnapshot",
     "ServerMetrics",
     "WarmupEntry",

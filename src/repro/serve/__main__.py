@@ -1,4 +1,8 @@
-"""``python -m repro.serve`` entry point."""
+"""``python -m repro.serve`` entry point.
+
+Serves tuned kernels from one in-process server by default, or from N
+shard processes with ``--shards N``; see :mod:`repro.serve.cli`.
+"""
 
 import sys
 

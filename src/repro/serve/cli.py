@@ -1,4 +1,10 @@
-"""``python -m repro.serve`` — drive a kernel server from the command line.
+"""``python -m repro.serve`` — drive a kernel server (or shard cluster).
+
+The default is one in-process :class:`KernelServer` (``--shards 1``); with
+``--shards N`` (N ≥ 2) the same actions run against a
+:class:`~repro.serve.ShardSupervisor` — N server processes behind a
+consistent-hash router, each with its own tuning-db replica that is
+reconciled into ``--db`` on exit.
 
 Examples::
 
@@ -15,8 +21,13 @@ Examples::
     # demo traffic: repeated mixed requests showing warm/dedup serving
     python -m repro.serve --demo 64 --stats
 
+    # the same demo served across two shard processes, stats aggregated
+    python -m repro.serve --shards 2 --demo --stats
+
 Actions compose left to right: ``--warmup`` runs before ``--once``/``--demo``,
-``--stats`` prints last.
+``--stats`` prints last.  ``--warmup``/``--invalidate`` walk one process's
+database and are single-process actions (``--shards 1``); in shard mode run
+them against the reconciled primary between deployments.
 """
 
 from __future__ import annotations
@@ -32,19 +43,34 @@ from repro.kernels.ntt_gen import BUTTERFLY_VARIANTS
 from repro.tune.db import TuningDatabase
 from repro.tune.space import BLAS, NTT
 from repro.serve.server import KernelServer, ServeRequest
+from repro.serve.supervisor import ShardSupervisor
 
 __all__ = ["build_parser", "main"]
+
+#: Requests fired by a bare ``--demo`` (no count given).
+DEFAULT_DEMO_REQUESTS = 16
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro.serve`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
-        description="Long-running tuned-kernel server: request batching, "
-        "pre-warmed caches, and live invalidation.",
+        description="Long-running tuned-kernel serving: request batching, "
+        "pre-warmed caches, live invalidation, and optional multi-process "
+        "sharding (--shards N routes kernel families across N server "
+        "processes by consistent hashing).",
     )
     parser.add_argument(
         "--db", metavar="PATH", default=None, help="persistent tuning database file"
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="server processes; 1 (default) serves in-process, N>=2 shards "
+        "kernel families across N processes with per-shard db replicas "
+        "reconciled into --db on exit",
     )
     parser.add_argument(
         "--devices",
@@ -103,8 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--demo",
         type=int,
         metavar="N",
+        nargs="?",
+        const=DEFAULT_DEMO_REQUESTS,
         default=None,
-        help="fire N mixed demo requests (repeated keys show warm/dedup serving)",
+        help="fire N mixed demo requests (repeated keys show warm/dedup "
+        f"serving; bare --demo fires {DEFAULT_DEMO_REQUESTS})",
     )
     parser.add_argument(
         "--stats", action="store_true", help="print the metrics snapshot at the end"
@@ -158,7 +187,8 @@ def _demo_requests(args: argparse.Namespace) -> list[ServeRequest]:
     ]
 
 
-def _run_demo(server: KernelServer, args: argparse.Namespace) -> None:
+def _run_demo(server, args: argparse.Namespace) -> None:
+    """Fire the demo mix at a server or supervisor (both expose submit)."""
     mix = _demo_requests(args)
     started = time.perf_counter()
     futures = [server.submit(mix[i % len(mix)]) for i in range(args.demo)]
@@ -170,6 +200,58 @@ def _run_demo(server: KernelServer, args: argparse.Namespace) -> None:
         f"demo        {args.demo} requests over {len(mix)} kernel families in "
         f"{seconds * 1e3:.1f} ms ({rate:.0f} req/s)"
     )
+    if isinstance(server, ShardSupervisor):
+        routed = ", ".join(
+            f"shard {shard_id}: {count}"
+            for shard_id, count in server.routed_counts().items()
+        )
+        print(f"routing     {routed}")
+
+
+def _main_single(args: argparse.Namespace) -> int:
+    db = TuningDatabase(args.db)
+    with KernelServer(
+        db=db, devices=tuple(args.devices), workers=args.workers
+    ) as server:
+        if args.invalidate:
+            print(server.invalidate(refresh=args.refresh).report())
+        if args.warmup:
+            print(server.warm().report())
+        if args.once:
+            _print_once(server.serve(_once_request(args)))
+        if args.demo:
+            _run_demo(server, args)
+        if args.stats:
+            print(server.metrics_snapshot().report())
+    return 0
+
+
+def _main_sharded(args: argparse.Namespace) -> int:
+    if args.warmup or args.invalidate:
+        print(
+            "error: --warmup/--invalidate are single-process actions; run them "
+            "with --shards 1 against the reconciled primary database",
+            file=sys.stderr,
+        )
+        return 2
+    supervisor = ShardSupervisor(
+        shards=args.shards,
+        db=args.db,
+        devices=tuple(args.devices),
+        workers=args.workers,
+    )
+    try:
+        if args.once:
+            _print_once(supervisor.serve(_once_request(args)))
+        if args.demo:
+            _run_demo(supervisor, args)
+        if args.stats:
+            print(supervisor.stats().report())
+    finally:
+        report = supervisor.close()
+        if report is not None:
+            print(report.report())
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -178,22 +260,13 @@ def main(argv: list[str] | None = None) -> int:
     if not (args.warmup or args.invalidate or args.once or args.demo or args.stats):
         build_parser().print_help()
         return 2
+    if args.shards < 1:
+        print(f"error: shard count must be positive, got {args.shards}", file=sys.stderr)
+        return 2
     try:
-        db = TuningDatabase(args.db)
-        with KernelServer(
-            db=db, devices=tuple(args.devices), workers=args.workers
-        ) as server:
-            if args.invalidate:
-                print(server.invalidate(refresh=args.refresh).report())
-            if args.warmup:
-                print(server.warm().report())
-            if args.once:
-                _print_once(server.serve(_once_request(args)))
-            if args.demo:
-                _run_demo(server, args)
-            if args.stats:
-                print(server.metrics_snapshot().report())
+        if args.shards == 1:
+            return _main_single(args)
+        return _main_sharded(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    return 0

@@ -11,6 +11,11 @@ Two layers:
   familiar frontends, constructed against a server, so every instance in a
   long-running process shares the server's pre-warmed caches instead of
   paying its own cold compilation.
+
+Every entry point accepts either a single-process :class:`KernelServer` or a
+:class:`~repro.serve.supervisor.ShardSupervisor` — both expose the same
+front door (``submit``/``serve``/``devices``), so a frontend is routed
+across shard processes simply by being handed a supervisor.
 """
 
 from __future__ import annotations
@@ -20,7 +25,13 @@ from repro.ntt.generated import GeneratedNTT
 from repro.ntt.planner import NTTPlan
 from repro.poly.blas import MomaBlasEngine
 from repro.serve.server import KernelServer, ServeRequest, ServeResult
+from repro.serve.supervisor import ShardSupervisor
 from repro.tune.space import BLAS, NTT
+
+#: What the client functions accept: anything with the server front door
+#: (``submit``/``serve``/``devices``) — today the single-process server and
+#: the shard supervisor.
+ServerLike = KernelServer | ShardSupervisor
 
 __all__ = [
     "serve_ntt_kernel",
@@ -32,7 +43,7 @@ __all__ = [
 
 
 def serve_ntt_kernel(
-    server: KernelServer,
+    server: ServerLike,
     config: KernelConfig,
     size: int,
     variant: str = "cooley_tukey",
@@ -62,7 +73,7 @@ def serve_ntt_kernel(
 
 
 def serve_blas_kernel(
-    server: KernelServer,
+    server: ServerLike,
     operation: str,
     config: KernelConfig,
     device: str | None = None,
@@ -75,7 +86,7 @@ def serve_blas_kernel(
 
 
 def serve_blas_kernels(
-    server: KernelServer,
+    server: ServerLike,
     operations: tuple[str, ...],
     config: KernelConfig,
     device: str | None = None,
@@ -110,7 +121,8 @@ class ServedNTT(GeneratedNTT):
     """A :class:`GeneratedNTT` whose butterfly kernel comes from a server.
 
     Args:
-        server: the kernel server to request the butterfly from.
+        server: the kernel server (or shard supervisor) to request the
+            butterfly from.
         size: power-of-two transform length.
         bits: logical operand bit-width.
         modulus_bits: modulus width (``None``: the paper's ``bits - 4``).
@@ -122,7 +134,7 @@ class ServedNTT(GeneratedNTT):
 
     def __init__(
         self,
-        server: KernelServer,
+        server: ServerLike,
         size: int,
         bits: int,
         modulus_bits: int | None = None,
@@ -144,7 +156,8 @@ class ServedBlasEngine(MomaBlasEngine):
     """A :class:`MomaBlasEngine` whose four kernels come from a server.
 
     Args:
-        server: the kernel server to request the kernels from.
+        server: the kernel server (or shard supervisor) to request the
+            kernels from.
         bits: logical operand bit-width.
         modulus_bits: modulus width (``None``: the paper's ``bits - 4``).
         device: device the tuned configurations target (the server's first
@@ -154,7 +167,7 @@ class ServedBlasEngine(MomaBlasEngine):
 
     def __init__(
         self,
-        server: KernelServer,
+        server: ServerLike,
         bits: int,
         modulus_bits: int | None = None,
         device: str | None = None,

@@ -23,11 +23,23 @@ import threading
 from collections import deque
 from dataclasses import dataclass
 
-__all__ = ["MetricsSnapshot", "ServerMetrics"]
+__all__ = [
+    "MetricsSnapshot",
+    "ServerMetrics",
+    "HISTOGRAM_BUCKET_BOUNDS_MS",
+    "latency_histogram",
+    "percentile_from_histogram",
+]
 
 #: Latency samples retained per class (oldest dropped first); bounds memory
 #: on a long-running server while keeping the percentiles current.
 LATENCY_WINDOW = 4096
+
+#: Upper bucket bounds (milliseconds) of the fixed latency histogram the
+#: wire protocol ships between shards: log-2 spaced from 1 µs to ~17 s, with
+#: one implicit overflow bucket at the end.  The bounds being *fixed* is what
+#: makes per-shard histograms directly summable at the supervisor.
+HISTOGRAM_BUCKET_BOUNDS_MS = tuple(0.001 * (1 << i) for i in range(25))
 
 
 def _percentile(samples: tuple[float, ...], q: float) -> float:
@@ -37,6 +49,47 @@ def _percentile(samples: tuple[float, ...], q: float) -> float:
     ordered = sorted(samples)
     rank = max(1, math.ceil(q * len(ordered)))
     return ordered[rank - 1]
+
+
+def latency_histogram(samples_s: tuple[float, ...]) -> tuple[int, ...]:
+    """Bucket latency samples (seconds) into the fixed histogram.
+
+    Returns one count per bound in :data:`HISTOGRAM_BUCKET_BOUNDS_MS` plus a
+    final overflow bucket.  Histograms from different servers can be merged
+    by element-wise addition, which is how the shard supervisor computes
+    global percentiles without shipping raw samples.
+    """
+    counts = [0] * (len(HISTOGRAM_BUCKET_BOUNDS_MS) + 1)
+    for sample in samples_s:
+        ms = sample * 1e3
+        for index, bound in enumerate(HISTOGRAM_BUCKET_BOUNDS_MS):
+            if ms <= bound:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+    return tuple(counts)
+
+
+def percentile_from_histogram(counts: tuple[int, ...], q: float) -> float:
+    """Approximate the ``q``-quantile (ms) of a bucketed latency histogram.
+
+    Returns the upper bound of the bucket holding the nearest-rank sample
+    (the overflow bucket reports the largest finite bound), or 0.0 for an
+    empty histogram.  The approximation error is bounded by the log-2 bucket
+    spacing, which is plenty for the p50/p95 the stats report shows.
+    """
+    total = sum(counts)
+    if not total:
+        return 0.0
+    rank = max(1, math.ceil(q * total))
+    seen = 0
+    for index, count in enumerate(counts):
+        seen += count
+        if seen >= rank:
+            bounded = min(index, len(HISTOGRAM_BUCKET_BOUNDS_MS) - 1)
+            return HISTOGRAM_BUCKET_BOUNDS_MS[bounded]
+    return HISTOGRAM_BUCKET_BOUNDS_MS[-1]
 
 
 @dataclass(frozen=True)
@@ -145,6 +198,15 @@ class ServerMetrics:
         with self._lock:
             self._tune_batches += 1
             self._batched_tunes += size
+
+    def latency_samples(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """The retained (warm, cold) latency samples in seconds.
+
+        The shard protocol buckets these into :func:`latency_histogram` so a
+        supervisor can merge percentiles across processes.
+        """
+        with self._lock:
+            return tuple(self._warm_latencies), tuple(self._cold_latencies)
 
     def snapshot(self, queue_depth: int = 0, resident_kernels: int = 0) -> MetricsSnapshot:
         """Fold the counters into an immutable snapshot.

@@ -1,0 +1,500 @@
+"""The versioned wire protocol between shard processes and their supervisor.
+
+Every message is one JSON object wrapped in a versioned envelope::
+
+    {"moma-serve": 1, "type": "serve", "payload": {...}}
+
+and moves across a byte transport either as a raw ``bytes`` payload
+(:func:`encode_message` / :func:`decode_message` — what
+``multiprocessing.Connection.send_bytes`` carries between a supervisor and
+its shard pipes) or as a length-prefixed frame on a binary stream
+(:func:`write_message` / :func:`read_message` — what a socket's ``makefile``
+carries between machines).  The two layers compose: a frame is exactly the
+encoded message behind a 4-byte big-endian length.
+
+Message types (each a frozen dataclass):
+
+* :class:`ServeCall` / :class:`ServeReply` — one kernel request and its
+  served result.  Requests and results are correlated by ``request_id``, so
+  a shard may answer out of order (its worker pool finishes warm requests
+  long before cold ones).
+* :class:`ErrorReply` — a failed request: the error's repro exception class
+  name plus its message; :meth:`ErrorReply.exception` rebuilds a raisable
+  error on the caller's side.
+* :class:`StatsCall` / :class:`StatsReply` — one shard's counters and
+  fixed-bucket latency histograms (:class:`ShardStats`); histograms are
+  element-wise summable, which is how the supervisor merges p50/p95 across
+  shards.
+* :class:`PingCall` / :class:`PongReply` — liveness probe used by the
+  supervisor's monitor.
+* :class:`ShutdownCall` — asks the shard to drain and exit cleanly.
+
+**Artifact encodings.**  A served artifact crosses the wire in one of two
+forms (:func:`encode_artifact` / :func:`decode_artifact`):
+
+* ``"source"`` — backend source text (the ``cuda`` / ``c99`` targets) passes
+  through verbatim;
+* ``"pickled_kernel"`` — an executable ``python_exec``
+  :class:`~repro.core.codegen.python_exec.CompiledKernel` ships as a
+  base64-encoded pickle (the kernel IR + generated source; the callable is
+  re-exec'd from the source on arrival).
+
+Unpickling executes code, so ``decode_artifact`` only accepts
+``"pickled_kernel"`` payloads when the caller passes ``allow_pickled=True``
+— which the supervisor does for its *own spawned shard processes* and
+nothing else.  Never decode pickled artifacts from an untrusted transport.
+
+**Versioning rules.**  :data:`PROTOCOL_VERSION` is bumped on any
+incompatible change (renamed fields, new required fields, changed artifact
+encodings).  A decoder rejects any envelope whose version differs from its
+own with :class:`~repro.errors.ProtocolError` — shards and supervisor are
+always started from the same build, so cross-version negotiation is
+deliberately out of scope.  Additive, optional payload fields may ride
+within a version: decoders ignore unknown payload keys.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import io
+import json
+import pickle
+from dataclasses import dataclass
+
+from repro import errors
+from repro.errors import ProtocolError
+from repro.core.codegen.python_exec import CompiledKernel
+from repro.kernels.config import KernelConfig
+from repro.tune.space import Candidate, Workload
+from repro.tune.tuner import TuningResult
+from repro.serve.server import ServeRequest, ServeResult
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ServeCall",
+    "ServeReply",
+    "ErrorReply",
+    "StatsCall",
+    "StatsReply",
+    "ShardStats",
+    "PingCall",
+    "PongReply",
+    "ShutdownCall",
+    "encode_artifact",
+    "decode_artifact",
+    "encode_message",
+    "decode_message",
+    "write_message",
+    "read_message",
+]
+
+#: Bumped on every incompatible wire change; decoders reject other versions.
+PROTOCOL_VERSION = 1
+
+_ENVELOPE_KEY = "moma-serve"
+
+#: Upper bound on one frame (a generous multiple of the largest kernels the
+#: backends emit); guards a stream decoder against a corrupt length prefix.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+# -- artifact encodings ------------------------------------------------------
+
+SOURCE_ENCODING = "source"
+PICKLED_KERNEL_ENCODING = "pickled_kernel"
+
+
+def encode_artifact(artifact: object) -> dict:
+    """One served artifact as a JSON-safe ``{"encoding", "data"}`` pair."""
+    if isinstance(artifact, str):
+        return {"encoding": SOURCE_ENCODING, "data": artifact}
+    if isinstance(artifact, CompiledKernel):
+        payload = base64.b64encode(pickle.dumps(artifact)).decode("ascii")
+        return {"encoding": PICKLED_KERNEL_ENCODING, "data": payload}
+    raise ProtocolError(
+        f"cannot encode artifact of type {type(artifact).__name__} for the wire"
+    )
+
+
+def decode_artifact(payload: dict, allow_pickled: bool = False) -> object:
+    """Rebuild an artifact from its wire form.
+
+    ``allow_pickled`` gates the ``pickled_kernel`` encoding: unpickling
+    executes code, so it must only be enabled for transports connected to
+    processes this one spawned (the supervisor's own shards).
+    """
+    if not isinstance(payload, dict) or "encoding" not in payload or "data" not in payload:
+        raise ProtocolError(f"malformed artifact payload: {payload!r}")
+    encoding, data = payload["encoding"], payload["data"]
+    if encoding == SOURCE_ENCODING:
+        if not isinstance(data, str):
+            raise ProtocolError("source artifact data must be text")
+        return data
+    if encoding == PICKLED_KERNEL_ENCODING:
+        if not allow_pickled:
+            raise ProtocolError(
+                "refusing to unpickle a kernel artifact from an untrusted "
+                "transport (pass allow_pickled=True only for spawned shards)"
+            )
+        try:
+            artifact = pickle.loads(base64.b64decode(data))
+        except Exception as error:  # noqa: BLE001 - any unpickle failure is protocol-level
+            raise ProtocolError(f"corrupt pickled kernel artifact: {error}") from None
+        if not isinstance(artifact, CompiledKernel):
+            raise ProtocolError(
+                f"pickled artifact is a {type(artifact).__name__}, "
+                f"expected CompiledKernel"
+            )
+        return artifact
+    raise ProtocolError(f"unknown artifact encoding {encoding!r}")
+
+
+# -- dataclass payload helpers ----------------------------------------------
+
+
+def _rebuild(cls, payload: dict, context: str):
+    """Build dataclass ``cls`` from a wire payload, ignoring unknown keys."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"malformed {context} payload: {payload!r}")
+    names = {field.name for field in dataclasses.fields(cls)}
+    try:
+        return cls(**{name: payload[name] for name in names if name in payload})
+    except (TypeError, errors.ReproError) as error:
+        raise ProtocolError(f"malformed {context} payload: {error}") from None
+
+
+def _encode_tuning(tuning: TuningResult | None) -> dict | None:
+    if tuning is None:
+        return None
+    payload = dataclasses.asdict(tuning)
+    # Trials are search provenance (every scored candidate); they are local
+    # diagnostics, not serving state, and can dominate the message size.
+    payload.pop("trials", None)
+    return payload
+
+
+def _decode_tuning(payload: dict | None) -> TuningResult | None:
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"malformed tuning payload: {payload!r}")
+    fields = dict(payload)
+    fields["workload"] = _rebuild(Workload, fields.get("workload"), "workload")
+    fields["candidate"] = _rebuild(Candidate, fields.get("candidate"), "candidate")
+    fields["config"] = _rebuild(KernelConfig, fields.get("config"), "kernel config")
+    fields["trials"] = ()
+    return _rebuild(TuningResult, fields, "tuning result")
+
+
+def _encode_request(request: ServeRequest) -> dict:
+    return dataclasses.asdict(request)
+
+
+def _decode_request(payload: dict) -> ServeRequest:
+    return _rebuild(ServeRequest, payload, "serve request")
+
+
+def _encode_result(result: ServeResult) -> dict:
+    return {
+        "request": _encode_request(result.request),
+        "artifact": encode_artifact(result.artifact),
+        "config": dataclasses.asdict(result.config),
+        "fingerprint": result.fingerprint,
+        "cache_key": result.cache_key,
+        "tuning": _encode_tuning(result.tuning),
+        "warm": result.warm,
+        "latency_s": result.latency_s,
+    }
+
+
+def _decode_result(payload: dict, allow_pickled: bool) -> ServeResult:
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"malformed serve result payload: {payload!r}")
+    fields = dict(payload)
+    fields["request"] = _decode_request(fields.get("request"))
+    fields["artifact"] = decode_artifact(fields.get("artifact"), allow_pickled=allow_pickled)
+    fields["config"] = _rebuild(KernelConfig, fields.get("config"), "kernel config")
+    fields["tuning"] = _decode_tuning(fields.get("tuning"))
+    return _rebuild(ServeResult, fields, "serve result")
+
+
+# -- messages ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServeCall:
+    """One kernel request bound for a shard."""
+
+    request_id: int
+    request: ServeRequest
+
+
+@dataclass(frozen=True)
+class ServeReply:
+    """One successfully served result, correlated by ``request_id``."""
+
+    request_id: int
+    result: ServeResult
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """A failed request: the repro error class name and its message."""
+
+    request_id: int
+    error_type: str
+    message: str
+
+    @classmethod
+    def from_exception(cls, request_id: int, error: BaseException) -> ErrorReply:
+        """Wrap an exception for the wire (non-repro errors degrade to base)."""
+        return cls(
+            request_id=request_id,
+            error_type=type(error).__name__,
+            message=str(error),
+        )
+
+    def exception(self) -> Exception:
+        """A raisable exception mirroring the shard-side failure.
+
+        Known :mod:`repro.errors` classes are rebuilt as themselves; anything
+        else (a shard-side ``TypeError``, say) surfaces as a
+        :class:`~repro.errors.ServingError` carrying the original class name.
+        """
+        error_class = getattr(errors, self.error_type, None)
+        if isinstance(error_class, type) and issubclass(error_class, errors.ReproError):
+            return error_class(self.message)
+        return errors.ServingError(f"shard error ({self.error_type}): {self.message}")
+
+
+@dataclass(frozen=True)
+class StatsCall:
+    """Ask a shard for its :class:`ShardStats`."""
+
+    request_id: int
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's counters, in the supervisor-mergeable wire form.
+
+    Counter fields mirror :class:`~repro.serve.metrics.MetricsSnapshot`;
+    latencies travel as fixed-bucket histograms
+    (:func:`~repro.serve.metrics.latency_histogram`) so global percentiles
+    can be computed by summing buckets across shards.
+    """
+
+    shard_id: int
+    pid: int
+    requests: int
+    warm_serves: int
+    cold_serves: int
+    dedup_hits: int
+    errors: int
+    tune_batches: int
+    batched_tunes: int
+    queue_depth: int
+    resident_kernels: int
+    warm_histogram: tuple[int, ...]
+    cold_histogram: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    """A shard's stats, correlated by ``request_id``."""
+
+    request_id: int
+    stats: ShardStats
+
+
+@dataclass(frozen=True)
+class PingCall:
+    """Liveness probe."""
+
+    request_id: int
+
+
+@dataclass(frozen=True)
+class PongReply:
+    """Liveness acknowledgement (the shard id doubles as a sanity check)."""
+
+    request_id: int
+    shard_id: int
+    pid: int
+
+
+@dataclass(frozen=True)
+class ShutdownCall:
+    """Ask the shard to drain in-flight work and exit; no reply follows."""
+
+    request_id: int
+
+
+# -- envelope encode/decode --------------------------------------------------
+
+
+def _stats_to_payload(message: StatsReply) -> dict:
+    payload = dataclasses.asdict(message)
+    payload["stats"]["warm_histogram"] = list(message.stats.warm_histogram)
+    payload["stats"]["cold_histogram"] = list(message.stats.cold_histogram)
+    return payload
+
+
+def _stats_from_payload(payload: dict, allow_pickled: bool) -> StatsReply:
+    if not isinstance(payload, dict) or not isinstance(payload.get("stats"), dict):
+        raise ProtocolError(f"malformed stats payload: {payload!r}")
+    fields = dict(payload["stats"])
+    for name in ("warm_histogram", "cold_histogram"):
+        value = fields.get(name)
+        if not isinstance(value, (list, tuple)) or not all(
+            isinstance(count, int) for count in value
+        ):
+            raise ProtocolError(f"malformed stats histogram {name!r}: {value!r}")
+        fields[name] = tuple(value)
+    return StatsReply(
+        request_id=_request_id(payload),
+        stats=_rebuild(ShardStats, fields, "shard stats"),
+    )
+
+
+def _request_id(payload: dict) -> int:
+    value = payload.get("request_id")
+    if not isinstance(value, int):
+        raise ProtocolError(f"message carries no integer request_id: {payload!r}")
+    return value
+
+
+#: type tag -> (message class, payload encoder, payload decoder).
+_MESSAGE_TYPES = {
+    "serve": (
+        ServeCall,
+        lambda m: {"request_id": m.request_id, "request": _encode_request(m.request)},
+        lambda p, allow: ServeCall(
+            request_id=_request_id(p), request=_decode_request(p.get("request"))
+        ),
+    ),
+    "result": (
+        ServeReply,
+        lambda m: {"request_id": m.request_id, "result": _encode_result(m.result)},
+        lambda p, allow: ServeReply(
+            request_id=_request_id(p),
+            result=_decode_result(p.get("result"), allow_pickled=allow),
+        ),
+    ),
+    "error": (
+        ErrorReply,
+        dataclasses.asdict,
+        lambda p, allow: _rebuild(ErrorReply, p, "error reply"),
+    ),
+    "stats": (
+        StatsCall,
+        dataclasses.asdict,
+        lambda p, allow: StatsCall(request_id=_request_id(p)),
+    ),
+    "stats-result": (StatsReply, _stats_to_payload, _stats_from_payload),
+    "ping": (
+        PingCall,
+        dataclasses.asdict,
+        lambda p, allow: PingCall(request_id=_request_id(p)),
+    ),
+    "pong": (
+        PongReply,
+        dataclasses.asdict,
+        lambda p, allow: _rebuild(PongReply, p, "pong reply"),
+    ),
+    "shutdown": (
+        ShutdownCall,
+        dataclasses.asdict,
+        lambda p, allow: ShutdownCall(request_id=_request_id(p)),
+    ),
+}
+
+_TYPE_OF_CLASS = {cls: tag for tag, (cls, _, _) in _MESSAGE_TYPES.items()}
+
+#: Every message dataclass the protocol understands.
+Message = (
+    ServeCall
+    | ServeReply
+    | ErrorReply
+    | StatsCall
+    | StatsReply
+    | PingCall
+    | PongReply
+    | ShutdownCall
+)
+
+
+def encode_message(message: Message) -> bytes:
+    """One message as UTF-8 JSON inside the versioned envelope."""
+    tag = _TYPE_OF_CLASS.get(type(message))
+    if tag is None:
+        raise ProtocolError(f"cannot encode message of type {type(message).__name__}")
+    _, encode, _ = _MESSAGE_TYPES[tag]
+    envelope = {_ENVELOPE_KEY: PROTOCOL_VERSION, "type": tag, "payload": encode(message)}
+    return json.dumps(envelope, sort_keys=True).encode("utf-8")
+
+
+def decode_message(data: bytes, allow_pickled: bool = False) -> Message:
+    """Rebuild a message from its encoded bytes.
+
+    Rejects non-JSON data, an envelope without this decoder's
+    :data:`PROTOCOL_VERSION`, and unknown message types — all with
+    :class:`~repro.errors.ProtocolError`.  ``allow_pickled`` is forwarded to
+    :func:`decode_artifact` for result messages.
+    """
+    try:
+        envelope = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable wire message: {error}") from None
+    if not isinstance(envelope, dict) or _ENVELOPE_KEY not in envelope:
+        raise ProtocolError("wire message is not a moma-serve envelope")
+    version = envelope[_ENVELOPE_KEY]
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} (this build speaks "
+            f"{PROTOCOL_VERSION}); restart shards and supervisor from one build"
+        )
+    tag = envelope.get("type")
+    if tag not in _MESSAGE_TYPES:
+        raise ProtocolError(f"unknown message type {tag!r}")
+    _, _, decode = _MESSAGE_TYPES[tag]
+    payload = envelope.get("payload")
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"message {tag!r} carries no payload object")
+    return decode(payload, allow_pickled)
+
+
+# -- stream framing ----------------------------------------------------------
+
+
+def write_message(stream: io.BufferedIOBase, message: Message) -> None:
+    """Write one length-prefixed frame (4-byte big-endian length + message)."""
+    data = encode_message(message)
+    stream.write(len(data).to_bytes(4, "big") + data)
+    stream.flush()
+
+
+def read_message(
+    stream: io.BufferedIOBase, allow_pickled: bool = False
+) -> Message | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    A short read inside a frame (the peer died mid-write) and an impossible
+    length prefix both raise :class:`~repro.errors.ProtocolError`.
+    """
+    prefix = stream.read(4)
+    if not prefix:
+        return None
+    if len(prefix) < 4:
+        raise ProtocolError("truncated frame: short length prefix")
+    length = int.from_bytes(prefix, "big")
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"implausible frame length {length}")
+    data = stream.read(length)
+    if len(data) < length:
+        raise ProtocolError(
+            f"truncated frame: expected {length} bytes, got {len(data)}"
+        )
+    return decode_message(data, allow_pickled=allow_pickled)

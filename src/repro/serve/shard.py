@@ -1,0 +1,285 @@
+"""Shard-side machinery: consistent-hash routing and the shard process loop.
+
+Two halves live here:
+
+* :class:`ShardRouter` — maps a request's **(kernel-family fingerprint,
+  device)** pair onto one of N shard ids with a consistent-hash ring.  Each
+  shard owns many virtual nodes on the ring, so keys spread evenly; removing
+  a shard (crash, drain) remaps *only the keys that lived on it* — every
+  other family keeps its shard, keeping their resident tables warm.  Routing
+  is deterministic across processes and runs: any router built over the same
+  shard ids makes identical decisions.
+* :func:`run_shard` — the shard process entry point: one
+  :class:`~repro.serve.KernelServer` wrapped in the wire protocol.  It reads
+  :class:`~repro.serve.protocol.ServeCall` / ``StatsCall`` / ``PingCall`` /
+  ``ShutdownCall`` messages from its supervisor pipe, dispatches serve calls
+  onto the server's worker pool, and writes replies back **as they
+  complete** (out of order; the ``request_id`` correlates them), so one slow
+  cold request never blocks a shard's warm traffic.
+
+A shard owns its own :class:`~repro.tune.TuningDatabase` *replica* (its own
+file), so shards never contend on one database file during traffic; the
+supervisor reconciles the replicas into the primary database with
+:func:`repro.tune.reconcile.reconcile_replicas` (merge-on-save) at shutdown
+or on demand.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import threading
+
+from pathlib import Path
+
+from repro.errors import ProtocolError, ServingError, TuningError
+from repro.tune.db import TuningDatabase
+
+# Imported as a module (not a package attribute) so this file is loadable at
+# any point of repro.serve's own package initialization.
+import repro.serve.protocol as protocol
+from repro.serve.metrics import latency_histogram
+from repro.serve.server import KernelServer, ServeRequest
+
+__all__ = ["ShardRouter", "run_shard"]
+
+#: Virtual nodes per shard on the hash ring.  More nodes smooth the key
+#: distribution (the classic consistent-hashing trade-off against ring size).
+DEFAULT_VIRTUAL_NODES = 64
+
+
+def _ring_position(key: str) -> int:
+    """A stable 64-bit ring position for a string key."""
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "big")
+
+
+class ShardRouter:
+    """Consistent-hash routing of kernel families onto shard ids.
+
+    Args:
+        shard_ids: the shard ids participating in routing.
+        virtual_nodes: ring points per shard (:data:`DEFAULT_VIRTUAL_NODES`).
+
+    The routing key is ``fingerprint::device`` — the tuning database's own
+    family key — so all traffic for one (kernel family, device) pair lands
+    on one shard and enjoys that shard's resident table, in-flight dedup,
+    and tuning micro-batches.  Fingerprints are memoized per workload (the
+    fingerprint hashes the family's wide IR, which is not free to build), so
+    steady-state routing is a dictionary lookup plus a ring bisect.
+    """
+
+    def __init__(
+        self,
+        shard_ids,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+    ) -> None:
+        if virtual_nodes < 1:
+            raise ServingError(f"virtual node count must be positive, got {virtual_nodes}")
+        self.virtual_nodes = virtual_nodes
+        self._shard_ids: set[int] = set()
+        self._ring: list[tuple[int, int]] = []  # (position, shard_id), sorted
+        self._fingerprints: dict[object, str] = {}
+        self._lock = threading.Lock()
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+        if not self._shard_ids:
+            raise ServingError("a shard router needs at least one shard")
+
+    # -- membership ---------------------------------------------------------
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        """The shard ids currently on the ring, sorted."""
+        with self._lock:
+            return tuple(sorted(self._shard_ids))
+
+    def add_shard(self, shard_id: int) -> None:
+        """Join a shard: only keys hashing onto its virtual nodes move."""
+        with self._lock:
+            if shard_id in self._shard_ids:
+                return
+            self._shard_ids.add(shard_id)
+            for node in range(self.virtual_nodes):
+                position = _ring_position(f"shard-{shard_id}#vnode-{node}")
+                bisect.insort(self._ring, (position, shard_id))
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Leave a shard: only the keys it owned remap (to their successors)."""
+        with self._lock:
+            if shard_id not in self._shard_ids:
+                return
+            self._shard_ids.discard(shard_id)
+            self._ring = [entry for entry in self._ring if entry[1] != shard_id]
+
+    # -- routing ------------------------------------------------------------
+
+    def fingerprint_of(self, request: ServeRequest) -> str:
+        """The request's kernel-family fingerprint, memoized per workload."""
+        workload = request.workload()
+        with self._lock:
+            cached = self._fingerprints.get(workload)
+        if cached is not None:
+            return cached
+        fingerprint = workload.fingerprint()  # builds IR; outside the lock
+        with self._lock:
+            self._fingerprints[workload] = fingerprint
+        return fingerprint
+
+    def route_key(self, key: str, excluding=frozenset()) -> int:
+        """The shard owning ``key``: first live virtual node clockwise.
+
+        ``excluding`` names shards to skip (dead or draining); the walk
+        continues clockwise past them, which is the rebalance-on-shard-loss
+        behaviour — keys of a lost shard redistribute to their ring
+        successors while everything else stays put.
+        """
+        with self._lock:
+            live = self._shard_ids - set(excluding)
+            if not live:
+                raise ServingError("no live shard to route to")
+            index = bisect.bisect_right(self._ring, (_ring_position(key), -1))
+            for offset in range(len(self._ring)):
+                position, shard_id = self._ring[(index + offset) % len(self._ring)]
+                if shard_id in live:
+                    return shard_id
+        raise ServingError("no live shard to route to")  # pragma: no cover
+
+    def route(self, request: ServeRequest, excluding=frozenset()) -> int:
+        """The shard serving ``request``: hash of (family fingerprint, device)."""
+        return self.route_key(
+            f"{self.fingerprint_of(request)}::{request.device}", excluding=excluding
+        )
+
+
+# -- the shard process -------------------------------------------------------
+
+
+def _open_replica(db_path) -> TuningDatabase:
+    """This shard's tuning-db replica, quarantining an unreadable file."""
+    if db_path is None:
+        return TuningDatabase()
+    try:
+        return TuningDatabase(db_path)
+    except TuningError:
+        path = Path(db_path)
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
+        return TuningDatabase(db_path)
+
+
+def _shard_stats(shard_id: int, server: KernelServer) -> protocol.ShardStats:
+    """This shard's counters in the wire form (histograms, not samples)."""
+    snapshot = server.metrics_snapshot()
+    warm, cold = server.metrics.latency_samples()
+    return protocol.ShardStats(
+        shard_id=shard_id,
+        pid=os.getpid(),
+        requests=snapshot.requests,
+        warm_serves=snapshot.warm_serves,
+        cold_serves=snapshot.cold_serves,
+        dedup_hits=snapshot.dedup_hits,
+        errors=snapshot.errors,
+        tune_batches=snapshot.tune_batches,
+        batched_tunes=snapshot.batched_tunes,
+        queue_depth=snapshot.queue_depth,
+        resident_kernels=snapshot.resident_kernels,
+        warm_histogram=latency_histogram(warm),
+        cold_histogram=latency_histogram(cold),
+    )
+
+
+def run_shard(
+    connection,
+    shard_id: int,
+    devices: tuple[str, ...],
+    db_path=None,
+    workers: int = 4,
+) -> None:
+    """The shard process main loop (the supervisor's spawn target).
+
+    Owns one :class:`KernelServer` over this shard's device subset and its
+    own tuning-database replica at ``db_path`` (``None`` keeps it in
+    memory).  A replica torn by a crashed writer must not crash-loop the
+    shard: an unreadable file is quarantined (renamed ``*.corrupt``) and the
+    shard starts over with an empty replica — the same "corrupt replicas are
+    skippable" stance reconciliation takes.  Serve calls run on the server's
+    worker pool and reply through ``connection`` as they complete; stats and
+    ping calls answer inline.  A
+    :class:`~repro.serve.protocol.ShutdownCall` — or the supervisor closing
+    its end of the pipe — drains the server and exits.
+    """
+    db = _open_replica(db_path)
+    server = KernelServer(db=db, devices=devices, workers=workers)
+    send_lock = threading.Lock()
+
+    def reply(message: protocol.Message) -> None:
+        with send_lock:
+            try:
+                connection.send_bytes(protocol.encode_message(message))
+            except (OSError, ValueError):
+                pass  # supervisor is gone; the loop will see EOF and exit
+
+    def finish(request_id: int, future) -> None:
+        try:
+            result = future.result()
+            reply(protocol.ServeReply(request_id=request_id, result=result))
+        except BaseException as error:  # noqa: BLE001 - relayed over the wire
+            reply(protocol.ErrorReply.from_exception(request_id, error))
+
+    try:
+        while True:
+            try:
+                data = connection.recv_bytes()
+            except (EOFError, OSError):
+                break
+            try:
+                message = protocol.decode_message(data, allow_pickled=True)
+            except ProtocolError as error:
+                reply(protocol.ErrorReply.from_exception(-1, error))
+                continue
+            if isinstance(message, protocol.ServeCall):
+                request_id = message.request_id
+                try:
+                    future = server.submit(message.request)
+                except Exception as error:  # noqa: BLE001 - bad request
+                    reply(protocol.ErrorReply.from_exception(request_id, error))
+                    continue
+                future.add_done_callback(
+                    lambda completed, request_id=request_id: finish(
+                        request_id, completed
+                    )
+                )
+            elif isinstance(message, protocol.StatsCall):
+                reply(
+                    protocol.StatsReply(
+                        request_id=message.request_id,
+                        stats=_shard_stats(shard_id, server),
+                    )
+                )
+            elif isinstance(message, protocol.PingCall):
+                reply(
+                    protocol.PongReply(
+                        request_id=message.request_id,
+                        shard_id=shard_id,
+                        pid=os.getpid(),
+                    )
+                )
+            elif isinstance(message, protocol.ShutdownCall):
+                break
+            else:  # a reply type sent the wrong way; report and keep serving
+                reply(
+                    protocol.ErrorReply(
+                        request_id=-1,
+                        error_type="ProtocolError",
+                        message=f"unexpected message {type(message).__name__}",
+                    )
+                )
+    finally:
+        server.close()
+        try:
+            connection.close()
+        except OSError:
+            pass

@@ -1,0 +1,543 @@
+"""The shard supervisor: spawn, route, monitor, restart, aggregate.
+
+A :class:`ShardSupervisor` turns N :class:`~repro.serve.KernelServer`
+processes into one serving surface with the same front door as a single
+server (``submit()`` returning a future, blocking ``serve()``, and a
+``devices`` attribute — so :class:`~repro.serve.client.ServedNTT` and
+:class:`~repro.serve.client.ServedBlasEngine` work against a supervisor
+unchanged):
+
+* **Spawning** — each shard is a real OS process running
+  :func:`~repro.serve.shard.run_shard` over a ``multiprocessing`` pipe,
+  owning its device subset and its own tuning-database *replica* file
+  (:func:`~repro.tune.reconcile.replica_path`), so shards share nothing at
+  runtime.
+* **Routing** — a :class:`~repro.serve.shard.ShardRouter` consistent-hashes
+  each request's (kernel-family fingerprint, device) onto a shard; all
+  traffic for one family lands on one shard and enjoys its resident table
+  and in-flight dedup.
+* **Monitoring & restart** — a monitor thread watches shard liveness; a
+  dead shard's pending requests are re-routed to its ring successors
+  (rebalance-on-shard-loss) and the shard is respawned over the same
+  replica file, re-joining the ring once alive.
+* **Aggregation** — :meth:`ShardSupervisor.stats` asks every live shard for
+  its counters and fixed-bucket latency histograms over the wire and merges
+  them into one :class:`ClusterStats`: global warm/cold/dedup counts and
+  p50/p95 computed from the *summed* histograms, plus the per-shard rows.
+* **Reconciliation** — :meth:`ShardSupervisor.reconcile` (also run at
+  :meth:`close`) folds every replica back into the primary database with
+  :func:`~repro.tune.reconcile.reconcile_replicas`, so winners tuned by any
+  shard survive into the next deployment's warmup.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ProtocolError, ServingError
+from repro.tune.reconcile import ReconcileReport, reconcile_replicas, replica_path
+
+# Imported as a module (not a package attribute) so this file is loadable at
+# any point of repro.serve's own package initialization.
+import repro.serve.protocol as protocol
+from repro.serve.metrics import percentile_from_histogram
+from repro.serve.server import ServeRequest, ServeResult
+from repro.serve.shard import DEFAULT_VIRTUAL_NODES, ShardRouter, run_shard
+
+__all__ = ["ClusterStats", "ShardSupervisor"]
+
+#: How often the monitor thread checks shard liveness.
+_MONITOR_INTERVAL_S = 0.2
+
+#: How long close() waits for a shard to drain before terminating it.
+_SHUTDOWN_GRACE_S = 30.0
+
+#: Restart backoff bounds: the first respawn is immediate; a shard that
+#: keeps dying (a crash at startup, say) is respawned at an exponentially
+#: decaying rate capped here, never in a tight loop.
+_RESTART_BACKOFF_MAX_S = 30.0
+
+
+def _resolve(future: Future, result=None, error: BaseException | None = None) -> None:
+    """Resolve a future, tolerating a caller who already cancelled it."""
+    try:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+    except InvalidStateError:
+        pass  # the caller cancelled; the outcome has nowhere to go
+
+
+def _spawn_context():
+    # Shards are spawned fresh (no inherited locks/threads): "spawn" is the
+    # only start method that is safe once the supervisor's reader threads
+    # exist (restarts happen with threads running) and the only one macOS
+    # and Windows offer at all.
+    return multiprocessing.get_context("spawn")
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Cross-shard aggregate counters plus the per-shard breakdown.
+
+    Counter fields are sums over shards; the percentiles are computed from
+    the element-wise sum of the shards' fixed-bucket latency histograms
+    (bounded-error approximations — see
+    :func:`~repro.serve.metrics.percentile_from_histogram`).
+    """
+
+    shards: tuple[protocol.ShardStats, ...]
+    requests: int
+    warm_serves: int
+    cold_serves: int
+    dedup_hits: int
+    errors: int
+    tune_batches: int
+    batched_tunes: int
+    queue_depth: int
+    resident_kernels: int
+    p50_latency_ms: float
+    p95_latency_ms: float
+
+    @property
+    def warm_rate(self) -> float:
+        """Fraction of served requests answered warm (0.0 when unused)."""
+        served = self.warm_serves + self.cold_serves
+        return self.warm_serves / served if served else 0.0
+
+    def report(self) -> str:
+        """Human-readable multi-line summary (the shard-mode ``--stats``)."""
+        lines = [
+            f"cluster       {len(self.shards)} shards, {self.requests} requests "
+            f"(warm {self.warm_serves}, cold {self.cold_serves}, "
+            f"dedup {self.dedup_hits}, errors {self.errors})",
+            f"warm rate     {self.warm_rate * 100:.1f}%",
+            f"tuning        {self.batched_tunes} tunes in {self.tune_batches} batches",
+            f"queue depth   {self.queue_depth} in flight, "
+            f"{self.resident_kernels} resident kernels",
+            f"latency       p50 ≤{self.p50_latency_ms:.3f} ms, "
+            f"p95 ≤{self.p95_latency_ms:.3f} ms (merged histograms)",
+        ]
+        for stats in self.shards:
+            lines.append(
+                f"  shard {stats.shard_id} (pid {stats.pid}): "
+                f"{stats.requests} requests, warm {stats.warm_serves}, "
+                f"cold {stats.cold_serves}, dedup {stats.dedup_hits}, "
+                f"{stats.resident_kernels} resident"
+            )
+        return "\n".join(lines)
+
+
+def aggregate_stats(per_shard: tuple[protocol.ShardStats, ...]) -> ClusterStats:
+    """Merge per-shard stats: sum counters, sum histograms, re-percentile."""
+    def total(name: str) -> int:
+        return sum(getattr(stats, name) for stats in per_shard)
+
+    combined: list[int] = []
+    for stats in per_shard:
+        for histogram in (stats.warm_histogram, stats.cold_histogram):
+            if len(combined) < len(histogram):
+                combined.extend([0] * (len(histogram) - len(combined)))
+            for index, count in enumerate(histogram):
+                combined[index] += count
+    buckets = tuple(combined)
+    return ClusterStats(
+        shards=tuple(sorted(per_shard, key=lambda stats: stats.shard_id)),
+        requests=total("requests"),
+        warm_serves=total("warm_serves"),
+        cold_serves=total("cold_serves"),
+        dedup_hits=total("dedup_hits"),
+        errors=total("errors"),
+        tune_batches=total("tune_batches"),
+        batched_tunes=total("batched_tunes"),
+        queue_depth=total("queue_depth"),
+        resident_kernels=total("resident_kernels"),
+        p50_latency_ms=percentile_from_histogram(buckets, 0.50),
+        p95_latency_ms=percentile_from_histogram(buckets, 0.95),
+    )
+
+
+class _ShardHandle:
+    """One shard process: its pipe, pending futures, and reader thread."""
+
+    def __init__(self, shard_id: int, devices: tuple[str, ...]) -> None:
+        self.shard_id = shard_id
+        self.devices = devices
+        self.process = None
+        self.connection = None
+        self.reader: threading.Thread | None = None
+        self.send_lock = threading.Lock()
+        self.pending: dict[int, tuple[ServeRequest | None, Future]] = {}
+        self.pending_lock = threading.Lock()
+        self.restarts = 0
+        self.next_restart_at = 0.0  # monotonic; 0.0 = respawn immediately
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def take_pending(self) -> dict[int, tuple[ServeRequest | None, Future]]:
+        with self.pending_lock:
+            taken, self.pending = self.pending, {}
+            return taken
+
+
+class ShardSupervisor:
+    """N kernel-server shard processes behind one routed front door.
+
+    Args:
+        shards: shard process count (≥ 1).
+        db: primary tuning-database file; each shard gets its own replica
+            next to it (``None``: per-shard in-memory databases, nothing to
+            reconcile).
+        devices: the devices the cluster serves.  By default every shard
+            serves all of them (a kernel configuration is per-device state,
+            not a hardware handle); with ``partition_devices=True`` the
+            devices are split round-robin so each shard owns a disjoint
+            subset, and routing only considers shards owning the request's
+            device.
+        workers: worker threads per shard.
+        restart: respawn dead shards (on by default).
+        virtual_nodes: consistent-hash ring points per shard.
+
+    Shards are started with the ``spawn`` start method, so the standard
+    :mod:`multiprocessing` caveat applies: construct supervisors from an
+    importable ``__main__`` (a script with an ``if __name__ == "__main__"``
+    guard, a module run with ``-m``, pytest, ...), not from a piped-stdin
+    script — spawn re-imports the main module in every shard process.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        db: str | Path | None = None,
+        devices: tuple[str, ...] = ("rtx4090",),
+        workers: int = 4,
+        partition_devices: bool = False,
+        restart: bool = True,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+    ) -> None:
+        if shards < 1:
+            raise ServingError(f"shard count must be positive, got {shards}")
+        if not devices:
+            raise ServingError("a shard supervisor needs at least one device")
+        if partition_devices and len(devices) < shards:
+            raise ServingError(
+                f"cannot partition {len(devices)} device(s) across {shards} shards"
+            )
+        self.devices = tuple(devices)
+        self.db_path = Path(db) if db is not None else None
+        self.workers = workers
+        self.restart = restart
+        self._context = _spawn_context()
+        self._closed = False
+        self._lock = threading.RLock()
+        self._request_ids = itertools.count(1)
+        self._routed: dict[int, int] = {}  # shard_id -> requests routed there
+        shard_devices = {
+            shard_id: (
+                tuple(self.devices[shard_id::shards])
+                if partition_devices
+                else self.devices
+            )
+            for shard_id in range(shards)
+        }
+        self.router = ShardRouter(range(shards), virtual_nodes=virtual_nodes)
+        self._handles = {
+            shard_id: _ShardHandle(shard_id, owned)
+            for shard_id, owned in shard_devices.items()
+        }
+        for handle in self._handles.values():
+            self._start_shard(handle)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-shard-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    # -- spawning -----------------------------------------------------------
+
+    def shard_replica_path(self, shard_id: int) -> Path | None:
+        """The tuning-db replica file a shard owns (``None`` when in-memory)."""
+        if self.db_path is None:
+            return None
+        return replica_path(self.db_path, shard_id)
+
+    def _start_shard(self, handle: _ShardHandle) -> None:
+        parent, child = self._context.Pipe()
+        process = self._context.Process(
+            target=run_shard,
+            args=(child, handle.shard_id, handle.devices),
+            kwargs={
+                "db_path": self.shard_replica_path(handle.shard_id),
+                "workers": self.workers,
+            },
+            name=f"repro-shard-{handle.shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        handle.process = process
+        handle.connection = parent
+        handle.reader = threading.Thread(
+            target=self._read_loop,
+            args=(handle, parent),
+            name=f"repro-shard-{handle.shard_id}-reader",
+            daemon=True,
+        )
+        handle.reader.start()
+
+    # -- per-shard reader ---------------------------------------------------
+
+    def _read_loop(self, handle: _ShardHandle, connection) -> None:
+        while True:
+            try:
+                data = connection.recv_bytes()
+            except (EOFError, OSError):
+                return  # the monitor notices the dead process and reroutes
+            try:
+                message = protocol.decode_message(data, allow_pickled=True)
+            except ProtocolError:
+                # An undecodable reply means reply correlation on this pipe
+                # is lost (we cannot know whose answer this was).  Poison
+                # the connection: the shard sees EOF and exits, the monitor
+                # respawns it and re-routes every pending request — a
+                # recovery instead of a silent hang.
+                self._poison(connection)
+                return
+            request_id = getattr(message, "request_id", -1)
+            if isinstance(message, protocol.ErrorReply) and request_id == -1:
+                # The shard could not decode one of our calls — the same
+                # lost-correlation situation, seen from the other side.
+                self._poison(connection)
+                return
+            with handle.pending_lock:
+                entry = handle.pending.pop(request_id, None)
+            if entry is None:
+                continue  # late reply for a request already re-routed
+            _, future = entry
+            if isinstance(message, protocol.ServeReply):
+                _resolve(future, result=message.result)
+            elif isinstance(message, (protocol.StatsReply, protocol.PongReply)):
+                _resolve(future, result=message)
+            elif isinstance(message, protocol.ErrorReply):
+                _resolve(future, error=message.exception())
+
+    @staticmethod
+    def _poison(connection) -> None:
+        try:
+            connection.close()
+        except OSError:
+            pass
+
+    # -- monitoring / restart ----------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._closed:
+            time.sleep(_MONITOR_INTERVAL_S)
+            with self._lock:
+                if self._closed:
+                    return
+                now = time.monotonic()
+                for handle in self._handles.values():
+                    if not handle.alive():
+                        self._recover(handle)
+                    elif handle.restarts and now >= handle.next_restart_at + 60.0:
+                        # A minute of health forgives the crash history, so
+                        # the next incident starts from an immediate respawn.
+                        handle.restarts = 0
+
+    def _recover(self, handle: _ShardHandle) -> None:
+        """Re-route a dead shard's pending work; respawn it over its replica.
+
+        Respawns back off exponentially (immediate at first,
+        :data:`_RESTART_BACKOFF_MAX_S` at worst), so a shard that dies at
+        startup — a corrupt environment, an import error — is retried at a
+        bounded rate instead of in a tight spawn loop.
+        """
+        pending = handle.take_pending()
+        try:
+            handle.connection.close()
+        except (OSError, AttributeError):
+            pass
+        now = time.monotonic()
+        if self.restart and not self._closed and now >= handle.next_restart_at:
+            handle.restarts += 1
+            backoff = min(_RESTART_BACKOFF_MAX_S, 0.5 * (2 ** min(handle.restarts, 8)))
+            handle.next_restart_at = now + backoff
+            self._start_shard(handle)
+        for request_id, (request, future) in pending.items():
+            if future.done():
+                continue
+            if request is None:  # stats/ping probes are not worth re-sending
+                _resolve(
+                    future,
+                    error=ServingError(f"shard {handle.shard_id} died during a probe"),
+                )
+                continue
+            try:
+                # Rebalance-on-shard-loss: the ring successor takes the key.
+                # The respawned shard (empty caches) rejoins for new traffic.
+                self._dispatch(request, future, excluding=frozenset({handle.shard_id}))
+            except ServingError as error:
+                _resolve(future, error=error)
+
+    # -- front door ---------------------------------------------------------
+
+    def _dispatch(
+        self, request: ServeRequest, future: Future, excluding=frozenset()
+    ) -> None:
+        allowed_excluding = set(excluding)
+        for handle in self._handles.values():
+            if request.device not in handle.devices:
+                allowed_excluding.add(handle.shard_id)
+        shard_id = self.router.route(request, excluding=frozenset(allowed_excluding))
+        handle = self._handles[shard_id]
+        request_id = next(self._request_ids)
+        with handle.pending_lock:
+            handle.pending[request_id] = (request, future)
+        try:
+            with handle.send_lock:
+                handle.connection.send_bytes(
+                    protocol.encode_message(
+                        protocol.ServeCall(request_id=request_id, request=request)
+                    )
+                )
+        except (OSError, ValueError):
+            # The shard died between routing and writing.  If our pending
+            # entry is still ours, re-route it past this shard ourselves; if
+            # the monitor's recovery already swept it, it re-routes for us.
+            with handle.pending_lock:
+                entry = handle.pending.pop(request_id, None)
+            if entry is not None:
+                try:
+                    self._dispatch(
+                        request, future, excluding=frozenset(allowed_excluding | {shard_id})
+                    )
+                except ServingError as error:
+                    _resolve(future, error=error)
+            return
+        with self._lock:
+            self._routed[shard_id] = self._routed.get(shard_id, 0) + 1
+
+    def submit(self, request: ServeRequest) -> Future:
+        """Route a request to its shard; the future resolves to the result."""
+        with self._lock:
+            if self._closed:
+                raise ServingError("shard supervisor is closed")
+        future: Future = Future()
+        self._dispatch(request, future)
+        return future
+
+    def serve(self, request: ServeRequest) -> ServeResult:
+        """Serve one request through its shard, blocking for the result."""
+        return self.submit(request).result()
+
+    def routed_counts(self) -> dict[int, int]:
+        """Requests routed per shard id since startup (supervisor-side)."""
+        with self._lock:
+            return dict(sorted(self._routed.items()))
+
+    # -- probes / stats -----------------------------------------------------
+
+    def _probe(self, handle: _ShardHandle, message_type, timeout: float):
+        request_id = next(self._request_ids)
+        future: Future = Future()
+        with handle.pending_lock:
+            handle.pending[request_id] = (None, future)
+        try:
+            with handle.send_lock:
+                handle.connection.send_bytes(
+                    protocol.encode_message(message_type(request_id=request_id))
+                )
+        except (OSError, ValueError) as error:
+            with handle.pending_lock:
+                handle.pending.pop(request_id, None)
+            raise ServingError(f"shard {handle.shard_id} is unreachable") from error
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            with handle.pending_lock:
+                handle.pending.pop(request_id, None)
+            raise ServingError(
+                f"shard {handle.shard_id} did not answer a "
+                f"{message_type.__name__} within {timeout:g}s"
+            ) from None
+
+    def ping(self, timeout: float = 5.0) -> dict[int, protocol.PongReply]:
+        """Liveness probe of every shard (shard id → pong)."""
+        with self._lock:
+            handles = [h for h in self._handles.values() if h.alive()]
+        return {
+            handle.shard_id: self._probe(handle, protocol.PingCall, timeout)
+            for handle in handles
+        }
+
+    def stats(self, timeout: float = 10.0) -> ClusterStats:
+        """Cross-shard aggregated metrics (see :class:`ClusterStats`)."""
+        with self._lock:
+            handles = [h for h in self._handles.values() if h.alive()]
+        replies = [
+            self._probe(handle, protocol.StatsCall, timeout) for handle in handles
+        ]
+        return aggregate_stats(tuple(reply.stats for reply in replies))
+
+    # -- reconciliation / lifecycle ----------------------------------------
+
+    def reconcile(self) -> ReconcileReport | None:
+        """Fold every shard replica into the primary database (if file-backed).
+
+        Safe while shards are serving: each replica file is a consistent
+        atomic snapshot (the shards' own merge-on-save), and the primary is
+        written with the same semantics.
+        """
+        if self.db_path is None:
+            return None
+        return reconcile_replicas(self.db_path)
+
+    def close(self) -> ReconcileReport | None:
+        """Drain and stop every shard, then reconcile replicas (and return
+        the report when file-backed)."""
+        with self._lock:
+            if self._closed:
+                return None
+            self._closed = True
+        for handle in self._handles.values():
+            try:
+                with handle.send_lock:
+                    handle.connection.send_bytes(
+                        protocol.encode_message(
+                            protocol.ShutdownCall(request_id=next(self._request_ids))
+                        )
+                    )
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + _SHUTDOWN_GRACE_S
+        for handle in self._handles.values():
+            if handle.process is None:
+                continue
+            handle.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+        for handle in self._handles.values():
+            for _, future in handle.take_pending().values():
+                if not future.done():
+                    _resolve(future, error=ServingError("shard supervisor closed"))
+            try:
+                handle.connection.close()
+            except (OSError, AttributeError):
+                pass
+        return self.reconcile()
+
+    def __enter__(self) -> ShardSupervisor:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

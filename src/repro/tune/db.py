@@ -161,28 +161,39 @@ class TuningDatabase:
         if self.path is not None and self.path.exists():
             self._load()
 
-    def _parse_file(self) -> tuple[dict[str, TuningRecord], dict[str, float]]:
+    @staticmethod
+    def parse_file(path: str | Path) -> tuple[dict[str, TuningRecord], dict[str, float]]:
+        """Parse one database file into its (records, tombstones) sections.
+
+        Raises :class:`TuningError` for unreadable, corrupt, or
+        schema-mismatched files.  This is the read half that both loading
+        and merging (:meth:`merge_file`) are built on.
+        """
+        path = Path(path)
         try:
-            payload = json.loads(self.path.read_text())
+            payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as error:
-            raise TuningError(f"cannot read tuning database {self.path}: {error}") from None
+            raise TuningError(f"cannot read tuning database {path}: {error}") from None
         if not isinstance(payload, dict) or "records" not in payload:
-            raise TuningError(f"tuning database {self.path} has no 'records' section")
+            raise TuningError(f"tuning database {path} has no 'records' section")
         if payload.get("schema") != _SCHEMA_VERSION:
             raise TuningError(
-                f"tuning database {self.path} has schema {payload.get('schema')!r}, "
+                f"tuning database {path} has schema {payload.get('schema')!r}, "
                 f"expected {_SCHEMA_VERSION}"
             )
         dropped = payload.get("dropped", {})
         if not isinstance(dropped, dict) or not all(
             isinstance(stamp, (int, float)) for stamp in dropped.values()
         ):
-            raise TuningError(f"tuning database {self.path} has a corrupt 'dropped' section")
+            raise TuningError(f"tuning database {path} has a corrupt 'dropped' section")
         records = {
             key: TuningRecord.from_json(record)
             for key, record in payload["records"].items()
         }
         return records, dict(dropped)
+
+    def _parse_file(self) -> tuple[dict[str, TuningRecord], dict[str, float]]:
+        return self.parse_file(self.path)
 
     def _load(self) -> None:
         records, dropped = self._parse_file()
@@ -235,33 +246,59 @@ class TuningDatabase:
         with self._lock:
             return dict(sorted(self._records.items()))
 
+    def merge_sections(
+        self, records: dict[str, TuningRecord], dropped: dict[str, float]
+    ) -> int:
+        """Merge another database's (records, tombstones) into this one.
+
+        The reconciliation primitive behind merge-on-save and replica
+        reconciliation: per key, the newest ``created_at`` wins; a tombstone
+        beats any record created at or before it, and a strictly newer
+        record (a re-tune) beats the tombstone.  Returns the number of
+        records adopted or replaced.
+        """
+        adopted = 0
+        with self._lock:
+            for key, stamp in dropped.items():
+                if stamp > self._dropped.get(key, float("-inf")):
+                    self._dropped[key] = stamp
+            for key, stamp in self._dropped.items():
+                mine = self._records.get(key)
+                if mine is not None and mine.created_at <= stamp:
+                    del self._records[key]
+            for key, record in records.items():
+                if self._dropped.get(key, float("-inf")) >= record.created_at:
+                    continue
+                mine = self._records.get(key)
+                if mine is None or record.created_at > mine.created_at:
+                    self._records[key] = record
+                    self._dropped.pop(key, None)
+                    adopted += 1
+        return adopted
+
+    def merge_file(self, path: str | Path) -> int:
+        """Merge another database *file* (e.g. a shard replica) into this one.
+
+        Returns the number of records adopted; raises :class:`TuningError`
+        for an unreadable or corrupt file.  Call :meth:`save` afterwards to
+        persist the union.
+        """
+        records, dropped = self.parse_file(path)
+        return self.merge_sections(records, dropped)
+
     def _merge_from_disk(self) -> None:
         # Parallel tuners share one database file; a blind write would be
         # last-writer-wins and drop their records.  Adopt every on-disk
-        # record and tombstone we do not have (or have an older version of);
-        # a tombstone beats any record created at or before it, and a newer
-        # record (a re-tune) beats the tombstone.  A corrupt or foreign
-        # on-disk file is ignored: our snapshot then simply replaces it.
+        # record and tombstone we do not have (or have an older version of).
+        # A corrupt or foreign on-disk file is ignored: our snapshot then
+        # simply replaces it.
         if not self.path.exists():
             return
         try:
             on_disk, dropped = self._parse_file()
         except TuningError:
             return
-        for key, stamp in dropped.items():
-            if stamp > self._dropped.get(key, float("-inf")):
-                self._dropped[key] = stamp
-        for key, stamp in self._dropped.items():
-            mine = self._records.get(key)
-            if mine is not None and mine.created_at <= stamp:
-                del self._records[key]
-        for key, record in on_disk.items():
-            if self._dropped.get(key, float("-inf")) >= record.created_at:
-                continue
-            mine = self._records.get(key)
-            if mine is None or record.created_at > mine.created_at:
-                self._records[key] = record
-                self._dropped.pop(key, None)
+        self.merge_sections(on_disk, dropped)
 
     def save(self) -> None:
         """Atomically write the database to its file (no-op when in-memory).

@@ -1,0 +1,123 @@
+"""Replica reconciliation: fold per-shard tuning databases into the primary.
+
+The sharded serving tier (:mod:`repro.serve.supervisor`) gives every shard
+process its **own** tuning-database file — a *replica* — so shards never
+contend on one file during traffic.  Reconciliation is the other half of
+that bargain: fold every replica back into the primary database using the
+same merge semantics as concurrent saves (:meth:`TuningDatabase.merge_file`
+— newest record per key wins, tombstones beat older records, a newer
+re-tune beats a tombstone), so the primary ends up with the union of every
+shard's winners no matter which shard tuned which family.
+
+Replica files live next to the primary under a deterministic name
+(:func:`replica_path`), so a restarted shard re-adopts its previous
+replica, and :func:`reconcile_replicas` can enumerate them without being
+told how many shards ever existed (:func:`find_replicas`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import TuningError
+from repro.tune.db import TuningDatabase
+
+__all__ = ["replica_path", "find_replicas", "ReconcileReport", "reconcile_replicas"]
+
+_REPLICA_TAG = ".shard"
+
+
+def replica_path(primary: str | Path, shard_id: int) -> Path:
+    """The replica file shard ``shard_id`` owns for a primary database path.
+
+    ``tuning.json`` → ``tuning.shard0.json`` and so on — same directory, so
+    one deployment's state stays in one place.
+    """
+    primary = Path(primary)
+    return primary.with_name(f"{primary.stem}{_REPLICA_TAG}{shard_id}{primary.suffix}")
+
+
+def find_replicas(primary: str | Path) -> tuple[Path, ...]:
+    """Every replica file of ``primary`` present on disk, sorted by shard id."""
+    primary = Path(primary)
+    pattern = f"{primary.stem}{_REPLICA_TAG}*{primary.suffix}"
+    found = []
+    for candidate in primary.parent.glob(pattern):
+        tag = candidate.name[len(primary.stem) + len(_REPLICA_TAG) : -len(primary.suffix) or None]
+        if tag.isdigit():
+            found.append((int(tag), candidate))
+    return tuple(path for _, path in sorted(found))
+
+
+@dataclass(frozen=True)
+class ReconcileReport:
+    """What one reconciliation pass merged.
+
+    Attributes:
+        primary: the primary database path the replicas were folded into.
+        replicas: every replica file that was merged.
+        skipped: replica files that could not be parsed (corrupt/foreign).
+        adopted: records adopted or replaced in the primary, per replica.
+        records: total records in the primary after the merge.
+    """
+
+    primary: Path
+    replicas: tuple[Path, ...]
+    skipped: tuple[Path, ...]
+    adopted: tuple[int, ...]
+    records: int
+
+    def report(self) -> str:
+        """Human-readable one-pass summary."""
+        lines = [
+            f"reconciled {len(self.replicas)} replica(s) into {self.primary}: "
+            f"{sum(self.adopted)} records adopted, {self.records} total"
+            + (f", {len(self.skipped)} skipped" if self.skipped else "")
+        ]
+        for path, adopted in zip(self.replicas, self.adopted):
+            lines.append(f"  {path.name}: {adopted} adopted")
+        for path in self.skipped:
+            lines.append(f"  {path.name}: skipped (unreadable)")
+        return "\n".join(lines)
+
+
+def reconcile_replicas(
+    primary: str | Path, replicas=None, save: bool = True
+) -> ReconcileReport:
+    """Merge shard replicas into the primary tuning database.
+
+    Args:
+        primary: the primary database file (created if missing).
+        replicas: replica paths to merge; ``None`` discovers every
+            ``<primary>.shardN`` sibling on disk (:func:`find_replicas`).
+        save: persist the merged primary (merge-on-save keeps this safe
+            against a concurrent writer of the primary itself).
+
+    Unreadable replicas are skipped and reported, not fatal — one crashed
+    shard's torn file must not block reconciling the healthy ones.
+    """
+    primary = Path(primary)
+    paths = tuple(Path(p) for p in replicas) if replicas is not None else find_replicas(primary)
+    db = TuningDatabase(primary)
+    merged: list[Path] = []
+    skipped: list[Path] = []
+    adopted: list[int] = []
+    for path in paths:
+        if not path.exists():
+            skipped.append(path)
+            continue
+        try:
+            adopted.append(db.merge_file(path))
+            merged.append(path)
+        except TuningError:
+            skipped.append(path)
+    if save:
+        db.save()
+    return ReconcileReport(
+        primary=primary,
+        replicas=tuple(merged),
+        skipped=tuple(skipped),
+        adopted=tuple(adopted),
+        records=len(db),
+    )

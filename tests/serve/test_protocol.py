@@ -1,0 +1,214 @@
+"""Wire-protocol round trips: every message type, framing, version gates.
+
+The property under test is that a message survives the wire *exactly* —
+including a pickled executable kernel artifact that must compute the same
+results after crossing — and that every malformed input (wrong version,
+unknown type, truncated frame, untrusted pickle) is rejected with
+:class:`ProtocolError`, never half-decoded.
+"""
+
+import dataclasses
+import io
+import json
+
+import pytest
+
+from repro.errors import ProtocolError, ServingError, TuningError
+from repro.core.codegen.python_exec import CompiledKernel
+from repro.serve import KernelServer, ServeRequest
+from repro.serve import protocol
+
+BITS = 128
+SIZE = 16
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One cold-served result (executable artifact + tuning provenance)."""
+    with KernelServer(devices=("rtx4090",)) as server:
+        yield server.serve(ServeRequest(kind="ntt", bits=BITS, size=SIZE))
+
+
+def round_trip(message, allow_pickled=False):
+    return protocol.decode_message(
+        protocol.encode_message(message), allow_pickled=allow_pickled
+    )
+
+
+class TestMessageRoundTrips:
+    def test_serve_call(self):
+        message = protocol.ServeCall(
+            request_id=7, request=ServeRequest(kind="blas", bits=256, operation="vmul")
+        )
+        assert round_trip(message) == message
+
+    def test_serve_reply_with_pickled_kernel(self, served):
+        message = protocol.ServeReply(request_id=9, result=served)
+        decoded = round_trip(message, allow_pickled=True)
+        assert decoded.request_id == 9
+        result = decoded.result
+        assert result.request == served.request
+        assert result.config == served.config
+        assert result.fingerprint == served.fingerprint
+        assert result.cache_key == served.cache_key
+        assert result.warm == served.warm
+        # The tuning provenance crosses (minus the trial list, by design).
+        assert result.tuning.candidate == served.tuning.candidate
+        assert result.tuning.workload == served.tuning.workload
+        assert result.tuning.trials == ()
+        # The executable artifact computes identically after the wire.
+        assert isinstance(result.artifact, CompiledKernel)
+        limbs = tuple(range(len(served.artifact.kernel.params)))
+        assert result.artifact.call_limbs(*limbs) == served.artifact.call_limbs(*limbs)
+
+    def test_serve_reply_with_source_artifact(self, served):
+        source_result = dataclasses.replace(
+            served, request=dataclasses.replace(served.request, target="cuda"),
+            artifact="__global__ void k() {}",
+        )
+        decoded = round_trip(
+            protocol.ServeReply(request_id=1, result=source_result)
+        )
+        assert decoded.result.artifact == "__global__ void k() {}"
+
+    def test_error_reply_rebuilds_repro_errors(self):
+        message = protocol.ErrorReply.from_exception(3, TuningError("bad workload"))
+        decoded = round_trip(message)
+        assert decoded == message
+        error = decoded.exception()
+        assert isinstance(error, TuningError)
+        assert "bad workload" in str(error)
+
+    def test_error_reply_degrades_unknown_types_to_serving_error(self):
+        decoded = round_trip(protocol.ErrorReply.from_exception(3, TypeError("boom")))
+        error = decoded.exception()
+        assert isinstance(error, ServingError)
+        assert "TypeError" in str(error)
+
+    def test_stats_round_trip(self):
+        stats = protocol.ShardStats(
+            shard_id=1,
+            pid=1234,
+            requests=10,
+            warm_serves=6,
+            cold_serves=3,
+            dedup_hits=1,
+            errors=0,
+            tune_batches=2,
+            batched_tunes=3,
+            queue_depth=0,
+            resident_kernels=3,
+            warm_histogram=(0, 4, 2, 0),
+            cold_histogram=(0, 0, 1, 2),
+        )
+        message = protocol.StatsReply(request_id=11, stats=stats)
+        assert round_trip(message) == message
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            protocol.StatsCall(request_id=2),
+            protocol.PingCall(request_id=4),
+            protocol.PongReply(request_id=4, shard_id=0, pid=77),
+            protocol.ShutdownCall(request_id=5),
+        ],
+    )
+    def test_simple_messages(self, message):
+        assert round_trip(message) == message
+
+
+class TestArtifactEncoding:
+    def test_pickled_kernel_requires_trust(self, served):
+        payload = protocol.encode_artifact(served.artifact)
+        assert payload["encoding"] == "pickled_kernel"
+        with pytest.raises(ProtocolError, match="untrusted"):
+            protocol.decode_artifact(payload)  # allow_pickled defaults to False
+
+    def test_source_passes_untrusted(self):
+        payload = protocol.encode_artifact("void k();")
+        assert protocol.decode_artifact(payload) == "void k();"
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown artifact encoding"):
+            protocol.decode_artifact({"encoding": "dll", "data": ""}, allow_pickled=True)
+
+    def test_unencodable_artifact_rejected(self):
+        with pytest.raises(ProtocolError, match="cannot encode"):
+            protocol.encode_artifact(object())
+
+    def test_corrupt_pickle_rejected(self):
+        payload = {"encoding": "pickled_kernel", "data": "not base64 pickle!"}
+        with pytest.raises(ProtocolError, match="corrupt"):
+            protocol.decode_artifact(payload, allow_pickled=True)
+
+
+class TestVersionAndShape:
+    def test_unknown_version_rejected(self):
+        data = protocol.encode_message(protocol.PingCall(request_id=1))
+        envelope = json.loads(data)
+        envelope["moma-serve"] = protocol.PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="unsupported protocol version"):
+            protocol.decode_message(json.dumps(envelope).encode())
+
+    def test_unknown_message_type_rejected(self):
+        envelope = {"moma-serve": protocol.PROTOCOL_VERSION, "type": "warp", "payload": {}}
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            protocol.decode_message(json.dumps(envelope).encode())
+
+    def test_non_json_rejected(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            protocol.decode_message(b"\x00\x01binary")
+
+    def test_foreign_envelope_rejected(self):
+        with pytest.raises(ProtocolError, match="not a moma-serve envelope"):
+            protocol.decode_message(json.dumps({"jsonrpc": "2.0"}).encode())
+
+    def test_missing_request_id_rejected(self):
+        envelope = {
+            "moma-serve": protocol.PROTOCOL_VERSION,
+            "type": "ping",
+            "payload": {},
+        }
+        with pytest.raises(ProtocolError, match="request_id"):
+            protocol.decode_message(json.dumps(envelope).encode())
+
+    def test_unknown_payload_keys_are_ignored(self):
+        # Additive optional fields may ride within a protocol version.
+        envelope = {
+            "moma-serve": protocol.PROTOCOL_VERSION,
+            "type": "ping",
+            "payload": {"request_id": 8, "future_field": True},
+        }
+        decoded = protocol.decode_message(json.dumps(envelope).encode())
+        assert decoded == protocol.PingCall(request_id=8)
+
+
+class TestFraming:
+    def test_stream_round_trip_preserves_order(self):
+        stream = io.BytesIO()
+        messages = [
+            protocol.PingCall(request_id=1),
+            protocol.StatsCall(request_id=2),
+            protocol.ShutdownCall(request_id=3),
+        ]
+        for message in messages:
+            protocol.write_message(stream, message)
+        stream.seek(0)
+        assert [protocol.read_message(stream) for _ in messages] == messages
+        assert protocol.read_message(stream) is None  # clean EOF
+
+    def test_truncated_frame_rejected(self):
+        stream = io.BytesIO()
+        protocol.write_message(stream, protocol.PingCall(request_id=1))
+        data = stream.getvalue()
+        with pytest.raises(ProtocolError, match="truncated"):
+            protocol.read_message(io.BytesIO(data[:-3]))
+
+    def test_short_length_prefix_rejected(self):
+        with pytest.raises(ProtocolError, match="short length prefix"):
+            protocol.read_message(io.BytesIO(b"\x00\x01"))
+
+    def test_implausible_length_rejected(self):
+        prefix = (protocol.MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="implausible"):
+            protocol.read_message(io.BytesIO(prefix + b"x"))

@@ -62,6 +62,10 @@ class TestDemoAndErrors:
         assert "demo        8 requests" in out
         assert "requests      8" in out
 
+    def test_bare_demo_uses_the_default_count(self, capsys):
+        assert main(["--demo", "--size", "16"]) == 0
+        assert "demo        16 requests" in capsys.readouterr().out
+
     def test_no_action_prints_help(self, capsys):
         assert main([]) == 2
         assert "usage:" in capsys.readouterr().out
@@ -69,3 +73,32 @@ class TestDemoAndErrors:
     def test_domain_error_is_reported(self, capsys):
         assert main(["--once", "ntt", "--bits", "128", "--size", "3"]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_help_mentions_shard_mode(self, capsys):
+        assert main([]) == 2
+        out = capsys.readouterr().out
+        assert "--shards" in out
+        assert "shard" in out
+
+
+class TestShardMode:
+    def test_demo_routes_across_two_shards(self, tmp_path, capsys):
+        db = str(tmp_path / "db.json")
+        assert main(
+            ["--shards", "2", "--demo", "8", "--size", "16", "--stats", "--db", db]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "demo        8 requests" in out
+        assert "routing     shard" in out
+        assert "cluster       2 shards" in out
+        assert "reconciled 2 replica(s)" in out
+        payload = json.loads((tmp_path / "db.json").read_text())
+        assert len(payload["records"]) >= 1
+
+    def test_warmup_rejected_in_shard_mode(self, capsys):
+        assert main(["--shards", "2", "--warmup"]) == 2
+        assert "single-process" in capsys.readouterr().err
+
+    def test_nonpositive_shards_rejected(self, capsys):
+        assert main(["--shards", "0", "--demo", "4"]) == 2
+        assert "shard count" in capsys.readouterr().err

@@ -1,0 +1,138 @@
+"""Replica reconciliation: shard databases fold into the primary correctly.
+
+The merge rules under test are the same ones merge-on-save enforces between
+concurrent writers: newest record per key wins, tombstones beat records
+created at or before them, and a strictly newer re-tune resurrects a key.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.tune import TUNER_VERSION, Candidate, TuningDatabase, TuningRecord, Workload
+from repro.tune.reconcile import (
+    find_replicas,
+    reconcile_replicas,
+    replica_path,
+)
+
+
+def make_record(workload, device="rtx4090", created_at=1700000000.0):
+    return TuningRecord(
+        fingerprint=workload.fingerprint(),
+        workload_key=workload.key,
+        device=device,
+        tuner_version=TUNER_VERSION,
+        candidate=Candidate(multiplication="karatsuba", batch=256),
+        score_seconds=1.0e-5,
+        baseline_seconds=1.5e-5,
+        strategy="exhaustive",
+        evaluations=72,
+        space_size=72,
+        created_at=created_at,
+    )
+
+
+@pytest.fixture
+def workloads():
+    return (
+        Workload(kind="ntt", bits=128, size=16),
+        Workload(kind="ntt", bits=256, size=16),
+        Workload(kind="blas", bits=128, operation="vmul", elements=1024),
+    )
+
+
+class TestReplicaPaths:
+    def test_naming(self, tmp_path):
+        primary = tmp_path / "tuning.json"
+        assert replica_path(primary, 0) == tmp_path / "tuning.shard0.json"
+        assert replica_path(primary, 12) == tmp_path / "tuning.shard12.json"
+
+    def test_discovery_sorted_by_shard_id(self, tmp_path):
+        primary = tmp_path / "tuning.json"
+        for shard_id in (10, 2, 0):
+            replica_path(primary, shard_id).write_text("{}")
+        (tmp_path / "tuning.shardX.json").write_text("{}")  # non-numeric: ignored
+        (tmp_path / "unrelated.json").write_text("{}")
+        assert find_replicas(primary) == (
+            replica_path(primary, 0),
+            replica_path(primary, 2),
+            replica_path(primary, 10),
+        )
+
+
+class TestReconcile:
+    def test_disjoint_replicas_union(self, tmp_path, workloads):
+        primary = tmp_path / "tuning.json"
+        for shard_id, workload in enumerate(workloads[:2]):
+            replica = TuningDatabase(replica_path(primary, shard_id))
+            replica.store(make_record(workload))
+        report = reconcile_replicas(primary)
+        assert len(report.replicas) == 2
+        assert sum(report.adopted) == 2
+        assert report.records == 2
+        merged = TuningDatabase(primary)
+        for workload in workloads[:2]:
+            assert merged.lookup(workload, "rtx4090") is not None
+
+    def test_newest_record_wins_across_replicas(self, tmp_path, workloads):
+        primary = tmp_path / "tuning.json"
+        workload = workloads[0]
+        stale = dataclasses.replace(
+            make_record(workload, created_at=100.0), strategy="random"
+        )
+        fresh = dataclasses.replace(
+            make_record(workload, created_at=200.0), strategy="hillclimb"
+        )
+        TuningDatabase(replica_path(primary, 0)).store(stale)
+        TuningDatabase(replica_path(primary, 1)).store(fresh)
+        reconcile_replicas(primary)
+        record = TuningDatabase(primary).lookup(workload, "rtx4090")
+        assert record.strategy == "hillclimb"
+
+    def test_tombstone_beats_older_record(self, tmp_path, workloads):
+        primary = tmp_path / "tuning.json"
+        workload = workloads[0]
+        record = make_record(workload, created_at=100.0)
+        TuningDatabase(replica_path(primary, 0)).store(record)
+        dropper = TuningDatabase(replica_path(primary, 1))
+        dropper.store(record)
+        dropper.remove(record.key())  # tombstone stamped now (>> created_at)
+        reconcile_replicas(primary)
+        assert TuningDatabase(primary).lookup(workload, "rtx4090") is None
+
+    def test_corrupt_replica_skipped_not_fatal(self, tmp_path, workloads):
+        primary = tmp_path / "tuning.json"
+        TuningDatabase(replica_path(primary, 0)).store(make_record(workloads[0]))
+        replica_path(primary, 1).write_text("{torn json")
+        report = reconcile_replicas(primary)
+        assert report.skipped == (replica_path(primary, 1),)
+        assert report.records == 1
+        assert "skipped" in report.report()
+
+    def test_explicit_replica_list(self, tmp_path, workloads):
+        primary = tmp_path / "tuning.json"
+        extra = tmp_path / "elsewhere.json"
+        TuningDatabase(extra).store(make_record(workloads[0]))
+        report = reconcile_replicas(primary, replicas=[extra])
+        assert report.replicas == (extra,)
+        assert report.records == 1
+
+    def test_existing_primary_records_survive(self, tmp_path, workloads):
+        primary = tmp_path / "tuning.json"
+        TuningDatabase(primary).store(make_record(workloads[0]))
+        TuningDatabase(replica_path(primary, 0)).store(make_record(workloads[1]))
+        report = reconcile_replicas(primary)
+        assert report.records == 2
+
+
+class TestMergeFile:
+    def test_merge_file_counts_adoptions(self, tmp_path, workloads):
+        source_path = tmp_path / "source.json"
+        source = TuningDatabase(source_path)
+        for workload in workloads:
+            source.store(make_record(workload))
+        target = TuningDatabase(tmp_path / "target.json")
+        target.store(make_record(workloads[0]))  # identical timestamps: kept
+        assert target.merge_file(source_path) == 2
+        assert len(target) == 3

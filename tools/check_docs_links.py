@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Check that every relative Markdown link in docs/ and README.md resolves.
+
+CI runs this (the "docs" job) so the documentation tree cannot rot: a moved
+file, a renamed heading, or a typo'd path fails the build.  Checked per
+link:
+
+* the target file (or directory) exists, relative to the linking file;
+* a ``#fragment`` on a Markdown target matches a real heading in that file,
+  using GitHub's anchor slugification (lowercase; punctuation dropped;
+  spaces become hyphens);
+* bare in-page fragments (``#section``) match a heading in the same file.
+
+External links (``http(s)://``, ``mailto:``) are out of scope — this guard
+is about keeping the repo self-consistent, not the internet reachable.
+
+Usage::
+
+    python tools/check_docs_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links: [text](target). Images share the syntax.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub's heading→anchor rule, closely enough for our docs."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {slugify(match.group(1)) for match in _HEADING.finditer(text)}
+
+
+def links_of(path: Path) -> list[str]:
+    text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return [match.group(1) for match in _LINK.finditer(text)]
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    problems: list[str] = []
+    for target in links_of(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        raw_path, _, fragment = target.partition("#")
+        if raw_path:
+            resolved = (path.parent / raw_path).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(root)}: broken link -> {target}")
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchors into non-markdown targets are not checked
+            if slugify(fragment) not in anchors_of(resolved):
+                problems.append(
+                    f"{path.relative_to(root)}: missing anchor -> {target}"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    sources = [
+        candidate
+        for candidate in [root / "README.md", *sorted((root / "docs").glob("**/*.md"))]
+        if candidate.exists()
+    ]
+    if not sources:
+        print("check_docs_links: nothing to check (no README.md or docs/)")
+        return 1
+    problems: list[str] = []
+    checked_links = 0
+    for source in sources:
+        checked_links += len(
+            [t for t in links_of(source) if not t.startswith(("http://", "https://"))]
+        )
+        problems.extend(check_file(source, root))
+    if problems:
+        print("\n".join(problems))
+        print(f"check_docs_links: {len(problems)} broken link(s)")
+        return 1
+    print(
+        f"check_docs_links: {len(sources)} file(s), "
+        f"{checked_links} relative link(s), all resolve"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
