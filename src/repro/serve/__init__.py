@@ -26,18 +26,20 @@ families across server processes:
 
 * :mod:`repro.serve.protocol` — the versioned JSON wire protocol
   (``ServeCall``/``ServeReply``/``StatsCall``/...; artifacts as source text
-  or pickled ``python_exec`` kernels);
+  or pickled ``python_exec`` kernels; the TCP handshake and trust levels);
 * :mod:`repro.serve.shard` — :class:`ShardRouter` (consistent hashing of
-  (kernel-family fingerprint, device) onto shards) and the shard process
-  main loop;
+  (kernel-family fingerprint, device) onto shards), the shard process
+  main loop, and :func:`serve_shard_tcp` (the same loop behind a TCP
+  listener, source-only trust by default);
 * :mod:`repro.serve.supervisor` — :class:`ShardSupervisor`: spawns,
-  monitors and restarts shard processes, each with its own tuning-db
-  replica, and aggregates metrics across them into a
-  :class:`ClusterStats`.
+  monitors and restarts shard processes (and connects to remote TCP
+  shards), each local shard with its own tuning-db replica, and
+  aggregates metrics across them into a :class:`ClusterStats`.
 
 ``python -m repro.serve --warmup --once ntt --bits 256 --stats`` drives a
 single-process server from the command line; ``--shards N`` serves the same
-actions through N shard processes; ``--demo [N]`` generates mixed traffic.
+actions through N shard processes; ``--listen``/``--connect`` move the ring
+onto TCP sockets; ``--demo [N]`` generates mixed traffic.
 See ``docs/serving.md`` and ``docs/wire-protocol.md`` for the full story.
 """
 
@@ -55,9 +57,14 @@ from repro.serve.invalidate import (
     invalidate_stale,
 )
 from repro.serve.metrics import MetricsSnapshot, ServerMetrics
-from repro.serve.protocol import PROTOCOL_VERSION, ShardStats
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    TRUST_PICKLED,
+    TRUST_SOURCE,
+    ShardStats,
+)
 from repro.serve.server import KernelServer, ServeRequest, ServeResult
-from repro.serve.shard import ShardRouter
+from repro.serve.shard import ShardRouter, serve_shard_tcp
 from repro.serve.supervisor import ClusterStats, ShardSupervisor
 from repro.serve.warmup import (
     WarmupEntry,
@@ -71,8 +78,11 @@ __all__ = [
     "ServeRequest",
     "ServeResult",
     "PROTOCOL_VERSION",
+    "TRUST_SOURCE",
+    "TRUST_PICKLED",
     "ShardStats",
     "ShardRouter",
+    "serve_shard_tcp",
     "ClusterStats",
     "ShardSupervisor",
     "MetricsSnapshot",

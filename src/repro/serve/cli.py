@@ -4,7 +4,9 @@ The default is one in-process :class:`KernelServer` (``--shards 1``); with
 ``--shards N`` (N ≥ 2) the same actions run against a
 :class:`~repro.serve.ShardSupervisor` — N server processes behind a
 consistent-hash router, each with its own tuning-db replica that is
-reconciled into ``--db`` on exit.
+reconciled into ``--db`` on exit.  ``--connect host:port,...`` adds remote
+TCP shards (started elsewhere with ``--listen``) to the same ring, and
+``--listen [host:]port`` runs this process *as* such a shard.
 
 Examples::
 
@@ -24,6 +26,12 @@ Examples::
     # the same demo served across two shard processes, stats aggregated
     python -m repro.serve --shards 2 --demo --stats
 
+    # a TCP shard listener (source-only trust unless --trust pickled)
+    python -m repro.serve --listen 127.0.0.1:7401 --db shard0.json
+
+    # a supervisor over two remote shards (no local shard processes)
+    python -m repro.serve --connect 127.0.0.1:7401,127.0.0.1:7402 --demo --stats
+
 Actions compose left to right: ``--warmup`` runs before ``--once``/``--demo``,
 ``--stats`` prints last.  ``--warmup``/``--invalidate`` walk one process's
 database and are single-process actions (``--shards 1``); in shard mode run
@@ -42,7 +50,9 @@ from repro.kernels.blas_gen import BLAS_OPERATIONS
 from repro.kernels.ntt_gen import BUTTERFLY_VARIANTS
 from repro.tune.db import TuningDatabase
 from repro.tune.space import BLAS, NTT
+from repro.serve import protocol
 from repro.serve.server import KernelServer, ServeRequest
+from repro.serve.shard import serve_shard_tcp
 from repro.serve.supervisor import ShardSupervisor
 
 __all__ = ["build_parser", "main"]
@@ -66,11 +76,45 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--shards",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
-        help="server processes; 1 (default) serves in-process, N>=2 shards "
+        help="local server processes; 1 serves in-process, N>=2 shards "
         "kernel families across N processes with per-shard db replicas "
-        "reconciled into --db on exit",
+        "reconciled into --db on exit (default: 1, or 0 with --connect)",
+    )
+    parser.add_argument(
+        "--connect",
+        action="append",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="remote TCP shards (started with --listen) to add to the ring "
+        "alongside the local --shards; repeatable or comma-separated",
+    )
+    parser.add_argument(
+        "--listen",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="run this process as a TCP shard listener instead of a "
+        "supervisor (combines with --db/--devices/--workers/--shard-id/"
+        "--trust; excludes every other action)",
+    )
+    parser.add_argument(
+        "--shard-id",
+        type=int,
+        default=0,
+        metavar="ID",
+        help="with --listen: the shard id announced before a supervisor "
+        "assigns one (also names the --db replica)",
+    )
+    parser.add_argument(
+        "--trust",
+        choices=(protocol.TRUST_SOURCE, protocol.TRUST_PICKLED),
+        default=protocol.TRUST_SOURCE,
+        help="transport trust for TCP shards: with --listen, the most this "
+        "shard grants; with --connect, the level requested from remotes. "
+        "'source' (default) ships artifacts as source text only; 'pickled' "
+        "allows executable python_exec pickles between machines that "
+        "explicitly trust each other",
     )
     parser.add_argument(
         "--devices",
@@ -226,7 +270,19 @@ def _main_single(args: argparse.Namespace) -> int:
     return 0
 
 
-def _main_sharded(args: argparse.Namespace) -> int:
+def _connect_addresses(args: argparse.Namespace) -> tuple[str, ...]:
+    """Flatten repeated/comma-separated ``--connect`` values."""
+    if not args.connect:
+        return ()
+    return tuple(
+        part.strip()
+        for value in args.connect
+        for part in value.split(",")
+        if part.strip()
+    )
+
+
+def _main_sharded(args: argparse.Namespace, shards: int) -> int:
     if args.warmup or args.invalidate:
         print(
             "error: --warmup/--invalidate are single-process actions; run them "
@@ -235,10 +291,12 @@ def _main_sharded(args: argparse.Namespace) -> int:
         )
         return 2
     supervisor = ShardSupervisor(
-        shards=args.shards,
+        shards=shards,
         db=args.db,
         devices=tuple(args.devices),
         workers=args.workers,
+        connect=_connect_addresses(args),
+        remote_trust=args.trust,
     )
     try:
         if args.once:
@@ -254,19 +312,70 @@ def _main_sharded(args: argparse.Namespace) -> int:
     return 0
 
 
+def _main_listen(args: argparse.Namespace) -> int:
+    """Run this process as one TCP shard until a ShutdownCall (or Ctrl-C)."""
+    host, _, port = args.listen.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port)
+    except ValueError:
+        print(f"error: --listen address {args.listen!r} is not [host:]port",
+              file=sys.stderr)
+        return 2
+
+    def announce(bound: tuple[str, int]) -> None:
+        print(
+            f"shard {args.shard_id} listening on {bound[0]}:{bound[1]} "
+            f"(trust: {args.trust})",
+            flush=True,
+        )
+
+    try:
+        serve_shard_tcp(
+            host=host,
+            port=port,
+            shard_id=args.shard_id,
+            devices=tuple(args.devices),
+            db_path=args.db,
+            workers=args.workers,
+            trust=args.trust,
+            on_bound=announce,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    connect = _connect_addresses(args)
+    if args.listen is not None:
+        if args.warmup or args.invalidate or args.once or args.demo or connect:
+            print(
+                "error: --listen runs a shard process and excludes supervisor "
+                "actions (--warmup/--invalidate/--once/--demo/--connect)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            return _main_listen(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     if not (args.warmup or args.invalidate or args.once or args.demo or args.stats):
         build_parser().print_help()
         return 2
-    if args.shards < 1:
-        print(f"error: shard count must be positive, got {args.shards}", file=sys.stderr)
+    # --shards defaults to one in-process server, or to no local shards
+    # when --connect supplies the ring.
+    shards = args.shards if args.shards is not None else (0 if connect else 1)
+    if shards < 0 or (shards == 0 and not connect):
+        print(f"error: shard count must be positive, got {shards}", file=sys.stderr)
         return 2
     try:
-        if args.shards == 1:
+        if shards == 1 and not connect:
             return _main_single(args)
-        return _main_sharded(args)
+        return _main_sharded(args, shards)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

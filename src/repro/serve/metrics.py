@@ -74,11 +74,20 @@ def latency_histogram(samples_s: tuple[float, ...]) -> tuple[int, ...]:
 def percentile_from_histogram(counts: tuple[int, ...], q: float) -> float:
     """Approximate the ``q``-quantile (ms) of a bucketed latency histogram.
 
-    Returns the upper bound of the bucket holding the nearest-rank sample
-    (the overflow bucket reports the largest finite bound), or 0.0 for an
-    empty histogram.  The approximation error is bounded by the log-2 bucket
-    spacing, which is plenty for the p50/p95 the stats report shows.
+    ``q`` is a fraction in ``[0.0, 1.0]`` — passing a percent (``q=95``)
+    raises ``ValueError`` instead of silently reporting the maximum bucket.
+    ``q=0.0`` reports the first occupied bucket's bound (the minimum, up to
+    bucket resolution) and ``q=1.0`` the last occupied one; an empty (or
+    all-zero) histogram reports 0.0.  Counts beyond the known bounds —
+    including the overflow bucket — report the largest *finite* bound, so
+    the result never indexes past :data:`HISTOGRAM_BUCKET_BOUNDS_MS`.
+
+    Returns the upper bound of the bucket holding the nearest-rank sample.
+    The approximation error is bounded by the log-2 bucket spacing, which
+    is plenty for the p50/p95 the stats report shows.
     """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be a fraction in [0, 1], got {q!r}")
     total = sum(counts)
     if not total:
         return 0.0
@@ -89,6 +98,8 @@ def percentile_from_histogram(counts: tuple[int, ...], q: float) -> float:
         if seen >= rank:
             bounded = min(index, len(HISTOGRAM_BUCKET_BOUNDS_MS) - 1)
             return HISTOGRAM_BUCKET_BOUNDS_MS[bounded]
+    # Unreachable while rank <= total, but a malformed counts iterable
+    # (negative entries) must still not index past the last bucket.
     return HISTOGRAM_BUCKET_BOUNDS_MS[-1]
 
 

@@ -27,6 +27,11 @@ Message types (each a frozen dataclass):
   shards.
 * :class:`PingCall` / :class:`PongReply` — liveness probe used by the
   supervisor's monitor.
+* :class:`HelloCall` / :class:`HelloReply` — the TCP transport handshake:
+  the supervisor's first frame on a fresh connection pins the protocol
+  version, assigns the shard its ring id for the session, and requests a
+  trust level; the shard grants the weaker of the requested level and its
+  own policy (:func:`negotiate_trust`).
 * :class:`ShutdownCall` — asks the shard to drain and exit cleanly.
 
 **Artifact encodings.**  A served artifact crosses the wire in one of two
@@ -41,8 +46,12 @@ forms (:func:`encode_artifact` / :func:`decode_artifact`):
 
 Unpickling executes code, so ``decode_artifact`` only accepts
 ``"pickled_kernel"`` payloads when the caller passes ``allow_pickled=True``
-— which the supervisor does for its *own spawned shard processes* and
-nothing else.  Never decode pickled artifacts from an untrusted transport.
+— which the supervisor does for its *own spawned shard processes* and for
+TCP connections whose handshake negotiated :data:`TRUST_PICKLED` (an
+explicit operator opt-in on both ends).  Everything else runs **source-only**
+(:data:`TRUST_SOURCE`, the cross-machine default): executable artifacts are
+downgraded to their generated source text before the wire
+(:func:`source_only_result`) and pickled payloads are rejected on arrival.
 
 **Versioning rules.**  :data:`PROTOCOL_VERSION` is bumped on any
 incompatible change (renamed fields, new required fields, changed artifact
@@ -60,6 +69,7 @@ import dataclasses
 import io
 import json
 import pickle
+import socket
 from dataclasses import dataclass
 
 from repro import errors
@@ -73,6 +83,8 @@ from repro.serve.server import ServeRequest, ServeResult
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "TRUST_SOURCE",
+    "TRUST_PICKLED",
     "ServeCall",
     "ServeReply",
     "ErrorReply",
@@ -81,13 +93,19 @@ __all__ = [
     "ShardStats",
     "PingCall",
     "PongReply",
+    "HelloCall",
+    "HelloReply",
     "ShutdownCall",
+    "negotiate_trust",
     "encode_artifact",
     "decode_artifact",
+    "source_only_result",
     "encode_message",
     "decode_message",
     "write_message",
+    "read_frame",
     "read_message",
+    "StreamConnection",
 ]
 
 #: Bumped on every incompatible wire change; decoders reject other versions.
@@ -98,6 +116,35 @@ _ENVELOPE_KEY = "moma-serve"
 #: Upper bound on one frame (a generous multiple of the largest kernels the
 #: backends emit); guards a stream decoder against a corrupt length prefix.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+# -- transport trust levels --------------------------------------------------
+
+#: Source-only transport: executable artifacts cross as generated source
+#: text; pickled payloads are rejected.  The cross-machine default.
+TRUST_SOURCE = "source"
+
+#: Fully trusted transport: ``python_exec`` artifacts cross as executable
+#: pickles.  Implicit for the supervisor's own spawned shard pipes; over TCP
+#: it must be requested by the supervisor *and* allowed by the shard.
+TRUST_PICKLED = "pickled"
+
+_TRUST_LEVELS = (TRUST_SOURCE, TRUST_PICKLED)
+
+
+def negotiate_trust(requested: str, policy: str) -> str:
+    """The trust level a connection runs at: the weaker of the two sides.
+
+    ``requested`` is what the supervisor's hello asks for; ``policy`` is the
+    most the shard's operator allows for this listener.  Unknown levels are
+    a protocol violation, not a silent downgrade.
+    """
+    for level in (requested, policy):
+        if level not in _TRUST_LEVELS:
+            raise ProtocolError(f"unknown transport trust level {level!r}")
+    if requested == TRUST_PICKLED and policy == TRUST_PICKLED:
+        return TRUST_PICKLED
+    return TRUST_SOURCE
 
 
 # -- artifact encodings ------------------------------------------------------
@@ -149,6 +196,19 @@ def decode_artifact(payload: dict, allow_pickled: bool = False) -> object:
             )
         return artifact
     raise ProtocolError(f"unknown artifact encoding {encoding!r}")
+
+
+def source_only_result(result: ServeResult) -> ServeResult:
+    """``result`` with any executable artifact downgraded to source text.
+
+    What a shard applies to every reply on a :data:`TRUST_SOURCE` transport:
+    the receiver gets the kernel's generated source (inspectable, compilable
+    on its own side) instead of an executable pickle it would have to trust.
+    Source-text artifacts pass through unchanged.
+    """
+    if isinstance(result.artifact, CompiledKernel):
+        return dataclasses.replace(result, artifact=result.artifact.source)
+    return result
 
 
 # -- dataclass payload helpers ----------------------------------------------
@@ -326,6 +386,39 @@ class PongReply:
 
 
 @dataclass(frozen=True)
+class HelloCall:
+    """The supervisor's first frame on a fresh TCP connection.
+
+    Pins the protocol version explicitly (belt and braces over the envelope
+    gate: a version mismatch must fail *before* any payload is trusted),
+    assigns the shard the ring id it answers as for this session, and
+    requests a transport trust level (:data:`TRUST_SOURCE` /
+    :data:`TRUST_PICKLED`).
+    """
+
+    request_id: int
+    protocol_version: int
+    shard_id: int
+    trust: str
+
+
+@dataclass(frozen=True)
+class HelloReply:
+    """The shard's acceptance: its identity and the *granted* trust level.
+
+    ``trust`` is :func:`negotiate_trust` of the supervisor's request and the
+    listener's policy — both sides must honour it for every later frame on
+    the connection.
+    """
+
+    request_id: int
+    shard_id: int
+    pid: int
+    protocol_version: int
+    trust: str
+
+
+@dataclass(frozen=True)
 class ShutdownCall:
     """Ask the shard to drain in-flight work and exit; no reply follows."""
 
@@ -357,6 +450,16 @@ def _stats_from_payload(payload: dict, allow_pickled: bool) -> StatsReply:
         request_id=_request_id(payload),
         stats=_rebuild(ShardStats, fields, "shard stats"),
     )
+
+
+def _validate_hello(message):
+    """Shared field validation for both handshake directions."""
+    if message.trust not in _TRUST_LEVELS:
+        raise ProtocolError(f"unknown transport trust level {message.trust!r}")
+    for name in ("request_id", "protocol_version", "shard_id"):
+        if not isinstance(getattr(message, name), int):
+            raise ProtocolError(f"handshake field {name!r} must be an integer")
+    return message
 
 
 def _request_id(payload: dict) -> int:
@@ -404,6 +507,16 @@ _MESSAGE_TYPES = {
         dataclasses.asdict,
         lambda p, allow: _rebuild(PongReply, p, "pong reply"),
     ),
+    "hello": (
+        HelloCall,
+        dataclasses.asdict,
+        lambda p, allow: _validate_hello(_rebuild(HelloCall, p, "hello")),
+    ),
+    "hello-reply": (
+        HelloReply,
+        dataclasses.asdict,
+        lambda p, allow: _validate_hello(_rebuild(HelloReply, p, "hello reply")),
+    ),
     "shutdown": (
         ShutdownCall,
         dataclasses.asdict,
@@ -422,6 +535,8 @@ Message = (
     | StatsReply
     | PingCall
     | PongReply
+    | HelloCall
+    | HelloReply
     | ShutdownCall
 )
 
@@ -476,15 +591,31 @@ def write_message(stream: io.BufferedIOBase, message: Message) -> None:
     stream.flush()
 
 
-def read_message(
-    stream: io.BufferedIOBase, allow_pickled: bool = False
-) -> Message | None:
-    """Read one frame; ``None`` on clean EOF at a frame boundary.
+def _read_exact(stream, count: int) -> bytes:
+    """Up to ``count`` bytes, looping over short reads; shorter only at EOF.
+
+    ``BufferedReader.read`` over a pipe already blocks for the full count,
+    but a raw or socket-backed stream may legally return fewer bytes per
+    call — a single ``stream.read(n)`` is **not** a protocol-safe read.
+    """
+    data = bytearray()
+    while len(data) < count:
+        chunk = stream.read(count - len(data))
+        if not chunk:  # b"" (EOF) or None (a non-blocking stream ran dry)
+            break
+        data.extend(chunk)
+    return bytes(data)
+
+
+def read_frame(stream: io.BufferedIOBase) -> bytes | None:
+    """Read one length-prefixed frame's body; ``None`` on clean EOF.
 
     A short read inside a frame (the peer died mid-write) and an impossible
-    length prefix both raise :class:`~repro.errors.ProtocolError`.
+    length prefix both raise :class:`~repro.errors.ProtocolError`.  The
+    length gate runs *before* any body allocation, so a corrupt prefix can
+    never trigger a giant allocation.
     """
-    prefix = stream.read(4)
+    prefix = _read_exact(stream, 4)
     if not prefix:
         return None
     if len(prefix) < 4:
@@ -492,9 +623,68 @@ def read_message(
     length = int.from_bytes(prefix, "big")
     if length == 0 or length > MAX_FRAME_BYTES:
         raise ProtocolError(f"implausible frame length {length}")
-    data = stream.read(length)
+    data = _read_exact(stream, length)
     if len(data) < length:
         raise ProtocolError(
             f"truncated frame: expected {length} bytes, got {len(data)}"
         )
-    return decode_message(data, allow_pickled=allow_pickled)
+    return data
+
+
+def read_message(
+    stream: io.BufferedIOBase, allow_pickled: bool = False
+) -> Message | None:
+    """Read one frame and decode it; ``None`` on clean EOF at a boundary."""
+    frame = read_frame(stream)
+    if frame is None:
+        return None
+    return decode_message(frame, allow_pickled=allow_pickled)
+
+
+class StreamConnection:
+    """A framed socket behind the ``multiprocessing.Connection`` byte API.
+
+    Adapts one connected socket to the ``send_bytes`` / ``recv_bytes`` /
+    ``close`` surface the shard loop and the supervisor's readers already
+    speak, so pipe and TCP transports share every line of serving code.
+    Frames are the stream framing above; ``recv_bytes`` raises ``EOFError``
+    on a clean close (mirroring ``Connection``) and
+    :class:`~repro.errors.ProtocolError` on a torn or corrupt frame.
+
+    ``send_bytes`` and ``recv_bytes`` are each single-caller (one sender
+    thread holding the caller's send lock, one reader thread), matching how
+    both the shard loop and the supervisor use their pipes today.
+    """
+
+    def __init__(self, sock) -> None:
+        self._socket = sock
+        self._reader = sock.makefile("rb")
+        self._writer = sock.makefile("wb")
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Bound blocking reads/writes (used to fence the handshake)."""
+        self._socket.settimeout(timeout)
+
+    def send_bytes(self, data: bytes) -> None:
+        """Write ``data`` as one frame; ``OSError``/``ValueError`` if closed."""
+        self._writer.write(len(data).to_bytes(4, "big") + data)
+        self._writer.flush()
+
+    def recv_bytes(self) -> bytes:
+        """One frame's body; ``EOFError`` on clean close."""
+        frame = read_frame(self._reader)
+        if frame is None:
+            raise EOFError("stream connection closed by peer")
+        return frame
+
+    def close(self) -> None:
+        """Close both directions, unblocking any thread mid-``recv_bytes``."""
+        try:
+            self._socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        for closeable in (self._reader, self._writer, self._socket):
+            try:
+                closeable.close()
+            except OSError:
+                pass

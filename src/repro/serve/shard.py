@@ -16,6 +16,15 @@ Two halves live here:
   onto the server's worker pool, and writes replies back **as they
   complete** (out of order; the ``request_id`` correlates them), so one slow
   cold request never blocks a shard's warm traffic.
+* :func:`serve_shard_tcp` — the same serve loop behind a TCP listener, for
+  shards on other machines.  The listener accepts **one supervisor
+  connection at a time**; every connection starts with a
+  :class:`~repro.serve.protocol.HelloCall` handshake that pins the protocol
+  version and negotiates the transport trust level (source-only by
+  default: executable artifacts are downgraded to source text and pickled
+  payloads are rejected — see ``docs/wire-protocol.md``).  When a
+  supervisor disconnects, the shard keeps its warm state and goes back to
+  accepting, so a restarted supervisor reconnects to a hot shard.
 
 A shard owns its own :class:`~repro.tune.TuningDatabase` *replica* (its own
 file), so shards never contend on one database file during traffic; the
@@ -29,6 +38,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 import os
+import socket
 import threading
 
 from pathlib import Path
@@ -42,7 +52,11 @@ import repro.serve.protocol as protocol
 from repro.serve.metrics import latency_histogram
 from repro.serve.server import KernelServer, ServeRequest
 
-__all__ = ["ShardRouter", "run_shard"]
+__all__ = ["ShardRouter", "run_shard", "serve_shard_tcp"]
+
+#: How long a fresh TCP connection may take to complete its handshake
+#: before the listener drops it and accepts the next supervisor.
+HANDSHAKE_TIMEOUT_S = 10.0
 
 #: Virtual nodes per shard on the hash ring.  More nodes smooth the key
 #: distribution (the classic consistent-hashing trade-off against ring size).
@@ -191,6 +205,94 @@ def _shard_stats(shard_id: int, server: KernelServer) -> protocol.ShardStats:
     )
 
 
+def _serve_connection(
+    connection, shard_id: int, server: KernelServer, trusted: bool
+) -> bool:
+    """Serve one supervisor connection until shutdown or disconnect.
+
+    The transport-agnostic message loop shared by the pipe and TCP shards:
+    ``connection`` is anything with the ``multiprocessing.Connection`` byte
+    API (a real pipe, or a :class:`~repro.serve.protocol.StreamConnection`
+    over a socket).  ``trusted`` is the transport's trust level: on an
+    untrusted (source-only) transport, incoming pickled payloads are
+    rejected at decode and every outgoing executable artifact is downgraded
+    to its source text (:func:`~repro.serve.protocol.source_only_result`).
+
+    Returns ``True`` if a :class:`~repro.serve.protocol.ShutdownCall` asked
+    the shard to exit, ``False`` if the supervisor merely went away (EOF or
+    an unrecoverable frame), letting a TCP listener re-accept.
+    """
+    send_lock = threading.Lock()
+
+    def reply(message: protocol.Message) -> None:
+        with send_lock:
+            try:
+                connection.send_bytes(protocol.encode_message(message))
+            except (OSError, ValueError):
+                pass  # supervisor is gone; the loop will see EOF and exit
+
+    def finish(request_id: int, future) -> None:
+        try:
+            result = future.result()
+            if not trusted:
+                result = protocol.source_only_result(result)
+            reply(protocol.ServeReply(request_id=request_id, result=result))
+        except BaseException as error:  # noqa: BLE001 - relayed over the wire
+            reply(protocol.ErrorReply.from_exception(request_id, error))
+
+    while True:
+        try:
+            data = connection.recv_bytes()
+        except (EOFError, OSError):
+            return False
+        except ProtocolError:
+            # A torn or corrupt frame: the stream cannot be re-synchronized,
+            # so this connection is over (the peer re-connects if it wants).
+            return False
+        try:
+            message = protocol.decode_message(data, allow_pickled=trusted)
+        except ProtocolError as error:
+            reply(protocol.ErrorReply.from_exception(-1, error))
+            continue
+        if isinstance(message, protocol.ServeCall):
+            request_id = message.request_id
+            try:
+                future = server.submit(message.request)
+            except Exception as error:  # noqa: BLE001 - bad request
+                reply(protocol.ErrorReply.from_exception(request_id, error))
+                continue
+            future.add_done_callback(
+                lambda completed, request_id=request_id: finish(
+                    request_id, completed
+                )
+            )
+        elif isinstance(message, protocol.StatsCall):
+            reply(
+                protocol.StatsReply(
+                    request_id=message.request_id,
+                    stats=_shard_stats(shard_id, server),
+                )
+            )
+        elif isinstance(message, protocol.PingCall):
+            reply(
+                protocol.PongReply(
+                    request_id=message.request_id,
+                    shard_id=shard_id,
+                    pid=os.getpid(),
+                )
+            )
+        elif isinstance(message, protocol.ShutdownCall):
+            return True
+        else:  # a reply type sent the wrong way; report and keep serving
+            reply(
+                protocol.ErrorReply(
+                    request_id=-1,
+                    error_type="ProtocolError",
+                    message=f"unexpected message {type(message).__name__}",
+                )
+            )
+
+
 def run_shard(
     connection,
     shard_id: int,
@@ -210,76 +312,130 @@ def run_shard(
     ping calls answer inline.  A
     :class:`~repro.serve.protocol.ShutdownCall` — or the supervisor closing
     its end of the pipe — drains the server and exits.
+
+    The pipe transport is fully trusted (the supervisor spawned this very
+    process), so executable artifacts cross as pickles.
     """
     db = _open_replica(db_path)
     server = KernelServer(db=db, devices=devices, workers=workers)
-    send_lock = threading.Lock()
-
-    def reply(message: protocol.Message) -> None:
-        with send_lock:
-            try:
-                connection.send_bytes(protocol.encode_message(message))
-            except (OSError, ValueError):
-                pass  # supervisor is gone; the loop will see EOF and exit
-
-    def finish(request_id: int, future) -> None:
-        try:
-            result = future.result()
-            reply(protocol.ServeReply(request_id=request_id, result=result))
-        except BaseException as error:  # noqa: BLE001 - relayed over the wire
-            reply(protocol.ErrorReply.from_exception(request_id, error))
-
     try:
-        while True:
-            try:
-                data = connection.recv_bytes()
-            except (EOFError, OSError):
-                break
-            try:
-                message = protocol.decode_message(data, allow_pickled=True)
-            except ProtocolError as error:
-                reply(protocol.ErrorReply.from_exception(-1, error))
-                continue
-            if isinstance(message, protocol.ServeCall):
-                request_id = message.request_id
-                try:
-                    future = server.submit(message.request)
-                except Exception as error:  # noqa: BLE001 - bad request
-                    reply(protocol.ErrorReply.from_exception(request_id, error))
-                    continue
-                future.add_done_callback(
-                    lambda completed, request_id=request_id: finish(
-                        request_id, completed
-                    )
-                )
-            elif isinstance(message, protocol.StatsCall):
-                reply(
-                    protocol.StatsReply(
-                        request_id=message.request_id,
-                        stats=_shard_stats(shard_id, server),
-                    )
-                )
-            elif isinstance(message, protocol.PingCall):
-                reply(
-                    protocol.PongReply(
-                        request_id=message.request_id,
-                        shard_id=shard_id,
-                        pid=os.getpid(),
-                    )
-                )
-            elif isinstance(message, protocol.ShutdownCall):
-                break
-            else:  # a reply type sent the wrong way; report and keep serving
-                reply(
-                    protocol.ErrorReply(
-                        request_id=-1,
-                        error_type="ProtocolError",
-                        message=f"unexpected message {type(message).__name__}",
-                    )
-                )
+        _serve_connection(connection, shard_id, server, trusted=True)
     finally:
         server.close()
         try:
             connection.close()
         except OSError:
             pass
+
+
+def _accept_handshake(connection, default_shard_id: int, trust_policy: str):
+    """Validate a fresh connection's hello; returns (session shard id, trust).
+
+    The first frame must be a :class:`~repro.serve.protocol.HelloCall`
+    pinning this build's protocol version; anything else — a stale
+    supervisor, a port scanner, a version-skewed build — is refused with a
+    best-effort :class:`~repro.serve.protocol.ErrorReply` and a
+    :class:`~repro.errors.ProtocolError` here (the caller drops the
+    connection and keeps listening).  The granted trust is the weaker of
+    the supervisor's request and this listener's policy.
+    """
+    message = protocol.decode_message(connection.recv_bytes())
+    if not isinstance(message, protocol.HelloCall):
+        raise ProtocolError(
+            f"expected a hello handshake, got {type(message).__name__}"
+        )
+    if message.protocol_version != protocol.PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"handshake pins protocol version {message.protocol_version}, "
+            f"this shard speaks {protocol.PROTOCOL_VERSION}"
+        )
+    granted = protocol.negotiate_trust(message.trust, trust_policy)
+    shard_id = message.shard_id if message.shard_id >= 0 else default_shard_id
+    connection.send_bytes(
+        protocol.encode_message(
+            protocol.HelloReply(
+                request_id=message.request_id,
+                shard_id=shard_id,
+                pid=os.getpid(),
+                protocol_version=protocol.PROTOCOL_VERSION,
+                trust=granted,
+            )
+        )
+    )
+    return shard_id, granted
+
+
+def serve_shard_tcp(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    shard_id: int = 0,
+    devices: tuple[str, ...] = ("rtx4090",),
+    db_path=None,
+    workers: int = 4,
+    trust: str = protocol.TRUST_SOURCE,
+    on_bound=None,
+) -> None:
+    """Serve one shard over a TCP listener (the ``--listen`` entry point).
+
+    One :class:`KernelServer` (with its own tuning-db replica at
+    ``db_path``) lives for the whole listener lifetime, so its resident
+    table and kernel cache stay warm across supervisor reconnects.  The
+    listener accepts **one supervisor connection at a time**: each accepted
+    socket must complete a :func:`handshake <_accept_handshake>` within
+    :data:`HANDSHAKE_TIMEOUT_S` (pinning the protocol version, adopting the
+    supervisor-assigned ring id, and negotiating trust — ``trust`` is the
+    most this listener's operator allows, :data:`~repro.serve.protocol.TRUST_SOURCE`
+    by default so cross-machine serving never ships executable pickles).
+    A failed handshake or a supervisor disconnect returns the shard to
+    ``accept``; a :class:`~repro.serve.protocol.ShutdownCall` drains the
+    server and exits.
+
+    ``port=0`` binds an ephemeral port; ``on_bound`` (if given) is called
+    with the listener's ``(host, port)`` once accepting — how tests and the
+    CLI learn the address.
+    """
+    db = _open_replica(db_path)
+    server = KernelServer(db=db, devices=devices, workers=workers)
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        listener.bind((host, port))
+        listener.listen(1)
+        if on_bound is not None:
+            on_bound(listener.getsockname()[:2])
+        while True:
+            sock, _peer = listener.accept()
+            connection = protocol.StreamConnection(sock)
+            try:
+                connection.settimeout(HANDSHAKE_TIMEOUT_S)
+                session_id, granted = _accept_handshake(connection, shard_id, trust)
+                connection.settimeout(None)
+            except ProtocolError as error:
+                try:
+                    connection.send_bytes(
+                        protocol.encode_message(
+                            protocol.ErrorReply.from_exception(-1, error)
+                        )
+                    )
+                except (OSError, ValueError):
+                    pass
+                connection.close()
+                continue
+            except (EOFError, OSError):
+                connection.close()
+                continue
+            shutdown = _serve_connection(
+                connection,
+                session_id,
+                server,
+                trusted=granted == protocol.TRUST_PICKLED,
+            )
+            connection.close()
+            if shutdown:
+                break
+    finally:
+        try:
+            listener.close()
+        except OSError:
+            pass
+        server.close()

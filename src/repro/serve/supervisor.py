@@ -7,11 +7,21 @@ server (``submit()`` returning a future, blocking ``serve()``, and a
 :class:`~repro.serve.client.ServedBlasEngine` work against a supervisor
 unchanged):
 
-* **Spawning** — each shard is a real OS process running
+* **Spawning** — each local shard is a real OS process running
   :func:`~repro.serve.shard.run_shard` over a ``multiprocessing`` pipe,
   owning its device subset and its own tuning-database *replica* file
   (:func:`~repro.tune.reconcile.replica_path`), so shards share nothing at
   runtime.
+* **Remote shards** — ``connect=("host:port", ...)`` adds shards served by
+  :func:`~repro.serve.shard.serve_shard_tcp` listeners (other machines, or
+  just other processes) to the same ring.  Each connection starts with a
+  handshake that pins the protocol version and negotiates transport trust
+  (source-only by default: no executable pickles cross machines).  Remote
+  shards are *connected to*, never spawned: liveness is a ping deadline
+  instead of process aliveness, a disconnect removes the shard from the
+  ring (its keys rebalance to ring successors) and re-routes its pending
+  work, and the monitor re-dials with the same backoff schedule a local
+  respawn uses, re-adding the shard to the ring on success.
 * **Routing** — a :class:`~repro.serve.shard.ShardRouter` consistent-hashes
   each request's (kernel-family fingerprint, device) onto a shard; all
   traffic for one family lands on one shard and enjoys its resident table
@@ -19,7 +29,9 @@ unchanged):
 * **Monitoring & restart** — a monitor thread watches shard liveness; a
   dead shard's pending requests are re-routed to its ring successors
   (rebalance-on-shard-loss) and the shard is respawned over the same
-  replica file, re-joining the ring once alive.
+  replica file, re-joining the ring once alive.  Respawns follow
+  :func:`_restart_backoff`: the first attempt is immediate, later ones
+  back off exponentially.
 * **Aggregation** — :meth:`ShardSupervisor.stats` asks every live shard for
   its counters and fixed-bucket latency histograms over the wire and merges
   them into one :class:`ClusterStats`: global warm/cold/dedup counts and
@@ -33,7 +45,9 @@ unchanged):
 from __future__ import annotations
 
 import itertools
+import logging
 import multiprocessing
+import socket
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
@@ -42,7 +56,12 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ProtocolError, ServingError
-from repro.tune.reconcile import ReconcileReport, reconcile_replicas, replica_path
+from repro.tune.reconcile import (
+    ReconcileReport,
+    prune_quarantine,
+    reconcile_replicas,
+    replica_path,
+)
 
 # Imported as a module (not a package attribute) so this file is loadable at
 # any point of repro.serve's own package initialization.
@@ -52,6 +71,8 @@ from repro.serve.server import ServeRequest, ServeResult
 from repro.serve.shard import DEFAULT_VIRTUAL_NODES, ShardRouter, run_shard
 
 __all__ = ["ClusterStats", "ShardSupervisor"]
+
+_LOG = logging.getLogger("repro.serve")
 
 #: How often the monitor thread checks shard liveness.
 _MONITOR_INTERVAL_S = 0.2
@@ -63,6 +84,30 @@ _SHUTDOWN_GRACE_S = 30.0
 #: keeps dying (a crash at startup, say) is respawned at an exponentially
 #: decaying rate capped here, never in a tight loop.
 _RESTART_BACKOFF_MAX_S = 30.0
+
+#: How often the monitor pings a connected remote shard...
+_PING_INTERVAL_S = 2.0
+
+#: ...and how stale its last pong may get before the connection is declared
+#: dead (the socket may still look open — a remote power loss leaves no
+#: FIN — so liveness must come from the ping deadline, not the file
+#: descriptor).
+_PING_TIMEOUT_S = 10.0
+
+#: How long one TCP connect + handshake attempt to a remote shard may take.
+_CONNECT_ATTEMPT_TIMEOUT_S = 5.0
+
+
+def _restart_backoff(attempt: int) -> float:
+    """Seconds to wait before restart ``attempt`` (1-based).
+
+    Attempt 1 is **immediate** — one crash must not stall traffic — and
+    later attempts back off exponentially from 0.5 s to
+    :data:`_RESTART_BACKOFF_MAX_S`: 0.0, 0.5, 1.0, 2.0, 4.0, ... 30.0.
+    """
+    if attempt <= 1:
+        return 0.0
+    return min(_RESTART_BACKOFF_MAX_S, 0.5 * (2 ** min(attempt - 2, 8)))
 
 
 def _resolve(future: Future, result=None, error: BaseException | None = None) -> None:
@@ -166,7 +211,7 @@ def aggregate_stats(per_shard: tuple[protocol.ShardStats, ...]) -> ClusterStats:
 
 
 class _ShardHandle:
-    """One shard process: its pipe, pending futures, and reader thread."""
+    """One local shard process: its pipe, pending futures, reader thread."""
 
     def __init__(self, shard_id: int, devices: tuple[str, ...]) -> None:
         self.shard_id = shard_id
@@ -179,6 +224,7 @@ class _ShardHandle:
         self.pending_lock = threading.Lock()
         self.restarts = 0
         self.next_restart_at = 0.0  # monotonic; 0.0 = respawn immediately
+        self.trusted = True  # pipes connect processes we spawned ourselves
 
     def alive(self) -> bool:
         return self.process is not None and self.process.is_alive()
@@ -189,23 +235,85 @@ class _ShardHandle:
             return taken
 
 
+class _RemoteShardHandle(_ShardHandle):
+    """One remote TCP shard: its socket, trust level, and ping deadline.
+
+    Remote shards are never spawned or restarted — the supervisor only
+    holds a connection to a :func:`~repro.serve.shard.serve_shard_tcp`
+    listener it was pointed at.  ``alive()`` is therefore *connection*
+    liveness (the reader thread still draining frames); staleness beyond
+    the ping deadline is enforced by the monitor, which poisons the
+    connection so the reader exits and recovery runs.
+    """
+
+    def __init__(
+        self, shard_id: int, devices: tuple[str, ...], address: tuple[str, int]
+    ) -> None:
+        super().__init__(shard_id, devices)
+        self.address = address
+        self.trusted = False  # until the handshake says otherwise
+        self.reader_done = True  # not yet connected
+        self.last_pong = 0.0
+        self.last_ping_sent = 0.0
+
+    def alive(self) -> bool:
+        return self.connection is not None and not self.reader_done
+
+
+def _parse_address(address) -> tuple[str, int]:
+    """``"host:port"`` (or an ``(host, port)`` pair) as a connectable tuple."""
+    if isinstance(address, tuple) and len(address) == 2:
+        host, port = address
+    else:
+        host, _, port = str(address).rpartition(":")
+        if not host:
+            raise ServingError(
+                f"remote shard address {address!r} is not host:port"
+            )
+    try:
+        port = int(port)
+    except (TypeError, ValueError):
+        raise ServingError(
+            f"remote shard address {address!r} has a non-numeric port"
+        ) from None
+    if not 0 < port < 65536:
+        raise ServingError(f"remote shard address {address!r} port out of range")
+    return str(host), port
+
+
 class ShardSupervisor:
     """N kernel-server shard processes behind one routed front door.
 
     Args:
-        shards: shard process count (≥ 1).
-        db: primary tuning-database file; each shard gets its own replica
-            next to it (``None``: per-shard in-memory databases, nothing to
-            reconcile).
+        shards: local shard process count (≥ 1, or 0 when ``connect`` names
+            at least one remote shard).
+        db: primary tuning-database file; each local shard gets its own
+            replica next to it (``None``: per-shard in-memory databases,
+            nothing to reconcile).  Remote shards keep their databases on
+            their own machines — reconciliation never assumes shared disk.
         devices: the devices the cluster serves.  By default every shard
             serves all of them (a kernel configuration is per-device state,
             not a hardware handle); with ``partition_devices=True`` the
-            devices are split round-robin so each shard owns a disjoint
-            subset, and routing only considers shards owning the request's
-            device.
-        workers: worker threads per shard.
-        restart: respawn dead shards (on by default).
+            devices are split round-robin so each *local* shard owns a
+            disjoint subset, and routing only considers shards owning the
+            request's device.  Remote shards always serve all devices.
+        workers: worker threads per local shard.
+        restart: respawn dead local shards and re-dial dead remote shards
+            (on by default).
         virtual_nodes: consistent-hash ring points per shard.
+        connect: remote shard addresses (``"host:port"`` strings or
+            ``(host, port)`` pairs), each a
+            :func:`~repro.serve.shard.serve_shard_tcp` listener.  Remote
+            ring ids continue after the local ones.
+        remote_trust: the trust level requested from remote shards in the
+            handshake — :data:`~repro.serve.protocol.TRUST_SOURCE` (the
+            default: artifacts arrive as source text, never executable
+            pickles) or :data:`~repro.serve.protocol.TRUST_PICKLED` for
+            listeners the operator explicitly trusts.  The granted level is
+            whatever the shard's own policy allows, never more.
+        connect_timeout: how long to keep re-trying the initial connection
+            to each remote shard before failing construction (listeners are
+            often still starting when the supervisor comes up).
 
     Shards are started with the ``spawn`` start method, so the standard
     :mod:`multiprocessing` caveat applies: construct supervisors from an
@@ -223,19 +331,28 @@ class ShardSupervisor:
         partition_devices: bool = False,
         restart: bool = True,
         virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+        connect: tuple = (),
+        remote_trust: str = protocol.TRUST_SOURCE,
+        connect_timeout: float = 10.0,
     ) -> None:
-        if shards < 1:
+        addresses = tuple(_parse_address(address) for address in connect)
+        if shards < 1 and not addresses:
             raise ServingError(f"shard count must be positive, got {shards}")
+        if shards < 0:
+            raise ServingError(f"shard count must be non-negative, got {shards}")
         if not devices:
             raise ServingError("a shard supervisor needs at least one device")
         if partition_devices and len(devices) < shards:
             raise ServingError(
                 f"cannot partition {len(devices)} device(s) across {shards} shards"
             )
+        if remote_trust not in (protocol.TRUST_SOURCE, protocol.TRUST_PICKLED):
+            raise ServingError(f"unknown remote trust level {remote_trust!r}")
         self.devices = tuple(devices)
         self.db_path = Path(db) if db is not None else None
         self.workers = workers
         self.restart = restart
+        self._remote_trust = remote_trust
         self._context = _spawn_context()
         self._closed = False
         self._lock = threading.RLock()
@@ -249,13 +366,35 @@ class ShardSupervisor:
             )
             for shard_id in range(shards)
         }
-        self.router = ShardRouter(range(shards), virtual_nodes=virtual_nodes)
-        self._handles = {
+        self._handles: dict[int, _ShardHandle] = {
             shard_id: _ShardHandle(shard_id, owned)
             for shard_id, owned in shard_devices.items()
         }
-        for handle in self._handles.values():
-            self._start_shard(handle)
+        # Remote ring ids continue after the local ones; remote shards
+        # always serve the full device set (their hardware is their own).
+        for offset, address in enumerate(addresses):
+            shard_id = shards + offset
+            self._handles[shard_id] = _RemoteShardHandle(
+                shard_id, self.devices, address
+            )
+        self.router = ShardRouter(self._handles, virtual_nodes=virtual_nodes)
+        try:
+            for handle in self._handles.values():
+                if isinstance(handle, _RemoteShardHandle):
+                    self._connect_remote_until(handle, timeout=connect_timeout)
+                else:
+                    self._start_shard(handle)
+        except BaseException:
+            self._closed = True
+            for handle in self._handles.values():
+                if handle.process is not None:
+                    handle.process.terminate()
+                if handle.connection is not None:
+                    try:
+                        handle.connection.close()
+                    except OSError:
+                        pass
+            raise
         self._monitor = threading.Thread(
             target=self._monitor_loop, name="repro-shard-monitor", daemon=True
         )
@@ -293,16 +432,131 @@ class ShardSupervisor:
         )
         handle.reader.start()
 
+    # -- remote connections -------------------------------------------------
+
+    def _connect_remote_until(
+        self, handle: _RemoteShardHandle, timeout: float
+    ) -> None:
+        """Dial a remote shard, retrying until ``timeout`` (startup races).
+
+        Only connection-level failures (``OSError``: refused, timed out, a
+        listener busy with another supervisor) are worth retrying; a
+        *completed but refused* handshake — a protocol version skew, a
+        malformed reply — is deterministic and fails construction
+        immediately instead of burning the whole timeout on it.
+        """
+        deadline = time.monotonic() + timeout
+        host, port = handle.address
+        while True:
+            try:
+                self._connect_remote(handle)
+                return
+            except ServingError as error:
+                raise ServingError(
+                    f"remote shard {handle.shard_id} at {host}:{port} "
+                    f"refused: {error}"
+                ) from error
+            except OSError as error:
+                if time.monotonic() >= deadline:
+                    raise ServingError(
+                        f"cannot reach remote shard {handle.shard_id} at "
+                        f"{host}:{port}: {error}"
+                    ) from error
+                time.sleep(0.2)
+
+    def _connect_remote(self, handle: _RemoteShardHandle) -> None:
+        """One connect + handshake attempt; raises on any failure.
+
+        The hello pins :data:`~repro.serve.protocol.PROTOCOL_VERSION`,
+        assigns the shard its ring id for this session, and requests
+        ``remote_trust``; the reply's *granted* trust governs whether this
+        connection's results may carry executable pickles.
+        """
+        sock = socket.create_connection(
+            handle.address, timeout=_CONNECT_ATTEMPT_TIMEOUT_S
+        )
+        connection = protocol.StreamConnection(sock)
+        try:
+            request_id = next(self._request_ids)
+            connection.send_bytes(
+                protocol.encode_message(
+                    protocol.HelloCall(
+                        request_id=request_id,
+                        protocol_version=protocol.PROTOCOL_VERSION,
+                        shard_id=handle.shard_id,
+                        trust=self._remote_trust,
+                    )
+                )
+            )
+            reply = protocol.decode_message(connection.recv_bytes())
+        except (EOFError, ProtocolError) as error:
+            connection.close()
+            raise ServingError(f"remote shard handshake failed: {error}") from error
+        except OSError:
+            connection.close()
+            raise
+        if isinstance(reply, protocol.ErrorReply):
+            connection.close()
+            raise ServingError(f"remote shard refused the handshake: {reply.message}")
+        if not isinstance(reply, protocol.HelloReply):
+            connection.close()
+            raise ServingError(
+                f"remote shard answered the hello with {type(reply).__name__}"
+            )
+        if reply.protocol_version != protocol.PROTOCOL_VERSION:
+            connection.close()
+            raise ServingError(
+                f"remote shard speaks protocol {reply.protocol_version}, "
+                f"this supervisor speaks {protocol.PROTOCOL_VERSION}"
+            )
+        connection.settimeout(None)
+        # The reply's granted trust is a *claim* by the peer: cap it at what
+        # we requested ourselves, so a malicious listener "granting" pickled
+        # on a source-only connection cannot make us unpickle its payloads.
+        granted = protocol.negotiate_trust(self._remote_trust, reply.trust)
+        handle.trusted = granted == protocol.TRUST_PICKLED
+        handle.connection = connection
+        handle.reader_done = False
+        now = time.monotonic()
+        handle.last_pong = now
+        handle.last_ping_sent = now
+        handle.reader = threading.Thread(
+            target=self._read_loop,
+            args=(handle, connection),
+            name=f"repro-shard-{handle.shard_id}-reader",
+            daemon=True,
+        )
+        handle.reader.start()
+
     # -- per-shard reader ---------------------------------------------------
 
     def _read_loop(self, handle: _ShardHandle, connection) -> None:
+        try:
+            self._drain_replies(handle, connection)
+        finally:
+            # Only the reader of the *current* connection may declare a
+            # remote handle dead — a late exit of a replaced reader must
+            # not shoot down its successor.
+            if (
+                isinstance(handle, _RemoteShardHandle)
+                and handle.connection is connection
+            ):
+                handle.reader_done = True
+
+    def _drain_replies(self, handle: _ShardHandle, connection) -> None:
         while True:
             try:
                 data = connection.recv_bytes()
             except (EOFError, OSError):
-                return  # the monitor notices the dead process and reroutes
+                return  # the monitor notices the dead shard and reroutes
+            except ProtocolError:
+                # A torn frame: the stream cannot be re-synchronized.
+                self._poison(connection)
+                return
             try:
-                message = protocol.decode_message(data, allow_pickled=True)
+                message = protocol.decode_message(
+                    data, allow_pickled=handle.trusted
+                )
             except ProtocolError:
                 # An undecodable reply means reply correlation on this pipe
                 # is lost (we cannot know whose answer this was).  Poison
@@ -345,21 +599,79 @@ class ShardSupervisor:
                 if self._closed:
                     return
                 now = time.monotonic()
-                for handle in self._handles.values():
+                handles = list(self._handles.values())
+                for handle in handles:
+                    if isinstance(handle, _RemoteShardHandle):
+                        continue  # handled below, outside the lock
                     if not handle.alive():
                         self._recover(handle)
                     elif handle.restarts and now >= handle.next_restart_at + 60.0:
                         # A minute of health forgives the crash history, so
                         # the next incident starts from an immediate respawn.
                         handle.restarts = 0
+            # Remote recovery dials a TCP connection (seconds, worst case):
+            # it must not hold the supervisor lock, or every submit() would
+            # stall behind one unreachable machine.  Only the monitor
+            # thread mutates remote liveness state, so no lock is needed.
+            for handle in handles:
+                if self._closed:
+                    return
+                if isinstance(handle, _RemoteShardHandle):
+                    self._monitor_remote(handle, time.monotonic())
+
+    def _monitor_remote(self, handle: _RemoteShardHandle, now: float) -> None:
+        """Ping-deadline liveness for one remote shard.
+
+        A connected shard is pinged every :data:`_PING_INTERVAL_S`; a pong
+        older than :data:`_PING_TIMEOUT_S` — or a reader that saw EOF —
+        declares the connection dead: the shard leaves the ring (its keys
+        rebalance to ring successors), pending work re-routes, and the
+        monitor re-dials on the restart backoff schedule.
+        """
+        if handle.alive():
+            if now - handle.last_pong > _PING_TIMEOUT_S:
+                _LOG.warning(
+                    "remote shard %d missed its ping deadline; disconnecting",
+                    handle.shard_id,
+                )
+                self._poison(handle.connection)
+                self._recover_remote(handle)
+            elif now - handle.last_ping_sent >= _PING_INTERVAL_S:
+                self._send_ping(handle, now)
+            elif handle.restarts and now >= handle.next_restart_at + 60.0:
+                handle.restarts = 0  # a minute of health forgives history
+        else:
+            self._recover_remote(handle)
+
+    def _send_ping(self, handle: _RemoteShardHandle, now: float) -> None:
+        request_id = next(self._request_ids)
+        future: Future = Future()
+
+        def pong_received(completed: Future) -> None:
+            if completed.exception() is None and not completed.cancelled():
+                handle.last_pong = time.monotonic()
+
+        future.add_done_callback(pong_received)
+        with handle.pending_lock:
+            handle.pending[request_id] = (None, future)
+        try:
+            with handle.send_lock:
+                handle.connection.send_bytes(
+                    protocol.encode_message(protocol.PingCall(request_id=request_id))
+                )
+        except (OSError, ValueError, AttributeError):
+            with handle.pending_lock:
+                handle.pending.pop(request_id, None)
+            return  # connection is dying; the next tick recovers it
+        handle.last_ping_sent = now
 
     def _recover(self, handle: _ShardHandle) -> None:
         """Re-route a dead shard's pending work; respawn it over its replica.
 
-        Respawns back off exponentially (immediate at first,
-        :data:`_RESTART_BACKOFF_MAX_S` at worst), so a shard that dies at
-        startup — a corrupt environment, an import error — is retried at a
-        bounded rate instead of in a tight spawn loop.
+        Respawns follow :func:`_restart_backoff` (attempt 1 immediate,
+        exponential to :data:`_RESTART_BACKOFF_MAX_S` after), so a shard
+        that dies at startup — a corrupt environment, an import error — is
+        retried at a bounded rate instead of in a tight spawn loop.
         """
         pending = handle.take_pending()
         try:
@@ -369,9 +681,54 @@ class ShardSupervisor:
         now = time.monotonic()
         if self.restart and not self._closed and now >= handle.next_restart_at:
             handle.restarts += 1
-            backoff = min(_RESTART_BACKOFF_MAX_S, 0.5 * (2 ** min(handle.restarts, 8)))
-            handle.next_restart_at = now + backoff
+            handle.next_restart_at = now + _restart_backoff(handle.restarts + 1)
             self._start_shard(handle)
+        self._reroute(handle, pending)
+
+    def _recover_remote(self, handle: _RemoteShardHandle) -> None:
+        """Rebalance a disconnected remote shard; re-dial on the backoff.
+
+        Unlike a local shard there is nothing to respawn: the shard leaves
+        the ring immediately (so new traffic routes to ring successors
+        without a per-request send failure), its pending work re-routes,
+        and reconnection attempts follow the same backoff schedule as local
+        respawns.  On a successful re-dial the shard re-joins the ring —
+        only its own keys move back.
+        """
+        pending = handle.take_pending()
+        if handle.connection is not None:
+            self._poison(handle.connection)
+            handle.connection = None
+        if handle.shard_id in self.router.shard_ids:
+            _LOG.warning(
+                "remote shard %d disconnected; rebalancing its keys to ring "
+                "successors",
+                handle.shard_id,
+            )
+            self.router.remove_shard(handle.shard_id)
+        now = time.monotonic()
+        if self.restart and not self._closed and now >= handle.next_restart_at:
+            handle.restarts += 1
+            handle.next_restart_at = now + _restart_backoff(handle.restarts + 1)
+            try:
+                self._connect_remote(handle)
+            except (OSError, ServingError):
+                pass  # still down; the monitor re-dials after the backoff
+            else:
+                with self._lock:
+                    if self._closed:  # close() ran while we were dialing
+                        self._poison(handle.connection)
+                        handle.connection = None
+                        return
+                _LOG.info(
+                    "remote shard %d reconnected; re-joining the ring",
+                    handle.shard_id,
+                )
+                self.router.add_shard(handle.shard_id)
+        self._reroute(handle, pending)
+
+    def _reroute(self, handle: _ShardHandle, pending) -> None:
+        """Re-dispatch a dead shard's pending serves to ring successors."""
         for request_id, (request, future) in pending.items():
             if future.done():
                 continue
@@ -383,7 +740,7 @@ class ShardSupervisor:
                 continue
             try:
                 # Rebalance-on-shard-loss: the ring successor takes the key.
-                # The respawned shard (empty caches) rejoins for new traffic.
+                # The recovered shard (empty caches) rejoins for new traffic.
                 self._dispatch(request, future, excluding=frozenset({handle.shard_id}))
             except ServingError as error:
                 _resolve(future, error=error)
@@ -404,6 +761,8 @@ class ShardSupervisor:
             handle.pending[request_id] = (request, future)
         try:
             with handle.send_lock:
+                if handle.connection is None:  # a disconnected remote shard
+                    raise OSError("shard connection is down")
                 handle.connection.send_bytes(
                     protocol.encode_message(
                         protocol.ServeCall(request_id=request_id, request=request)
@@ -453,6 +812,8 @@ class ShardSupervisor:
             handle.pending[request_id] = (None, future)
         try:
             with handle.send_lock:
+                if handle.connection is None:  # a disconnected remote shard
+                    raise OSError("shard connection is down")
                 handle.connection.send_bytes(
                     protocol.encode_message(message_type(request_id=request_id))
                 )
@@ -502,13 +863,23 @@ class ShardSupervisor:
         return reconcile_replicas(self.db_path)
 
     def close(self) -> ReconcileReport | None:
-        """Drain and stop every shard, then reconcile replicas (and return
-        the report when file-backed)."""
+        """Drain and stop every local shard, disconnect from remote shards,
+        then reconcile replicas (and return the report when file-backed).
+
+        Remote shards are **not** shut down — their lifecycle belongs to
+        the operator who started their listeners; they keep their warm
+        state and go back to accepting the next supervisor.  Quarantined
+        replica files (``*.corrupt``, renamed aside by crashed shards) past
+        their retention age are dropped here, so a long-lived deployment
+        directory does not accumulate them forever.
+        """
         with self._lock:
             if self._closed:
                 return None
             self._closed = True
         for handle in self._handles.values():
+            if isinstance(handle, _RemoteShardHandle):
+                continue  # disconnect only; the listener outlives us
             try:
                 with handle.send_lock:
                     handle.connection.send_bytes(
@@ -516,7 +887,7 @@ class ShardSupervisor:
                             protocol.ShutdownCall(request_id=next(self._request_ids))
                         )
                     )
-            except (OSError, ValueError):
+            except (OSError, ValueError, AttributeError):
                 pass
         deadline = time.monotonic() + _SHUTDOWN_GRACE_S
         for handle in self._handles.values():
@@ -534,7 +905,11 @@ class ShardSupervisor:
                 handle.connection.close()
             except (OSError, AttributeError):
                 pass
-        return self.reconcile()
+        report = self.reconcile()
+        if self.db_path is not None:
+            for dropped in prune_quarantine(self.db_path):
+                _LOG.info("dropped aged-out quarantined replica %s", dropped)
+        return report
 
     def __enter__(self) -> ShardSupervisor:
         return self

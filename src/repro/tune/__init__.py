@@ -26,7 +26,9 @@ from repro.tune.db import TUNER_VERSION, DbStats, TuningDatabase, TuningRecord
 from repro.tune.evaluate import CandidateEvaluator, CandidateScore
 from repro.tune.reconcile import (
     ReconcileReport,
+    find_quarantined,
     find_replicas,
+    prune_quarantine,
     reconcile_replicas,
     replica_path,
 )
@@ -58,7 +60,9 @@ __all__ = [
     "CandidateEvaluator",
     "CandidateScore",
     "ReconcileReport",
+    "find_quarantined",
     "find_replicas",
+    "prune_quarantine",
     "reconcile_replicas",
     "replica_path",
     "STRATEGIES",

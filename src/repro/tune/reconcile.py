@@ -17,15 +17,31 @@ told how many shards ever existed (:func:`find_replicas`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import TuningError
 from repro.tune.db import TuningDatabase
 
-__all__ = ["replica_path", "find_replicas", "ReconcileReport", "reconcile_replicas"]
+__all__ = [
+    "replica_path",
+    "find_replicas",
+    "find_quarantined",
+    "prune_quarantine",
+    "QUARANTINE_RETENTION_S",
+    "ReconcileReport",
+    "reconcile_replicas",
+]
 
 _REPLICA_TAG = ".shard"
+
+#: Suffix a shard appends when it renames an unreadable replica aside.
+_QUARANTINE_SUFFIX = ".corrupt"
+
+#: How long a quarantined replica is kept for post-mortems before
+#: :func:`prune_quarantine` drops it (one day).
+QUARANTINE_RETENTION_S = 24 * 60 * 60.0
 
 
 def replica_path(primary: str | Path, shard_id: int) -> Path:
@@ -48,6 +64,53 @@ def find_replicas(primary: str | Path) -> tuple[Path, ...]:
         if tag.isdigit():
             found.append((int(tag), candidate))
     return tuple(path for _, path in sorted(found))
+
+
+def find_quarantined(primary: str | Path) -> tuple[Path, ...]:
+    """Every quarantined replica (``<replica>.corrupt``) of ``primary``.
+
+    These are the files a shard renamed aside after finding its replica
+    unreadable (a crashed writer's torn file); they are kept for
+    post-mortems, never merged.
+    """
+    primary = Path(primary)
+    pattern = (
+        f"{primary.stem}{_REPLICA_TAG}*{primary.suffix}{_QUARANTINE_SUFFIX}"
+    )
+    return tuple(sorted(primary.parent.glob(pattern)))
+
+
+def prune_quarantine(
+    primary: str | Path,
+    max_age_s: float | None = None,
+    now: float | None = None,
+) -> tuple[Path, ...]:
+    """Delete quarantined replicas of ``primary`` older than ``max_age_s``.
+
+    Quarantine files exist so a torn replica can be inspected after the
+    fact, but nothing ever rewrites them — without an age-out they
+    accumulate for the lifetime of the deployment directory.  The
+    supervisor calls this on ``close()``.  Returns the paths it dropped;
+    files younger than the retention window (or already gone) are left
+    alone, and a file that cannot be deleted is skipped, not fatal.
+    """
+    if max_age_s is None:  # resolved at call time so tests can shrink it
+        max_age_s = QUARANTINE_RETENTION_S
+    reference = time.time() if now is None else now
+    dropped: list[Path] = []
+    for path in find_quarantined(primary):
+        try:
+            age = reference - path.stat().st_mtime
+        except OSError:
+            continue  # raced with another pruner; nothing to drop
+        if age < max_age_s:
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        dropped.append(path)
+    return tuple(dropped)
 
 
 @dataclass(frozen=True)

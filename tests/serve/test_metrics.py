@@ -1,0 +1,129 @@
+"""Latency histogram percentiles: edge cases and a sampling property.
+
+`percentile_from_histogram` is the supervisor's only view of cross-shard
+latency (raw samples never cross the wire), so its edge behaviour matters:
+an empty histogram, q=0, q=1, and out-of-domain q (someone passing percent,
+e.g. 95 or 100) must all be well-defined — no division by zero, no indexing
+past the overflow bucket.  The sampling property pins the approximation
+contract against exact quantiles over the raw samples: the histogram answer
+is the upper bound of the true quantile's bucket, so it brackets the exact
+value within one log-2 bucket.
+"""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.serve.metrics import (
+    HISTOGRAM_BUCKET_BOUNDS_MS,
+    latency_histogram,
+    percentile_from_histogram,
+)
+
+
+def bucket_upper_bound_ms(value_ms: float) -> float:
+    """The fixed-histogram bucket bound a latency (ms) falls into."""
+    for bound in HISTOGRAM_BUCKET_BOUNDS_MS:
+        if value_ms <= bound:
+            return bound
+    return HISTOGRAM_BUCKET_BOUNDS_MS[-1]  # overflow reports the max bound
+
+
+class TestEdgeCases:
+    def test_empty_histogram_is_zero(self):
+        assert percentile_from_histogram((), 0.5) == 0.0
+
+    def test_all_zero_counts_is_zero(self):
+        assert percentile_from_histogram((0,) * 26, 0.95) == 0.0
+
+    def test_q_zero_reports_first_occupied_bucket(self):
+        counts = [0] * (len(HISTOGRAM_BUCKET_BOUNDS_MS) + 1)
+        counts[3] = 5
+        counts[10] = 5
+        assert (
+            percentile_from_histogram(tuple(counts), 0.0)
+            == HISTOGRAM_BUCKET_BOUNDS_MS[3]
+        )
+
+    def test_q_one_reports_last_occupied_bucket(self):
+        counts = [0] * (len(HISTOGRAM_BUCKET_BOUNDS_MS) + 1)
+        counts[3] = 5
+        counts[10] = 5
+        assert (
+            percentile_from_histogram(tuple(counts), 1.0)
+            == HISTOGRAM_BUCKET_BOUNDS_MS[10]
+        )
+
+    def test_overflow_bucket_reports_largest_finite_bound(self):
+        counts = [0] * (len(HISTOGRAM_BUCKET_BOUNDS_MS) + 1)
+        counts[-1] = 7  # every sample beyond the last bound
+        assert (
+            percentile_from_histogram(tuple(counts), 1.0)
+            == HISTOGRAM_BUCKET_BOUNDS_MS[-1]
+        )
+
+    @pytest.mark.parametrize("q", [-0.1, 1.0001, 50, 95, 100])
+    def test_out_of_domain_q_rejected(self, q):
+        # Percent-style arguments must fail loudly, not report the max bucket.
+        with pytest.raises(ValueError, match="fraction"):
+            percentile_from_histogram((1, 2, 3), q)
+
+    def test_single_sample_every_quantile(self):
+        counts = latency_histogram((0.004,))  # 4 ms
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert percentile_from_histogram(counts, q) == bucket_upper_bound_ms(4.0)
+
+
+class TestSamplingProperty:
+    """Histogram percentiles track exact quantiles of the raw samples."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    @pytest.mark.parametrize("q", [0.25, 0.50, 0.75, 0.95])
+    def test_matches_exact_quantile_within_bucket_resolution(self, seed, q):
+        rng = random.Random(seed)
+        # Log-uniform latencies from ~2 µs to ~8 s: spans most buckets.
+        samples = tuple(10 ** rng.uniform(-5.7, 0.9) for _ in range(500))
+        counts = latency_histogram(samples)
+
+        approx_ms = percentile_from_histogram(counts, q)
+        # Nearest-rank exact quantile over the same samples (in ms).
+        exact_ms = sorted(samples)[max(1, math.ceil(q * len(samples))) - 1] * 1e3
+
+        # The histogram reports the exact quantile's bucket upper bound:
+        # at least the true value, within one log-2 bucket above it.
+        assert approx_ms == bucket_upper_bound_ms(exact_ms)
+        assert approx_ms >= exact_ms * (1.0 - 1e-9)
+        assert approx_ms <= exact_ms * 2.0
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_brackets_statistics_quantiles(self, seed):
+        # statistics.quantiles uses interpolation (not nearest rank), so
+        # only the bucket-resolution bracket is required to hold.
+        rng = random.Random(seed)
+        samples = tuple(10 ** rng.uniform(-4.0, 0.0) for _ in range(1000))
+        counts = latency_histogram(samples)
+        cuts = statistics.quantiles(samples, n=100, method="inclusive")
+        for q, exact_s in ((0.50, cuts[49]), (0.95, cuts[94])):
+            approx_ms = percentile_from_histogram(counts, q)
+            exact_ms = exact_s * 1e3
+            # Within one log-2 bucket either side of the interpolated value.
+            assert exact_ms / 2.0 <= approx_ms <= exact_ms * 2.0
+
+    def test_merged_histograms_match_pooled_samples(self):
+        # The supervisor's merge (element-wise sum) must equal bucketing
+        # the pooled samples directly.
+        rng = random.Random(7)
+        shard_a = tuple(10 ** rng.uniform(-5.0, 0.5) for _ in range(200))
+        shard_b = tuple(10 ** rng.uniform(-5.0, 0.5) for _ in range(300))
+        merged = tuple(
+            a + b
+            for a, b in zip(latency_histogram(shard_a), latency_histogram(shard_b))
+        )
+        pooled = latency_histogram(shard_a + shard_b)
+        assert merged == pooled
+        for q in (0.5, 0.95):
+            assert percentile_from_histogram(merged, q) == percentile_from_histogram(
+                pooled, q
+            )

@@ -10,6 +10,10 @@ unknown type, truncated frame, untrusted pickle) is rejected with
 import dataclasses
 import io
 import json
+import random
+import socket
+import threading
+import time
 
 import pytest
 
@@ -212,3 +216,132 @@ class TestFraming:
         prefix = (protocol.MAX_FRAME_BYTES + 1).to_bytes(4, "big")
         with pytest.raises(ProtocolError, match="implausible"):
             protocol.read_message(io.BytesIO(prefix + b"x"))
+
+
+class TestHandshakeMessages:
+    def test_hello_round_trip(self):
+        message = protocol.HelloCall(
+            request_id=1,
+            protocol_version=protocol.PROTOCOL_VERSION,
+            shard_id=3,
+            trust=protocol.TRUST_SOURCE,
+        )
+        assert round_trip(message) == message
+
+    def test_hello_reply_round_trip(self):
+        message = protocol.HelloReply(
+            request_id=1,
+            shard_id=3,
+            pid=4242,
+            protocol_version=protocol.PROTOCOL_VERSION,
+            trust=protocol.TRUST_PICKLED,
+        )
+        assert round_trip(message) == message
+
+    def test_unknown_trust_level_rejected(self):
+        message = protocol.HelloCall(
+            request_id=1,
+            protocol_version=protocol.PROTOCOL_VERSION,
+            shard_id=0,
+            trust="blindly",
+        )
+        with pytest.raises(ProtocolError, match="trust level"):
+            round_trip(message)
+
+    def test_negotiate_trust_grants_the_weaker_side(self):
+        pickled, source = protocol.TRUST_PICKLED, protocol.TRUST_SOURCE
+        assert protocol.negotiate_trust(pickled, pickled) == pickled
+        assert protocol.negotiate_trust(pickled, source) == source
+        assert protocol.negotiate_trust(source, pickled) == source
+        assert protocol.negotiate_trust(source, source) == source
+
+    def test_negotiate_trust_rejects_unknown_levels(self):
+        with pytest.raises(ProtocolError, match="trust level"):
+            protocol.negotiate_trust("root", protocol.TRUST_SOURCE)
+
+    def test_source_only_result_downgrades_kernels(self, served):
+        downgraded = protocol.source_only_result(served)
+        assert downgraded.artifact == served.artifact.source
+        assert downgraded.request == served.request
+        # Source-text artifacts pass through untouched.
+        assert protocol.source_only_result(downgraded) is downgraded
+
+
+class TestSocketFuzz:
+    """Malformed frames over a real socketpair must always fail cleanly.
+
+    Every outcome of feeding truncated / oversized / garbage bytes into
+    :func:`protocol.read_message` must be a :class:`ProtocolError` (or a
+    clean-EOF ``None``) — never a hang, an ``OverflowError``, or a
+    ``MemoryError`` from trusting a corrupt length prefix.  The reader side
+    uses an *unbuffered* socket file, so ``stream.read(n)`` legally returns
+    short — exactly the case the ``_read_exact`` loop exists for.
+    """
+
+    @staticmethod
+    def feed(payload: bytes):
+        """Deliver ``payload`` then EOF; return/raise read_message's outcome."""
+        writer, reader_sock = socket.socketpair()
+        with writer, reader_sock:
+            reader_sock.settimeout(30.0)  # a hang fails loudly, not forever
+            reader = reader_sock.makefile("rb", buffering=0)
+            if payload:
+                writer.sendall(payload)
+            writer.shutdown(socket.SHUT_WR)
+            return protocol.read_message(reader)
+
+    def test_empty_stream_is_clean_eof(self):
+        assert self.feed(b"") is None
+
+    def test_every_truncation_of_a_valid_frame_is_rejected(self):
+        stream = io.BytesIO()
+        protocol.write_message(stream, protocol.PingCall(request_id=9))
+        frame = stream.getvalue()
+        for cut in range(1, len(frame)):
+            with pytest.raises(ProtocolError):
+                self.feed(frame[:cut])
+
+    def test_oversized_length_prefix_never_allocates(self):
+        for length in (protocol.MAX_FRAME_BYTES + 1, 0xFFFFFFFF):
+            with pytest.raises(ProtocolError, match="implausible"):
+                self.feed(length.to_bytes(4, "big") + b"tiny")
+
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="implausible"):
+            self.feed(b"\x00\x00\x00\x00")
+
+    def test_max_length_prefix_with_short_body_is_truncation(self):
+        # A plausible (in-bounds) length the peer never finishes writing.
+        prefix = (1 << 20).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="truncated"):
+            self.feed(prefix + b"only this much arrived")
+
+    def test_garbage_bytes_never_escape_protocol_error(self):
+        rng = random.Random(0xC0FFEE)
+        for _ in range(64):
+            payload = rng.randbytes(rng.randrange(1, 64))
+            try:
+                self.feed(payload)
+            except ProtocolError:
+                pass  # the only acceptable exception
+
+    def test_valid_frame_survives_dribbled_delivery(self):
+        # One byte at a time across the socket: _read_exact must reassemble.
+        stream = io.BytesIO()
+        protocol.write_message(stream, protocol.StatsCall(request_id=5))
+        frame = stream.getvalue()
+        writer, reader_sock = socket.socketpair()
+        with writer, reader_sock:
+            reader_sock.settimeout(30.0)
+            reader = reader_sock.makefile("rb", buffering=0)
+
+            def dribble():
+                for index in range(len(frame)):
+                    writer.sendall(frame[index : index + 1])
+                    time.sleep(0.001)
+                writer.shutdown(socket.SHUT_WR)
+
+            feeder = threading.Thread(target=dribble, daemon=True)
+            feeder.start()
+            assert protocol.read_message(reader) == protocol.StatsCall(request_id=5)
+            feeder.join(timeout=10)

@@ -102,3 +102,50 @@ class TestShardMode:
     def test_nonpositive_shards_rejected(self, capsys):
         assert main(["--shards", "0", "--demo", "4"]) == 2
         assert "shard count" in capsys.readouterr().err
+
+
+class TestTcpFlags:
+    def test_listen_excludes_supervisor_actions(self, capsys):
+        assert main(["--listen", "127.0.0.1:0", "--demo", "4"]) == 2
+        assert "--listen" in capsys.readouterr().err
+
+    def test_listen_with_unparsable_port_rejected(self, capsys):
+        assert main(["--listen", "127.0.0.1:notaport"]) == 2
+        assert "[host:]port" in capsys.readouterr().err
+
+    def test_connect_to_unreachable_shard_fails_cleanly(self, capsys):
+        # A dead remote must surface as a CLI error, not a traceback.
+        import socket
+
+        with socket.socket() as placeholder:
+            placeholder.bind(("127.0.0.1", 0))
+            free_port = placeholder.getsockname()[1]
+        assert main(
+            ["--connect", f"127.0.0.1:{free_port}", "--demo", "4"]
+        ) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_connect_and_listen_cli_end_to_end(self, tmp_path):
+        # One listener subprocess, one supervisor run through main():
+        # the CI smoke mirrored inside the suite.
+        import re
+        import subprocess
+        import sys as _sys
+
+        listener = subprocess.Popen(
+            [_sys.executable, "-m", "repro.serve", "--listen", "127.0.0.1:0",
+             "--workers", "2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = listener.stdout.readline()
+            address = re.search(r"listening on (\S+)", banner).group(1)
+            assert main(
+                ["--connect", address, "--once", "ntt", "--bits", "64",
+                 "--size", "16", "--stats"]
+            ) == 0
+        finally:
+            listener.kill()
+            listener.wait(timeout=30)

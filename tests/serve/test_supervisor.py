@@ -211,3 +211,67 @@ class TestRobustness:
             assert supervisor._handles[0].restarts == 0
         finally:
             supervisor.close()
+
+
+class TestRestartBackoff:
+    def test_schedule_first_attempt_is_immediate(self):
+        # The documented schedule: attempt 1 immediate, then exponential
+        # from 0.5 s, capped at the maximum — pinned so the spec and the
+        # code cannot drift apart again.
+        from repro.serve.supervisor import _RESTART_BACKOFF_MAX_S, _restart_backoff
+
+        schedule = [_restart_backoff(attempt) for attempt in range(1, 11)]
+        assert schedule == [0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 30.0, 30.0, 30.0]
+        assert schedule[0] == 0.0  # one crash must not stall traffic
+        assert max(schedule) == _RESTART_BACKOFF_MAX_S
+        # Monotone non-decreasing and capped forever after.
+        assert schedule == sorted(schedule)
+        assert _restart_backoff(100) == _RESTART_BACKOFF_MAX_S
+
+    def test_first_respawn_happens_without_waiting(self):
+        # End to end: a fresh handle's first recovery must respawn in the
+        # same monitor tick (next_restart_at stays 0.0 until attempt 1).
+        from repro.serve.supervisor import _restart_backoff
+
+        supervisor = ShardSupervisor(shards=1, devices=("rtx4090",), workers=1)
+        try:
+            handle = supervisor._handles[0]
+            assert handle.next_restart_at == 0.0  # attempt 1 gated on nothing
+            handle.process.kill()
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline and handle.restarts < 1:
+                time.sleep(0.02)
+            assert handle.restarts == 1
+            # The *next* attempt (2) is scheduled 0.5 s out, not 1.0 s.
+            slack = handle.next_restart_at - time.monotonic()
+            assert slack <= _restart_backoff(2) + 0.1
+        finally:
+            supervisor.close()
+
+
+class TestQuarantineAging:
+    def test_close_drops_aged_quarantine_files(self, tmp_path, monkeypatch, caplog):
+        # Quarantined replicas (*.corrupt) must not accumulate forever: a
+        # supervisor close() ages them out and logs what it dropped.
+        import logging
+
+        import repro.tune.reconcile as reconcile_module
+
+        monkeypatch.setattr(reconcile_module, "QUARANTINE_RETENTION_S", 0.0)
+        db = tmp_path / "tuning.json"
+        stale = replica_path(db, 7).with_name(replica_path(db, 7).name + ".corrupt")
+        stale.write_text("{torn json")
+        supervisor = ShardSupervisor(shards=1, db=db, devices=("rtx4090",), workers=1)
+        with caplog.at_level(logging.INFO, logger="repro.serve"):
+            supervisor.close()
+        assert not stale.exists()
+        assert any("quarantined replica" in record.message for record in caplog.records)
+
+    def test_close_keeps_fresh_quarantine_files(self, tmp_path):
+        # Inside the retention window the post-mortem evidence survives.
+        db = tmp_path / "tuning.json"
+        fresh = replica_path(db, 3).with_name(replica_path(db, 3).name + ".corrupt")
+        fresh.write_text("{torn json")
+        supervisor = ShardSupervisor(shards=1, db=db, devices=("rtx4090",), workers=1)
+        supervisor.close()
+        assert fresh.exists()

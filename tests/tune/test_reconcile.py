@@ -11,7 +11,9 @@ import pytest
 
 from repro.tune import TUNER_VERSION, Candidate, TuningDatabase, TuningRecord, Workload
 from repro.tune.reconcile import (
+    find_quarantined,
     find_replicas,
+    prune_quarantine,
     reconcile_replicas,
     replica_path,
 )
@@ -136,3 +138,46 @@ class TestMergeFile:
         target.store(make_record(workloads[0]))  # identical timestamps: kept
         assert target.merge_file(source_path) == 2
         assert len(target) == 3
+
+
+class TestQuarantinePruning:
+    def make_quarantined(self, primary, shard_id):
+        replica = replica_path(primary, shard_id)
+        path = replica.with_name(replica.name + ".corrupt")
+        path.write_text("{torn json")
+        return path
+
+    def test_find_quarantined_only_sees_corrupt_replicas(self, tmp_path):
+        primary = tmp_path / "tuning.json"
+        quarantined = self.make_quarantined(primary, 0)
+        replica_path(primary, 1).write_text("{}")  # a healthy replica
+        (tmp_path / "other.json.corrupt").write_text("x")  # a foreign file
+        assert find_quarantined(primary) == (quarantined,)
+        # Quarantine files are invisible to replica discovery (never merged).
+        assert quarantined not in find_replicas(primary)
+
+    def test_prune_drops_only_files_past_the_retention(self, tmp_path):
+        import os
+
+        primary = tmp_path / "tuning.json"
+        old = self.make_quarantined(primary, 0)
+        fresh = self.make_quarantined(primary, 1)
+        two_days_ago = 1_700_000_000.0
+        os.utime(old, (two_days_ago, two_days_ago))
+        now = two_days_ago + 2 * 24 * 3600.0
+        os.utime(fresh, (now - 60.0, now - 60.0))
+
+        dropped = prune_quarantine(primary, now=now)
+        assert dropped == (old,)
+        assert not old.exists()
+        assert fresh.exists()
+
+    def test_prune_with_zero_retention_drops_everything(self, tmp_path):
+        primary = tmp_path / "tuning.json"
+        paths = [self.make_quarantined(primary, shard_id) for shard_id in (0, 1, 5)]
+        dropped = prune_quarantine(primary, max_age_s=0.0)
+        assert sorted(dropped) == sorted(paths)
+        assert find_quarantined(primary) == ()
+
+    def test_prune_on_empty_directory_is_a_no_op(self, tmp_path):
+        assert prune_quarantine(tmp_path / "tuning.json") == ()
