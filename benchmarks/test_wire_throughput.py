@@ -1,0 +1,168 @@
+"""Fast-wire non-regression: the warm TCP path and the v2 binary frames.
+
+Two floors guard the shard tier's hot path:
+
+* **warm TCP throughput** — requests/sec for already-served families
+  through a real localhost TCP socket (supervisor → listener → reply),
+  crossing the full path the paper's serving tier uses in production:
+  consistent-hash routing, envelope encode, coalesced socket flush,
+  stream framing, decode, future resolution.  Submitted as one batch so
+  the sender threads can coalesce; the floor is deliberately conservative
+  (CI machines are noisy) but catches order-of-magnitude regressions like
+  an accidental per-request Nagle stall or a re-introduced per-ping
+  ``json.dumps``.
+* **v2 beats v1 on kernel-artifact replies** — the point of the binary
+  payload frames: a pickled-kernel reply must be *smaller* on the wire
+  (no base64, no JSON string-escaping) and *faster* to encode+decode than
+  its v1 JSON form.  Both are asserted strictly; the measured numbers
+  land in the BENCH artifact via ``extra_info``.
+"""
+
+import queue
+import socket
+import threading
+import time
+
+from repro.serve import (
+    KernelServer,
+    ServeRequest,
+    ShardSupervisor,
+    serve_shard_tcp,
+)
+from repro.serve import protocol
+from repro.serve.client import serve_many
+
+BITS = 128
+SIZE = 16
+
+#: Warm requests/sec over real TCP must stay above this (conservative) floor.
+REQUIRED_WARM_TCP_RPS = 200.0
+
+_WARM_REQUESTS = 300
+_CODEC_REPS = 30
+
+
+def _start_listener():
+    bound: queue.Queue = queue.Queue()
+    thread = threading.Thread(
+        target=serve_shard_tcp,
+        kwargs=dict(
+            host="127.0.0.1", port=0, shard_id=0, workers=2, on_bound=bound.put
+        ),
+        daemon=True,
+    )
+    thread.start()
+    return bound.get(timeout=60), thread
+
+
+def _shut_down_listener(address, thread):
+    try:
+        sock = socket.create_connection(address, timeout=5)
+    except OSError:
+        return  # already gone
+    connection = protocol.StreamConnection(sock)
+    try:
+        connection.send_bytes(
+            protocol.encode_message(
+                protocol.HelloCall(
+                    request_id=1,
+                    protocol_version=protocol.PROTOCOL_VERSION,
+                    shard_id=-1,
+                    trust=protocol.TRUST_SOURCE,
+                )
+            )
+        )
+        connection.recv_bytes()  # the hello reply
+        connection.send_bytes(
+            protocol.encode_message(protocol.ShutdownCall(request_id=2))
+        )
+    except (OSError, EOFError):
+        pass
+    finally:
+        connection.close()
+    thread.join(timeout=60)
+
+
+def _measure_tcp():
+    address, thread = _start_listener()
+    supervisor = ShardSupervisor(shards=0, devices=("rtx4090",), connect=(address,))
+    try:
+        request = ServeRequest(kind="ntt", bits=BITS, size=SIZE)
+        supervisor.serve(request)  # tune + compile once; everything after is warm
+
+        started = time.perf_counter()
+        results = serve_many(supervisor, [request] * _WARM_REQUESTS)
+        elapsed = time.perf_counter() - started
+        assert len(results) == _WARM_REQUESTS
+        assert all(result.warm for result in results)
+
+        wire = supervisor.wire_snapshot()
+        return _WARM_REQUESTS / elapsed, wire
+    finally:
+        supervisor.close()
+        _shut_down_listener(address, thread)
+
+
+def _measure_codec():
+    with KernelServer(devices=("rtx4090",)) as server:
+        result = server.serve(ServeRequest(kind="ntt", bits=BITS, size=SIZE))
+    reply = protocol.ServeReply(request_id=1, result=result)
+
+    def round_trip_seconds(version):
+        samples = []
+        for _ in range(_CODEC_REPS):
+            started = time.perf_counter()
+            data = protocol.encode_message(reply, version=version)
+            decoded = protocol.decode_message(data, allow_pickled=True)
+            samples.append(time.perf_counter() - started)
+            assert decoded.request_id == 1
+        # min, not mean: the best observed run is the least noisy estimate
+        # of the codec's intrinsic cost on a shared CI machine.
+        return min(samples), len(data)
+
+    v1_seconds, v1_bytes = round_trip_seconds(protocol.PROTOCOL_VERSION)
+    v2_seconds, v2_bytes = round_trip_seconds(protocol.PROTOCOL_VERSION_2)
+    return v1_seconds, v1_bytes, v2_seconds, v2_bytes
+
+
+def test_warm_tcp_throughput_floor(run_once, benchmark):
+    rps, wire = run_once(_measure_tcp)
+    benchmark.extra_info["warm_tcp_requests_per_s"] = rps
+    benchmark.extra_info["wire_messages_sent"] = wire.messages_sent
+    benchmark.extra_info["wire_flushes"] = wire.flushes
+    benchmark.extra_info["wire_coalescing_ratio"] = wire.coalescing_ratio
+    print(
+        f"\n# warm TCP {rps:8.0f} req/s "
+        f"({wire.messages_sent} messages in {wire.flushes} flushes, "
+        f"{wire.coalescing_ratio:.2f} msgs/flush)"
+    )
+    # The coalescer must actually coalesce: batched submission lands more
+    # than one message per socket flush on average.
+    assert wire.flushes < wire.messages_sent
+    assert rps >= REQUIRED_WARM_TCP_RPS, (
+        f"warm TCP serving ran at {rps:.0f} req/s; "
+        f"expected at least {REQUIRED_WARM_TCP_RPS:.0f} req/s"
+    )
+
+
+def test_v2_frames_beat_v1_on_kernel_replies(run_once, benchmark):
+    v1_seconds, v1_bytes, v2_seconds, v2_bytes = run_once(_measure_codec)
+    benchmark.extra_info["v1_reply_bytes"] = v1_bytes
+    benchmark.extra_info["v2_reply_bytes"] = v2_bytes
+    benchmark.extra_info["v1_roundtrip_us"] = v1_seconds * 1e6
+    benchmark.extra_info["v2_roundtrip_us"] = v2_seconds * 1e6
+    shrink = 1.0 - v2_bytes / v1_bytes
+    speedup = v1_seconds / v2_seconds
+    print(
+        f"\n# kernel reply v1 {v1_bytes} B / {v1_seconds * 1e6:.0f} us, "
+        f"v2 {v2_bytes} B / {v2_seconds * 1e6:.0f} us "
+        f"({shrink:.1%} smaller, {speedup:.2f}x faster)"
+    )
+    assert v2_bytes < v1_bytes, (
+        f"v2 kernel reply ({v2_bytes} B) should be smaller than v1 "
+        f"({v1_bytes} B): binary frames exist to drop the base64 tax"
+    )
+    assert v2_seconds < v1_seconds, (
+        f"v2 round-trip ({v2_seconds * 1e6:.0f} us) should beat v1 "
+        f"({v1_seconds * 1e6:.0f} us) on kernel-artifact replies"
+    )

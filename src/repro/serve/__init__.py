@@ -24,9 +24,10 @@ winners to heavy concurrent traffic from one long-running process:
 One process stops scaling eventually; the **sharded tier** spreads kernel
 families across server processes:
 
-* :mod:`repro.serve.protocol` — the versioned JSON wire protocol
+* :mod:`repro.serve.protocol` — the versioned wire protocol
   (``ServeCall``/``ServeReply``/``StatsCall``/...; artifacts as source text
-  or pickled ``python_exec`` kernels; the TCP handshake and trust levels);
+  or pickled ``python_exec`` kernels; the TCP handshake, trust levels, and
+  the v1 JSON / v2 binary-frame encodings negotiated per connection);
 * :mod:`repro.serve.shard` — :class:`ShardRouter` (consistent hashing of
   (kernel-family fingerprint, device) onto shards), the shard process
   main loop, and :func:`serve_shard_tcp` (the same loop behind a TCP
@@ -48,6 +49,7 @@ from repro.serve.client import (
     ServedNTT,
     serve_blas_kernel,
     serve_blas_kernels,
+    serve_many,
     serve_ntt_kernel,
 )
 from repro.serve.invalidate import (
@@ -56,9 +58,11 @@ from repro.serve.invalidate import (
     find_stale,
     invalidate_stale,
 )
-from repro.serve.metrics import MetricsSnapshot, ServerMetrics
+from repro.serve.metrics import MetricsSnapshot, ServerMetrics, WireSnapshot
 from repro.serve.protocol import (
+    MAX_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
+    PROTOCOL_VERSION_2,
     TRUST_PICKLED,
     TRUST_SOURCE,
     ShardStats,
@@ -78,9 +82,12 @@ __all__ = [
     "ServeRequest",
     "ServeResult",
     "PROTOCOL_VERSION",
+    "PROTOCOL_VERSION_2",
+    "MAX_PROTOCOL_VERSION",
     "TRUST_SOURCE",
     "TRUST_PICKLED",
     "ShardStats",
+    "WireSnapshot",
     "ShardRouter",
     "serve_shard_tcp",
     "ClusterStats",
@@ -97,6 +104,7 @@ __all__ = [
     "invalidate_stale",
     "ServedNTT",
     "ServedBlasEngine",
+    "serve_many",
     "serve_ntt_kernel",
     "serve_blas_kernel",
     "serve_blas_kernels",

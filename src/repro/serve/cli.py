@@ -117,6 +117,24 @@ def build_parser() -> argparse.ArgumentParser:
         "explicitly trust each other",
     )
     parser.add_argument(
+        "--pool",
+        type=int,
+        default=2,
+        metavar="N",
+        help="with --connect: keep-alive connections per remote shard "
+        "(applies when the handshake negotiates protocol v2; default 2)",
+    )
+    parser.add_argument(
+        "--protocol",
+        type=int,
+        choices=(protocol.PROTOCOL_VERSION, protocol.PROTOCOL_VERSION_2),
+        default=protocol.MAX_PROTOCOL_VERSION,
+        metavar="V",
+        help="highest wire version to negotiate with shards (default "
+        f"{protocol.MAX_PROTOCOL_VERSION}; pass 1 to force JSON framing "
+        "during a mixed-version rollout)",
+    )
+    parser.add_argument(
         "--devices",
         nargs="+",
         choices=sorted(DEVICES),
@@ -297,6 +315,8 @@ def _main_sharded(args: argparse.Namespace, shards: int) -> int:
         workers=args.workers,
         connect=_connect_addresses(args),
         remote_trust=args.trust,
+        pool=args.pool,
+        max_protocol=args.protocol,
     )
     try:
         if args.once:
@@ -340,6 +360,7 @@ def _main_listen(args: argparse.Namespace) -> int:
             workers=args.workers,
             trust=args.trust,
             on_bound=announce,
+            max_protocol=args.protocol,
         )
     except KeyboardInterrupt:
         pass

@@ -34,12 +34,29 @@ from repro.tune.space import BLAS, NTT
 ServerLike = KernelServer | ShardSupervisor
 
 __all__ = [
+    "serve_many",
     "serve_ntt_kernel",
     "serve_blas_kernel",
     "serve_blas_kernels",
     "ServedNTT",
     "ServedBlasEngine",
 ]
+
+
+def serve_many(server: ServerLike, requests) -> list[ServeResult]:
+    """Serve a batch of requests, submitting all before awaiting any.
+
+    The batch-friendly front door: against a :class:`ShardSupervisor`, all
+    N submissions land in the per-connection outboxes before the first
+    result is awaited, so the sender threads coalesce them into a handful
+    of socket flushes instead of N request/reply round-trips in lockstep.
+    Results come back in request order; a failed request raises when its
+    position is reached (earlier results are still returned to callers
+    that catch per-future instead — use ``server.submit`` directly for
+    per-request error handling).
+    """
+    futures = [server.submit(request) for request in requests]
+    return [future.result() for future in futures]
 
 
 def serve_ntt_kernel(

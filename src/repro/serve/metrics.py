@@ -26,6 +26,8 @@ from dataclasses import dataclass
 __all__ = [
     "MetricsSnapshot",
     "ServerMetrics",
+    "WireProfile",
+    "WireSnapshot",
     "HISTOGRAM_BUCKET_BOUNDS_MS",
     "latency_histogram",
     "percentile_from_histogram",
@@ -160,6 +162,109 @@ class MetricsSnapshot:
                 f"cold p50 {self.cold_p50_latency_ms:.3f} ms)",
             ]
         )
+
+
+@dataclass(frozen=True)
+class WireSnapshot:
+    """One immutable view of the supervisor's wire-path costs.
+
+    Attributes:
+        messages_sent: request messages encoded and enqueued for shards.
+        messages_received: reply messages decoded from shards.
+        flushes: socket/pipe flush operations that carried those messages
+            (coalescing shows up as ``messages_sent / flushes`` > 1).
+        bytes_sent: encoded request bytes handed to transports.
+        bytes_received: reply bytes pulled off transports.
+        encode_s: wall time spent in ``encode_message`` on the warm path.
+        decode_s: wall time spent in ``decode_message`` on reply frames.
+        route_s: wall time spent picking a shard in the router.
+        flush_s: wall time spent writing/flushing batches to transports.
+    """
+
+    messages_sent: int
+    messages_received: int
+    flushes: int
+    bytes_sent: int
+    bytes_received: int
+    encode_s: float
+    decode_s: float
+    route_s: float
+    flush_s: float
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Mean messages per flush (1.0 = no batching; 0.0 when unused)."""
+        return self.messages_sent / self.flushes if self.flushes else 0.0
+
+    def report(self) -> str:
+        """Human-readable one-liner for the cluster stats report."""
+        return (
+            f"wire          {self.messages_sent} sent / "
+            f"{self.messages_received} recv in {self.flushes} flushes "
+            f"({self.coalescing_ratio:.2f} msg/flush, "
+            f"{self.bytes_sent} B out, {self.bytes_received} B in; "
+            f"encode {self.encode_s * 1e3:.1f} ms, "
+            f"decode {self.decode_s * 1e3:.1f} ms, "
+            f"route {self.route_s * 1e3:.1f} ms, "
+            f"flush {self.flush_s * 1e3:.1f} ms)"
+        )
+
+
+class WireProfile:
+    """Thread-safe accumulator for the supervisor's wire-path profile.
+
+    Dispatchers, sender threads, and reader threads all record into one
+    instance; :meth:`snapshot` folds it into an immutable
+    :class:`WireSnapshot` for :class:`~repro.serve.ClusterStats`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._messages_sent = 0
+        self._messages_received = 0
+        self._flushes = 0
+        self._bytes_sent = 0
+        self._bytes_received = 0
+        self._encode_s = 0.0
+        self._decode_s = 0.0
+        self._route_s = 0.0
+        self._flush_s = 0.0
+
+    def record_send(self, size: int, encode_s: float, route_s: float = 0.0) -> None:
+        """Count one encoded request message of ``size`` bytes."""
+        with self._lock:
+            self._messages_sent += 1
+            self._bytes_sent += size
+            self._encode_s += encode_s
+            self._route_s += route_s
+
+    def record_receive(self, size: int, decode_s: float) -> None:
+        """Count one decoded reply message of ``size`` bytes."""
+        with self._lock:
+            self._messages_received += 1
+            self._bytes_received += size
+            self._decode_s += decode_s
+
+    def record_flush(self, elapsed_s: float) -> None:
+        """Count one transport flush (however many messages it carried)."""
+        with self._lock:
+            self._flushes += 1
+            self._flush_s += elapsed_s
+
+    def snapshot(self) -> WireSnapshot:
+        """Fold the counters into an immutable snapshot."""
+        with self._lock:
+            return WireSnapshot(
+                messages_sent=self._messages_sent,
+                messages_received=self._messages_received,
+                flushes=self._flushes,
+                bytes_sent=self._bytes_sent,
+                bytes_received=self._bytes_received,
+                encode_s=self._encode_s,
+                decode_s=self._decode_s,
+                route_s=self._route_s,
+                flush_s=self._flush_s,
+            )
 
 
 class ServerMetrics:

@@ -53,13 +53,37 @@ explicit operator opt-in on both ends).  Everything else runs **source-only**
 downgraded to their generated source text before the wire
 (:func:`source_only_result`) and pickled payloads are rejected on arrival.
 
-**Versioning rules.**  :data:`PROTOCOL_VERSION` is bumped on any
-incompatible change (renamed fields, new required fields, changed artifact
-encodings).  A decoder rejects any envelope whose version differs from its
-own with :class:`~repro.errors.ProtocolError` — shards and supervisor are
-always started from the same build, so cross-version negotiation is
-deliberately out of scope.  Additive, optional payload fields may ride
-within a version: decoders ignore unknown payload keys.
+**Protocol v2: out-of-band binary payload frames.**  v1 ships everything —
+including multi-kilobyte kernel artifacts — inside the JSON envelope, which
+costs base64 (+33% size, two copies) for pickles and JSON string-escaping
+for kernel source.  v2 keeps the JSON envelope for control fields but moves
+artifact bodies out of band: a v2 message is one byte blob
+
+.. code-block:: text
+
+    b"\\x93MS2"            4-byte magic (not valid UTF-8, so a v1 decoder
+                           rejects it cleanly instead of mis-parsing)
+    u32 BE                 envelope length
+    envelope JSON          {"moma-serve": 2, "type": ..., "payload": ...,
+                           "frames": [len0, len1, ...]}
+    per frame: u32 BE length (must match the envelope's declared length)
+               + the raw bytes
+
+and payload fields reference frames by index (``{"encoding": "source",
+"frame": 0}``) instead of embedding the bytes.  Kernel source crosses as
+raw UTF-8, pickled kernels as raw pickle bytes — no base64, no escaping,
+and decode slices the blob with memoryviews instead of copying.
+
+**Version negotiation.**  Every build decodes *both* encodings (the magic
+disambiguates), so the envelope version only gates what a sender may
+*emit*: the hello handshake carries an additive ``max_protocol`` field
+(ignored by v1 decoders, absent → 1) and both ends speak
+:func:`negotiate_version` of the two maxima for the rest of the
+connection.  A v1 peer therefore keeps working against a v2 build: the
+handshake frames themselves are always v1-encoded, and the session
+negotiates down to v1.  :data:`PROTOCOL_VERSION` (the v1 envelope version)
+is still bumped on any *incompatible* change; additive, optional payload
+fields may ride within a version — decoders ignore unknown payload keys.
 """
 
 from __future__ import annotations
@@ -82,6 +106,9 @@ from repro.serve.server import ServeRequest, ServeResult
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "PROTOCOL_VERSION_2",
+    "MAX_PROTOCOL_VERSION",
+    "FRAME_MAGIC",
     "MAX_FRAME_BYTES",
     "TRUST_SOURCE",
     "TRUST_PICKLED",
@@ -97,19 +124,37 @@ __all__ = [
     "HelloReply",
     "ShutdownCall",
     "negotiate_trust",
+    "negotiate_version",
     "encode_artifact",
     "decode_artifact",
     "source_only_result",
     "encode_message",
     "decode_message",
+    "encode_ping",
+    "encode_pong",
     "write_message",
     "read_frame",
     "read_message",
     "StreamConnection",
 ]
 
-#: Bumped on every incompatible wire change; decoders reject other versions.
+#: The v1 (JSON-only) envelope version — the baseline every build speaks.
+#: Bumped on every *incompatible* wire change; a JSON decoder rejects other
+#: versions.  The binary-frame container (v2) is negotiated, not pinned.
 PROTOCOL_VERSION = 1
+
+#: The binary-frame container version: JSON envelope for control fields,
+#: artifact bodies as out-of-band length-prefixed byte frames.
+PROTOCOL_VERSION_2 = 2
+
+#: The highest protocol version this build can speak.  What a connection
+#: actually uses is :func:`negotiate_version` of both ends' maxima.
+MAX_PROTOCOL_VERSION = PROTOCOL_VERSION_2
+
+#: First bytes of every v2 message blob.  0x93 is an invalid UTF-8 lead
+#: byte, so a v1 (JSON-only) decoder fails cleanly with "undecodable wire
+#: message" instead of half-parsing a binary container.
+FRAME_MAGIC = b"\x93MS2"
 
 _ENVELOPE_KEY = "moma-serve"
 
@@ -147,35 +192,89 @@ def negotiate_trust(requested: str, policy: str) -> str:
     return TRUST_SOURCE
 
 
+def negotiate_version(local_max: int, peer_max: object) -> int:
+    """The protocol version a connection speaks: the lower of the two maxima.
+
+    ``peer_max`` comes off the wire (the hello's additive ``max_protocol``
+    field; a v1 peer never sends it and defaults to 1), so it is validated
+    here: a non-integer or sub-1 claim is a protocol violation.
+    """
+    if not isinstance(peer_max, int) or isinstance(peer_max, bool) or peer_max < 1:
+        raise ProtocolError(f"peer advertised impossible protocol version {peer_max!r}")
+    return min(local_max, peer_max)
+
+
 # -- artifact encodings ------------------------------------------------------
 
 SOURCE_ENCODING = "source"
 PICKLED_KERNEL_ENCODING = "pickled_kernel"
 
 
-def encode_artifact(artifact: object) -> dict:
-    """One served artifact as a JSON-safe ``{"encoding", "data"}`` pair."""
+def encode_artifact(artifact: object, frames: list | None = None) -> dict:
+    """One served artifact in its wire form.
+
+    With ``frames is None`` (the v1 path) the result is a JSON-safe
+    ``{"encoding", "data"}`` pair: source text passes through verbatim
+    (never pickled, never base64'd) and executable kernels ship as a
+    base64-encoded pickle.  With a ``frames`` list (the v2 path) the body
+    goes **out of band**: the raw bytes — UTF-8 source, or the pickle with
+    no base64 round-trip — are appended to ``frames`` and the returned pair
+    is ``{"encoding", "frame"}``, referencing the payload frame by index.
+    """
     if isinstance(artifact, str):
-        return {"encoding": SOURCE_ENCODING, "data": artifact}
+        if frames is None:
+            return {"encoding": SOURCE_ENCODING, "data": artifact}
+        frames.append(artifact.encode("utf-8"))
+        return {"encoding": SOURCE_ENCODING, "frame": len(frames) - 1}
     if isinstance(artifact, CompiledKernel):
-        payload = base64.b64encode(pickle.dumps(artifact)).decode("ascii")
-        return {"encoding": PICKLED_KERNEL_ENCODING, "data": payload}
+        payload = pickle.dumps(artifact)
+        if frames is None:
+            return {
+                "encoding": PICKLED_KERNEL_ENCODING,
+                "data": base64.b64encode(payload).decode("ascii"),
+            }
+        frames.append(payload)
+        return {"encoding": PICKLED_KERNEL_ENCODING, "frame": len(frames) - 1}
     raise ProtocolError(
         f"cannot encode artifact of type {type(artifact).__name__} for the wire"
     )
 
 
-def decode_artifact(payload: dict, allow_pickled: bool = False) -> object:
-    """Rebuild an artifact from its wire form.
+def _artifact_body(payload: dict, frames) -> bytes | None:
+    """The out-of-band bytes a v2 artifact payload references, or ``None``."""
+    if "frame" not in payload:
+        return None
+    index = payload["frame"]
+    if frames is None:
+        raise ProtocolError("artifact references a payload frame, but the message carries none")
+    if not isinstance(index, int) or isinstance(index, bool) or not 0 <= index < len(frames):
+        raise ProtocolError(
+            f"artifact frame index {index!r} out of range (message has {len(frames)} frames)"
+        )
+    return frames[index]
+
+
+def decode_artifact(payload: dict, allow_pickled: bool = False, frames=None) -> object:
+    """Rebuild an artifact from its wire form (inline data or a v2 frame).
 
     ``allow_pickled`` gates the ``pickled_kernel`` encoding: unpickling
     executes code, so it must only be enabled for transports connected to
-    processes this one spawned (the supervisor's own shards).
+    processes this one spawned (the supervisor's own shards).  ``frames``
+    is the message's out-of-band payload frames when decoding v2.
     """
-    if not isinstance(payload, dict) or "encoding" not in payload or "data" not in payload:
+    if not isinstance(payload, dict) or "encoding" not in payload:
         raise ProtocolError(f"malformed artifact payload: {payload!r}")
-    encoding, data = payload["encoding"], payload["data"]
+    body = _artifact_body(payload, frames)
+    if body is None and "data" not in payload:
+        raise ProtocolError(f"malformed artifact payload: {payload!r}")
+    encoding = payload["encoding"]
     if encoding == SOURCE_ENCODING:
+        if body is not None:
+            try:
+                return str(body, "utf-8")
+            except UnicodeDecodeError as error:
+                raise ProtocolError(f"source artifact frame is not UTF-8: {error}") from None
+        data = payload["data"]
         if not isinstance(data, str):
             raise ProtocolError("source artifact data must be text")
         return data
@@ -186,7 +285,9 @@ def decode_artifact(payload: dict, allow_pickled: bool = False) -> object:
                 "transport (pass allow_pickled=True only for spawned shards)"
             )
         try:
-            artifact = pickle.loads(base64.b64decode(data))
+            if body is None:
+                body = base64.b64decode(payload["data"])
+            artifact = pickle.loads(body)
         except Exception as error:  # noqa: BLE001 - any unpickle failure is protocol-level
             raise ProtocolError(f"corrupt pickled kernel artifact: {error}") from None
         if not isinstance(artifact, CompiledKernel):
@@ -256,10 +357,10 @@ def _decode_request(payload: dict) -> ServeRequest:
     return _rebuild(ServeRequest, payload, "serve request")
 
 
-def _encode_result(result: ServeResult) -> dict:
+def _encode_result(result: ServeResult, frames: list | None = None) -> dict:
     return {
         "request": _encode_request(result.request),
-        "artifact": encode_artifact(result.artifact),
+        "artifact": encode_artifact(result.artifact, frames),
         "config": dataclasses.asdict(result.config),
         "fingerprint": result.fingerprint,
         "cache_key": result.cache_key,
@@ -269,12 +370,14 @@ def _encode_result(result: ServeResult) -> dict:
     }
 
 
-def _decode_result(payload: dict, allow_pickled: bool) -> ServeResult:
+def _decode_result(payload: dict, allow_pickled: bool, frames=None) -> ServeResult:
     if not isinstance(payload, dict):
         raise ProtocolError(f"malformed serve result payload: {payload!r}")
     fields = dict(payload)
     fields["request"] = _decode_request(fields.get("request"))
-    fields["artifact"] = decode_artifact(fields.get("artifact"), allow_pickled=allow_pickled)
+    fields["artifact"] = decode_artifact(
+        fields.get("artifact"), allow_pickled=allow_pickled, frames=frames
+    )
     fields["config"] = _rebuild(KernelConfig, fields.get("config"), "kernel config")
     fields["tuning"] = _decode_tuning(fields.get("tuning"))
     return _rebuild(ServeResult, fields, "serve result")
@@ -389,17 +492,22 @@ class PongReply:
 class HelloCall:
     """The supervisor's first frame on a fresh TCP connection.
 
-    Pins the protocol version explicitly (belt and braces over the envelope
-    gate: a version mismatch must fail *before* any payload is trusted),
-    assigns the shard the ring id it answers as for this session, and
-    requests a transport trust level (:data:`TRUST_SOURCE` /
-    :data:`TRUST_PICKLED`).
+    Pins the *baseline* protocol version explicitly (belt and braces over
+    the envelope gate: a version mismatch must fail *before* any payload is
+    trusted), assigns the shard the ring id it answers as for this session,
+    and requests a transport trust level (:data:`TRUST_SOURCE` /
+    :data:`TRUST_PICKLED`).  ``max_protocol`` is the **additive** version
+    negotiation field: the highest version the supervisor can speak.  A v1
+    peer ignores the unknown key (and never sends one, so it defaults to 1
+    on decode); both ends then speak :func:`negotiate_version` of the two
+    maxima for the rest of the connection.
     """
 
     request_id: int
     protocol_version: int
     shard_id: int
     trust: str
+    max_protocol: int = 1
 
 
 @dataclass(frozen=True)
@@ -408,7 +516,9 @@ class HelloReply:
 
     ``trust`` is :func:`negotiate_trust` of the supervisor's request and the
     listener's policy — both sides must honour it for every later frame on
-    the connection.
+    the connection.  ``max_protocol`` mirrors the hello's version
+    negotiation: the highest version this shard can speak (absent from a v1
+    peer's reply, defaulting to 1).
     """
 
     request_id: int
@@ -416,6 +526,7 @@ class HelloReply:
     pid: int
     protocol_version: int
     trust: str
+    max_protocol: int = 1
 
 
 @dataclass(frozen=True)
@@ -456,9 +567,13 @@ def _validate_hello(message):
     """Shared field validation for both handshake directions."""
     if message.trust not in _TRUST_LEVELS:
         raise ProtocolError(f"unknown transport trust level {message.trust!r}")
-    for name in ("request_id", "protocol_version", "shard_id"):
+    for name in ("request_id", "protocol_version", "shard_id", "max_protocol"):
         if not isinstance(getattr(message, name), int):
             raise ProtocolError(f"handshake field {name!r} must be an integer")
+    if message.max_protocol < 1:
+        raise ProtocolError(
+            f"handshake advertises impossible protocol version {message.max_protocol}"
+        )
     return message
 
 
@@ -470,57 +585,70 @@ def _request_id(payload: dict) -> int:
 
 
 #: type tag -> (message class, payload encoder, payload decoder).
+#: Encoders take ``(message, frames)`` — ``frames`` is ``None`` on the v1
+#: path or a list to append out-of-band byte frames to on the v2 path.
+#: Decoders take ``(payload, allow_pickled, frames)`` symmetrically.
 _MESSAGE_TYPES = {
     "serve": (
         ServeCall,
-        lambda m: {"request_id": m.request_id, "request": _encode_request(m.request)},
-        lambda p, allow: ServeCall(
+        lambda m, frames: {
+            "request_id": m.request_id,
+            "request": _encode_request(m.request),
+        },
+        lambda p, allow, frames: ServeCall(
             request_id=_request_id(p), request=_decode_request(p.get("request"))
         ),
     ),
     "result": (
         ServeReply,
-        lambda m: {"request_id": m.request_id, "result": _encode_result(m.result)},
-        lambda p, allow: ServeReply(
+        lambda m, frames: {
+            "request_id": m.request_id,
+            "result": _encode_result(m.result, frames),
+        },
+        lambda p, allow, frames: ServeReply(
             request_id=_request_id(p),
-            result=_decode_result(p.get("result"), allow_pickled=allow),
+            result=_decode_result(p.get("result"), allow_pickled=allow, frames=frames),
         ),
     ),
     "error": (
         ErrorReply,
-        dataclasses.asdict,
-        lambda p, allow: _rebuild(ErrorReply, p, "error reply"),
+        lambda m, frames: dataclasses.asdict(m),
+        lambda p, allow, frames: _rebuild(ErrorReply, p, "error reply"),
     ),
     "stats": (
         StatsCall,
-        dataclasses.asdict,
-        lambda p, allow: StatsCall(request_id=_request_id(p)),
+        lambda m, frames: dataclasses.asdict(m),
+        lambda p, allow, frames: StatsCall(request_id=_request_id(p)),
     ),
-    "stats-result": (StatsReply, _stats_to_payload, _stats_from_payload),
+    "stats-result": (
+        StatsReply,
+        lambda m, frames: _stats_to_payload(m),
+        lambda p, allow, frames: _stats_from_payload(p, allow),
+    ),
     "ping": (
         PingCall,
-        dataclasses.asdict,
-        lambda p, allow: PingCall(request_id=_request_id(p)),
+        lambda m, frames: dataclasses.asdict(m),
+        lambda p, allow, frames: PingCall(request_id=_request_id(p)),
     ),
     "pong": (
         PongReply,
-        dataclasses.asdict,
-        lambda p, allow: _rebuild(PongReply, p, "pong reply"),
+        lambda m, frames: dataclasses.asdict(m),
+        lambda p, allow, frames: _rebuild(PongReply, p, "pong reply"),
     ),
     "hello": (
         HelloCall,
-        dataclasses.asdict,
-        lambda p, allow: _validate_hello(_rebuild(HelloCall, p, "hello")),
+        lambda m, frames: dataclasses.asdict(m),
+        lambda p, allow, frames: _validate_hello(_rebuild(HelloCall, p, "hello")),
     ),
     "hello-reply": (
         HelloReply,
-        dataclasses.asdict,
-        lambda p, allow: _validate_hello(_rebuild(HelloReply, p, "hello reply")),
+        lambda m, frames: dataclasses.asdict(m),
+        lambda p, allow, frames: _validate_hello(_rebuild(HelloReply, p, "hello reply")),
     ),
     "shutdown": (
         ShutdownCall,
-        dataclasses.asdict,
-        lambda p, allow: ShutdownCall(request_id=_request_id(p)),
+        lambda m, frames: dataclasses.asdict(m),
+        lambda p, allow, frames: ShutdownCall(request_id=_request_id(p)),
     ),
 }
 
@@ -541,24 +669,127 @@ Message = (
 )
 
 
-def encode_message(message: Message) -> bytes:
-    """One message as UTF-8 JSON inside the versioned envelope."""
+def encode_message(message: Message, version: int = PROTOCOL_VERSION) -> bytes:
+    """One message in its wire form at ``version``.
+
+    ``version=1`` (the default, and what every pre-negotiation frame uses)
+    is UTF-8 JSON inside the versioned envelope.  ``version=2`` is the
+    binary container: magic, length-prefixed JSON envelope, then the
+    message's out-of-band payload frames, each length-prefixed and declared
+    in the envelope's ``"frames"`` list.  Only send v2 on connections that
+    negotiated it — a v1 peer rejects the container.
+    """
     tag = _TYPE_OF_CLASS.get(type(message))
     if tag is None:
         raise ProtocolError(f"cannot encode message of type {type(message).__name__}")
     _, encode, _ = _MESSAGE_TYPES[tag]
-    envelope = {_ENVELOPE_KEY: PROTOCOL_VERSION, "type": tag, "payload": encode(message)}
-    return json.dumps(envelope, sort_keys=True).encode("utf-8")
+    if version == PROTOCOL_VERSION:
+        envelope = {
+            _ENVELOPE_KEY: PROTOCOL_VERSION,
+            "type": tag,
+            "payload": encode(message, None),
+        }
+        return json.dumps(envelope, sort_keys=True).encode("utf-8")
+    if version == PROTOCOL_VERSION_2:
+        frames: list[bytes] = []
+        payload = encode(message, frames)
+        envelope = {
+            _ENVELOPE_KEY: PROTOCOL_VERSION_2,
+            "type": tag,
+            "payload": payload,
+            "frames": [len(frame) for frame in frames],
+        }
+        head = json.dumps(envelope, sort_keys=True).encode("utf-8")
+        parts = [FRAME_MAGIC, len(head).to_bytes(4, "big"), head]
+        for frame in frames:
+            parts.append(len(frame).to_bytes(4, "big"))
+            parts.append(frame)
+        return b"".join(parts)
+    raise ProtocolError(f"cannot encode protocol version {version!r}")
+
+
+def _decode_v2(data: bytes, allow_pickled: bool) -> Message:
+    """Decode one binary-container message (the bytes after magic-detection).
+
+    Every structural violation — a truncated envelope, a payload frame
+    whose length prefix disagrees with the envelope's declaration, a
+    truncated or over-long final frame, trailing garbage — raises
+    :class:`~repro.errors.ProtocolError`; frames are handed to payload
+    decoders as memoryview slices, so no byte of an artifact body is copied
+    until its consumer asks for it.
+    """
+    view = memoryview(data)
+    offset = len(FRAME_MAGIC)
+    if len(view) < offset + 4:
+        raise ProtocolError("truncated v2 message: missing envelope length")
+    head_length = int.from_bytes(view[offset : offset + 4], "big")
+    offset += 4
+    if head_length == 0 or head_length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"implausible v2 envelope length {head_length}")
+    if len(view) < offset + head_length:
+        raise ProtocolError("truncated v2 message: envelope shorter than declared")
+    try:
+        envelope = json.loads(str(view[offset : offset + head_length], "utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable v2 envelope: {error}") from None
+    offset += head_length
+    if not isinstance(envelope, dict) or _ENVELOPE_KEY not in envelope:
+        raise ProtocolError("v2 message is not a moma-serve envelope")
+    version = envelope[_ENVELOPE_KEY]
+    if version != PROTOCOL_VERSION_2:
+        raise ProtocolError(
+            f"v2 container carries envelope version {version!r}, expected "
+            f"{PROTOCOL_VERSION_2}"
+        )
+    declared = envelope.get("frames", [])
+    if not isinstance(declared, list) or not all(
+        isinstance(length, int) and not isinstance(length, bool) and 0 <= length <= MAX_FRAME_BYTES
+        for length in declared
+    ):
+        raise ProtocolError(f"malformed v2 frame table: {declared!r}")
+    frames = []
+    for index, length in enumerate(declared):
+        if len(view) < offset + 4:
+            raise ProtocolError(f"truncated v2 message: missing frame {index} length")
+        prefixed = int.from_bytes(view[offset : offset + 4], "big")
+        offset += 4
+        if prefixed != length:
+            raise ProtocolError(
+                f"v2 frame {index} length mismatch: envelope declares {length}, "
+                f"frame prefix says {prefixed}"
+            )
+        if len(view) < offset + length:
+            raise ProtocolError(
+                f"truncated v2 message: frame {index} shorter than declared"
+            )
+        frames.append(view[offset : offset + length])
+        offset += length
+    if offset != len(view):
+        raise ProtocolError(
+            f"v2 message carries {len(view) - offset} trailing bytes after its frames"
+        )
+    tag = envelope.get("type")
+    if tag not in _MESSAGE_TYPES:
+        raise ProtocolError(f"unknown message type {tag!r}")
+    _, _, decode = _MESSAGE_TYPES[tag]
+    payload = envelope.get("payload")
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"message {tag!r} carries no payload object")
+    return decode(payload, allow_pickled, tuple(frames))
 
 
 def decode_message(data: bytes, allow_pickled: bool = False) -> Message:
-    """Rebuild a message from its encoded bytes.
+    """Rebuild a message from its encoded bytes (either wire version).
 
-    Rejects non-JSON data, an envelope without this decoder's
-    :data:`PROTOCOL_VERSION`, and unknown message types — all with
-    :class:`~repro.errors.ProtocolError`.  ``allow_pickled`` is forwarded to
-    :func:`decode_artifact` for result messages.
+    The leading bytes disambiguate: :data:`FRAME_MAGIC` selects the v2
+    binary container, anything else is treated as a v1 JSON envelope.
+    Rejects non-JSON v1 data, an envelope with an unknown version, and
+    unknown message types — all with :class:`~repro.errors.ProtocolError`.
+    ``allow_pickled`` is forwarded to :func:`decode_artifact` for result
+    messages.
     """
+    if bytes(data[: len(FRAME_MAGIC)]) == FRAME_MAGIC:
+        return _decode_v2(data, allow_pickled)
     try:
         envelope = json.loads(data.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -569,7 +800,8 @@ def decode_message(data: bytes, allow_pickled: bool = False) -> Message:
     if version != PROTOCOL_VERSION:
         raise ProtocolError(
             f"unsupported protocol version {version!r} (this build speaks "
-            f"{PROTOCOL_VERSION}); restart shards and supervisor from one build"
+            f"{PROTOCOL_VERSION} JSON envelopes and negotiates up to "
+            f"{MAX_PROTOCOL_VERSION} in the handshake)"
         )
     tag = envelope.get("type")
     if tag not in _MESSAGE_TYPES:
@@ -578,7 +810,57 @@ def decode_message(data: bytes, allow_pickled: bool = False) -> Message:
     payload = envelope.get("payload")
     if not isinstance(payload, dict):
         raise ProtocolError(f"message {tag!r} carries no payload object")
-    return decode(payload, allow_pickled)
+    return decode(payload, allow_pickled, None)
+
+
+# -- pre-encoded liveness probes ---------------------------------------------
+
+#: A request-id value that cannot collide with real traffic, used once to
+#: build the ping/pong byte templates below.
+_TEMPLATE_SENTINEL = 987654321987654321
+
+
+def _split_template(message: Message) -> tuple[bytes, bytes]:
+    """(prefix, suffix) of the message's v1 bytes around the sentinel id."""
+    encoded = encode_message(message)
+    prefix, _, suffix = encoded.partition(str(_TEMPLATE_SENTINEL).encode("ascii"))
+    return prefix, suffix
+
+
+_PING_TEMPLATE = _split_template(PingCall(request_id=_TEMPLATE_SENTINEL))
+
+_pong_templates: dict[tuple[int, int], tuple[bytes, bytes]] = {}
+
+
+def encode_ping(request_id: int) -> bytes:
+    """``encode_message(PingCall(request_id))`` from a pre-built template.
+
+    Liveness probes fire every couple of seconds on every remote
+    connection; splicing the request id into pre-encoded bytes skips the
+    per-probe ``json.dumps(sort_keys=True)`` pass entirely.
+    """
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
+        raise ProtocolError(f"ping request_id must be an integer, got {request_id!r}")
+    prefix, suffix = _PING_TEMPLATE
+    return b"%b%d%b" % (prefix, request_id, suffix)
+
+
+def encode_pong(request_id: int, shard_id: int, pid: int) -> bytes:
+    """``encode_message(PongReply(...))`` from a per-(shard, pid) template.
+
+    A shard answers every ping with the same ``shard_id``/``pid``, so the
+    whole reply except the request id is encoded exactly once per process.
+    """
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
+        raise ProtocolError(f"pong request_id must be an integer, got {request_id!r}")
+    template = _pong_templates.get((shard_id, pid))
+    if template is None:
+        template = _split_template(
+            PongReply(request_id=_TEMPLATE_SENTINEL, shard_id=shard_id, pid=pid)
+        )
+        _pong_templates[(shard_id, pid)] = template
+    prefix, suffix = template
+    return b"%b%d%b" % (prefix, request_id, suffix)
 
 
 # -- stream framing ----------------------------------------------------------
@@ -658,6 +940,10 @@ class StreamConnection:
 
     def __init__(self, sock) -> None:
         self._socket = sock
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # AF_UNIX / socketpair transports have no Nagle to disable
         self._reader = sock.makefile("rb")
         self._writer = sock.makefile("wb")
 
@@ -668,6 +954,23 @@ class StreamConnection:
     def send_bytes(self, data: bytes) -> None:
         """Write ``data`` as one frame; ``OSError``/``ValueError`` if closed."""
         self._writer.write(len(data).to_bytes(4, "big") + data)
+        self._writer.flush()
+
+    def send_many(self, payloads) -> None:
+        """Write every payload as its own frame in one buffered flush.
+
+        The coalescing fast path: many pending messages become one
+        ``write``/``flush`` pair (one syscall burst, one TCP segment train)
+        instead of one flush per message.  The receiver still sees ordinary
+        individual frames — this changes only the write-side batching.
+        """
+        chunks = []
+        for data in payloads:
+            chunks.append(len(data).to_bytes(4, "big"))
+            chunks.append(data)
+        if not chunks:
+            return
+        self._writer.write(b"".join(chunks))
         self._writer.flush()
 
     def recv_bytes(self) -> bytes:

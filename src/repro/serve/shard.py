@@ -17,14 +17,16 @@ Two halves live here:
   complete** (out of order; the ``request_id`` correlates them), so one slow
   cold request never blocks a shard's warm traffic.
 * :func:`serve_shard_tcp` — the same serve loop behind a TCP listener, for
-  shards on other machines.  The listener accepts **one supervisor
-  connection at a time**; every connection starts with a
-  :class:`~repro.serve.protocol.HelloCall` handshake that pins the protocol
-  version and negotiates the transport trust level (source-only by
-  default: executable artifacts are downgraded to source text and pickled
-  payloads are rejected — see ``docs/wire-protocol.md``).  When a
-  supervisor disconnects, the shard keeps its warm state and goes back to
-  accepting, so a restarted supervisor reconnects to a hot shard.
+  shards on other machines.  The listener accepts **concurrent supervisor
+  connections** (one session thread each over the shared server — this is
+  what backs the supervisor's per-shard connection pool); every connection
+  starts with a :class:`~repro.serve.protocol.HelloCall` handshake that
+  negotiates the wire version (v1 JSON or v2 binary frames) and the
+  transport trust level (source-only by default: executable artifacts are
+  downgraded to source text and pickled payloads are rejected — see
+  ``docs/wire-protocol.md``).  When a supervisor disconnects, the shard
+  keeps its warm state and goes back to accepting, so a restarted
+  supervisor reconnects to a hot shard.
 
 A shard owns its own :class:`~repro.tune.TuningDatabase` *replica* (its own
 file), so shards never contend on one database file during traffic; the
@@ -206,7 +208,11 @@ def _shard_stats(shard_id: int, server: KernelServer) -> protocol.ShardStats:
 
 
 def _serve_connection(
-    connection, shard_id: int, server: KernelServer, trusted: bool
+    connection,
+    shard_id: int,
+    server: KernelServer,
+    trusted: bool,
+    wire_version: int = protocol.PROTOCOL_VERSION,
 ) -> bool:
     """Serve one supervisor connection until shutdown or disconnect.
 
@@ -217,6 +223,10 @@ def _serve_connection(
     untrusted (source-only) transport, incoming pickled payloads are
     rejected at decode and every outgoing executable artifact is downgraded
     to its source text (:func:`~repro.serve.protocol.source_only_result`).
+    ``wire_version`` is the *negotiated* protocol version replies are
+    encoded at (requests are decoded at whatever version they arrive in —
+    the magic disambiguates); pongs always go out as pre-encoded v1 bytes,
+    which every peer accepts.
 
     Returns ``True`` if a :class:`~repro.serve.protocol.ShutdownCall` asked
     the shard to exit, ``False`` if the supervisor merely went away (EOF or
@@ -224,12 +234,15 @@ def _serve_connection(
     """
     send_lock = threading.Lock()
 
-    def reply(message: protocol.Message) -> None:
+    def reply_bytes(data: bytes) -> None:
         with send_lock:
             try:
-                connection.send_bytes(protocol.encode_message(message))
+                connection.send_bytes(data)
             except (OSError, ValueError):
                 pass  # supervisor is gone; the loop will see EOF and exit
+
+    def reply(message: protocol.Message) -> None:
+        reply_bytes(protocol.encode_message(message, version=wire_version))
 
     def finish(request_id: int, future) -> None:
         try:
@@ -274,12 +287,8 @@ def _serve_connection(
                 )
             )
         elif isinstance(message, protocol.PingCall):
-            reply(
-                protocol.PongReply(
-                    request_id=message.request_id,
-                    shard_id=shard_id,
-                    pid=os.getpid(),
-                )
+            reply_bytes(
+                protocol.encode_pong(message.request_id, shard_id, os.getpid())
             )
         elif isinstance(message, protocol.ShutdownCall):
             return True
@@ -314,12 +323,20 @@ def run_shard(
     its end of the pipe — drains the server and exits.
 
     The pipe transport is fully trusted (the supervisor spawned this very
-    process), so executable artifacts cross as pickles.
+    process), so executable artifacts cross as pickles — and since both
+    ends are by construction the same build, replies use the newest wire
+    version outright (v2 binary frames skip the pickle→base64 inflation).
     """
     db = _open_replica(db_path)
     server = KernelServer(db=db, devices=devices, workers=workers)
     try:
-        _serve_connection(connection, shard_id, server, trusted=True)
+        _serve_connection(
+            connection,
+            shard_id,
+            server,
+            trusted=True,
+            wire_version=protocol.MAX_PROTOCOL_VERSION,
+        )
     finally:
         server.close()
         try:
@@ -328,16 +345,26 @@ def run_shard(
             pass
 
 
-def _accept_handshake(connection, default_shard_id: int, trust_policy: str):
-    """Validate a fresh connection's hello; returns (session shard id, trust).
+def _accept_handshake(
+    connection,
+    default_shard_id: int,
+    trust_policy: str,
+    max_protocol: int = protocol.MAX_PROTOCOL_VERSION,
+):
+    """Validate a fresh connection's hello.
+
+    Returns ``(session shard id, granted trust, negotiated wire version)``.
 
     The first frame must be a :class:`~repro.serve.protocol.HelloCall`
-    pinning this build's protocol version; anything else — a stale
-    supervisor, a port scanner, a version-skewed build — is refused with a
-    best-effort :class:`~repro.serve.protocol.ErrorReply` and a
+    pinning the v1 base protocol; anything else — a stale supervisor, a
+    port scanner, a version-skewed build — is refused with a best-effort
+    :class:`~repro.serve.protocol.ErrorReply` and a
     :class:`~repro.errors.ProtocolError` here (the caller drops the
     connection and keeps listening).  The granted trust is the weaker of
-    the supervisor's request and this listener's policy.
+    the supervisor's request and this listener's policy; the wire version
+    is the *lower* of the peers' maxima (a hello from a build that predates
+    ``max_protocol`` simply negotiates v1), so mixed clusters keep working.
+    The hello exchange itself is always v1-encoded.
     """
     message = protocol.decode_message(connection.recv_bytes())
     if not isinstance(message, protocol.HelloCall):
@@ -350,6 +377,9 @@ def _accept_handshake(connection, default_shard_id: int, trust_policy: str):
             f"this shard speaks {protocol.PROTOCOL_VERSION}"
         )
     granted = protocol.negotiate_trust(message.trust, trust_policy)
+    wire_version = protocol.negotiate_version(
+        max_protocol, getattr(message, "max_protocol", 1)
+    )
     shard_id = message.shard_id if message.shard_id >= 0 else default_shard_id
     connection.send_bytes(
         protocol.encode_message(
@@ -359,10 +389,11 @@ def _accept_handshake(connection, default_shard_id: int, trust_policy: str):
                 pid=os.getpid(),
                 protocol_version=protocol.PROTOCOL_VERSION,
                 trust=granted,
+                max_protocol=max_protocol,
             )
         )
     )
-    return shard_id, granted
+    return shard_id, granted, wire_version
 
 
 def serve_shard_tcp(
@@ -374,21 +405,25 @@ def serve_shard_tcp(
     workers: int = 4,
     trust: str = protocol.TRUST_SOURCE,
     on_bound=None,
+    max_protocol: int = protocol.MAX_PROTOCOL_VERSION,
 ) -> None:
     """Serve one shard over a TCP listener (the ``--listen`` entry point).
 
     One :class:`KernelServer` (with its own tuning-db replica at
     ``db_path``) lives for the whole listener lifetime, so its resident
     table and kernel cache stay warm across supervisor reconnects.  The
-    listener accepts **one supervisor connection at a time**: each accepted
+    listener accepts **concurrent supervisor connections** — each runs its
+    own session thread over the shared server, which is what lets a v2
+    supervisor keep a small connection pool per shard.  Each accepted
     socket must complete a :func:`handshake <_accept_handshake>` within
-    :data:`HANDSHAKE_TIMEOUT_S` (pinning the protocol version, adopting the
+    :data:`HANDSHAKE_TIMEOUT_S` (pinning the v1 base protocol, negotiating
+    the wire version up to ``max_protocol``, adopting the
     supervisor-assigned ring id, and negotiating trust — ``trust`` is the
     most this listener's operator allows, :data:`~repro.serve.protocol.TRUST_SOURCE`
     by default so cross-machine serving never ships executable pickles).
-    A failed handshake or a supervisor disconnect returns the shard to
-    ``accept``; a :class:`~repro.serve.protocol.ShutdownCall` drains the
-    server and exits.
+    A failed handshake or a supervisor disconnect ends only that session;
+    a :class:`~repro.serve.protocol.ShutdownCall` on *any* session closes
+    the listener, drains every session, and exits.
 
     ``port=0`` binds an ephemeral port; ``on_bound`` (if given) is called
     with the listener's ``(host, port)`` once accepting — how tests and the
@@ -398,44 +433,97 @@ def serve_shard_tcp(
     server = KernelServer(db=db, devices=devices, workers=workers)
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-    try:
-        listener.bind((host, port))
-        listener.listen(1)
-        if on_bound is not None:
-            on_bound(listener.getsockname()[:2])
-        while True:
-            sock, _peer = listener.accept()
-            connection = protocol.StreamConnection(sock)
+    shutdown = threading.Event()
+    sessions_lock = threading.Lock()
+    active: list = []  # StreamConnections with a live session thread
+    threads: list = []
+    bound_address: list = []  # [(host, port)] once bound
+
+    def close_listener() -> None:
+        shutdown.set()
+        try:
+            listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        if bound_address:
+            # A thread blocked in accept() does not reliably notice a
+            # cross-thread close on every platform; a self-connection
+            # always wakes it (the loop re-checks ``shutdown`` and exits).
             try:
-                connection.settimeout(HANDSHAKE_TIMEOUT_S)
-                session_id, granted = _accept_handshake(connection, shard_id, trust)
-                connection.settimeout(None)
-            except ProtocolError as error:
-                try:
-                    connection.send_bytes(
-                        protocol.encode_message(
-                            protocol.ErrorReply.from_exception(-1, error)
-                        )
-                    )
-                except (OSError, ValueError):
-                    pass
-                connection.close()
-                continue
-            except (EOFError, OSError):
-                connection.close()
-                continue
-            shutdown = _serve_connection(
-                connection,
-                session_id,
-                server,
-                trusted=granted == protocol.TRUST_PICKLED,
-            )
-            connection.close()
-            if shutdown:
-                break
-    finally:
+                wake = socket.create_connection(bound_address[0], timeout=1.0)
+                wake.close()
+            except OSError:
+                pass
         try:
             listener.close()
         except OSError:
             pass
+
+    def session(connection) -> None:
+        try:
+            connection.settimeout(HANDSHAKE_TIMEOUT_S)
+            session_id, granted, wire_version = _accept_handshake(
+                connection, shard_id, trust, max_protocol
+            )
+            connection.settimeout(None)
+        except ProtocolError as error:
+            try:
+                connection.send_bytes(
+                    protocol.encode_message(
+                        protocol.ErrorReply.from_exception(-1, error)
+                    )
+                )
+            except (OSError, ValueError):
+                pass
+            connection.close()
+            return
+        except (EOFError, OSError):
+            connection.close()
+            return
+        asked_to_stop = _serve_connection(
+            connection,
+            session_id,
+            server,
+            trusted=granted == protocol.TRUST_PICKLED,
+            wire_version=wire_version,
+        )
+        connection.close()
+        if asked_to_stop:
+            # Unblock the accept loop; it tears everything else down.
+            close_listener()
+
+    try:
+        listener.bind((host, port))
+        listener.listen(16)
+        bound_address.append(listener.getsockname()[:2])
+        if on_bound is not None:
+            on_bound(bound_address[0])
+        while not shutdown.is_set():
+            try:
+                sock, _peer = listener.accept()
+            except OSError:
+                break  # a shutdown session closed the listener
+            if shutdown.is_set():
+                sock.close()  # the close_listener wake-up connection
+                break
+            connection = protocol.StreamConnection(sock)
+            thread = threading.Thread(
+                target=session,
+                args=(connection,),
+                name=f"shard-{shard_id}-session",
+                daemon=True,
+            )
+            with sessions_lock:
+                active.append(connection)
+                threads.append(thread)
+            thread.start()
+    finally:
+        shutdown.set()
+        close_listener()
+        with sessions_lock:
+            for connection in active:
+                connection.close()  # unblocks sessions mid-recv
+            pending = list(threads)
+        for thread in pending:
+            thread.join(timeout=5.0)
         server.close()

@@ -26,6 +26,14 @@ unchanged):
   each request's (kernel-family fingerprint, device) onto a shard; all
   traffic for one family lands on one shard and enjoys its resident table
   and in-flight dedup.
+* **The fast wire** — each shard connection is a :class:`_Link` whose
+  sender thread coalesces every call queued since its last flush into one
+  write (out-of-order replies already correlate by ``request_id``, so
+  batching the write path changes no semantics).  Remote sessions that
+  negotiate protocol v2 in the handshake get a small keep-alive connection
+  *pool* per shard and binary artifact frames on replies; wire-path costs
+  (encode/decode/route/flush time, bytes, messages-per-flush) are profiled
+  into :attr:`ClusterStats.wire`.
 * **Monitoring & restart** — a monitor thread watches shard liveness; a
   dead shard's pending requests are re-routed to its ring successors
   (rebalance-on-shard-loss) and the shard is respawned over the same
@@ -50,6 +58,7 @@ import multiprocessing
 import socket
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future, InvalidStateError
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
@@ -66,7 +75,7 @@ from repro.tune.reconcile import (
 # Imported as a module (not a package attribute) so this file is loadable at
 # any point of repro.serve's own package initialization.
 import repro.serve.protocol as protocol
-from repro.serve.metrics import percentile_from_histogram
+from repro.serve.metrics import WireProfile, WireSnapshot, percentile_from_histogram
 from repro.serve.server import ServeRequest, ServeResult
 from repro.serve.shard import DEFAULT_VIRTUAL_NODES, ShardRouter, run_shard
 
@@ -136,7 +145,10 @@ class ClusterStats:
     Counter fields are sums over shards; the percentiles are computed from
     the element-wise sum of the shards' fixed-bucket latency histograms
     (bounded-error approximations — see
-    :func:`~repro.serve.metrics.percentile_from_histogram`).
+    :func:`~repro.serve.metrics.percentile_from_histogram`).  ``wire`` is
+    the supervisor-side wire-path profile (encode/decode/route/flush time
+    and bytes — see :class:`~repro.serve.metrics.WireSnapshot`); ``None``
+    when the caller aggregated shard stats without a supervisor.
     """
 
     shards: tuple[protocol.ShardStats, ...]
@@ -151,6 +163,7 @@ class ClusterStats:
     resident_kernels: int
     p50_latency_ms: float
     p95_latency_ms: float
+    wire: WireSnapshot | None = None
 
     @property
     def warm_rate(self) -> float:
@@ -171,6 +184,8 @@ class ClusterStats:
             f"latency       p50 ≤{self.p50_latency_ms:.3f} ms, "
             f"p95 ≤{self.p95_latency_ms:.3f} ms (merged histograms)",
         ]
+        if self.wire is not None:
+            lines.append(self.wire.report())
         for stats in self.shards:
             lines.append(
                 f"  shard {stats.shard_id} (pid {stats.pid}): "
@@ -181,7 +196,10 @@ class ClusterStats:
         return "\n".join(lines)
 
 
-def aggregate_stats(per_shard: tuple[protocol.ShardStats, ...]) -> ClusterStats:
+def aggregate_stats(
+    per_shard: tuple[protocol.ShardStats, ...],
+    wire: WireSnapshot | None = None,
+) -> ClusterStats:
     """Merge per-shard stats: sum counters, sum histograms, re-percentile."""
     def total(name: str) -> int:
         return sum(getattr(stats, name) for stats in per_shard)
@@ -207,24 +225,90 @@ def aggregate_stats(per_shard: tuple[protocol.ShardStats, ...]) -> ClusterStats:
         resident_kernels=total("resident_kernels"),
         p50_latency_ms=percentile_from_histogram(buckets, 0.50),
         p95_latency_ms=percentile_from_histogram(buckets, 0.95),
+        wire=wire,
     )
 
 
+class _Link:
+    """One transport connection to a shard, with its coalescing outbox.
+
+    Every link owns a sender thread (draining :attr:`outbox` in whole
+    batches — the writev-style single flush) and a reader thread; direct
+    control-plane sends (pings, probes, shutdown) take :attr:`send_lock`,
+    the same lock the sender holds per flush, so a connection only ever
+    sees whole frames.
+    """
+
+    def __init__(self, connection) -> None:
+        self.connection = connection
+        self.send_lock = threading.Lock()
+        self.outbox: deque[bytes] = deque()
+        self.wakeup = threading.Condition()
+        self.closed = False
+        self.sender: threading.Thread | None = None
+        self.reader: threading.Thread | None = None
+
+    def enqueue(self, data: bytes) -> None:
+        """Queue one encoded frame for the sender thread's next flush."""
+        with self.wakeup:
+            if self.closed:
+                raise OSError("shard link is closed")
+            self.outbox.append(data)
+            self.wakeup.notify()
+
+    def close(self) -> None:
+        """Close the connection and release the sender thread."""
+        with self.wakeup:
+            self.closed = True
+            self.wakeup.notify_all()
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+
+
 class _ShardHandle:
-    """One local shard process: its pipe, pending futures, reader thread."""
+    """One local shard process: its pipe link, pending futures, reader."""
 
     def __init__(self, shard_id: int, devices: tuple[str, ...]) -> None:
         self.shard_id = shard_id
         self.devices = devices
         self.process = None
-        self.connection = None
-        self.reader: threading.Thread | None = None
-        self.send_lock = threading.Lock()
+        self.links: list[_Link] = []
         self.pending: dict[int, tuple[ServeRequest | None, Future]] = {}
         self.pending_lock = threading.Lock()
         self.restarts = 0
         self.next_restart_at = 0.0  # monotonic; 0.0 = respawn immediately
         self.trusted = True  # pipes connect processes we spawned ourselves
+        self.wire_version = protocol.MAX_PROTOCOL_VERSION  # pipes: same build
+        self._round_robin = 0
+        self._no_link_lock = threading.Lock()
+
+    @property
+    def connection(self):
+        """The primary link's transport (kept for probes and tests)."""
+        links = self.links
+        return links[0].connection if links else None
+
+    @property
+    def send_lock(self) -> threading.Lock:
+        """The primary link's write lock (control-plane direct sends)."""
+        links = self.links
+        return links[0].send_lock if links else self._no_link_lock
+
+    def enqueue(self, data: bytes) -> None:
+        """Queue a frame on the next pool link, round-robin."""
+        links = self.links
+        if not links:
+            raise OSError("shard connection is down")
+        self._round_robin = (self._round_robin + 1) % len(links)
+        links[self._round_robin].enqueue(data)
+
+    def drop_links(self) -> None:
+        """Close every link (idempotent); senders and readers unblock."""
+        links, self.links = self.links, []
+        for link in links:
+            link.close()
 
     def alive(self) -> bool:
         return self.process is not None and self.process.is_alive()
@@ -252,6 +336,7 @@ class _RemoteShardHandle(_ShardHandle):
         super().__init__(shard_id, devices)
         self.address = address
         self.trusted = False  # until the handshake says otherwise
+        self.wire_version = protocol.PROTOCOL_VERSION  # until negotiated up
         self.reader_done = True  # not yet connected
         self.last_pong = 0.0
         self.last_ping_sent = 0.0
@@ -314,6 +399,17 @@ class ShardSupervisor:
         connect_timeout: how long to keep re-trying the initial connection
             to each remote shard before failing construction (listeners are
             often still starting when the supervisor comes up).
+        pool: keep-alive connections per remote shard.  Pools beyond the
+            first connection are only dialed when the handshake negotiated
+            protocol v2 (a v1-era listener serves one connection at a
+            time, so pooling against it would wedge); extra dials are
+            best-effort — a shard that grants fewer connections still
+            serves over the ones it granted.
+        max_protocol: the highest wire version this supervisor will
+            negotiate (default: the build's
+            :data:`~repro.serve.protocol.MAX_PROTOCOL_VERSION`; pass 1 to
+            force v1 JSON framing everywhere, e.g. while a mixed-version
+            rollout completes).
 
     Shards are started with the ``spawn`` start method, so the standard
     :mod:`multiprocessing` caveat applies: construct supervisors from an
@@ -334,6 +430,8 @@ class ShardSupervisor:
         connect: tuple = (),
         remote_trust: str = protocol.TRUST_SOURCE,
         connect_timeout: float = 10.0,
+        pool: int = 2,
+        max_protocol: int = protocol.MAX_PROTOCOL_VERSION,
     ) -> None:
         addresses = tuple(_parse_address(address) for address in connect)
         if shards < 1 and not addresses:
@@ -348,11 +446,21 @@ class ShardSupervisor:
             )
         if remote_trust not in (protocol.TRUST_SOURCE, protocol.TRUST_PICKLED):
             raise ServingError(f"unknown remote trust level {remote_trust!r}")
+        if pool < 1:
+            raise ServingError(f"connection pool size must be positive, got {pool}")
+        if not 1 <= max_protocol <= protocol.MAX_PROTOCOL_VERSION:
+            raise ServingError(
+                f"max_protocol must be between 1 and "
+                f"{protocol.MAX_PROTOCOL_VERSION}, got {max_protocol}"
+            )
         self.devices = tuple(devices)
         self.db_path = Path(db) if db is not None else None
         self.workers = workers
         self.restart = restart
         self._remote_trust = remote_trust
+        self._pool = pool
+        self._max_protocol = max_protocol
+        self._wire = WireProfile()
         self._context = _spawn_context()
         self._closed = False
         self._lock = threading.RLock()
@@ -389,11 +497,7 @@ class ShardSupervisor:
             for handle in self._handles.values():
                 if handle.process is not None:
                     handle.process.terminate()
-                if handle.connection is not None:
-                    try:
-                        handle.connection.close()
-                    except OSError:
-                        pass
+                handle.drop_links()
             raise
         self._monitor = threading.Thread(
             target=self._monitor_loop, name="repro-shard-monitor", daemon=True
@@ -423,14 +527,60 @@ class ShardSupervisor:
         process.start()
         child.close()
         handle.process = process
-        handle.connection = parent
-        handle.reader = threading.Thread(
+        self._attach_link(handle, parent)
+
+    def _attach_link(self, handle: _ShardHandle, connection) -> _Link:
+        """Wrap a connected transport in a link with sender/reader threads."""
+        link = _Link(connection)
+        handle.links.append(link)
+        link.sender = threading.Thread(
+            target=self._send_loop,
+            args=(link,),
+            name=f"repro-shard-{handle.shard_id}-sender",
+            daemon=True,
+        )
+        link.reader = threading.Thread(
             target=self._read_loop,
-            args=(handle, parent),
+            args=(handle, link),
             name=f"repro-shard-{handle.shard_id}-reader",
             daemon=True,
         )
-        handle.reader.start()
+        link.sender.start()
+        link.reader.start()
+        return link
+
+    def _send_loop(self, link: _Link) -> None:
+        """Drain a link's outbox in whole batches — the coalescing flush.
+
+        Every wakeup takes *everything* queued since the last flush and
+        writes it in one buffered flush (``send_many`` on sockets — one
+        syscall burst per batch — or a ``send_bytes`` run on pipes), so N
+        pending calls cost one flush instead of N.  A write failure poisons
+        the connection; the reader sees EOF and the monitor re-routes the
+        pending work, exactly as for a send failure on the old direct path.
+        """
+        connection = link.connection
+        send_many = getattr(connection, "send_many", None)
+        while True:
+            with link.wakeup:
+                while not link.outbox and not link.closed:
+                    link.wakeup.wait()
+                if not link.outbox and link.closed:
+                    return
+                batch = list(link.outbox)
+                link.outbox.clear()
+            started = time.perf_counter()
+            try:
+                with link.send_lock:
+                    if send_many is not None:
+                        send_many(batch)
+                    else:
+                        for data in batch:
+                            connection.send_bytes(data)
+            except (OSError, ValueError):
+                self._poison(connection)
+                return
+            self._wire.record_flush(time.perf_counter() - started)
 
     # -- remote connections -------------------------------------------------
 
@@ -464,13 +614,18 @@ class ShardSupervisor:
                     ) from error
                 time.sleep(0.2)
 
-    def _connect_remote(self, handle: _RemoteShardHandle) -> None:
-        """One connect + handshake attempt; raises on any failure.
+    def _handshake_remote(self, handle: _RemoteShardHandle):
+        """One connect + hello exchange; raises on any failure.
 
-        The hello pins :data:`~repro.serve.protocol.PROTOCOL_VERSION`,
-        assigns the shard its ring id for this session, and requests
-        ``remote_trust``; the reply's *granted* trust governs whether this
-        connection's results may carry executable pickles.
+        Returns ``(connection, granted trust, negotiated wire version)``.
+        The hello pins :data:`~repro.serve.protocol.PROTOCOL_VERSION` (the
+        base framing the handshake itself uses), advertises this
+        supervisor's ``max_protocol``, assigns the shard its ring id for
+        this session, and requests ``remote_trust``; the reply's *granted*
+        trust governs whether results on this connection may carry
+        executable pickles, and the reply's ``max_protocol`` (absent on a
+        v1-era peer, hence defaulted to 1) caps the wire version replies
+        are framed at.
         """
         sock = socket.create_connection(
             handle.address, timeout=_CONNECT_ATTEMPT_TIMEOUT_S
@@ -485,6 +640,7 @@ class ShardSupervisor:
                         protocol_version=protocol.PROTOCOL_VERSION,
                         shard_id=handle.shard_id,
                         trust=self._remote_trust,
+                        max_protocol=self._max_protocol,
                     )
                 )
             )
@@ -514,33 +670,61 @@ class ShardSupervisor:
         # we requested ourselves, so a malicious listener "granting" pickled
         # on a source-only connection cannot make us unpickle its payloads.
         granted = protocol.negotiate_trust(self._remote_trust, reply.trust)
+        # Same stance for the wire version: never negotiate above our own
+        # maximum, whatever the peer advertises.
+        try:
+            negotiated = protocol.negotiate_version(
+                self._max_protocol, getattr(reply, "max_protocol", 1)
+            )
+        except ProtocolError as error:
+            connection.close()
+            raise ServingError(str(error)) from error
+        return connection, granted, negotiated
+
+    def _connect_remote(self, handle: _RemoteShardHandle) -> None:
+        """Establish a remote shard's link pool; raises on primary failure.
+
+        The primary connection's handshake decides the session's trust and
+        wire version.  When v2 was negotiated, up to ``pool - 1`` extra
+        keep-alive connections are dialed **best-effort** (each with its
+        own handshake): a failure, or an extra connection whose handshake
+        disagrees with the primary's trust or version, just stops pool
+        growth — pooling against a one-connection-at-a-time v1 listener
+        would wedge, which is why v1 sessions never pool.
+        """
+        connection, granted, negotiated = self._handshake_remote(handle)
         handle.trusted = granted == protocol.TRUST_PICKLED
-        handle.connection = connection
+        handle.wire_version = negotiated
         handle.reader_done = False
         now = time.monotonic()
         handle.last_pong = now
         handle.last_ping_sent = now
-        handle.reader = threading.Thread(
-            target=self._read_loop,
-            args=(handle, connection),
-            name=f"repro-shard-{handle.shard_id}-reader",
-            daemon=True,
-        )
-        handle.reader.start()
+        self._attach_link(handle, connection)
+        if negotiated >= protocol.PROTOCOL_VERSION_2:
+            for _ in range(self._pool - 1):
+                try:
+                    extra, extra_granted, extra_negotiated = self._handshake_remote(
+                        handle
+                    )
+                except (OSError, ServingError):
+                    break  # serve over the links we already have
+                if extra_granted != granted or extra_negotiated != negotiated:
+                    extra.close()
+                    break
+                self._attach_link(handle, extra)
 
     # -- per-shard reader ---------------------------------------------------
 
-    def _read_loop(self, handle: _ShardHandle, connection) -> None:
+    def _read_loop(self, handle: _ShardHandle, link: _Link) -> None:
         try:
-            self._drain_replies(handle, connection)
+            self._drain_replies(handle, link.connection)
         finally:
-            # Only the reader of the *current* connection may declare a
-            # remote handle dead — a late exit of a replaced reader must
-            # not shoot down its successor.
-            if (
-                isinstance(handle, _RemoteShardHandle)
-                and handle.connection is connection
-            ):
+            # Only a reader of a *current* link may declare a remote handle
+            # dead — a late exit of a replaced link's reader must not shoot
+            # down its successor.  Any one pool link dying declares the
+            # whole handle dead: its queued frames are unrecoverable, so
+            # recovery re-routes everything pending and re-dials the pool.
+            if isinstance(handle, _RemoteShardHandle) and link in handle.links:
                 handle.reader_done = True
 
     def _drain_replies(self, handle: _ShardHandle, connection) -> None:
@@ -554,8 +738,12 @@ class ShardSupervisor:
                 self._poison(connection)
                 return
             try:
+                decode_started = time.perf_counter()
                 message = protocol.decode_message(
                     data, allow_pickled=handle.trusted
+                )
+                self._wire.record_receive(
+                    len(data), time.perf_counter() - decode_started
                 )
             except ProtocolError:
                 # An undecodable reply means reply correlation on this pipe
@@ -655,10 +843,10 @@ class ShardSupervisor:
         with handle.pending_lock:
             handle.pending[request_id] = (None, future)
         try:
+            # Pings ride the pre-encoded v1 template (every peer accepts
+            # v1): no json.dumps on the 2 s liveness path.
             with handle.send_lock:
-                handle.connection.send_bytes(
-                    protocol.encode_message(protocol.PingCall(request_id=request_id))
-                )
+                handle.connection.send_bytes(protocol.encode_ping(request_id))
         except (OSError, ValueError, AttributeError):
             with handle.pending_lock:
                 handle.pending.pop(request_id, None)
@@ -674,10 +862,7 @@ class ShardSupervisor:
         retried at a bounded rate instead of in a tight spawn loop.
         """
         pending = handle.take_pending()
-        try:
-            handle.connection.close()
-        except (OSError, AttributeError):
-            pass
+        handle.drop_links()
         now = time.monotonic()
         if self.restart and not self._closed and now >= handle.next_restart_at:
             handle.restarts += 1
@@ -696,9 +881,7 @@ class ShardSupervisor:
         only its own keys move back.
         """
         pending = handle.take_pending()
-        if handle.connection is not None:
-            self._poison(handle.connection)
-            handle.connection = None
+        handle.drop_links()
         if handle.shard_id in self.router.shard_ids:
             _LOG.warning(
                 "remote shard %d disconnected; rebalancing its keys to ring "
@@ -717,8 +900,7 @@ class ShardSupervisor:
             else:
                 with self._lock:
                     if self._closed:  # close() ran while we were dialing
-                        self._poison(handle.connection)
-                        handle.connection = None
+                        handle.drop_links()
                         return
                 _LOG.info(
                     "remote shard %d reconnected; re-joining the ring",
@@ -754,20 +936,25 @@ class ShardSupervisor:
         for handle in self._handles.values():
             if request.device not in handle.devices:
                 allowed_excluding.add(handle.shard_id)
+        route_started = time.perf_counter()
         shard_id = self.router.route(request, excluding=frozenset(allowed_excluding))
+        route_s = time.perf_counter() - route_started
         handle = self._handles[shard_id]
         request_id = next(self._request_ids)
+        encode_started = time.perf_counter()
+        data = protocol.encode_message(
+            protocol.ServeCall(request_id=request_id, request=request)
+        )
+        encode_s = time.perf_counter() - encode_started
         with handle.pending_lock:
             handle.pending[request_id] = (request, future)
         try:
-            with handle.send_lock:
-                if handle.connection is None:  # a disconnected remote shard
-                    raise OSError("shard connection is down")
-                handle.connection.send_bytes(
-                    protocol.encode_message(
-                        protocol.ServeCall(request_id=request_id, request=request)
-                    )
-                )
+            # The enqueue is the whole send from this thread's point of
+            # view: the link's sender thread coalesces everything queued
+            # since its last flush into one write.  A frame later lost to a
+            # dying connection is still in ``pending``, so the monitor's
+            # recovery re-routes it — same contract as the old direct send.
+            handle.enqueue(data)
         except (OSError, ValueError):
             # The shard died between routing and writing.  If our pending
             # entry is still ours, re-route it past this shard ourselves; if
@@ -782,6 +969,7 @@ class ShardSupervisor:
                 except ServingError as error:
                     _resolve(future, error=error)
             return
+        self._wire.record_send(len(data), encode_s, route_s)
         with self._lock:
             self._routed[shard_id] = self._routed.get(shard_id, 0) + 1
 
@@ -847,7 +1035,13 @@ class ShardSupervisor:
         replies = [
             self._probe(handle, protocol.StatsCall, timeout) for handle in handles
         ]
-        return aggregate_stats(tuple(reply.stats for reply in replies))
+        return aggregate_stats(
+            tuple(reply.stats for reply in replies), wire=self._wire.snapshot()
+        )
+
+    def wire_snapshot(self) -> WireSnapshot:
+        """The supervisor-side wire-path profile without probing any shard."""
+        return self._wire.snapshot()
 
     # -- reconciliation / lifecycle ----------------------------------------
 
@@ -901,10 +1095,7 @@ class ShardSupervisor:
             for _, future in handle.take_pending().values():
                 if not future.done():
                     _resolve(future, error=ServingError("shard supervisor closed"))
-            try:
-                handle.connection.close()
-            except (OSError, AttributeError):
-                pass
+            handle.drop_links()
         report = self.reconcile()
         if self.db_path is not None:
             for dropped in prune_quarantine(self.db_path):

@@ -13,6 +13,7 @@ TCP shards run as in-process listener threads (each owns a real
 between machines, without per-test process spawn cost.
 """
 
+import json
 import queue
 import socket
 import threading
@@ -38,7 +39,12 @@ FAMILY_MIX = [
 ]
 
 
-def start_listener(trust=protocol.TRUST_SOURCE, shard_id=0, workers=2):
+def start_listener(
+    trust=protocol.TRUST_SOURCE,
+    shard_id=0,
+    workers=2,
+    max_protocol=protocol.MAX_PROTOCOL_VERSION,
+):
     """One TCP shard in a daemon thread; returns (address, thread)."""
     bound: queue.Queue = queue.Queue()
     thread = threading.Thread(
@@ -49,6 +55,7 @@ def start_listener(trust=protocol.TRUST_SOURCE, shard_id=0, workers=2):
             shard_id=shard_id,
             workers=workers,
             trust=trust,
+            max_protocol=max_protocol,
             on_bound=bound.put,
         ),
         daemon=True,
@@ -357,6 +364,122 @@ class TestDisconnectRebalance:
             assert supervisor.serve(ServeRequest(kind="ntt", bits=64, size=SIZE)).warm
         finally:
             supervisor.close()
+            shut_down_listener(address, thread)
+
+
+class TestMixedVersions:
+    """v1 and v2 builds interoperating on one wire.
+
+    The rollout story the negotiation exists for: either side of a
+    connection may still be a v1-era build (or pinned to v1 by the
+    operator), and the pair must land on v1 and keep serving — never
+    wedge, never spray binary frames at a JSON-only peer.
+    """
+
+    def serve_and_inspect(self, supervisor):
+        result = supervisor.serve(ServeRequest(kind="ntt", bits=64, size=SIZE))
+        assert result.tuning is not None
+        assert isinstance(result.artifact, str)
+        return supervisor._handles[0]
+
+    def test_v2_supervisor_v1_listener_negotiates_down(self):
+        address, thread = start_listener(max_protocol=protocol.PROTOCOL_VERSION)
+        try:
+            supervisor = ShardSupervisor(
+                shards=0, devices=("rtx4090",), connect=(address,)
+            )
+            try:
+                handle = self.serve_and_inspect(supervisor)
+                assert handle.wire_version == protocol.PROTOCOL_VERSION
+                # No pooling against a v1 peer: v1-era listeners accept one
+                # connection at a time, extra dials would wedge unanswered.
+                assert len(handle.links) == 1
+            finally:
+                supervisor.close()
+        finally:
+            shut_down_listener(address, thread)
+
+    def test_v1_supervisor_v2_listener_negotiates_down(self):
+        address, thread = start_listener()
+        try:
+            supervisor = ShardSupervisor(
+                shards=0,
+                devices=("rtx4090",),
+                connect=(address,),
+                max_protocol=protocol.PROTOCOL_VERSION,
+            )
+            try:
+                handle = self.serve_and_inspect(supervisor)
+                assert handle.wire_version == protocol.PROTOCOL_VERSION
+                assert len(handle.links) == 1
+            finally:
+                supervisor.close()
+        finally:
+            shut_down_listener(address, thread)
+
+    def test_v2_peers_pool_and_speak_binary(self):
+        address, thread = start_listener()
+        try:
+            supervisor = ShardSupervisor(
+                shards=0, devices=("rtx4090",), connect=(address,), pool=2
+            )
+            try:
+                handle = self.serve_and_inspect(supervisor)
+                assert handle.wire_version == protocol.PROTOCOL_VERSION_2
+                assert len(handle.links) == 2
+                # Traffic flows over the pooled links and the wire profile
+                # sees it: coalesced flushes never exceed messages sent.
+                wire = supervisor.wire_snapshot()
+                assert wire.messages_sent >= 1
+                assert wire.flushes >= 1
+                assert wire.flushes <= wire.messages_sent
+            finally:
+                supervisor.close()
+        finally:
+            shut_down_listener(address, thread)
+
+    def test_true_v1_era_peer_still_serves(self):
+        # A peer built before negotiation existed: its hello carries no
+        # max_protocol field at all. Emulate one faithfully by speaking raw
+        # v1 JSON at a v2 listener.
+        address, thread = start_listener()
+        try:
+            sock = socket.create_connection(address, timeout=5)
+            connection = protocol.StreamConnection(sock)
+            try:
+                hello = protocol.encode_message(
+                    protocol.HelloCall(
+                        request_id=1,
+                        protocol_version=protocol.PROTOCOL_VERSION,
+                        shard_id=0,
+                        trust=protocol.TRUST_SOURCE,
+                    )
+                )
+                envelope = json.loads(hello.decode("utf-8"))
+                del envelope["payload"]["max_protocol"]
+                connection.send_bytes(json.dumps(envelope).encode("utf-8"))
+                reply = protocol.decode_message(connection.recv_bytes())
+                assert isinstance(reply, protocol.HelloReply)
+
+                connection.send_bytes(
+                    protocol.encode_message(
+                        protocol.ServeCall(
+                            request_id=2,
+                            request=ServeRequest(kind="ntt", bits=64, size=SIZE),
+                        )
+                    )
+                )
+                data = connection.recv_bytes()
+                # The reply must be v1 JSON — a binary frame would be
+                # unreadable to this peer.
+                assert data[: len(protocol.FRAME_MAGIC)] != protocol.FRAME_MAGIC
+                served = json.loads(data.decode("utf-8"))  # parses as JSON
+                assert served["payload"]["request_id"] == 2
+                decoded = protocol.decode_message(data)
+                assert isinstance(decoded.result.artifact, str)
+            finally:
+                connection.close()
+        finally:
             shut_down_listener(address, thread)
 
 
