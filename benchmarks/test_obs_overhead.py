@@ -1,0 +1,103 @@
+"""Tracing-overhead non-regression: instrumentation must be off-path cheap.
+
+The observability plane (``repro.obs``) is compiled into the serving hot
+path permanently — every warm serve crosses its instrumentation points.
+Two properties keep that acceptable:
+
+* **1% sampling stays near the untraced floor** — warm TCP throughput
+  with a supervisor tracing every 100th request (the production posture)
+  must stay within 10% of :data:`REQUIRED_WARM_TCP_RPS`, the same floor
+  ``test_wire_throughput.py`` holds the untraced path to.  The floor is
+  compared, not two noisy measurements against each other, so the test
+  fails on real regressions (a span allocated per untraced request, an
+  un-gated clock read) rather than CI jitter.
+* **the sampled runs actually traced** — the tracer must have committed
+  traces and recorded wire/serve spans, or the "overhead" being measured
+  is vacuously zero.
+
+Fully-forced tracing (``--trace``, rate 1.0) is a diagnostic mode and has
+no floor; its throughput is reported in the benchmark artifact for
+tracking.
+"""
+
+import time
+
+from repro.obs.trace import Tracer
+from repro.serve import ServeRequest, ShardSupervisor
+from repro.serve.client import serve_many
+
+from benchmarks.test_wire_throughput import (
+    REQUIRED_WARM_TCP_RPS,
+    _shut_down_listener,
+    _start_listener,
+)
+
+BITS = 128
+SIZE = 16
+
+#: Warm TCP throughput with 1% sampling must stay within 10% of the
+#: untraced floor.
+TRACED_FLOOR_FRACTION = 0.9
+
+_WARM_REQUESTS = 300
+
+
+def _measure_traced_tcp(sample_rate: float):
+    address, thread = _start_listener()
+    tracer = Tracer(sample_rate=sample_rate)
+    supervisor = ShardSupervisor(
+        shards=0, devices=("rtx4090",), connect=(address,), tracer=tracer
+    )
+    try:
+        request = ServeRequest(kind="ntt", bits=BITS, size=SIZE)
+        supervisor.serve(request)  # tune + compile once; the rest is warm
+
+        started = time.perf_counter()
+        results = serve_many(supervisor, [request] * _WARM_REQUESTS)
+        elapsed = time.perf_counter() - started
+        assert len(results) == _WARM_REQUESTS
+        assert all(result.warm for result in results)
+
+        spans = supervisor.drain_spans()
+        return _WARM_REQUESTS / elapsed, tracer.committed_traces, spans
+    finally:
+        supervisor.close()
+        _shut_down_listener(address, thread)
+
+
+def test_one_percent_sampling_holds_the_warm_floor(run_once, benchmark):
+    rps, committed, spans = run_once(_measure_traced_tcp, 0.01)
+    floor = TRACED_FLOOR_FRACTION * REQUIRED_WARM_TCP_RPS
+    benchmark.extra_info["traced_warm_tcp_requests_per_s"] = rps
+    benchmark.extra_info["committed_traces"] = committed
+    benchmark.extra_info["merged_spans"] = len(spans)
+    print(
+        f"\n# warm TCP @1% sampling {rps:8.0f} req/s "
+        f"({committed} traces committed, {len(spans)} spans merged, "
+        f"floor {floor:.0f} req/s)"
+    )
+    # Deterministic 1-in-100 sampling over 1 cold + 300 warm requests.
+    assert committed >= 3, "sampling never fired; the overhead run is vacuous"
+    names = {one.name for one in spans}
+    assert "cluster.request" in names
+    assert "shard.serve" in names, "adopted traces never reached the shard"
+    assert rps >= floor, (
+        f"warm TCP with 1% tracing ran at {rps:.0f} req/s; expected at "
+        f"least {floor:.0f} req/s ({TRACED_FLOOR_FRACTION:.0%} of the "
+        f"untraced {REQUIRED_WARM_TCP_RPS:.0f} req/s floor)"
+    )
+
+
+def test_forced_tracing_throughput_is_tracked(run_once, benchmark):
+    rps, committed, spans = run_once(_measure_traced_tcp, 1.0)
+    benchmark.extra_info["forced_warm_tcp_requests_per_s"] = rps
+    benchmark.extra_info["committed_traces"] = committed
+    print(
+        f"\n# warm TCP @100% tracing {rps:8.0f} req/s "
+        f"({committed} traces, {len(spans)} spans)"
+    )
+    # Every request traced: the full diagnostic mode must still serve.
+    assert committed == _WARM_REQUESTS + 1
+    assert {"cluster.request", "shard.serve", "wire.encode"} <= {
+        one.name for one in spans
+    }

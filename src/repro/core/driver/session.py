@@ -29,6 +29,7 @@ from repro.core.ir.kernel import Kernel
 from repro.core.passes.pipeline import DEFAULT_PIPELINE, optimize
 from repro.core.rewrite.legalize import legalize
 from repro.core.rewrite.options import RewriteOptions
+from repro.obs import trace as tracing
 from repro.core.driver.cache import CacheStats, ContentAddressedCache
 from repro.core.driver.stats import CompileRecord, CompileStats, PassRecord
 from repro.core.driver.targets import Target, emit, get_target
@@ -117,6 +118,8 @@ class CompilerSession:
             self._stats.record_hit()
             return cached
 
+        traced = tracing.current() is not None
+        wall_started = time.time() if traced else 0.0
         started = time.perf_counter()
         legalized = legalize(kernel, options)
         legalize_seconds = time.perf_counter() - started
@@ -133,6 +136,30 @@ class CompilerSession:
                     )
                 ),
             )
+        if traced:
+            # Turn the per-pass timings into child spans of whatever serve
+            # span is active.  Passes run back-to-back after legalization, so
+            # each span's wall start is the cumulative end of its
+            # predecessors (exact durations, approximate placement).
+            tracing.record(
+                "compile.legalize",
+                wall_started,
+                legalize_seconds,
+                cat="compile",
+                kernel=kernel.name,
+            )
+            cursor = wall_started + legalize_seconds
+            for pass_record in pass_records:
+                tracing.record(
+                    f"pass.{pass_record.name}",
+                    cursor,
+                    pass_record.seconds,
+                    cat="compile",
+                    round=pass_record.round_index,
+                    statements_before=pass_record.statements_before,
+                    statements_after=pass_record.statements_after,
+                )
+                cursor += pass_record.seconds
         self._stats.record(
             CompileRecord(
                 kernel_name=kernel.name,
@@ -170,8 +197,18 @@ class CompilerSession:
             return cached
 
         lowered = self.lower(kernel, options=options, run_passes=run_passes)
+        traced = tracing.current() is not None
+        wall_started = time.time() if traced else 0.0
         started = time.perf_counter()
         artifact = emit(lowered, resolved)
+        if traced:
+            tracing.record(
+                "compile.emit",
+                wall_started,
+                time.perf_counter() - started,
+                cat="compile",
+                target=resolved.name,
+            )
         self._stats.record(
             CompileRecord(
                 kernel_name=kernel.name,

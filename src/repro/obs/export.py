@@ -1,0 +1,116 @@
+"""Chrome trace-event JSON export for merged cluster traces.
+
+Converts :class:`~repro.obs.trace.Span` sequences into the Trace Event
+Format's ``"X"`` (complete) events — the JSON that Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` load directly.  Each
+process in the cluster becomes one ``pid`` row, each recording thread one
+``tid`` row, and every span carries its trace/span/parent ids in ``args``
+so one client request is traceable across supervisor, wire, and shard rows.
+
+``tools/trace_summary.py`` validates this format and prints per-layer time
+breakdowns from it; ``docs/observability.md`` documents the field mapping.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.trace import Span
+
+__all__ = ["chrome_trace", "write_chrome_trace", "spans_from_chrome_trace"]
+
+
+def chrome_trace(spans, label: str = "repro") -> dict:
+    """Spans as a Chrome trace-event JSON object (``traceEvents`` + metadata).
+
+    Events are sorted by start time so the file is stable for diffing and
+    streams well into viewers.
+    """
+    events = []
+    processes: dict[int, str] = {}
+    for one in sorted(spans, key=lambda item: item.ts_us):
+        events.append(
+            {
+                "name": one.name,
+                "cat": one.cat or "span",
+                "ph": "X",
+                "ts": one.ts_us,
+                "dur": one.dur_us,
+                "pid": one.process_id,
+                "tid": one.thread_id,
+                "args": {
+                    **one.args,
+                    "trace_id": one.trace_id,
+                    "span_id": one.span_id,
+                    "parent_id": one.parent_id,
+                },
+            }
+        )
+        if one.process_id not in processes:
+            shard = one.args.get("shard_id")
+            processes[one.process_id] = (
+                f"{label} shard {shard}" if shard is not None else f"{label} pid {one.process_id}"
+            )
+    for pid, name in processes.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms", "otherData": {"exporter": label}}
+
+
+def write_chrome_trace(path, spans, label: str = "repro") -> Path:
+    """Write the spans' Chrome trace JSON to ``path``; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(chrome_trace(spans, label=label), indent=1))
+    return target
+
+
+def spans_from_chrome_trace(payload: dict) -> list[Span]:
+    """Rebuild spans from an exported trace (the validator's inverse).
+
+    Only ``"X"`` events are spans; metadata events are skipped.  Raises
+    ``ValueError`` on a structurally invalid document.
+    """
+    if not isinstance(payload, dict) or not isinstance(payload.get("traceEvents"), list):
+        raise ValueError("not a Chrome trace-event document (no traceEvents list)")
+    spans: list[Span] = []
+    for index, event in enumerate(payload["traceEvents"]):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args")
+        if not isinstance(args, dict) or not isinstance(args.get("trace_id"), str):
+            raise ValueError(f"traceEvents[{index}] lacks an args.trace_id")
+        for key in ("ts", "dur"):
+            if not isinstance(event.get(key), (int, float)):
+                raise ValueError(f"traceEvents[{index}] field {key!r} is not numeric")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"traceEvents[{index}] has no name")
+        extra = {
+            key: value
+            for key, value in args.items()
+            if key not in ("trace_id", "span_id", "parent_id")
+        }
+        spans.append(
+            Span(
+                trace_id=args["trace_id"],
+                span_id=str(args.get("span_id", "")),
+                parent_id=str(args.get("parent_id", "")),
+                name=event["name"],
+                cat=str(event.get("cat", "")),
+                ts_us=float(event["ts"]),
+                dur_us=float(event["dur"]),
+                process_id=int(event.get("pid", 0)),
+                thread_id=int(event.get("tid", 0)),
+                args=extra,
+            )
+        )
+    return spans

@@ -1,0 +1,116 @@
+"""The ``--metrics-port`` HTTP endpoint: text exposition + trace export.
+
+A tiny stdlib-only scrape surface (:class:`http.server.ThreadingHTTPServer`
+on a daemon thread) with two routes:
+
+* ``GET /metrics`` — the Prometheus-style text exposition rendered by the
+  caller-supplied ``metrics_fn`` (``text/plain; version=0.0.4``).
+* ``GET /trace.json`` — a Chrome trace-event JSON snapshot of recently
+  committed spans from the caller-supplied ``trace_fn``, loadable straight
+  into Perfetto.
+
+Both callables run per request on the scrape thread, so responses always
+reflect live counters.  Rendering failures answer 500 with the error text
+rather than killing the scrape thread.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.export import chrome_trace
+
+__all__ = ["MetricsEndpoint"]
+
+_TEXT_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        endpoint: MetricsEndpoint = self.server.endpoint  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path in ("/", "/metrics"):
+            self._answer(endpoint.render_metrics, _TEXT_CONTENT_TYPE)
+        elif path == "/trace.json":
+            self._answer(endpoint.render_trace, "application/json")
+        else:
+            self.send_error(404, "unknown path (try /metrics or /trace.json)")
+
+    def _answer(self, render, content_type: str) -> None:
+        try:
+            body = render().encode("utf-8")
+        except Exception as error:  # pragma: no cover - defensive
+            self.send_error(500, f"render failed: {error}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        logging.getLogger("repro.obs.http").debug(
+            "%s %s", self.address_string(), format % args
+        )
+
+
+class MetricsEndpoint:
+    """Serve ``/metrics`` and ``/trace.json`` from a background thread.
+
+    ``metrics_fn`` returns the text exposition; ``trace_fn`` (optional)
+    returns the spans to export — when omitted, ``/trace.json`` serves an
+    empty trace document.  Bind to port 0 to let the OS pick; the resolved
+    port is available as :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, port: int, metrics_fn, trace_fn=None, host: str = "127.0.0.1"):
+        self._metrics_fn = metrics_fn
+        self._trace_fn = trace_fn
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.endpoint = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def render_metrics(self) -> str:
+        return self._metrics_fn()
+
+    def render_trace(self) -> str:
+        spans = self._trace_fn() if self._trace_fn is not None else ()
+        return json.dumps(chrome_trace(spans))
+
+    def start(self) -> "MetricsEndpoint":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-metrics-endpoint",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsEndpoint":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

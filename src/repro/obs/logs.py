@@ -1,0 +1,102 @@
+"""Structured logging: namespaced loggers, trace correlation, JSON lines.
+
+Every serving module logs through a namespaced child of ``repro`` (e.g.
+``repro.serve.supervisor``), so operators tune verbosity per subsystem with
+standard :mod:`logging` configuration.  :func:`configure_logging` — what
+the CLI's ``--log-level`` / ``--log-json`` flags call — installs one
+handler on the ``repro`` root with either a human-readable line format or
+JSON lines, both carrying the **active trace id** (via
+:class:`TraceCorrelationFilter`) so a log line written anywhere under a
+traced request joins that request's trace in search.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+from repro.obs.trace import current_trace_id
+
+__all__ = [
+    "JsonLineFormatter",
+    "TraceCorrelationFilter",
+    "configure_logging",
+    "get_logger",
+]
+
+#: The namespace root every repro logger hangs off.
+ROOT_LOGGER = "repro"
+
+_TEXT_FORMAT = (
+    "%(asctime)s %(levelname)-7s %(name)s [%(trace_id)s] %(message)s"
+)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A namespaced module logger (``repro.``-prefixed, always)."""
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+class TraceCorrelationFilter(logging.Filter):
+    """Stamps every record with the active trace id (``-`` when untraced).
+
+    A filter rather than a formatter concern so *any* handler or format —
+    including operator-supplied ones — can reference ``%(trace_id)s``.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.trace_id = current_trace_id() or "-"
+        return True
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per line: machine-shippable structured logs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+            "trace_id": getattr(record, "trace_id", None) or current_trace_id() or "-",
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def configure_logging(
+    level: str = "info", json_lines: bool = False, stream=None
+) -> logging.Logger:
+    """Install the repro logging pipeline; returns the ``repro`` root logger.
+
+    Idempotent: repeated calls (tests, re-entrant CLIs) replace the
+    previously installed handler instead of stacking duplicates.  Only the
+    ``repro`` namespace is touched — the process-global root logger and any
+    application handlers are left alone.
+    """
+    resolved = logging.getLevelName(level.upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler._repro_obs_handler = True
+    handler.addFilter(TraceCorrelationFilter())
+    if json_lines:
+        handler.setFormatter(JsonLineFormatter())
+    else:
+        formatter = logging.Formatter(_TEXT_FORMAT)
+        formatter.converter = time.gmtime
+        handler.setFormatter(formatter)
+    root.addHandler(handler)
+    root.setLevel(resolved)
+    # Propagation stays on: the process root has no handlers in normal CLI
+    # use (so nothing double-prints), and root-level capture — pytest's
+    # caplog, an application's own root handler — keeps seeing records.
+    return root

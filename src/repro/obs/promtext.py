@@ -1,0 +1,193 @@
+"""Prometheus-style text exposition of the serving tier's metrics.
+
+Renders the counters, gauges, and fixed-bucket latency histograms the
+serve layer already tracks (:class:`~repro.serve.metrics.MetricsSnapshot`,
+:class:`~repro.serve.supervisor.ClusterStats`,
+:class:`~repro.serve.metrics.WireSnapshot`) into the text exposition format
+scrapers parse (``text/plain; version=0.0.4``): ``# HELP`` / ``# TYPE``
+comment pairs followed by sample lines, histograms as cumulative
+``_bucket{le="..."}`` series ending in ``+Inf`` plus a ``_count``.
+
+To keep :mod:`repro.obs` import-free of the serve layer, the functions
+here take plain objects (attribute access only) and the histogram bucket
+bounds as an argument — the serve CLI passes its own
+:data:`~repro.serve.metrics.HISTOGRAM_BUCKET_BOUNDS_MS`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "render_counter",
+    "render_gauge",
+    "render_histogram",
+    "render_server_metrics",
+    "render_cluster_metrics",
+]
+
+
+def _labels(labels: dict | None) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _sample(name: str, value, labels: dict | None = None) -> str:
+    if isinstance(value, float):
+        rendered = repr(value)
+    else:
+        rendered = str(value)
+    return f"{name}{_labels(labels)} {rendered}"
+
+
+def _header(name: str, kind: str, help_text: str) -> list[str]:
+    return [f"# HELP {name} {help_text}", f"# TYPE {name} {kind}"]
+
+
+def render_counter(name: str, value, help_text: str, labels: dict | None = None) -> str:
+    """One counter metric with its HELP/TYPE header."""
+    return "\n".join(_header(name, "counter", help_text) + [_sample(name, value, labels)])
+
+
+def render_gauge(name: str, value, help_text: str, labels: dict | None = None) -> str:
+    """One gauge metric with its HELP/TYPE header."""
+    return "\n".join(_header(name, "gauge", help_text) + [_sample(name, value, labels)])
+
+
+def render_histogram(
+    name: str,
+    counts,
+    bucket_bounds: tuple[float, ...],
+    help_text: str,
+    labels: dict | None = None,
+) -> str:
+    """One fixed-bucket histogram as cumulative ``_bucket`` series.
+
+    ``counts`` holds one count per bound plus one trailing overflow bucket
+    (the serve tier's :func:`~repro.serve.metrics.latency_histogram`
+    layout); extra counts beyond the bounds fold into ``+Inf``.
+    """
+    lines = _header(name, "histogram", help_text)
+    cumulative = 0
+    for index, bound in enumerate(bucket_bounds):
+        cumulative += counts[index] if index < len(counts) else 0
+        bucket_labels = dict(labels or {})
+        bucket_labels["le"] = f"{bound:g}"
+        lines.append(_sample(f"{name}_bucket", cumulative, bucket_labels))
+    total = sum(counts)
+    inf_labels = dict(labels or {})
+    inf_labels["le"] = "+Inf"
+    lines.append(_sample(f"{name}_bucket", total, inf_labels))
+    lines.append(_sample(f"{name}_count", total, labels))
+    return "\n".join(lines)
+
+
+_COUNTERS = (
+    ("requests", "requests_total", "Requests received."),
+    ("warm_serves", "warm_serves_total", "Requests answered from the resident table."),
+    ("cold_serves", "cold_serves_total", "Requests that ran tuning and compilation."),
+    ("dedup_hits", "dedup_hits_total", "Requests that joined an in-flight twin."),
+    ("errors", "errors_total", "Requests that raised."),
+    ("tune_batches", "tune_batches_total", "Tuning micro-batches executed."),
+    ("batched_tunes", "batched_tunes_total", "Tuning requests inside those batches."),
+)
+
+_GAUGES = (
+    ("queue_depth", "queue_depth", "Requests submitted but not yet fulfilled."),
+    ("resident_kernels", "resident_kernels", "Served results held resident."),
+)
+
+_WIRE_COUNTERS = (
+    ("messages_sent", "wire_messages_sent_total", "Request messages encoded for shards."),
+    ("messages_received", "wire_messages_received_total", "Reply messages decoded."),
+    ("flushes", "wire_flushes_total", "Transport flushes carrying those messages."),
+    ("bytes_sent", "wire_bytes_sent_total", "Encoded request bytes written."),
+    ("bytes_received", "wire_bytes_received_total", "Reply bytes read."),
+    ("encode_s", "wire_encode_seconds_total", "Wall time in message encoding."),
+    ("decode_s", "wire_decode_seconds_total", "Wall time in reply decoding."),
+    ("route_s", "wire_route_seconds_total", "Wall time in shard routing."),
+    ("flush_s", "wire_flush_seconds_total", "Wall time in transport flushes."),
+)
+
+
+def render_server_metrics(snapshot, prefix: str = "repro") -> str:
+    """A single server's :class:`MetricsSnapshot` as a text exposition."""
+    blocks = [
+        render_counter(f"{prefix}_{metric}", getattr(snapshot, attr), help_text)
+        for attr, metric, help_text in _COUNTERS
+    ]
+    blocks.extend(
+        render_gauge(f"{prefix}_{metric}", getattr(snapshot, attr), help_text)
+        for attr, metric, help_text in _GAUGES
+    )
+    blocks.append(
+        render_gauge(
+            f"{prefix}_latency_p50_ms",
+            float(snapshot.p50_latency_ms),
+            "Median serve latency over the retained window.",
+        )
+    )
+    blocks.append(
+        render_gauge(
+            f"{prefix}_latency_p95_ms",
+            float(snapshot.p95_latency_ms),
+            "95th-percentile serve latency over the retained window.",
+        )
+    )
+    return "\n".join(blocks) + "\n"
+
+
+def render_cluster_metrics(stats, bucket_bounds_ms, prefix: str = "repro") -> str:
+    """A :class:`ClusterStats` (counters + merged histograms + wire profile).
+
+    Cluster-wide counters come labelless; the per-shard breakdown rides a
+    ``shard`` label; the warm/cold latency histograms are summed across
+    shards (the supervisor's own merge) and rendered per class.
+    """
+    blocks = [
+        render_counter(f"{prefix}_{metric}", getattr(stats, attr), help_text)
+        for attr, metric, help_text in _COUNTERS
+    ]
+    blocks.extend(
+        render_gauge(f"{prefix}_{metric}", getattr(stats, attr), help_text)
+        for attr, metric, help_text in _GAUGES
+    )
+    blocks.append(
+        render_gauge(f"{prefix}_shards", len(stats.shards), "Live shards reporting.")
+    )
+    shard_lines = _header(
+        f"{prefix}_shard_requests_total", "counter", "Requests served per shard."
+    )
+    for shard in stats.shards:
+        shard_lines.append(
+            _sample(
+                f"{prefix}_shard_requests_total",
+                shard.requests,
+                {"shard": shard.shard_id},
+            )
+        )
+    blocks.append("\n".join(shard_lines))
+    for label, attribute in (("warm", "warm_histogram"), ("cold", "cold_histogram")):
+        merged = [0] * (len(bucket_bounds_ms) + 1)
+        for shard in stats.shards:
+            for index, count in enumerate(getattr(shard, attribute)):
+                if index < len(merged):
+                    merged[index] += count
+                else:
+                    merged[-1] += count
+        blocks.append(
+            render_histogram(
+                f"{prefix}_serve_latency_ms",
+                tuple(merged),
+                tuple(bucket_bounds_ms),
+                "Serve latency by class, merged across shards (ms buckets).",
+                labels={"class": label},
+            )
+        )
+    wire = getattr(stats, "wire", None)
+    if wire is not None:
+        blocks.extend(
+            render_counter(f"{prefix}_{metric}", getattr(wire, attr), help_text)
+            for attr, metric, help_text in _WIRE_COUNTERS
+        )
+    return "\n".join(blocks) + "\n"

@@ -48,9 +48,12 @@ from repro.errors import ReproError
 from repro.gpu.device import DEVICES
 from repro.kernels.blas_gen import BLAS_OPERATIONS
 from repro.kernels.ntt_gen import BUTTERFLY_VARIANTS
+from repro.obs import MetricsEndpoint, Tracer, configure_logging, write_chrome_trace
+from repro.obs.promtext import render_cluster_metrics, render_server_metrics
 from repro.tune.db import TuningDatabase
 from repro.tune.space import BLAS, NTT
 from repro.serve import protocol
+from repro.serve.metrics import HISTOGRAM_BUCKET_BOUNDS_MS
 from repro.serve.server import KernelServer, ServeRequest
 from repro.serve.shard import serve_shard_tcp
 from repro.serve.supervisor import ShardSupervisor
@@ -200,6 +203,44 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats", action="store_true", help="print the metrics snapshot at the end"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="trace every request end-to-end (supervisor, wire, shards, "
+        "compiler passes) and write the merged Chrome trace-event JSON — "
+        "loadable in Perfetto — to PATH at exit",
+    )
+    parser.add_argument(
+        "--trace-slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="capture exemplar traces for requests slower than MS without "
+        "tracing the fast majority (combine with --trace or --metrics-port "
+        "to export them)",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a Prometheus-style text exposition on "
+        "http://127.0.0.1:PORT/metrics (and retained trace spans on "
+        "/trace.json) for the lifetime of the run; 0 picks a free port",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="warning",
+        help="verbosity of the repro.* loggers on stderr (default warning)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON lines (one object per line, with a "
+        "trace-id correlation field) instead of text",
+    )
     return parser
 
 
@@ -249,11 +290,69 @@ def _demo_requests(args: argparse.Namespace) -> list[ServeRequest]:
     ]
 
 
-def _run_demo(server, args: argparse.Namespace) -> None:
+def _build_tracer(args: argparse.Namespace) -> Tracer | None:
+    """A :class:`Tracer` when ``--trace``/``--trace-slow-ms`` ask for one.
+
+    ``--trace`` forces every request to be sampled (the point is one
+    complete merged trace); ``--trace-slow-ms`` alone samples nothing and
+    relies on exemplar promotion of slow requests.  Returns ``None`` when
+    neither flag is given, letting the server/supervisor keep their cheap
+    default tracer (which still records wire-adopted traces).
+    """
+    if args.trace is None and args.trace_slow_ms is None:
+        return None
+    threshold = (
+        args.trace_slow_ms / 1e3 if args.trace_slow_ms is not None else None
+    )
+    return Tracer(
+        sample_rate=1.0 if args.trace is not None else 0.0,
+        exemplar_threshold_s=threshold,
+    )
+
+
+def _start_metrics(args: argparse.Namespace, metrics_fn, trace_fn):
+    """Start the ``--metrics-port`` endpoint (or return ``None``)."""
+    if args.metrics_port is None:
+        return None
+    endpoint = MetricsEndpoint(
+        args.metrics_port, metrics_fn, trace_fn=trace_fn
+    ).start()
+    print(
+        f"metrics     http://{endpoint.address[0]}:{endpoint.port}/metrics",
+        flush=True,
+    )
+    return endpoint
+
+
+def _write_trace(path: str, spans) -> None:
+    write_chrome_trace(path, spans)
+    print(f"trace       {len(spans)} spans -> {path}", flush=True)
+
+
+def _traced_submit(server: KernelServer, request: ServeRequest):
+    """Submit under a fresh root trace (single-server mode).
+
+    In sharded mode the supervisor begins the root span itself; a lone
+    :class:`KernelServer` has no front door above ``submit``, so the CLI
+    plays that role here.
+    """
+    handle = server.tracer.begin(
+        "client.request", kind=request.kind, bits=request.bits
+    )
+    if handle is None:
+        return server.submit(request)
+    with handle.activate():
+        future = server.submit(request)
+    future.add_done_callback(lambda _done, _handle=handle: _handle.finish())
+    return future
+
+
+def _run_demo(server, args: argparse.Namespace, submit=None) -> None:
     """Fire the demo mix at a server or supervisor (both expose submit)."""
+    submit = submit if submit is not None else server.submit
     mix = _demo_requests(args)
     started = time.perf_counter()
-    futures = [server.submit(mix[i % len(mix)]) for i in range(args.demo)]
+    futures = [submit(mix[i % len(mix)]) for i in range(args.demo)]
     for future in futures:
         future.result()
     seconds = time.perf_counter() - started
@@ -271,20 +370,36 @@ def _run_demo(server, args: argparse.Namespace) -> None:
 
 
 def _main_single(args: argparse.Namespace) -> int:
+    tracer = _build_tracer(args)
     db = TuningDatabase(args.db)
     with KernelServer(
-        db=db, devices=tuple(args.devices), workers=args.workers
+        db=db, devices=tuple(args.devices), workers=args.workers, tracer=tracer
     ) as server:
-        if args.invalidate:
-            print(server.invalidate(refresh=args.refresh).report())
-        if args.warmup:
-            print(server.warm().report())
-        if args.once:
-            _print_once(server.serve(_once_request(args)))
-        if args.demo:
-            _run_demo(server, args)
-        if args.stats:
-            print(server.metrics_snapshot().report())
+        endpoint = _start_metrics(
+            args,
+            lambda: render_server_metrics(server.metrics_snapshot()),
+            server.tracer.snapshot,
+        )
+        try:
+            if args.invalidate:
+                print(server.invalidate(refresh=args.refresh).report())
+            if args.warmup:
+                print(server.warm().report())
+            if args.once:
+                _print_once(_traced_submit(server, _once_request(args)).result())
+            if args.demo:
+                _run_demo(
+                    server,
+                    args,
+                    submit=lambda request: _traced_submit(server, request),
+                )
+            if args.stats:
+                print(server.metrics_snapshot().report())
+            if args.trace:
+                _write_trace(args.trace, server.tracer.drain())
+        finally:
+            if endpoint is not None:
+                endpoint.close()
     return 0
 
 
@@ -317,15 +432,30 @@ def _main_sharded(args: argparse.Namespace, shards: int) -> int:
         remote_trust=args.trust,
         pool=args.pool,
         max_protocol=args.protocol,
+        tracer=_build_tracer(args),
     )
+    endpoint = None
     try:
+        endpoint = _start_metrics(
+            args,
+            lambda: render_cluster_metrics(
+                supervisor.stats(), HISTOGRAM_BUCKET_BOUNDS_MS
+            ),
+            supervisor.tracer.snapshot,
+        )
         if args.once:
             _print_once(supervisor.serve(_once_request(args)))
         if args.demo:
             _run_demo(supervisor, args)
         if args.stats:
             print(supervisor.stats().report())
+        if args.trace:
+            # Drain before close(): shard processes (and their span
+            # buffers) die with the supervisor.
+            _write_trace(args.trace, supervisor.drain_spans())
     finally:
+        if endpoint is not None:
+            endpoint.close()
         report = supervisor.close()
         if report is not None:
             print(report.report())
@@ -361,6 +491,7 @@ def _main_listen(args: argparse.Namespace) -> int:
             trust=args.trust,
             on_bound=announce,
             max_protocol=args.protocol,
+            metrics_port=args.metrics_port,
         )
     except KeyboardInterrupt:
         pass
@@ -370,12 +501,21 @@ def _main_listen(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level, json_lines=args.log_json)
     connect = _connect_addresses(args)
     if args.listen is not None:
-        if args.warmup or args.invalidate or args.once or args.demo or connect:
+        if (
+            args.warmup
+            or args.invalidate
+            or args.once
+            or args.demo
+            or connect
+            or args.trace
+        ):
             print(
                 "error: --listen runs a shard process and excludes supervisor "
-                "actions (--warmup/--invalidate/--once/--demo/--connect)",
+                "actions (--warmup/--invalidate/--once/--demo/--connect/"
+                "--trace); traces are drained by the supervisor",
                 file=sys.stderr,
             )
             return 2

@@ -196,6 +196,29 @@ class WireSnapshot:
         """Mean messages per flush (1.0 = no batching; 0.0 when unused)."""
         return self.messages_sent / self.flushes if self.flushes else 0.0
 
+    def delta(self, since: "WireSnapshot") -> "WireSnapshot":
+        """The activity *between* two snapshots of the same profile.
+
+        Snapshots are monotonic totals since the supervisor started, so a
+        caller polling ``--stats`` repeatedly must difference consecutive
+        snapshots rather than re-reading the totals as fresh activity:
+
+            before = supervisor.wire_snapshot()
+            ...
+            window = supervisor.wire_snapshot().delta(before)
+        """
+        return WireSnapshot(
+            messages_sent=self.messages_sent - since.messages_sent,
+            messages_received=self.messages_received - since.messages_received,
+            flushes=self.flushes - since.flushes,
+            bytes_sent=self.bytes_sent - since.bytes_sent,
+            bytes_received=self.bytes_received - since.bytes_received,
+            encode_s=self.encode_s - since.encode_s,
+            decode_s=self.decode_s - since.decode_s,
+            route_s=self.route_s - since.route_s,
+            flush_s=self.flush_s - since.flush_s,
+        )
+
     def report(self) -> str:
         """Human-readable one-liner for the cluster stats report."""
         return (

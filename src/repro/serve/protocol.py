@@ -388,10 +388,19 @@ def _decode_result(payload: dict, allow_pickled: bool, frames=None) -> ServeResu
 
 @dataclass(frozen=True)
 class ServeCall:
-    """One kernel request bound for a shard."""
+    """One kernel request bound for a shard.
+
+    ``trace`` is the **additive** distributed-tracing field: when the
+    supervisor samples a request it attaches the trace context
+    (:meth:`repro.obs.trace.TraceHandle.wire_field` — trace id, parent span
+    id, sampled flag) so the shard's spans join the same trace.  Absent ⇒
+    untraced; a v1 peer's decoder ignores the unknown key, so traced v2
+    supervisors interoperate with untraced v1 shards and vice versa.
+    """
 
     request_id: int
     request: ServeRequest
+    trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -434,9 +443,16 @@ class ErrorReply:
 
 @dataclass(frozen=True)
 class StatsCall:
-    """Ask a shard for its :class:`ShardStats`."""
+    """Ask a shard for its :class:`ShardStats`.
+
+    ``drain_spans`` additionally asks the shard to drain its tracer's span
+    buffer into the reply (``StatsReply.spans``) so the supervisor can merge
+    cluster-wide traces.  Additive: a v1 shard ignores the key and replies
+    without spans.
+    """
 
     request_id: int
+    drain_spans: bool = False
 
 
 @dataclass(frozen=True)
@@ -466,10 +482,17 @@ class ShardStats:
 
 @dataclass(frozen=True)
 class StatsReply:
-    """A shard's stats, correlated by ``request_id``."""
+    """A shard's stats, correlated by ``request_id``.
+
+    ``spans`` carries drained trace spans in their wire-dict form
+    (:meth:`repro.obs.trace.Span.to_wire`) when the call asked for them —
+    the protocol layer stays decoupled from :mod:`repro.obs` by never
+    interpreting them.  Empty for v1 peers and plain stats calls.
+    """
 
     request_id: int
     stats: ShardStats
+    spans: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -540,9 +563,14 @@ class ShutdownCall:
 
 
 def _stats_to_payload(message: StatsReply) -> dict:
-    payload = dataclasses.asdict(message)
+    payload = {
+        "request_id": message.request_id,
+        "stats": dataclasses.asdict(message.stats),
+    }
     payload["stats"]["warm_histogram"] = list(message.stats.warm_histogram)
     payload["stats"]["cold_histogram"] = list(message.stats.cold_histogram)
+    if message.spans:
+        payload["spans"] = [dict(span) for span in message.spans]
     return payload
 
 
@@ -560,7 +588,25 @@ def _stats_from_payload(payload: dict, allow_pickled: bool) -> StatsReply:
     return StatsReply(
         request_id=_request_id(payload),
         stats=_rebuild(ShardStats, fields, "shard stats"),
+        spans=_decode_spans(payload.get("spans")),
     )
+
+
+def _decode_spans(value) -> tuple:
+    """Tolerantly decode drained span dicts (absent / malformed ⇒ dropped).
+
+    Spans are diagnostic freight: a peer speaking a newer span schema must
+    not be able to break the stats path, so anything non-dict is discarded
+    rather than rejected.
+    """
+    if not isinstance(value, (list, tuple)):
+        return ()
+    return tuple(span for span in value if isinstance(span, dict))
+
+
+def _decode_trace_field(value) -> dict | None:
+    """The envelope's additive ``trace`` field: a small dict or nothing."""
+    return value if isinstance(value, dict) else None
 
 
 def _validate_hello(message):
@@ -594,9 +640,12 @@ _MESSAGE_TYPES = {
         lambda m, frames: {
             "request_id": m.request_id,
             "request": _encode_request(m.request),
+            **({"trace": m.trace} if m.trace is not None else {}),
         },
         lambda p, allow, frames: ServeCall(
-            request_id=_request_id(p), request=_decode_request(p.get("request"))
+            request_id=_request_id(p),
+            request=_decode_request(p.get("request")),
+            trace=_decode_trace_field(p.get("trace")),
         ),
     ),
     "result": (
@@ -618,7 +667,10 @@ _MESSAGE_TYPES = {
     "stats": (
         StatsCall,
         lambda m, frames: dataclasses.asdict(m),
-        lambda p, allow, frames: StatsCall(request_id=_request_id(p)),
+        lambda p, allow, frames: StatsCall(
+            request_id=_request_id(p),
+            drain_spans=bool(p.get("drain_spans", False)),
+        ),
     ),
     "stats-result": (
         StatsReply,

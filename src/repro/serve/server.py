@@ -24,6 +24,7 @@ heavy traffic without re-paying cold compilation per process or per request.
 
 from __future__ import annotations
 
+import contextvars
 import dataclasses
 import threading
 import time
@@ -34,6 +35,7 @@ from repro.errors import ServingError
 from repro.core.driver import CompilerSession
 from repro.core.driver.cache import ContentAddressedCache
 from repro.kernels.config import KernelConfig
+from repro.obs import trace as tracing
 from repro.tune.db import TuningDatabase
 from repro.tune.space import BLAS, NTT, Workload
 from repro.tune.tuner import Autotuner, TuningResult
@@ -184,6 +186,10 @@ class KernelServer:
             results fall out first; the next identical request is cold again
             (usually still a session-cache hit), so memory stays finite under
             arbitrarily diverse traffic.
+        tracer: the :class:`~repro.obs.trace.Tracer` this server records
+            into.  Defaults to a never-sampling tracer — which still records
+            traces *adopted* from the wire (a traced supervisor upstream),
+            since that sampling decision was made by the sender.
     """
 
     def __init__(
@@ -195,6 +201,7 @@ class KernelServer:
         tune_batch_window_s: float = 0.02,
         tune_batch_max: int = 16,
         resident_capacity: int = 4096,
+        tracer: tracing.Tracer | None = None,
     ) -> None:
         if not devices:
             raise ServingError("a kernel server needs at least one device")
@@ -204,6 +211,7 @@ class KernelServer:
         self.db = db if db is not None else TuningDatabase()
         self.devices = tuple(devices)
         self.metrics = ServerMetrics()
+        self.tracer = tracer if tracer is not None else tracing.Tracer(sample_rate=0.0)
         self.tune_batch_window_s = tune_batch_window_s
         self.tune_batch_max = tune_batch_max
         self._lock = threading.RLock()
@@ -230,6 +238,10 @@ class KernelServer:
         single compilation).
         """
         started = time.perf_counter()
+        # One context-variable read decides whether this request is traced;
+        # the untraced path pays nothing further for instrumentation.
+        traced = tracing.current() is not None
+        wall_started = time.time() if traced else 0.0
         key = request.key()  # validates the request before any state changes
         self.metrics.record_request()
         with self._lock:
@@ -238,6 +250,8 @@ class KernelServer:
             resident = self._resident.get(key)
             if resident is not None:
                 latency = time.perf_counter() - started
+                if traced:
+                    tracing.record("cache.lookup", wall_started, latency, hit=True)
                 self.metrics.record_warm(latency)
                 future: Future = Future()
                 future.set_result(
@@ -246,6 +260,10 @@ class KernelServer:
                 return future
             inflight = self._inflight.get(key)
             if inflight is not None:
+                if traced:
+                    tracing.record(
+                        "serve.dedup", wall_started, time.perf_counter() - started
+                    )
                 self.metrics.record_dedup()
                 return inflight
             future = Future()
@@ -255,7 +273,22 @@ class KernelServer:
             # that passed the closed check above cannot race the shutdown
             # (and leak an in-flight future its dedup'd waiters hang on).
             try:
-                self._pool.submit(self._fulfil, request, key, future, started)
+                if traced:
+                    # Copy the caller's context so the worker thread inherits
+                    # the active trace — the pool thread's own context never
+                    # carries one.
+                    context = contextvars.copy_context()
+                    self._pool.submit(
+                        context.run,
+                        self._fulfil,
+                        request,
+                        key,
+                        future,
+                        started,
+                        wall_started,
+                    )
+                else:
+                    self._pool.submit(self._fulfil, request, key, future, started)
             except RuntimeError:
                 self._inflight.pop(key, None)
                 raise ServingError("kernel server is closed") from None
@@ -267,12 +300,25 @@ class KernelServer:
 
     # -- fulfilment ---------------------------------------------------------
 
-    def _fulfil(self, request: ServeRequest, key: str, future: Future, started: float) -> None:
+    def _fulfil(
+        self,
+        request: ServeRequest,
+        key: str,
+        future: Future,
+        started: float,
+        submitted_wall: float = 0.0,
+    ) -> None:
         try:
+            # Queue wait: submit time to worker pickup.  record() no-ops when
+            # this worker inherited no trace context.
+            tracing.record(
+                "serve.queue", submitted_wall, time.perf_counter() - started
+            )
             workload = request.workload()
             tuning: TuningResult | None = None
             if request.tune:
-                tuning = self._tune_batched(workload, request.device)
+                with tracing.span("serve.tune", device=request.device):
+                    tuning = self._tune_batched(workload, request.device)
                 config = tuning.config
             else:
                 config = request.pinned_config()
@@ -281,9 +327,10 @@ class KernelServer:
             cache_key = self.session.cache_key(
                 kernel, target=request.target, options=options
             )
-            artifact = self.session.compile(
-                kernel, target=request.target, options=options
-            )
+            with tracing.span("serve.compile", target=request.target):
+                artifact = self.session.compile(
+                    kernel, target=request.target, options=options
+                )
             latency = time.perf_counter() - started
             result = ServeResult(
                 request=request,

@@ -39,9 +39,11 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+import logging
 import os
 import socket
 import threading
+import time
 
 from pathlib import Path
 
@@ -55,6 +57,8 @@ from repro.serve.metrics import latency_histogram
 from repro.serve.server import KernelServer, ServeRequest
 
 __all__ = ["ShardRouter", "run_shard", "serve_shard_tcp"]
+
+_LOG = logging.getLogger("repro.serve.shard")
 
 #: How long a fresh TCP connection may take to complete its handshake
 #: before the listener drops it and accepts the next supervisor.
@@ -244,14 +248,32 @@ def _serve_connection(
     def reply(message: protocol.Message) -> None:
         reply_bytes(protocol.encode_message(message, version=wire_version))
 
-    def finish(request_id: int, future) -> None:
+    def finish(request_id: int, future, trace=None) -> None:
         try:
             result = future.result()
             if not trusted:
                 result = protocol.source_only_result(result)
-            reply(protocol.ServeReply(request_id=request_id, result=result))
+            message = protocol.ServeReply(request_id=request_id, result=result)
         except BaseException as error:  # noqa: BLE001 - relayed over the wire
-            reply(protocol.ErrorReply.from_exception(request_id, error))
+            message = protocol.ErrorReply.from_exception(request_id, error)
+        if trace is None:
+            reply(message)
+            return
+        encode_started = time.perf_counter()
+        data = protocol.encode_message(message, version=wire_version)
+        encode_s = time.perf_counter() - encode_started
+        trace.record(
+            "wire.encode",
+            time.time() - encode_s,
+            encode_s,
+            cat="wire",
+            shard_id=shard_id,
+            bytes=len(data),
+        )
+        # Commit the trace *before* the reply leaves: once the supervisor
+        # has the result it may immediately drain this shard's spans.
+        trace.finish()
+        reply_bytes(data)
 
     while True:
         try:
@@ -262,28 +284,57 @@ def _serve_connection(
             # A torn or corrupt frame: the stream cannot be re-synchronized,
             # so this connection is over (the peer re-connects if it wants).
             return False
+        decode_started = time.perf_counter()
         try:
             message = protocol.decode_message(data, allow_pickled=trusted)
         except ProtocolError as error:
             reply(protocol.ErrorReply.from_exception(-1, error))
             continue
+        decode_s = time.perf_counter() - decode_started
         if isinstance(message, protocol.ServeCall):
             request_id = message.request_id
+            trace = (
+                server.tracer.begin(
+                    "shard.serve", wire=message.trace, shard_id=shard_id
+                )
+                if message.trace is not None
+                else None
+            )
             try:
-                future = server.submit(message.request)
+                if trace is not None:
+                    trace.record(
+                        "wire.decode",
+                        time.time() - decode_s,
+                        decode_s,
+                        cat="wire",
+                        shard_id=shard_id,
+                        bytes=len(data),
+                    )
+                    with trace.activate():
+                        future = server.submit(message.request)
+                else:
+                    future = server.submit(message.request)
             except Exception as error:  # noqa: BLE001 - bad request
+                if trace is not None:
+                    trace.finish(error=type(error).__name__)
                 reply(protocol.ErrorReply.from_exception(request_id, error))
                 continue
             future.add_done_callback(
-                lambda completed, request_id=request_id: finish(
-                    request_id, completed
+                lambda completed, request_id=request_id, trace=trace: finish(
+                    request_id, completed, trace
                 )
             )
         elif isinstance(message, protocol.StatsCall):
+            spans = (
+                tuple(one.to_wire() for one in server.tracer.drain())
+                if message.drain_spans
+                else ()
+            )
             reply(
                 protocol.StatsReply(
                     request_id=message.request_id,
                     stats=_shard_stats(shard_id, server),
+                    spans=spans,
                 )
             )
         elif isinstance(message, protocol.PingCall):
@@ -406,6 +457,7 @@ def serve_shard_tcp(
     trust: str = protocol.TRUST_SOURCE,
     on_bound=None,
     max_protocol: int = protocol.MAX_PROTOCOL_VERSION,
+    metrics_port: int | None = None,
 ) -> None:
     """Serve one shard over a TCP listener (the ``--listen`` entry point).
 
@@ -428,9 +480,31 @@ def serve_shard_tcp(
     ``port=0`` binds an ephemeral port; ``on_bound`` (if given) is called
     with the listener's ``(host, port)`` once accepting — how tests and the
     CLI learn the address.
+
+    ``metrics_port`` (if given) additionally serves this shard's own
+    Prometheus-style exposition and retained trace spans over HTTP for the
+    listener's lifetime — the ``--metrics-port`` flag in ``--listen`` mode.
     """
     db = _open_replica(db_path)
     server = KernelServer(db=db, devices=devices, workers=workers)
+    metrics_endpoint = None
+    if metrics_port is not None:
+        # Imported lazily so the shard hot path never touches the HTTP
+        # machinery unless the operator asked for a scrape surface.
+        from repro.obs.http import MetricsEndpoint
+        from repro.obs.promtext import render_server_metrics
+
+        metrics_endpoint = MetricsEndpoint(
+            metrics_port,
+            lambda: render_server_metrics(server.metrics_snapshot()),
+            trace_fn=server.tracer.snapshot,
+        ).start()
+        _LOG.info(
+            "shard %d metrics endpoint on http://%s:%d/metrics",
+            shard_id,
+            metrics_endpoint.address[0],
+            metrics_endpoint.port,
+        )
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     shutdown = threading.Event()
@@ -466,7 +540,14 @@ def serve_shard_tcp(
                 connection, shard_id, trust, max_protocol
             )
             connection.settimeout(None)
+            _LOG.info(
+                "shard %d accepted a supervisor session (trust %s, wire v%d)",
+                session_id,
+                granted,
+                wire_version,
+            )
         except ProtocolError as error:
+            _LOG.warning("shard %d refused a handshake: %s", shard_id, error)
             try:
                 connection.send_bytes(
                     protocol.encode_message(
@@ -496,6 +577,13 @@ def serve_shard_tcp(
         listener.bind((host, port))
         listener.listen(16)
         bound_address.append(listener.getsockname()[:2])
+        _LOG.info(
+            "shard %d listening on %s:%d (trust policy %s)",
+            shard_id,
+            bound_address[0][0],
+            bound_address[0][1],
+            trust,
+        )
         if on_bound is not None:
             on_bound(bound_address[0])
         while not shutdown.is_set():
@@ -526,4 +614,6 @@ def serve_shard_tcp(
             pending = list(threads)
         for thread in pending:
             thread.join(timeout=5.0)
+        if metrics_endpoint is not None:
+            metrics_endpoint.close()
         server.close()

@@ -52,6 +52,7 @@ unchanged):
 
 from __future__ import annotations
 
+import functools
 import itertools
 import logging
 import multiprocessing
@@ -65,6 +66,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ProtocolError, ServingError
+from repro.obs import trace as tracing
 from repro.tune.reconcile import (
     ReconcileReport,
     prune_quarantine,
@@ -81,7 +83,7 @@ from repro.serve.shard import DEFAULT_VIRTUAL_NODES, ShardRouter, run_shard
 
 __all__ = ["ClusterStats", "ShardSupervisor"]
 
-_LOG = logging.getLogger("repro.serve")
+_LOG = logging.getLogger("repro.serve.supervisor")
 
 #: How often the monitor thread checks shard liveness.
 _MONITOR_INTERVAL_S = 0.2
@@ -275,7 +277,11 @@ class _ShardHandle:
         self.devices = devices
         self.process = None
         self.links: list[_Link] = []
-        self.pending: dict[int, tuple[ServeRequest | None, Future]] = {}
+        # request_id -> (request, future, trace handle); the request is None
+        # for control-plane probes, the trace handle None when untraced.
+        self.pending: dict[
+            int, tuple[ServeRequest | None, Future, tracing.TraceHandle | None]
+        ] = {}
         self.pending_lock = threading.Lock()
         self.restarts = 0
         self.next_restart_at = 0.0  # monotonic; 0.0 = respawn immediately
@@ -313,7 +319,9 @@ class _ShardHandle:
     def alive(self) -> bool:
         return self.process is not None and self.process.is_alive()
 
-    def take_pending(self) -> dict[int, tuple[ServeRequest | None, Future]]:
+    def take_pending(
+        self,
+    ) -> dict[int, tuple[ServeRequest | None, Future, tracing.TraceHandle | None]]:
         with self.pending_lock:
             taken, self.pending = self.pending, {}
             return taken
@@ -410,6 +418,11 @@ class ShardSupervisor:
             :data:`~repro.serve.protocol.MAX_PROTOCOL_VERSION`; pass 1 to
             force v1 JSON framing everywhere, e.g. while a mixed-version
             rollout completes).
+        tracer: the :class:`~repro.obs.trace.Tracer` sampling and retaining
+            this supervisor's request traces.  Sampled requests carry their
+            trace context to shards in the envelope's additive ``trace``
+            field; :meth:`drain_spans` merges the shard-side spans back.
+            Defaults to a never-sampling tracer (tracing off).
 
     Shards are started with the ``spawn`` start method, so the standard
     :mod:`multiprocessing` caveat applies: construct supervisors from an
@@ -432,6 +445,7 @@ class ShardSupervisor:
         connect_timeout: float = 10.0,
         pool: int = 2,
         max_protocol: int = protocol.MAX_PROTOCOL_VERSION,
+        tracer: tracing.Tracer | None = None,
     ) -> None:
         addresses = tuple(_parse_address(address) for address in connect)
         if shards < 1 and not addresses:
@@ -460,6 +474,7 @@ class ShardSupervisor:
         self._remote_trust = remote_trust
         self._pool = pool
         self._max_protocol = max_protocol
+        self.tracer = tracer if tracer is not None else tracing.Tracer(sample_rate=0.0)
         self._wire = WireProfile()
         self._context = _spawn_context()
         self._closed = False
@@ -763,7 +778,18 @@ class ShardSupervisor:
                 entry = handle.pending.pop(request_id, None)
             if entry is None:
                 continue  # late reply for a request already re-routed
-            _, future = entry
+            _, future, trace = entry
+            if trace is not None:
+                # Wall start approximated from the measured duration: no
+                # extra clock read on the (dominant) untraced path.
+                decode_s = time.perf_counter() - decode_started
+                trace.record(
+                    "wire.decode",
+                    time.time() - decode_s,
+                    decode_s,
+                    cat="wire",
+                    bytes=len(data),
+                )
             if isinstance(message, protocol.ServeReply):
                 _resolve(future, result=message.result)
             elif isinstance(message, (protocol.StatsReply, protocol.PongReply)):
@@ -841,7 +867,7 @@ class ShardSupervisor:
 
         future.add_done_callback(pong_received)
         with handle.pending_lock:
-            handle.pending[request_id] = (None, future)
+            handle.pending[request_id] = (None, future, None)
         try:
             # Pings ride the pre-encoded v1 template (every peer accepts
             # v1): no json.dumps on the 2 s liveness path.
@@ -911,7 +937,7 @@ class ShardSupervisor:
 
     def _reroute(self, handle: _ShardHandle, pending) -> None:
         """Re-dispatch a dead shard's pending serves to ring successors."""
-        for request_id, (request, future) in pending.items():
+        for request_id, (request, future, trace) in pending.items():
             if future.done():
                 continue
             if request is None:  # stats/ping probes are not worth re-sending
@@ -923,14 +949,23 @@ class ShardSupervisor:
             try:
                 # Rebalance-on-shard-loss: the ring successor takes the key.
                 # The recovered shard (empty caches) rejoins for new traffic.
-                self._dispatch(request, future, excluding=frozenset({handle.shard_id}))
+                self._dispatch(
+                    request,
+                    future,
+                    excluding=frozenset({handle.shard_id}),
+                    trace=trace,
+                )
             except ServingError as error:
                 _resolve(future, error=error)
 
     # -- front door ---------------------------------------------------------
 
     def _dispatch(
-        self, request: ServeRequest, future: Future, excluding=frozenset()
+        self,
+        request: ServeRequest,
+        future: Future,
+        excluding=frozenset(),
+        trace: tracing.TraceHandle | None = None,
     ) -> None:
         allowed_excluding = set(excluding)
         for handle in self._handles.values():
@@ -943,11 +978,25 @@ class ShardSupervisor:
         request_id = next(self._request_ids)
         encode_started = time.perf_counter()
         data = protocol.encode_message(
-            protocol.ServeCall(request_id=request_id, request=request)
+            protocol.ServeCall(
+                request_id=request_id,
+                request=request,
+                # wire_field() is None for provisional (exemplar-candidate)
+                # traces, which stay local — so this also covers them.
+                trace=trace.wire_field() if trace is not None else None,
+            )
         )
         encode_s = time.perf_counter() - encode_started
+        if trace is not None:
+            now = time.time()
+            trace.record(
+                "route", now - encode_s - route_s, route_s, cat="wire", shard=shard_id
+            )
+            trace.record(
+                "wire.encode", now - encode_s, encode_s, cat="wire", bytes=len(data)
+            )
         with handle.pending_lock:
-            handle.pending[request_id] = (request, future)
+            handle.pending[request_id] = (request, future, trace)
         try:
             # The enqueue is the whole send from this thread's point of
             # view: the link's sender thread coalesces everything queued
@@ -964,7 +1013,10 @@ class ShardSupervisor:
             if entry is not None:
                 try:
                     self._dispatch(
-                        request, future, excluding=frozenset(allowed_excluding | {shard_id})
+                        request,
+                        future,
+                        excluding=frozenset(allowed_excluding | {shard_id}),
+                        trace=trace,
                     )
                 except ServingError as error:
                     _resolve(future, error=error)
@@ -979,7 +1031,14 @@ class ShardSupervisor:
             if self._closed:
                 raise ServingError("shard supervisor is closed")
         future: Future = Future()
-        self._dispatch(request, future)
+        trace = self.tracer.begin(
+            "cluster.request", kind=request.kind, bits=request.bits
+        )
+        if trace is not None:
+            # The root span closes when the reply lands (or the request
+            # fails), wherever that happens; finish() is idempotent.
+            future.add_done_callback(lambda _completed, _t=trace: _t.finish())
+        self._dispatch(request, future, trace=trace)
         return future
 
     def serve(self, request: ServeRequest) -> ServeResult:
@@ -994,10 +1053,14 @@ class ShardSupervisor:
     # -- probes / stats -----------------------------------------------------
 
     def _probe(self, handle: _ShardHandle, message_type, timeout: float):
+        """Send one control-plane call built by ``message_type(request_id=...)``
+        and block for its reply; ``message_type`` may be a message class or
+        any factory (e.g. a ``functools.partial`` carrying extra fields).
+        """
         request_id = next(self._request_ids)
         future: Future = Future()
         with handle.pending_lock:
-            handle.pending[request_id] = (None, future)
+            handle.pending[request_id] = (None, future, None)
         try:
             with handle.send_lock:
                 if handle.connection is None:  # a disconnected remote shard
@@ -1016,7 +1079,8 @@ class ShardSupervisor:
                 handle.pending.pop(request_id, None)
             raise ServingError(
                 f"shard {handle.shard_id} did not answer a "
-                f"{message_type.__name__} within {timeout:g}s"
+                f"{getattr(message_type, '__name__', 'probe')} "
+                f"within {timeout:g}s"
             ) from None
 
     def ping(self, timeout: float = 5.0) -> dict[int, protocol.PongReply]:
@@ -1042,6 +1106,33 @@ class ShardSupervisor:
     def wire_snapshot(self) -> WireSnapshot:
         """The supervisor-side wire-path profile without probing any shard."""
         return self._wire.snapshot()
+
+    def drain_spans(self, timeout: float = 10.0) -> tuple[tracing.Span, ...]:
+        """Merge cluster-wide trace spans: this process plus every shard.
+
+        Drains the supervisor's own tracer and asks every live shard for its
+        retained spans (a :class:`~repro.serve.protocol.StatsCall` with
+        ``drain_spans`` set — a v1 shard ignores the flag and contributes
+        nothing), returning one merged, time-ordered tuple ready for
+        :func:`repro.obs.export.write_chrome_trace`.  A shard that died or
+        ships a span this build cannot parse is skipped, never fatal.
+        """
+        spans = list(self.tracer.drain())
+        with self._lock:
+            handles = [h for h in self._handles.values() if h.alive()]
+        drain_call = functools.partial(protocol.StatsCall, drain_spans=True)
+        for handle in handles:
+            try:
+                reply = self._probe(handle, drain_call, timeout)
+            except ServingError:
+                continue
+            for payload in getattr(reply, "spans", ()):
+                try:
+                    spans.append(tracing.Span.from_wire(payload))
+                except ValueError:
+                    continue
+        spans.sort(key=lambda one: one.ts_us)
+        return tuple(spans)
 
     # -- reconciliation / lifecycle ----------------------------------------
 
@@ -1092,7 +1183,7 @@ class ShardSupervisor:
                 handle.process.terminate()
                 handle.process.join(timeout=5.0)
         for handle in self._handles.values():
-            for _, future in handle.take_pending().values():
+            for _, future, _trace in handle.take_pending().values():
                 if not future.done():
                     _resolve(future, error=ServingError("shard supervisor closed"))
             handle.drop_links()

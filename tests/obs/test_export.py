@@ -1,0 +1,112 @@
+"""Chrome trace-event export: structure, roundtrip, and validation.
+
+The export is the contract between ``--trace`` and every consumer — the
+Perfetto UI, ``tools/trace_summary.py``, and the ``/trace.json`` endpoint.
+These tests pin the event structure (``"X"`` spans carrying their ids in
+``args``, ``"M"`` process-name metadata with shard-aware naming) and that
+``spans_from_chrome_trace`` is a faithful inverse that rejects structurally
+invalid documents instead of summarizing garbage.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    spans_from_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.trace import Span
+
+
+def make_span(name="route", ts=10.0, shard_id=None, pid=100) -> Span:
+    args = {"shard_id": shard_id} if shard_id is not None else {}
+    return Span(
+        trace_id="trace-1",
+        span_id=f"{pid:x}.{name}",
+        parent_id="",
+        name=name,
+        cat="wire",
+        ts_us=ts,
+        dur_us=5.0,
+        process_id=pid,
+        thread_id=7,
+        args=args,
+    )
+
+
+class TestChromeTrace:
+    def test_events_are_complete_spans_sorted_by_start(self):
+        doc = chrome_trace([make_span("b", ts=20.0), make_span("a", ts=10.0)])
+        xs = [event for event in doc["traceEvents"] if event["ph"] == "X"]
+        assert [event["name"] for event in xs] == ["a", "b"]
+        assert all(
+            {"trace_id", "span_id", "parent_id"} <= set(event["args"]) for event in xs
+        )
+
+    def test_process_metadata_names_shards(self):
+        doc = chrome_trace(
+            [make_span(shard_id=1, pid=200), make_span(pid=100)], label="repro"
+        )
+        names = {
+            event["pid"]: event["args"]["name"]
+            for event in doc["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        assert names[200] == "repro shard 1"
+        assert names[100] == "repro pid 100"
+
+    def test_document_is_json_serializable_with_display_unit(self):
+        doc = chrome_trace([make_span()])
+        assert doc["displayTimeUnit"] == "ms"
+        json.dumps(doc)  # must not raise
+
+
+class TestRoundtrip:
+    def test_spans_survive_export_and_reimport(self):
+        spans = [make_span("a", ts=1.0), make_span("b", ts=2.0, shard_id=0)]
+        rebuilt = spans_from_chrome_trace(chrome_trace(spans))
+        assert rebuilt == spans
+
+    def test_write_chrome_trace_is_loadable_from_disk(self, tmp_path):
+        target = write_chrome_trace(tmp_path / "out.json", [make_span()])
+        payload = json.loads(target.read_text())
+        assert len(spans_from_chrome_trace(payload)) == 1
+
+    def test_metadata_events_are_skipped_not_rejected(self):
+        doc = chrome_trace([make_span(shard_id=1)])
+        assert any(event["ph"] == "M" for event in doc["traceEvents"])
+        assert len(spans_from_chrome_trace(doc)) == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            {},
+            {"traceEvents": "nope"},
+            {"traceEvents": ["not-an-object"]},
+            {"traceEvents": [{"ph": "X", "name": "n", "ts": 1, "dur": 1}]},
+            {
+                "traceEvents": [
+                    {"ph": "X", "name": "", "ts": 1, "dur": 1, "args": {"trace_id": "t"}}
+                ]
+            },
+            {
+                "traceEvents": [
+                    {
+                        "ph": "X",
+                        "name": "n",
+                        "ts": "later",
+                        "dur": 1,
+                        "args": {"trace_id": "t"},
+                    }
+                ]
+            },
+        ],
+    )
+    def test_invalid_documents_raise(self, payload):
+        with pytest.raises(ValueError):
+            spans_from_chrome_trace(payload)

@@ -1,0 +1,86 @@
+"""The ``--metrics-port`` scrape endpoint over a real localhost socket.
+
+An ephemeral-port :class:`MetricsEndpoint` must answer ``/metrics`` with
+the caller's exposition (correct content type, fresh per scrape),
+``/trace.json`` with a loadable Chrome trace document, 404 elsewhere, and
+a rendering failure must answer 500 without killing the endpoint.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import spans_from_chrome_trace
+from repro.obs.http import MetricsEndpoint
+from repro.obs.trace import Tracer
+
+
+def get(endpoint: MetricsEndpoint, path: str):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{endpoint.port}{path}", timeout=5
+    ) as response:
+        return response.status, response.headers.get("Content-Type"), response.read()
+
+
+class TestMetricsEndpoint:
+    def test_serves_live_metrics_on_both_roots(self):
+        scrapes = []
+
+        def metrics():
+            scrapes.append(None)
+            return f"repro_scrapes_total {len(scrapes)}\n"
+
+        with MetricsEndpoint(0, metrics) as endpoint:
+            status, content_type, body = get(endpoint, "/metrics")
+            assert status == 200
+            assert content_type.startswith("text/plain; version=0.0.4")
+            assert body == b"repro_scrapes_total 1\n"
+            _, _, body = get(endpoint, "/")
+            assert body == b"repro_scrapes_total 2\n"  # fresh per scrape
+
+    def test_trace_json_is_a_loadable_chrome_trace(self):
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.trace("root"):
+            pass
+        with MetricsEndpoint(0, lambda: "", trace_fn=tracer.snapshot) as endpoint:
+            status, content_type, body = get(endpoint, "/trace.json")
+        assert status == 200
+        assert content_type == "application/json"
+        spans = spans_from_chrome_trace(json.loads(body))
+        assert [one.name for one in spans] == ["root"]
+
+    def test_trace_json_without_a_trace_fn_is_an_empty_document(self):
+        with MetricsEndpoint(0, lambda: "") as endpoint:
+            _, _, body = get(endpoint, "/trace.json")
+        assert json.loads(body)["traceEvents"] == []
+
+    def test_unknown_path_is_404(self):
+        with MetricsEndpoint(0, lambda: "") as endpoint:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                get(endpoint, "/nope")
+            assert caught.value.code == 404
+
+    def test_render_failure_is_500_and_endpoint_survives(self):
+        calls = []
+
+        def metrics():
+            calls.append(None)
+            if len(calls) == 1:
+                raise RuntimeError("flaky exporter")
+            return "repro_ok 1\n"
+
+        with MetricsEndpoint(0, metrics) as endpoint:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                get(endpoint, "/metrics")
+            assert caught.value.code == 500
+            status, _, body = get(endpoint, "/metrics")
+            assert status == 200 and body == b"repro_ok 1\n"
+
+    def test_close_releases_the_port(self):
+        endpoint = MetricsEndpoint(0, lambda: "").start()
+        port = endpoint.port
+        endpoint.close()
+        rebound = MetricsEndpoint(port, lambda: "").start()
+        rebound.close()

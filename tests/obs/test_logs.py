@@ -1,0 +1,108 @@
+"""Structured logging: namespacing, idempotency, and trace correlation.
+
+``configure_logging`` must be safe to call repeatedly (CLIs and tests
+re-enter it) without stacking handlers, must confine itself to the
+``repro`` namespace, and every record — text or JSON — must carry the
+active trace id so a log line written under a traced request is joinable
+with that request's spans.
+"""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logs import (
+    ROOT_LOGGER,
+    TraceCorrelationFilter,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def reset_repro_logging():
+    yield
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+class TestGetLogger:
+    def test_prefixes_bare_names(self):
+        assert get_logger("serve.shard").name == "repro.serve.shard"
+
+    def test_leaves_qualified_names_alone(self):
+        assert get_logger("repro.serve").name == "repro.serve"
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigureLogging:
+    def test_repeated_calls_do_not_stack_handlers(self):
+        configure_logging("info")
+        configure_logging("debug")
+        root = logging.getLogger(ROOT_LOGGER)
+        ours = [
+            handler
+            for handler in root.handlers
+            if getattr(handler, "_repro_obs_handler", False)
+        ]
+        assert len(ours) == 1
+        assert root.level == logging.DEBUG
+
+    def test_process_root_logger_is_untouched(self):
+        before = list(logging.getLogger().handlers)
+        configure_logging("info")
+        assert logging.getLogger().handlers == before
+        # Propagation must survive, or root-level capture (pytest's caplog)
+        # goes blind for the rest of the process once any CLI path runs.
+        assert logging.getLogger(ROOT_LOGGER).propagate is True
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="log level"):
+            configure_logging("loud")
+
+    def test_text_format_carries_the_trace_id(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.trace("root") as handle:
+            get_logger("serve.test").info("inside")
+        get_logger("serve.test").info("outside")
+        inside, outside = stream.getvalue().strip().splitlines()
+        assert f"[{handle.trace_id}]" in inside
+        assert "[-]" in outside
+
+    def test_json_lines_are_parseable_and_correlated(self):
+        stream = io.StringIO()
+        configure_logging("info", json_lines=True, stream=stream)
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.trace("root") as handle:
+            get_logger("serve.test").info("traced %d", 7)
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["message"] == "traced 7"
+        assert payload["trace_id"] == handle.trace_id
+        assert payload["logger"] == "repro.serve.test"
+        assert payload["level"] == "INFO"
+
+    def test_json_lines_capture_exceptions(self):
+        stream = io.StringIO()
+        configure_logging("info", json_lines=True, stream=stream)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            get_logger("serve.test").exception("failed")
+        payload = json.loads(stream.getvalue().strip())
+        assert "boom" in payload["exception"]
+
+
+class TestTraceCorrelationFilter:
+    def test_stamps_dash_when_untraced(self):
+        record = logging.LogRecord("repro.x", logging.INFO, "f", 1, "m", (), None)
+        assert TraceCorrelationFilter().filter(record) is True
+        assert record.trace_id == "-"

@@ -1,0 +1,291 @@
+"""The tracing core: sampling, propagation, wire adoption, and the ring.
+
+The contracts that keep tracing safe to leave compiled into the serving
+hot path: an unsampled request costs one context-variable read and builds
+no objects; sampling is deterministic 1-in-N; a trace crosses threads via
+``contextvars`` and processes via the envelope's ``trace`` field (adopted
+spans join the sender's trace under the sender's span); provisional
+exemplar traces commit only when the root ends up slow — and never
+propagate; the span ring is bounded, counts what it drops, and a trace's
+scratch is hard-capped so runaway instrumentation cannot grow it.
+"""
+
+import contextvars
+import threading
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    MAX_SPANS_PER_TRACE,
+    Span,
+    SpanBuffer,
+    Tracer,
+    current,
+    current_trace_id,
+    record,
+    span,
+)
+
+
+class TestSampling:
+    def test_rate_zero_never_traces(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert all(tracer.begin("r") is None for _ in range(50))
+
+    def test_rate_one_always_traces(self):
+        tracer = Tracer(sample_rate=1.0)
+        for _ in range(10):
+            handle = tracer.begin("r")
+            assert handle is not None
+            handle.finish()
+        assert tracer.committed_traces == 10
+
+    def test_one_percent_is_deterministic_every_hundredth(self):
+        tracer = Tracer(sample_rate=0.01)
+        decisions = [tracer.begin("r") is not None for _ in range(300)]
+        assert decisions[0] and decisions[100] and decisions[200]
+        assert sum(decisions) == 3
+
+    def test_force_overrides_the_sampler(self):
+        tracer = Tracer(sample_rate=0.0)
+        handle = tracer.begin("r", force=True)
+        assert handle is not None and handle.sampled
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError, match="sample rate"):
+            Tracer(sample_rate=1.5)
+
+
+class TestUntracedFastPath:
+    def test_no_context_by_default(self):
+        assert current() is None
+        assert current_trace_id() is None
+
+    def test_span_and_record_are_noops_without_a_trace(self):
+        with span("anything") as context:
+            assert context is None
+        record("anything", time.time(), 0.001)  # must not raise
+
+
+class TestSpanNesting:
+    def test_children_nest_under_the_active_span(self):
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.trace("root") as handle:
+            with span("outer") as outer:
+                with span("inner"):
+                    pass
+        spans = {one.name: one for one in tracer.drain()}
+        assert set(spans) == {"root", "outer", "inner"}
+        assert spans["root"].parent_id == ""
+        assert spans["outer"].parent_id == spans["root"].span_id
+        assert spans["inner"].parent_id == outer.span_id
+        assert len({one.trace_id for one in spans.values()}) == 1
+        assert handle.trace_id == spans["root"].trace_id
+
+    def test_context_resets_after_the_trace_block(self):
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.trace("root"):
+            assert current_trace_id() is not None
+        assert current_trace_id() is None
+
+    def test_record_appends_a_measured_child(self):
+        tracer = Tracer(sample_rate=1.0)
+        wall = time.time() - 0.5
+        with tracer.trace("root"):
+            record("queued", wall, 0.25, cat="serve", depth=3)
+        queued = next(one for one in tracer.drain() if one.name == "queued")
+        assert queued.ts_us == pytest.approx(wall * 1e6)
+        assert queued.dur_us == pytest.approx(0.25e6)
+        assert queued.args == {"depth": 3}
+
+
+class TestThreadPropagation:
+    def test_copied_context_carries_the_trace_into_a_worker(self):
+        tracer = Tracer(sample_rate=1.0)
+        seen = []
+
+        def worker():
+            with span("worker.step"):
+                seen.append(current_trace_id())
+
+        with tracer.trace("root") as handle:
+            context = contextvars.copy_context()
+            thread = threading.Thread(target=context.run, args=(worker,))
+            thread.start()
+            thread.join()
+        assert seen == [handle.trace_id]
+        assert "worker.step" in {one.name for one in tracer.drain()}
+
+    def test_handle_record_works_from_any_thread(self):
+        tracer = Tracer(sample_rate=1.0)
+        handle = tracer.begin("root")
+        thread = threading.Thread(
+            target=handle.record, args=("elsewhere", time.time(), 0.001)
+        )
+        thread.start()
+        thread.join()
+        handle.finish()
+        assert "elsewhere" in {one.name for one in tracer.drain()}
+
+
+class TestWirePropagation:
+    def test_adopted_root_joins_the_senders_trace(self):
+        supervisor = Tracer(sample_rate=1.0)
+        shard = Tracer(sample_rate=0.0)  # remote sampling is irrelevant
+        handle = supervisor.begin("cluster.request")
+        field = handle.wire_field()
+        assert field == {
+            "id": handle.trace_id,
+            "span": field["span"],
+            "sampled": True,
+        }
+
+        remote = shard.begin("shard.serve", wire=field, shard_id=1)
+        assert remote is not None
+        with remote.activate():
+            with span("serve.compile"):
+                pass
+        remote.finish()
+        handle.finish()
+
+        shard_spans = shard.drain()
+        assert {one.trace_id for one in shard_spans} == {handle.trace_id}
+        root = next(one for one in shard_spans if one.name == "shard.serve")
+        assert root.parent_id == field["span"]
+
+    @pytest.mark.parametrize(
+        "field", [None, "junk", {}, {"id": 7}, {"id": ""}, {"span": "x"}]
+    )
+    def test_malformed_wire_fields_are_treated_as_absent(self, field):
+        assert Tracer.adopt_wire_field(field) is None
+
+    def test_adoption_tolerates_a_non_string_parent(self):
+        assert Tracer.adopt_wire_field({"id": "abc", "span": 9}) == ("abc", "")
+
+
+class TestExemplars:
+    def test_fast_losers_are_discarded(self):
+        tracer = Tracer(sample_rate=0.0, exemplar_threshold_s=10.0)
+        handle = tracer.begin("root")
+        assert handle is not None and not handle.sampled
+        handle.finish()
+        assert tracer.committed_traces == 0
+        assert len(tracer.buffer) == 0
+
+    def test_slow_losers_are_committed_as_exemplars(self):
+        tracer = Tracer(sample_rate=0.0, exemplar_threshold_s=0.0)
+        handle = tracer.begin("root")
+        handle.finish()
+        assert tracer.exemplar_traces == 1
+        assert tracer.committed_traces == 1
+        assert [one.name for one in tracer.drain()] == ["root"]
+
+    def test_provisional_traces_never_propagate(self):
+        tracer = Tracer(sample_rate=0.0, exemplar_threshold_s=10.0)
+        handle = tracer.begin("root")
+        assert handle.wire_field() is None
+
+
+class TestHandleLifecycle:
+    def test_finish_is_idempotent(self):
+        tracer = Tracer(sample_rate=1.0)
+        handle = tracer.begin("root")
+        handle.finish()
+        handle.finish()
+        assert tracer.committed_traces == 1
+        assert len(tracer.drain()) == 1
+
+    def test_record_after_finish_is_dropped(self):
+        tracer = Tracer(sample_rate=1.0)
+        handle = tracer.begin("root")
+        handle.finish()
+        handle.record("late", time.time(), 0.001)
+        assert {one.name for one in tracer.drain()} == {"root"}
+
+    def test_annotations_land_on_the_root_span(self):
+        tracer = Tracer(sample_rate=1.0)
+        handle = tracer.begin("root", kind="ntt")
+        handle.annotate(shard=2)
+        handle.finish(outcome="ok")
+        (root,) = tracer.drain()
+        assert root.args == {"kind": "ntt", "shard": 2, "outcome": "ok"}
+
+    def test_per_trace_span_cap_is_enforced_and_reported(self):
+        tracer = Tracer(sample_rate=1.0, capacity=MAX_SPANS_PER_TRACE + 8)
+        with tracer.trace("root") as handle:
+            for index in range(MAX_SPANS_PER_TRACE + 10):
+                record("child", time.time(), 0.0, index=index)
+        spans = tracer.drain()
+        # The child cap holds; the root span itself is exempt (a capped
+        # trace must still commit its root or every child is an orphan).
+        assert len(spans) <= MAX_SPANS_PER_TRACE + 1
+        root = next(one for one in spans if one.name == "root")
+        assert root.args["spans_dropped"] > 0
+        assert handle.trace_id == root.trace_id
+
+
+class TestSpanBuffer:
+    def make_span(self, index: int) -> Span:
+        return Span(
+            trace_id="t",
+            span_id=str(index),
+            parent_id="",
+            name=f"s{index}",
+            cat="serve",
+            ts_us=float(index),
+            dur_us=1.0,
+            process_id=1,
+            thread_id=1,
+        )
+
+    def test_wraparound_keeps_newest_and_counts_drops(self):
+        buffer = SpanBuffer(capacity=4)
+        buffer.extend(self.make_span(index) for index in range(10))
+        assert buffer.dropped == 6
+        assert [one.span_id for one in buffer.snapshot()] == ["6", "7", "8", "9"]
+
+    def test_drain_empties_snapshot_does_not(self):
+        buffer = SpanBuffer(capacity=8)
+        buffer.extend([self.make_span(1)])
+        assert len(buffer.snapshot()) == 1
+        assert len(buffer) == 1
+        assert len(buffer.drain()) == 1
+        assert len(buffer) == 0
+        assert buffer.drain() == ()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SpanBuffer(capacity=0)
+
+
+class TestSpanWireForm:
+    def test_roundtrip(self):
+        original = Span(
+            trace_id="abc",
+            span_id="1.2",
+            parent_id="1.1",
+            name="route",
+            cat="wire",
+            ts_us=123.0,
+            dur_us=4.5,
+            process_id=42,
+            thread_id=7,
+            args={"shard_id": 1},
+        )
+        assert Span.from_wire(original.to_wire()) == original
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "junk",
+            {},
+            {"trace": "t", "span": "s"},  # no name/ts/dur
+            {"trace": "", "span": "s", "name": "n", "ts": 1, "dur": 1},
+            {"trace": "t", "span": "s", "name": "n", "ts": "soon", "dur": 1},
+            {"trace": "t", "span": "s", "name": "n", "ts": 1, "dur": True},
+        ],
+    )
+    def test_malformed_payloads_raise(self, payload):
+        with pytest.raises(ValueError):
+            Span.from_wire(payload)

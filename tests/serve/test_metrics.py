@@ -10,14 +10,18 @@ is the upper bound of the true quantile's bucket, so it brackets the exact
 value within one log-2 bucket.
 """
 
+import dataclasses
 import math
 import random
 import statistics
+import threading
 
 import pytest
 
 from repro.serve.metrics import (
     HISTOGRAM_BUCKET_BOUNDS_MS,
+    ServerMetrics,
+    WireProfile,
     latency_histogram,
     percentile_from_histogram,
 )
@@ -127,3 +131,151 @@ class TestSamplingProperty:
             assert percentile_from_histogram(merged, q) == percentile_from_histogram(
                 pooled, q
             )
+
+
+class TestWireSnapshotDelta:
+    """Snapshots are monotonic totals; ``delta`` isolates a polling window.
+
+    The regression this pins: a caller polling ``--stats`` repeatedly must
+    not read the totals twice and report the first window's traffic again.
+    ``delta(before)`` subtracts field-wise, so consecutive windows sum back
+    to the totals and an idle window is exactly zero.
+    """
+
+    def test_delta_isolates_the_window_between_snapshots(self):
+        profile = WireProfile()
+        profile.record_send(100, 0.001, route_s=0.0005)
+        profile.record_flush(0.0002)
+        before = profile.snapshot()
+
+        profile.record_send(40, 0.002, route_s=0.0001)
+        profile.record_receive(300, 0.003)
+        profile.record_flush(0.0004)
+        window = profile.snapshot().delta(before)
+
+        assert window.messages_sent == 1
+        assert window.messages_received == 1
+        assert window.flushes == 1
+        assert window.bytes_sent == 40
+        assert window.bytes_received == 300
+        assert window.encode_s == pytest.approx(0.002)
+        assert window.decode_s == pytest.approx(0.003)
+        assert window.route_s == pytest.approx(0.0001)
+        assert window.flush_s == pytest.approx(0.0004)
+
+    def test_idle_window_is_zero_for_every_field(self):
+        profile = WireProfile()
+        profile.record_send(100, 0.001)
+        profile.record_receive(50, 0.001)
+        snap = profile.snapshot()
+        for field, value in dataclasses.asdict(snap.delta(snap)).items():
+            assert value == 0, f"idle delta field {field} = {value}"
+
+    def test_repeated_polls_double_count_without_delta(self):
+        # The failure mode delta exists for: raw totals are cumulative.
+        profile = WireProfile()
+        profile.record_send(10, 0.0)
+        first = profile.snapshot()
+        profile.record_send(10, 0.0)
+        second = profile.snapshot()
+        assert second.messages_sent == 2  # totals keep growing
+        assert second.delta(first).messages_sent == 1  # the window does not
+
+    def test_consecutive_windows_sum_to_the_totals(self):
+        profile = WireProfile()
+        snapshots = [profile.snapshot()]
+        for size in (10, 20, 30):
+            profile.record_send(size, 0.001)
+            profile.record_flush(0.0001)
+            snapshots.append(profile.snapshot())
+        windows = [
+            later.delta(earlier)
+            for earlier, later in zip(snapshots, snapshots[1:])
+        ]
+        assert sum(w.bytes_sent for w in windows) == snapshots[-1].bytes_sent
+        assert sum(w.flushes for w in windows) == snapshots[-1].flushes
+        assert sum(w.flush_s for w in windows) == pytest.approx(
+            snapshots[-1].flush_s
+        )
+
+
+class TestConcurrentRecording:
+    """N threads hammer one accumulator; every event must be conserved.
+
+    Counter updates in :class:`ServerMetrics` and :class:`WireProfile` are
+    multi-field (count + latency sample, bytes + seconds), so a lost update
+    or torn read under contention would show up as snapshots whose parts
+    disagree with the known totals.
+    """
+
+    THREADS = 8
+    EVENTS_PER_THREAD = 400
+
+    def _hammer(self, worker) -> None:
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_server_metrics_conserve_every_event(self):
+        metrics = ServerMetrics()
+
+        def worker(index: int) -> None:
+            for event in range(self.EVENTS_PER_THREAD):
+                metrics.record_request()
+                outcome = (index + event) % 4
+                if outcome == 0:
+                    metrics.record_warm(0.001)
+                elif outcome == 1:
+                    metrics.record_cold(0.010)
+                elif outcome == 2:
+                    metrics.record_dedup()
+                else:
+                    metrics.record_error()
+                if event % 50 == 0:
+                    metrics.record_tune_batch(2)
+                    metrics.snapshot()  # concurrent reads must not tear
+
+        self._hammer(worker)
+        total = self.THREADS * self.EVENTS_PER_THREAD
+        snap = metrics.snapshot()
+        assert snap.requests == total
+        assert (
+            snap.warm_serves + snap.cold_serves + snap.dedup_hits + snap.errors
+            == total
+        )
+        assert snap.warm_serves == total // 4
+        assert snap.tune_batches == self.THREADS * (self.EVENTS_PER_THREAD // 50)
+        assert snap.batched_tunes == 2 * snap.tune_batches
+        warm, cold = metrics.latency_samples()
+        assert len(warm) == min(snap.warm_serves, 4096)
+        assert len(cold) == min(snap.cold_serves, 4096)
+
+    def test_wire_profile_conserves_bytes_and_time(self):
+        profile = WireProfile()
+
+        def worker(index: int) -> None:
+            for event in range(self.EVENTS_PER_THREAD):
+                profile.record_send(10, 0.001, route_s=0.0005)
+                profile.record_receive(30, 0.002)
+                if event % 4 == 0:
+                    profile.record_flush(0.0001)
+                if event % 100 == 0:
+                    profile.snapshot()
+
+        self._hammer(worker)
+        total = self.THREADS * self.EVENTS_PER_THREAD
+        snap = profile.snapshot()
+        assert snap.messages_sent == total
+        assert snap.messages_received == total
+        assert snap.bytes_sent == 10 * total
+        assert snap.bytes_received == 30 * total
+        assert snap.flushes == self.THREADS * (self.EVENTS_PER_THREAD // 4)
+        assert snap.encode_s == pytest.approx(0.001 * total)
+        assert snap.route_s == pytest.approx(0.0005 * total)
+        assert snap.decode_s == pytest.approx(0.002 * total)
+        assert snap.coalescing_ratio == pytest.approx(4.0)

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event export and print a per-layer breakdown.
+
+Loads a trace written by ``python -m repro.serve --trace out.json`` (or
+``repro.obs.export.write_chrome_trace``), validates it structurally via
+:func:`repro.obs.export.spans_from_chrome_trace`, and prints:
+
+* trace/span counts and the distinct shard ids that contributed spans;
+* wall time per category (serve / wire / compile / ...) — where a cluster
+  request actually spends its time;
+* the top span names by total duration.
+
+CI runs this after a two-shard TCP smoke to assert the merged trace is
+well-formed and both shards contributed (``--expect-shards 2``).  Exits
+nonzero on an invalid document or a violated expectation.
+
+Usage::
+
+    python tools/trace_summary.py out.json [--expect-shards N] [--top K]
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import sys
+from pathlib import Path
+
+# Runnable straight from a checkout: put src/ on the path when the package
+# is not already importable (CI invokes this without PYTHONPATH).
+try:
+    from repro.obs.export import spans_from_chrome_trace
+except ImportError:  # pragma: no cover - checkout-layout fallback
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs.export import spans_from_chrome_trace
+
+
+def summarize(spans, top: int) -> str:
+    lines = []
+    traces = collections.Counter(one.trace_id for one in spans)
+    shards = sorted(
+        {one.args["shard_id"] for one in spans if "shard_id" in one.args}
+    )
+    processes = sorted({one.process_id for one in spans})
+    lines.append(
+        f"traces      {len(traces)} ({len(spans)} spans, "
+        f"{len(processes)} processes, shards seen: "
+        f"{', '.join(map(str, shards)) if shards else 'none'})"
+    )
+
+    by_cat = collections.defaultdict(float)
+    for one in spans:
+        by_cat[one.cat or "span"] += one.dur_us
+    total_us = sum(by_cat.values()) or 1.0
+    lines.append("per-layer time (sum of span durations):")
+    for cat, dur_us in sorted(by_cat.items(), key=lambda kv: -kv[1]):
+        lines.append(
+            f"  {cat:<10} {dur_us / 1e3:>10.3f} ms  {dur_us / total_us:>6.1%}"
+        )
+
+    by_name = collections.defaultdict(lambda: [0, 0.0])
+    for one in spans:
+        entry = by_name[one.name]
+        entry[0] += 1
+        entry[1] += one.dur_us
+    lines.append(f"top spans by total duration (of {len(by_name)} names):")
+    ranked = sorted(by_name.items(), key=lambda kv: -kv[1][1])[:top]
+    for name, (count, dur_us) in ranked:
+        lines.append(
+            f"  {name:<34} x{count:<4} {dur_us / 1e3:>10.3f} ms total, "
+            f"{dur_us / count / 1e3:>8.3f} ms avg"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate a repro Chrome trace-event export and print "
+        "a per-layer time breakdown"
+    )
+    parser.add_argument("trace", metavar="PATH", help="trace-event JSON file")
+    parser.add_argument(
+        "--expect-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail unless spans from at least N distinct shard ids appear",
+    )
+    parser.add_argument(
+        "--top", type=int, default=12, help="span names to rank (default 12)"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        payload = json.loads(Path(args.trace).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"trace_summary: cannot load {args.trace}: {error}", file=sys.stderr)
+        return 1
+    try:
+        spans = spans_from_chrome_trace(payload)
+    except ValueError as error:
+        print(f"trace_summary: invalid trace document: {error}", file=sys.stderr)
+        return 1
+    if not spans:
+        print("trace_summary: document is valid but contains no spans",
+              file=sys.stderr)
+        return 1
+
+    print(summarize(spans, args.top))
+
+    if args.expect_shards is not None:
+        shards = {one.args["shard_id"] for one in spans if "shard_id" in one.args}
+        if len(shards) < args.expect_shards:
+            print(
+                f"trace_summary: expected spans from >= {args.expect_shards} "
+                f"shards, saw {sorted(shards)}",
+                file=sys.stderr,
+            )
+            return 1
+        roots = [one for one in spans if not one.parent_id]
+        multi = [
+            trace_id
+            for trace_id, count in collections.Counter(
+                one.trace_id for one in roots
+            ).items()
+            if count > 1
+        ]
+        if multi:
+            print(
+                f"trace_summary: traces with multiple roots: {multi}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
