@@ -1,13 +1,38 @@
 """Shared benchmark configuration.
 
-Every benchmark regenerates one of the paper's tables or figures.  The
-figure-producing call is wrapped in ``benchmark.pedantic(..., rounds=1)``
-because the quantity of interest is the *output* (the regenerated series,
-printed below each benchmark and asserted for shape), not the wall-clock of
-the harness itself.
+Every benchmark regenerates one of the paper's tables or figures or holds a
+performance floor.  The figure-producing call is wrapped in
+``benchmark.pedantic(..., rounds=1)`` because the quantity of interest is
+the *output* (the regenerated series, printed below each benchmark and
+asserted for shape), not the wall-clock of the harness itself.
+
+Floor benchmarks — the ones asserting ``measured >= REQUIRED_*`` — carry
+``@pytest.mark.perf_floor`` and scale their thresholds by the
+:func:`floor_scale` fixture: 1.0 locally, more generous on shared CI
+runners (override with ``REPRO_FLOOR_SCALE``).  The floors exist to catch
+order-of-magnitude regressions, not to measure the runner.
+
+After a benchmark run, every ``perf_floor`` record (name + ``extra_info``)
+is merged into the per-commit ``benchmarks/BENCH_<sha>.json`` artifact via
+the same read-merge-write helper the loadgen SLO reporter uses — so the
+artifact accumulates floors, SLO reports, and pytest-benchmark's own
+payload without any writer clobbering another.
 """
 
+import os
+
 import pytest
+
+#: How much CI runners are allowed to miss the local floors by.
+_CI_FLOOR_SCALE = 0.5
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf_floor: benchmark asserting a scaled performance floor "
+        "(threshold x floor_scale); recorded in the BENCH artifact",
+    )
 
 
 @pytest.fixture
@@ -18,3 +43,51 @@ def run_once(benchmark):
         return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return runner
+
+
+@pytest.fixture
+def floor_scale():
+    """Multiplier applied to every performance floor before asserting.
+
+    1.0 locally; :data:`_CI_FLOOR_SCALE` when ``CI`` is set (shared runners
+    are noisy and oversubscribed — the floors still catch order-of-magnitude
+    regressions at half strength).  ``REPRO_FLOOR_SCALE`` overrides both,
+    which is how a deflake investigation can pin the exact local thresholds
+    on a CI runner or vice versa.
+    """
+    override = os.environ.get("REPRO_FLOOR_SCALE")
+    if override:
+        return float(override)
+    return _CI_FLOOR_SCALE if os.environ.get("CI") else 1.0
+
+
+def pytest_collection_modifyitems(config, items):
+    marked = {item.nodeid for item in items if item.get_closest_marker("perf_floor")}
+    config._repro_perf_floor_nodeids = marked
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_sessionfinish(session):
+    """Merge perf_floor records into ``BENCH_<sha>.json`` after the run.
+
+    ``trylast`` orders this after pytest-benchmark's own ``--benchmark-json``
+    write, so when CI points that flag at the BENCH file this hook *appends*
+    to the freshly written payload instead of racing it.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    marked = getattr(session.config, "_repro_perf_floor_nodeids", set())
+    entries = [
+        {
+            "name": bench.fullname,
+            "extra_info": dict(bench.extra_info),
+        }
+        for bench in bench_session.benchmarks
+        if bench.fullname in marked
+    ]
+    if not entries:
+        return
+    from repro.loadgen.report import bench_artifact_path, merge_bench_payload
+
+    merge_bench_payload(bench_artifact_path(), "perf_floors", entries)

@@ -18,6 +18,8 @@ per-request latencies land in the BENCH artifact via ``extra_info``.
 
 import time
 
+import pytest
+
 from repro.core.driver import CompilerSession
 from repro.kernels.config import KernelConfig
 from repro.kernels.ntt_gen import build_butterfly_kernel
@@ -65,12 +67,15 @@ def _measure():
         server.close()
 
 
-def test_warm_serving_beats_cold_compilation(run_once, benchmark):
+@pytest.mark.perf_floor
+def test_warm_serving_beats_cold_compilation(run_once, benchmark, floor_scale):
     warm_seconds, cold_seconds, compilations, db_lookups = run_once(_measure)
     speedup = cold_seconds / warm_seconds
+    floor = REQUIRED_SPEEDUP * floor_scale
     benchmark.extra_info["warm_us_per_request"] = warm_seconds * 1e6
     benchmark.extra_info["cold_ms_per_request"] = cold_seconds * 1e3
     benchmark.extra_info["serving_speedup"] = speedup
+    benchmark.extra_info["floor_speedup"] = floor
     print(
         f"\n# warm serve {warm_seconds * 1e6:8.1f} us/request, "
         f"cold compile {cold_seconds * 1e3:8.2f} ms/request "
@@ -81,7 +86,8 @@ def test_warm_serving_beats_cold_compilation(run_once, benchmark):
     # the tuning database.
     assert compilations == 0
     assert db_lookups == 0
-    assert speedup >= REQUIRED_SPEEDUP, (
+    assert speedup >= floor, (
         f"warm serving is only {speedup:.1f}x faster than per-request cold "
-        f"compilation; expected at least {REQUIRED_SPEEDUP}x"
+        f"compilation; expected at least {floor:g}x "
+        f"({REQUIRED_SPEEDUP}x x {floor_scale:g})"
     )

@@ -70,5 +70,22 @@ class ProtocolError(ServingError):
     version, or uses an artifact encoding the receiver does not accept."""
 
 
+class DeadlineExceededError(ServingError):
+    """A served request's result became ready only after its per-request
+    deadline had already passed, so the result was shed instead of returned.
+
+    Raised on the submitting side when a request carried a ``deadline_ms``
+    (see :meth:`repro.serve.supervisor.ShardSupervisor.submit`); the class
+    name round-trips the wire via
+    :class:`~repro.serve.protocol.ErrorReply`, so supervisor-side callers
+    can distinguish a missed deadline from a real serving failure."""
+
+
+class LoadGenError(ReproError):
+    """The traffic-replay harness (:mod:`repro.loadgen`) was asked for an
+    unknown workload suite, handed a malformed trace document, or
+    configured with impossible arrival parameters."""
+
+
 class UnknownTargetError(DriverError):
     """A compilation target name is not present in the target registry."""

@@ -1,0 +1,8 @@
+"""``python -m repro.loadgen`` entry point."""
+
+import sys
+
+from repro.loadgen.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

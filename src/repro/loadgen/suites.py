@@ -1,0 +1,210 @@
+"""The workload suite registry: named served-traffic shapes.
+
+A :class:`WorkloadSuite` is a bundle of concrete
+:class:`~repro.serve.server.ServeRequest` specs — the kernel families one
+application repeatedly asks a serving tier for.  Two suites port the
+repository's end-to-end examples onto the served tier (the FHE negacyclic
+pipeline and the ZKP polynomial commitment, previously driving the compiler
+directly); three more cover traffic shapes the examples do not: RNS
+basis-conversion chains, batched small-prime NTTs, and mixed-width BLAS
+streams.
+
+Sizes here are deliberately small (transform lengths 16–64): a replay
+measures *serving* behaviour — routing, residency, dedup, tuning batches,
+the wire — not kernel arithmetic throughput, and small kernels keep a
+multi-suite replay affordable in CI.  The per-family tuning and codegen
+cost a cold request pays is size-independent enough for the SLO numbers to
+be meaningful.
+
+The registry is keyed by suite name; ``"mixed"`` is the pseudo-suite naming
+every registered suite at equal weight (:func:`resolve_mix`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import LoadGenError
+from repro.serve.server import ServeRequest
+
+__all__ = [
+    "MIXED",
+    "SUITES",
+    "WorkloadSuite",
+    "get_suite",
+    "resolve_mix",
+    "suite_names",
+]
+
+#: The pseudo-suite name meaning "every registered suite, equally weighted".
+MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class WorkloadSuite:
+    """One named served-workload shape: a bundle of request specs.
+
+    ``specs`` are built for the default device; :meth:`requests` rebinds
+    them to the device a replay actually targets (a tuned configuration is
+    per-device state, so the device is part of the request).
+    """
+
+    name: str
+    description: str
+    specs: tuple[ServeRequest, ...]
+
+    def requests(self, device: str | None = None) -> tuple[ServeRequest, ...]:
+        """The suite's request specs, rebound to ``device`` when given."""
+        if device is None:
+            return self.specs
+        return tuple(
+            dataclasses.replace(spec, device=device) for spec in self.specs
+        )
+
+
+def _fhe_pipeline() -> WorkloadSuite:
+    # The served form of examples/fhe_negacyclic_pipeline.py: negacyclic
+    # multiplication at a 128-bit residue is two forward NTTs, a pointwise
+    # vmul, and an inverse NTT (the gentleman_sande variant), plus the
+    # vadd the pipeline's RNS recombination leans on.
+    return WorkloadSuite(
+        name="fhe_pipeline",
+        description=(
+            "FHE negacyclic multiply at 128-bit residues: forward/inverse "
+            "NTT butterflies plus the pointwise BLAS the pipeline chains"
+        ),
+        specs=(
+            ServeRequest.ntt(bits=128, size=16),
+            ServeRequest.ntt(bits=128, size=16, operation="gentleman_sande"),
+            ServeRequest.ntt(bits=128, size=32),
+            ServeRequest.blas("vmul", bits=128),
+            ServeRequest.blas("vadd", bits=128),
+        ),
+    )
+
+
+def _zkp_commitment() -> WorkloadSuite:
+    # The served form of examples/zkp_polynomial_commitment.py: a 384-bit
+    # pairing-friendly field, NTT-based polynomial evaluation plus the
+    # axpy/vadd stream a commitment opening runs.
+    return WorkloadSuite(
+        name="zkp_commitment",
+        description=(
+            "ZKP polynomial commitment over a 384-bit field: evaluation "
+            "NTTs and the axpy/vadd opening stream"
+        ),
+        specs=(
+            ServeRequest.ntt(bits=384, size=16),
+            ServeRequest.ntt(bits=384, size=16, operation="gentleman_sande"),
+            ServeRequest.blas("axpy", bits=384),
+            ServeRequest.blas("vadd", bits=384),
+        ),
+    )
+
+
+def _rns_conversion() -> WorkloadSuite:
+    # An RNS basis-conversion chain is per-channel word-sized arithmetic:
+    # every channel of a make_basis() decomposition multiplies and
+    # accumulates 64-bit vectors, so the served traffic is a stream of
+    # single-word BLAS ops (the one case where the multi-word machinery
+    # degenerates to its fastest path).
+    return WorkloadSuite(
+        name="rns_conversion",
+        description=(
+            "RNS basis-conversion chains: per-channel 64-bit vmul/axpy/vadd "
+            "streams across a decomposed basis"
+        ),
+        specs=(
+            ServeRequest.blas("vmul", bits=64),
+            ServeRequest.blas("axpy", bits=64),
+            ServeRequest.blas("vadd", bits=64),
+            ServeRequest.blas("vsub", bits=64),
+        ),
+    )
+
+
+def _small_prime_ntt() -> WorkloadSuite:
+    # Batched small-prime NTTs: the RNS companion shape — many transforms
+    # over word-sized moduli at a few lengths, exactly what an RNS-NTT
+    # pipeline fans out per channel.
+    return WorkloadSuite(
+        name="small_prime_ntt",
+        description=(
+            "batched small-prime NTTs: 64-bit transforms at several "
+            "lengths, the per-channel fan-out of an RNS-NTT pipeline"
+        ),
+        specs=(
+            ServeRequest.ntt(bits=64, size=16),
+            ServeRequest.ntt(bits=64, size=32),
+            ServeRequest.ntt(bits=64, size=64),
+            ServeRequest.ntt(bits=64, size=32, operation="gentleman_sande"),
+        ),
+    )
+
+
+def _blas_streams() -> WorkloadSuite:
+    # Mixed-width BLAS streams: one tier serving several operand widths at
+    # once, so routing spreads families across shards and the resident
+    # table holds kernels of very different codegen cost side by side.
+    return WorkloadSuite(
+        name="blas_streams",
+        description=(
+            "mixed-width BLAS streams: vector ops from 128 to 512 bits "
+            "interleaved through one serving tier"
+        ),
+        specs=(
+            ServeRequest.blas("vmul", bits=128),
+            ServeRequest.blas("vadd", bits=256),
+            ServeRequest.blas("vsub", bits=128),
+            ServeRequest.blas("axpy", bits=256),
+            ServeRequest.blas("vmul", bits=512),
+        ),
+    )
+
+
+#: Every registered suite, keyed by name.  Insertion order is the stable
+#: presentation order (``--list-suites``, docs, the mixed-weight default).
+SUITES: dict[str, WorkloadSuite] = {
+    suite.name: suite
+    for suite in (
+        _fhe_pipeline(),
+        _zkp_commitment(),
+        _rns_conversion(),
+        _small_prime_ntt(),
+        _blas_streams(),
+    )
+}
+
+
+def suite_names() -> tuple[str, ...]:
+    """Every registered suite name, in registry order."""
+    return tuple(SUITES)
+
+
+def get_suite(name: str) -> WorkloadSuite:
+    """The registered suite called ``name``; raises on unknown names."""
+    try:
+        return SUITES[name]
+    except KeyError:
+        known = ", ".join(SUITES)
+        raise LoadGenError(
+            f"unknown workload suite {name!r} (known: {known}, or {MIXED!r})"
+        ) from None
+
+
+def resolve_mix(names) -> dict[str, float]:
+    """Suite names (possibly including ``"mixed"``) as a weighted mix.
+
+    Every named suite gets weight 1.0; ``"mixed"`` expands to all
+    registered suites.  Duplicate names accumulate weight, so
+    ``("fhe_pipeline", "fhe_pipeline", "rns_conversion")`` is a 2:1 mix.
+    """
+    weights: dict[str, float] = {}
+    for name in names:
+        expanded = suite_names() if name == MIXED else (get_suite(name).name,)
+        for one in expanded:
+            weights[one] = weights.get(one, 0.0) + 1.0
+    if not weights:
+        raise LoadGenError("a trace needs at least one workload suite")
+    return weights

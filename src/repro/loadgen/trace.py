@@ -1,0 +1,290 @@
+"""Deterministic trace generation: a seeded request schedule for replay.
+
+A :class:`Trace` is the full description of one replayable traffic run:
+which suite each request comes from, which spec within the suite, when it
+arrives (open-loop) or how many clients drive it (closed-loop), and each
+request's deadline budget.  Generation draws from a *local*
+``random.Random(seed)`` — the only RNG in the whole harness, so:
+
+* the same :class:`TraceConfig` (same seed) always generates the same
+  trace, and :meth:`Trace.serialize` emits **canonical JSON** (sorted
+  keys, fixed separators) so equal traces are byte-equal — the property
+  CI's replay smoke and ``tests/loadgen/test_trace.py`` pin;
+* replay itself (:mod:`repro.loadgen.replay`) never touches the ``random``
+  module at all — a replayed trace is a pure function of its file.
+
+Arrival models:
+
+* ``"open"`` — open-loop, fixed rate: request *i* is injected at
+  ``i / rate_rps`` seconds regardless of how fast results come back.  The
+  honest load model: a slow cluster falls behind the schedule instead of
+  silently slowing the generator down.
+* ``"closed"`` — closed-loop, N clients: events carry no timestamps; the
+  replay engine runs ``clients`` workers that each submit their next
+  request as soon as the previous one resolves (classic think-time-zero
+  closed loop, throughput-bounded by the cluster).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import LoadGenError
+from repro.serve.server import ServeRequest
+from repro.loadgen.suites import MIXED, get_suite, resolve_mix
+
+__all__ = [
+    "TRACE_VERSION",
+    "ARRIVAL_OPEN",
+    "ARRIVAL_CLOSED",
+    "TraceConfig",
+    "TraceEvent",
+    "Trace",
+    "generate_trace",
+    "load_trace",
+    "save_trace",
+]
+
+#: Trace document schema version; bumped on incompatible format changes.
+TRACE_VERSION = 1
+
+ARRIVAL_OPEN = "open"
+ARRIVAL_CLOSED = "closed"
+_ARRIVALS = (ARRIVAL_OPEN, ARRIVAL_CLOSED)
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Everything :func:`generate_trace` needs; equal configs ⇒ equal traces.
+
+    ``suites`` may name registered suites and/or ``"mixed"`` (every suite);
+    duplicates weight the mix (see :func:`~repro.loadgen.suites.resolve_mix`).
+    """
+
+    suites: tuple[str, ...] = (MIXED,)
+    seed: int = 0
+    requests: int = 64
+    arrival: str = ARRIVAL_OPEN
+    rate_rps: float = 50.0
+    clients: int = 4
+    deadline_ms: float | None = None
+    device: str = "rtx4090"
+
+    def validate(self) -> None:
+        if self.requests < 1:
+            raise LoadGenError(
+                f"a trace needs at least one request, got {self.requests}"
+            )
+        if self.arrival not in _ARRIVALS:
+            raise LoadGenError(
+                f"unknown arrival model {self.arrival!r} (use one of {_ARRIVALS})"
+            )
+        if self.arrival == ARRIVAL_OPEN and not self.rate_rps > 0:
+            raise LoadGenError(
+                f"open-loop rate must be positive, got {self.rate_rps!r}"
+            )
+        if self.arrival == ARRIVAL_CLOSED and self.clients < 1:
+            raise LoadGenError(
+                f"closed-loop client count must be positive, got {self.clients}"
+            )
+        if self.deadline_ms is not None and not self.deadline_ms > 0:
+            raise LoadGenError(
+                f"deadline_ms must be positive, got {self.deadline_ms!r}"
+            )
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduled request: a (suite, spec index) reference plus timing.
+
+    Events reference suite specs by index instead of embedding the request,
+    keeping trace files compact and replay bound to the registry's
+    definition of each suite.  ``at_ms`` is the open-loop injection time
+    relative to replay start; ``None`` in closed-loop traces.
+    """
+
+    suite: str
+    index: int
+    at_ms: float | None = None
+    deadline_ms: float | None = None
+
+    def request(self, device: str | None = None) -> ServeRequest:
+        """The concrete request this event replays (validates the reference)."""
+        specs = get_suite(self.suite).requests(device)
+        if not 0 <= self.index < len(specs):
+            raise LoadGenError(
+                f"trace event references spec {self.index} of suite "
+                f"{self.suite!r}, which has {len(specs)} specs"
+            )
+        return specs[self.index]
+
+    def to_payload(self) -> dict:
+        payload: dict = {"suite": self.suite, "index": self.index}
+        if self.at_ms is not None:
+            payload["at_ms"] = self.at_ms
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
+        return payload
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A fully generated, replayable request schedule."""
+
+    seed: int
+    arrival: str
+    device: str
+    mix: dict[str, float] = field(compare=True)
+    events: tuple[TraceEvent, ...] = ()
+    rate_rps: float | None = None
+    clients: int | None = None
+
+    @property
+    def suites_used(self) -> tuple[str, ...]:
+        """The distinct suites the events actually draw from (sorted)."""
+        return tuple(sorted({event.suite for event in self.events}))
+
+    def to_payload(self) -> dict:
+        payload: dict = {
+            "version": TRACE_VERSION,
+            "seed": self.seed,
+            "arrival": self.arrival,
+            "device": self.device,
+            "mix": {name: float(weight) for name, weight in self.mix.items()},
+            "events": [event.to_payload() for event in self.events],
+        }
+        if self.rate_rps is not None:
+            payload["rate_rps"] = self.rate_rps
+        if self.clients is not None:
+            payload["clients"] = self.clients
+        return payload
+
+    def serialize(self) -> bytes:
+        """Canonical JSON bytes: equal traces serialize byte-identically."""
+        return json.dumps(
+            self.to_payload(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> Trace:
+        """Rebuild a trace from its JSON document, validating every field."""
+        if not isinstance(payload, dict):
+            raise LoadGenError(f"trace document is not an object: {payload!r}")
+        version = payload.get("version")
+        if version != TRACE_VERSION:
+            raise LoadGenError(
+                f"unsupported trace version {version!r} (this build reads "
+                f"version {TRACE_VERSION})"
+            )
+        arrival = payload.get("arrival")
+        if arrival not in _ARRIVALS:
+            raise LoadGenError(f"trace has unknown arrival model {arrival!r}")
+        raw_events = payload.get("events")
+        if not isinstance(raw_events, list) or not raw_events:
+            raise LoadGenError("trace carries no events list")
+        events = []
+        for position, raw in enumerate(raw_events):
+            if not isinstance(raw, dict):
+                raise LoadGenError(f"trace event {position} is not an object")
+            suite = raw.get("suite")
+            index = raw.get("index")
+            if not isinstance(suite, str) or not isinstance(index, int):
+                raise LoadGenError(
+                    f"trace event {position} lacks a suite/index reference"
+                )
+            event = TraceEvent(
+                suite=suite,
+                index=index,
+                at_ms=_number_or_none(raw.get("at_ms")),
+                deadline_ms=_number_or_none(raw.get("deadline_ms")),
+            )
+            event.request()  # validates the suite name and spec index
+            events.append(event)
+        mix = payload.get("mix")
+        if not isinstance(mix, dict):
+            raise LoadGenError("trace carries no suite mix")
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            arrival=arrival,
+            device=str(payload.get("device", "rtx4090")),
+            mix={str(name): float(weight) for name, weight in mix.items()},
+            events=tuple(events),
+            rate_rps=_number_or_none(payload.get("rate_rps")),
+            clients=(
+                int(payload["clients"])
+                if isinstance(payload.get("clients"), int)
+                else None
+            ),
+        )
+
+
+def _number_or_none(value) -> float | None:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def generate_trace(config: TraceConfig) -> Trace:
+    """Generate the trace ``config`` describes — deterministically.
+
+    All randomness comes from one local ``random.Random(config.seed)``:
+    the weighted suite draw and the spec draw within the suite.  Open-loop
+    injection times are the fixed-rate schedule ``i / rate_rps`` (rounded
+    to microseconds so the canonical JSON is float-repr stable).
+    """
+    config.validate()
+    weights = resolve_mix(config.suites)
+    names = list(weights)
+    cum_weights = []
+    total = 0.0
+    for name in names:
+        total += weights[name]
+        cum_weights.append(total)
+    rng = random.Random(config.seed)
+    events = []
+    for position in range(config.requests):
+        suite = get_suite(rng.choices(names, cum_weights=cum_weights)[0])
+        event = TraceEvent(
+            suite=suite.name,
+            index=rng.randrange(len(suite.specs)),
+            at_ms=(
+                round(position * 1000.0 / config.rate_rps, 3)
+                if config.arrival == ARRIVAL_OPEN
+                else None
+            ),
+            deadline_ms=config.deadline_ms,
+        )
+        events.append(event)
+    return Trace(
+        seed=config.seed,
+        arrival=config.arrival,
+        device=config.device,
+        mix=weights,
+        events=tuple(events),
+        rate_rps=config.rate_rps if config.arrival == ARRIVAL_OPEN else None,
+        clients=config.clients if config.arrival == ARRIVAL_CLOSED else None,
+    )
+
+
+def save_trace(path, trace: Trace):
+    """Write the trace's canonical JSON to ``path``; returns the path."""
+    from pathlib import Path
+
+    target = Path(path)
+    target.write_bytes(trace.serialize())
+    return target
+
+
+def load_trace(path) -> Trace:
+    """Read a trace document back; raises :class:`LoadGenError` on damage."""
+    from pathlib import Path
+
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise LoadGenError(f"cannot read trace file {path}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise LoadGenError(f"trace file {path} is not JSON: {error}") from None
+    return Trace.from_payload(payload)

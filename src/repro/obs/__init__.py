@@ -33,7 +33,7 @@ from repro.obs.trace import (
     record,
     span,
 )
-from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.export import chrome_trace, instant_event, write_chrome_trace
 from repro.obs.logs import configure_logging, get_logger
 from repro.obs.promtext import render_cluster_metrics, render_server_metrics
 from repro.obs.http import MetricsEndpoint
@@ -47,6 +47,7 @@ __all__ = [
     "record",
     "span",
     "chrome_trace",
+    "instant_event",
     "write_chrome_trace",
     "configure_logging",
     "get_logger",

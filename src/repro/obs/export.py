@@ -18,16 +18,42 @@ from pathlib import Path
 
 from repro.obs.trace import Span
 
-__all__ = ["chrome_trace", "write_chrome_trace", "spans_from_chrome_trace"]
+__all__ = [
+    "chrome_trace",
+    "instant_event",
+    "write_chrome_trace",
+    "spans_from_chrome_trace",
+]
 
 
-def chrome_trace(spans, label: str = "repro") -> dict:
+def instant_event(name: str, ts_us: float, **args) -> dict:
+    """One Trace Event Format ``"i"`` (instant) event.
+
+    Instants mark a moment rather than a duration — the traffic-replay
+    harness uses them to pin fault injections and replay phase boundaries
+    onto the same timeline as the spans.  Viewers render them as vertical
+    markers; :func:`spans_from_chrome_trace` skips them, like all
+    non-``"X"`` events, so instants never perturb span validation.
+    """
+    return {
+        "name": name,
+        "ph": "i",
+        "ts": float(ts_us),
+        "pid": 0,
+        "tid": 0,
+        "s": "g",  # global scope: the marker spans every process row
+        "args": dict(args),
+    }
+
+
+def chrome_trace(spans, label: str = "repro", instants=()) -> dict:
     """Spans as a Chrome trace-event JSON object (``traceEvents`` + metadata).
 
     Events are sorted by start time so the file is stable for diffing and
-    streams well into viewers.
+    streams well into viewers.  ``instants`` are extra pre-built
+    :func:`instant_event` markers appended to the timeline.
     """
-    events = []
+    events = [dict(event) for event in instants]
     processes: dict[int, str] = {}
     for one in sorted(spans, key=lambda item: item.ts_us):
         events.append(
@@ -65,10 +91,12 @@ def chrome_trace(spans, label: str = "repro") -> dict:
     return {"traceEvents": events, "displayTimeUnit": "ms", "otherData": {"exporter": label}}
 
 
-def write_chrome_trace(path, spans, label: str = "repro") -> Path:
+def write_chrome_trace(path, spans, label: str = "repro", instants=()) -> Path:
     """Write the spans' Chrome trace JSON to ``path``; returns the path."""
     target = Path(path)
-    target.write_text(json.dumps(chrome_trace(spans, label=label), indent=1))
+    target.write_text(
+        json.dumps(chrome_trace(spans, label=label, instants=instants), indent=1)
+    )
     return target
 
 

@@ -396,11 +396,20 @@ class ServeCall:
     id, sampled flag) so the shard's spans join the same trace.  Absent ⇒
     untraced; a v1 peer's decoder ignores the unknown key, so traced v2
     supervisors interoperate with untraced v1 shards and vice versa.
+
+    ``deadline_ms`` is a second additive field: the request's end-to-end
+    latency budget in milliseconds.  A shard that finishes the request
+    after the budget has elapsed (measured from its own decode of the
+    call) sheds the result and answers with a
+    :class:`~repro.errors.DeadlineExceededError` instead — the reply the
+    traffic-replay harness counts as a deadline miss.  Absent ⇒ no
+    deadline; an older peer ignores the key and serves normally.
     """
 
     request_id: int
     request: ServeRequest
     trace: dict | None = None
+    deadline_ms: float | None = None
 
 
 @dataclass(frozen=True)
@@ -609,6 +618,17 @@ def _decode_trace_field(value) -> dict | None:
     return value if isinstance(value, dict) else None
 
 
+def _decode_deadline_field(value) -> float | None:
+    """The envelope's additive ``deadline_ms`` field: a positive number.
+
+    Tolerant like the trace field — diagnostic-adjacent freight from a
+    newer peer must degrade to "no deadline", never break the serve path.
+    """
+    if isinstance(value, (int, float)) and not isinstance(value, bool) and value > 0:
+        return float(value)
+    return None
+
+
 def _validate_hello(message):
     """Shared field validation for both handshake directions."""
     if message.trust not in _TRUST_LEVELS:
@@ -641,11 +661,17 @@ _MESSAGE_TYPES = {
             "request_id": m.request_id,
             "request": _encode_request(m.request),
             **({"trace": m.trace} if m.trace is not None else {}),
+            **(
+                {"deadline_ms": m.deadline_ms}
+                if m.deadline_ms is not None
+                else {}
+            ),
         },
         lambda p, allow, frames: ServeCall(
             request_id=_request_id(p),
             request=_decode_request(p.get("request")),
             trace=_decode_trace_field(p.get("trace")),
+            deadline_ms=_decode_deadline_field(p.get("deadline_ms")),
         ),
     ),
     "result": (

@@ -47,7 +47,12 @@ import time
 
 from pathlib import Path
 
-from repro.errors import ProtocolError, ServingError, TuningError
+from repro.errors import (
+    DeadlineExceededError,
+    ProtocolError,
+    ServingError,
+    TuningError,
+)
 from repro.tune.db import TuningDatabase
 
 # Imported as a module (not a package attribute) so this file is loadable at
@@ -248,9 +253,19 @@ def _serve_connection(
     def reply(message: protocol.Message) -> None:
         reply_bytes(protocol.encode_message(message, version=wire_version))
 
-    def finish(request_id: int, future, trace=None) -> None:
+    def finish(request_id: int, future, trace=None, deadline_at=None) -> None:
         try:
             result = future.result()
+            if deadline_at is not None:
+                # Honour the call's additive deadline_ms: a result that
+                # became ready past its budget is shed here, not shipped —
+                # the supervisor side sees a DeadlineExceededError reply.
+                late_s = time.monotonic() - deadline_at
+                if late_s > 0:
+                    raise DeadlineExceededError(
+                        f"result ready {late_s * 1e3:.1f} ms past its "
+                        f"deadline; shedding"
+                    )
             if not trusted:
                 result = protocol.source_only_result(result)
             message = protocol.ServeReply(request_id=request_id, result=result)
@@ -280,6 +295,10 @@ def _serve_connection(
             data = connection.recv_bytes()
         except (EOFError, OSError):
             return False
+        except ValueError:
+            # "read of closed file": a concurrent shutdown closed this
+            # socket while the session blocked in recv — same as an EOF.
+            return False
         except ProtocolError:
             # A torn or corrupt frame: the stream cannot be re-synchronized,
             # so this connection is over (the peer re-connects if it wants).
@@ -293,6 +312,13 @@ def _serve_connection(
         decode_s = time.perf_counter() - decode_started
         if isinstance(message, protocol.ServeCall):
             request_id = message.request_id
+            # The budget starts at *this shard's* decode of the call, so it
+            # never depends on clock agreement with the supervisor.
+            deadline_at = (
+                time.monotonic() + message.deadline_ms / 1e3
+                if message.deadline_ms is not None
+                else None
+            )
             trace = (
                 server.tracer.begin(
                     "shard.serve", wire=message.trace, shard_id=shard_id
@@ -320,8 +346,8 @@ def _serve_connection(
                 reply(protocol.ErrorReply.from_exception(request_id, error))
                 continue
             future.add_done_callback(
-                lambda completed, request_id=request_id, trace=trace: finish(
-                    request_id, completed, trace
+                lambda completed, request_id=request_id, trace=trace, deadline_at=deadline_at: finish(
+                    request_id, completed, trace, deadline_at
                 )
             )
         elif isinstance(message, protocol.StatsCall):

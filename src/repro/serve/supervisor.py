@@ -277,10 +277,17 @@ class _ShardHandle:
         self.devices = devices
         self.process = None
         self.links: list[_Link] = []
-        # request_id -> (request, future, trace handle); the request is None
-        # for control-plane probes, the trace handle None when untraced.
+        # request_id -> (request, future, trace handle, deadline_ms); the
+        # request is None for control-plane probes, the trace handle None
+        # when untraced, the deadline None when the caller set no budget.
         self.pending: dict[
-            int, tuple[ServeRequest | None, Future, tracing.TraceHandle | None]
+            int,
+            tuple[
+                ServeRequest | None,
+                Future,
+                tracing.TraceHandle | None,
+                float | None,
+            ],
         ] = {}
         self.pending_lock = threading.Lock()
         self.restarts = 0
@@ -319,9 +326,7 @@ class _ShardHandle:
     def alive(self) -> bool:
         return self.process is not None and self.process.is_alive()
 
-    def take_pending(
-        self,
-    ) -> dict[int, tuple[ServeRequest | None, Future, tracing.TraceHandle | None]]:
+    def take_pending(self) -> dict:
         with self.pending_lock:
             taken, self.pending = self.pending, {}
             return taken
@@ -778,7 +783,7 @@ class ShardSupervisor:
                 entry = handle.pending.pop(request_id, None)
             if entry is None:
                 continue  # late reply for a request already re-routed
-            _, future, trace = entry
+            _, future, trace, _deadline = entry
             if trace is not None:
                 # Wall start approximated from the measured duration: no
                 # extra clock read on the (dominant) untraced path.
@@ -867,7 +872,7 @@ class ShardSupervisor:
 
         future.add_done_callback(pong_received)
         with handle.pending_lock:
-            handle.pending[request_id] = (None, future, None)
+            handle.pending[request_id] = (None, future, None, None)
         try:
             # Pings ride the pre-encoded v1 template (every peer accepts
             # v1): no json.dumps on the 2 s liveness path.
@@ -937,7 +942,7 @@ class ShardSupervisor:
 
     def _reroute(self, handle: _ShardHandle, pending) -> None:
         """Re-dispatch a dead shard's pending serves to ring successors."""
-        for request_id, (request, future, trace) in pending.items():
+        for request_id, (request, future, trace, deadline_ms) in pending.items():
             if future.done():
                 continue
             if request is None:  # stats/ping probes are not worth re-sending
@@ -949,11 +954,15 @@ class ShardSupervisor:
             try:
                 # Rebalance-on-shard-loss: the ring successor takes the key.
                 # The recovered shard (empty caches) rejoins for new traffic.
+                # The deadline budget restarts on the successor shard — the
+                # request already lost its first attempt through no fault
+                # of the caller's.
                 self._dispatch(
                     request,
                     future,
                     excluding=frozenset({handle.shard_id}),
                     trace=trace,
+                    deadline_ms=deadline_ms,
                 )
             except ServingError as error:
                 _resolve(future, error=error)
@@ -966,6 +975,7 @@ class ShardSupervisor:
         future: Future,
         excluding=frozenset(),
         trace: tracing.TraceHandle | None = None,
+        deadline_ms: float | None = None,
     ) -> None:
         allowed_excluding = set(excluding)
         for handle in self._handles.values():
@@ -984,6 +994,7 @@ class ShardSupervisor:
                 # wire_field() is None for provisional (exemplar-candidate)
                 # traces, which stay local — so this also covers them.
                 trace=trace.wire_field() if trace is not None else None,
+                deadline_ms=deadline_ms,
             )
         )
         encode_s = time.perf_counter() - encode_started
@@ -996,7 +1007,7 @@ class ShardSupervisor:
                 "wire.encode", now - encode_s, encode_s, cat="wire", bytes=len(data)
             )
         with handle.pending_lock:
-            handle.pending[request_id] = (request, future, trace)
+            handle.pending[request_id] = (request, future, trace, deadline_ms)
         try:
             # The enqueue is the whole send from this thread's point of
             # view: the link's sender thread coalesces everything queued
@@ -1017,6 +1028,7 @@ class ShardSupervisor:
                         future,
                         excluding=frozenset(allowed_excluding | {shard_id}),
                         trace=trace,
+                        deadline_ms=deadline_ms,
                     )
                 except ServingError as error:
                     _resolve(future, error=error)
@@ -1025,8 +1037,22 @@ class ShardSupervisor:
         with self._lock:
             self._routed[shard_id] = self._routed.get(shard_id, 0) + 1
 
-    def submit(self, request: ServeRequest) -> Future:
-        """Route a request to its shard; the future resolves to the result."""
+    def submit(
+        self, request: ServeRequest, deadline_ms: float | None = None
+    ) -> Future:
+        """Route a request to its shard; the future resolves to the result.
+
+        ``deadline_ms`` is the request's optional end-to-end latency
+        budget: it rides the :class:`~repro.serve.protocol.ServeCall`'s
+        additive envelope field, and a shard whose result becomes ready
+        past the budget sheds it — the future then raises
+        :class:`~repro.errors.DeadlineExceededError` instead of returning
+        a result nobody is waiting for.
+        """
+        if deadline_ms is not None and not deadline_ms > 0:
+            raise ServingError(
+                f"deadline_ms must be a positive number, got {deadline_ms!r}"
+            )
         with self._lock:
             if self._closed:
                 raise ServingError("shard supervisor is closed")
@@ -1038,7 +1064,7 @@ class ShardSupervisor:
             # The root span closes when the reply lands (or the request
             # fails), wherever that happens; finish() is idempotent.
             future.add_done_callback(lambda _completed, _t=trace: _t.finish())
-        self._dispatch(request, future, trace=trace)
+        self._dispatch(request, future, trace=trace, deadline_ms=deadline_ms)
         return future
 
     def serve(self, request: ServeRequest) -> ServeResult:
@@ -1050,6 +1076,31 @@ class ShardSupervisor:
         with self._lock:
             return dict(sorted(self._routed.items()))
 
+    def kill_shard(self, shard_id: int) -> None:
+        """Chaos-engineering hook: take one shard down mid-traffic.
+
+        A local shard's process is terminated outright; a remote shard's
+        connections are dropped (its listener stays up, so the monitor's
+        re-dial brings it back).  Either way the normal failure machinery
+        takes over: pending work re-routes to ring successors, and — with
+        ``restart`` enabled — the shard respawns or reconnects on the
+        backoff schedule.  This is exactly the path the traffic-replay
+        harness's fault injection exercises; it is never called in normal
+        operation.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServingError("shard supervisor is closed")
+            handle = self._handles.get(shard_id)
+        if handle is None:
+            raise ServingError(f"no shard with id {shard_id}")
+        _LOG.warning("fault injection: killing shard %d", shard_id)
+        if isinstance(handle, _RemoteShardHandle):
+            for link in list(handle.links):
+                self._poison(link.connection)
+        elif handle.process is not None:
+            handle.process.terminate()
+
     # -- probes / stats -----------------------------------------------------
 
     def _probe(self, handle: _ShardHandle, message_type, timeout: float):
@@ -1060,7 +1111,7 @@ class ShardSupervisor:
         request_id = next(self._request_ids)
         future: Future = Future()
         with handle.pending_lock:
-            handle.pending[request_id] = (None, future, None)
+            handle.pending[request_id] = (None, future, None, None)
         try:
             with handle.send_lock:
                 if handle.connection is None:  # a disconnected remote shard
@@ -1183,7 +1234,7 @@ class ShardSupervisor:
                 handle.process.terminate()
                 handle.process.join(timeout=5.0)
         for handle in self._handles.values():
-            for _, future, _trace in handle.take_pending().values():
+            for _, future, _trace, _deadline in handle.take_pending().values():
                 if not future.done():
                     _resolve(future, error=ServingError("shard supervisor closed"))
             handle.drop_links()

@@ -4,6 +4,11 @@ Property-based tests exercise the full rewrite/codegen pipeline, whose first
 invocation for a given width can take tens of milliseconds (legalization plus
 optimization); Hypothesis' default per-example deadline is disabled so those
 warm-up examples are not reported as flaky.
+
+The profile is also derandomized: every run draws the same example sequence,
+so a red CI run reproduces locally from the failing test name alone — the
+same every-RNG-is-seeded policy the trace generator, the autotuner (seed 0),
+and the benchmarks follow.
 """
 
 from hypothesis import HealthCheck, settings
@@ -11,6 +16,7 @@ from hypothesis import HealthCheck, settings
 settings.register_profile(
     "repro",
     deadline=None,
+    derandomize=True,
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")

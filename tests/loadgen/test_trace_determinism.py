@@ -1,0 +1,197 @@
+"""Determinism properties of the trace generator and replay hot path.
+
+The properties that make "replay" mean something:
+
+* the same seed + config generates **byte-identical** serialized traces;
+* different seeds generate different traces;
+* the replay engine itself never calls into the ``random`` module — the
+  generator's seeded local instance is the harness's only RNG.
+"""
+
+from concurrent.futures import Future
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import LoadGenError
+from repro.loadgen import (
+    ReplayFault,
+    Trace,
+    TraceConfig,
+    generate_trace,
+    get_suite,
+    replay,
+    resolve_mix,
+    suite_names,
+)
+from repro.loadgen.trace import ARRIVAL_CLOSED, ARRIVAL_OPEN, load_trace, save_trace
+
+
+class TestDeterminism:
+    def test_same_seed_serializes_byte_identically(self):
+        config = TraceConfig(seed=7, requests=64)
+        first = generate_trace(config).serialize()
+        second = generate_trace(config).serialize()
+        assert first == second
+
+    @pytest.mark.parametrize("arrival", [ARRIVAL_OPEN, ARRIVAL_CLOSED])
+    def test_every_config_field_survives_a_round_trip(self, tmp_path, arrival):
+        config = TraceConfig(
+            suites=("fhe_pipeline", "rns_conversion"),
+            seed=11,
+            requests=32,
+            arrival=arrival,
+            deadline_ms=250.0,
+        )
+        trace = generate_trace(config)
+        path = tmp_path / "trace.json"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        assert loaded == trace
+        assert loaded.serialize() == trace.serialize()
+
+    def test_different_seeds_differ(self):
+        base = TraceConfig(requests=64)
+        traces = {
+            generate_trace(TraceConfig(seed=seed, requests=base.requests)).serialize()
+            for seed in range(5)
+        }
+        assert len(traces) == 5
+
+    def test_generation_does_not_disturb_global_random(self):
+        import random
+
+        random.seed(123)
+        expected = random.random()
+        random.seed(123)
+        generate_trace(TraceConfig(seed=7, requests=32))
+        assert random.random() == expected
+
+    def test_open_loop_schedule_is_the_fixed_rate_grid(self):
+        trace = generate_trace(TraceConfig(requests=10, rate_rps=100.0))
+        assert [event.at_ms for event in trace.events] == [
+            pytest.approx(position * 10.0) for position in range(10)
+        ]
+
+    def test_closed_loop_events_carry_no_timestamps(self):
+        trace = generate_trace(
+            TraceConfig(requests=10, arrival=ARRIVAL_CLOSED, clients=3)
+        )
+        assert all(event.at_ms is None for event in trace.events)
+        assert trace.clients == 3
+
+    def test_mixed_default_draws_from_several_suites(self):
+        trace = generate_trace(TraceConfig(seed=7, requests=48))
+        assert len(trace.suites_used) >= 3
+
+
+class _InstantServer:
+    """A fake serving tier: every submit resolves immediately, warm."""
+
+    def __init__(self):
+        self.submitted = 0
+
+    def submit(self, request, deadline_ms=None):
+        self.submitted += 1
+        future: Future = Future()
+        future.set_result(SimpleNamespace(warm=True))
+        return future
+
+
+#: Every public callable of the ``random`` module that draws from the
+#: hidden global instance; the replay hot path may touch none of them.
+_GLOBAL_RANDOM_FUNCTIONS = (
+    "random",
+    "randrange",
+    "randint",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "gauss",
+    "expovariate",
+    "betavariate",
+    "seed",
+)
+
+
+class TestReplayHotPathPurity:
+    @pytest.mark.parametrize("arrival", [ARRIVAL_OPEN, ARRIVAL_CLOSED])
+    def test_replay_never_calls_the_random_module(self, monkeypatch, arrival):
+        import random
+
+        trace = generate_trace(
+            TraceConfig(
+                seed=3, requests=12, arrival=arrival, rate_rps=10_000.0, clients=3
+            )
+        )
+
+        def _forbidden(*_args, **_kwargs):
+            raise AssertionError(
+                "the replay hot path called into the random module"
+            )
+
+        for name in _GLOBAL_RANDOM_FUNCTIONS:
+            monkeypatch.setattr(random, name, _forbidden)
+
+        server = _InstantServer()
+        result = replay(server, trace)
+        assert server.submitted == 12
+        assert result.lost_requests == 0
+        assert all(outcome.ok for outcome in result.outcomes)
+
+    def test_replay_outcomes_keep_event_order(self):
+        trace = generate_trace(
+            TraceConfig(seed=5, requests=8, arrival=ARRIVAL_CLOSED, clients=4)
+        )
+        result = replay(_InstantServer(), trace)
+        assert [
+            (outcome.suite, outcome.index) for outcome in result.outcomes
+        ] == [(event.suite, event.index) for event in trace.events]
+
+
+class TestValidation:
+    def test_unknown_suite_is_refused(self):
+        with pytest.raises(LoadGenError, match="unknown workload suite"):
+            generate_trace(TraceConfig(suites=("nope",), requests=4))
+
+    def test_unknown_arrival_is_refused(self):
+        with pytest.raises(LoadGenError, match="arrival"):
+            generate_trace(TraceConfig(arrival="sorta-open", requests=4))
+
+    def test_empty_trace_is_refused(self):
+        with pytest.raises(LoadGenError):
+            generate_trace(TraceConfig(requests=0))
+
+    def test_version_mismatch_is_refused(self):
+        payload = generate_trace(TraceConfig(requests=4)).to_payload()
+        payload["version"] = 99
+        with pytest.raises(LoadGenError, match="version"):
+            Trace.from_payload(payload)
+
+    def test_dangling_spec_reference_is_refused(self):
+        payload = generate_trace(TraceConfig(requests=4)).to_payload()
+        payload["events"][0]["index"] = 10_000
+        with pytest.raises(LoadGenError, match="spec"):
+            Trace.from_payload(payload)
+
+    def test_mix_weights_accumulate(self):
+        mix = resolve_mix(("fhe_pipeline", "fhe_pipeline", "rns_conversion"))
+        assert mix == {"fhe_pipeline": 2.0, "rns_conversion": 1.0}
+
+    def test_mixed_expands_to_every_suite(self):
+        assert set(resolve_mix(("mixed",))) == set(suite_names())
+
+    def test_suites_rebind_device(self):
+        suite = get_suite("rns_conversion")
+        rebound = suite.requests("h100")
+        assert all(request.device == "h100" for request in rebound)
+        assert all(request.device != "h100" for request in suite.specs)
+
+    def test_fault_fraction_bounds(self):
+        fault = ReplayFault(action=lambda: None, at_fraction=1.5)
+        with pytest.raises(LoadGenError, match="at_fraction"):
+            fault.trigger_index(10)
+        assert ReplayFault(action=lambda: None, at_fraction=0.5).trigger_index(10) == 5
+        assert ReplayFault(action=lambda: None, at_fraction=1.0).trigger_index(10) == 9
