@@ -81,6 +81,18 @@ class DeadlineExceededError(ServingError):
     can distinguish a missed deadline from a real serving failure."""
 
 
+class QuotaExceededError(ServingError):
+    """A tenant submitted past its admission quota (rate or in-flight cap),
+    so the request was refused at the front door instead of queued.
+
+    Raised synchronously by
+    :meth:`repro.serve.supervisor.ShardSupervisor.submit` when the request's
+    tenant has a :class:`~repro.tenancy.TenantConfig` whose rate or
+    in-flight budget is exhausted; the class name round-trips the wire via
+    :class:`~repro.serve.protocol.ErrorReply`, so clients can distinguish
+    an over-quota refusal from a real serving failure and back off."""
+
+
 class LoadGenError(ReproError):
     """The traffic-replay harness (:mod:`repro.loadgen`) was asked for an
     unknown workload suite, handed a malformed trace document, or

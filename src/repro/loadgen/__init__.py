@@ -35,17 +35,26 @@ from __future__ import annotations
 from repro.loadgen.report import SLOReport, append_loadgen_report, build_slo_report
 from repro.loadgen.replay import ReplayFault, ReplayResult, RequestOutcome, replay
 from repro.loadgen.suites import WorkloadSuite, get_suite, resolve_mix, suite_names
-from repro.loadgen.trace import Trace, TraceConfig, TraceEvent, generate_trace
+from repro.loadgen.trace import (
+    TenantLoad,
+    Trace,
+    TraceConfig,
+    TraceEvent,
+    generate_trace,
+    parse_tenants,
+)
 
 __all__ = [
     "WorkloadSuite",
     "get_suite",
     "suite_names",
     "resolve_mix",
+    "TenantLoad",
     "Trace",
     "TraceConfig",
     "TraceEvent",
     "generate_trace",
+    "parse_tenants",
     "replay",
     "ReplayFault",
     "ReplayResult",

@@ -42,6 +42,7 @@ from repro.obs import Tracer, configure_logging, instant_event, write_chrome_tra
 from repro.serve import protocol
 from repro.serve.server import KernelServer
 from repro.serve.supervisor import ShardSupervisor
+from repro.tenancy import DEFAULT_TENANT
 from repro.tune.db import TuningDatabase
 from repro.loadgen.replay import ReplayFault, replay
 from repro.loadgen.report import (
@@ -56,6 +57,7 @@ from repro.loadgen.trace import (
     TraceConfig,
     generate_trace,
     load_trace,
+    parse_tenants,
     save_trace,
 )
 
@@ -125,6 +127,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="per-request latency budget; late results are shed shard-side "
         "and counted as deadline misses (default: no deadline)",
+    )
+    generation.add_argument(
+        "--tenants",
+        metavar="SPEC",
+        default=None,
+        help="tenant mix for the generated trace: comma-separated "
+        "name:weight[@deadline_ms][/suite+suite] entries, e.g. "
+        "'a:0.7,b:0.3@250/fhe_pipeline+rns_conversion'; the replay report "
+        "then breaks SLOs out per tenant (default: untenanted)",
     )
     generation.add_argument(
         "--save-trace",
@@ -277,12 +288,16 @@ def _resolve_trace(args: argparse.Namespace):
         clients=args.clients,
         deadline_ms=args.deadline_ms,
         device=args.device,
+        tenants=parse_tenants(args.tenants) if args.tenants else (),
     )
     trace = generate_trace(config)
+    tenant_note = (
+        f", tenants {', '.join(trace.tenants_used)}" if config.tenants else ""
+    )
     print(
         f"trace       generated {len(trace.events)} events over "
         f"{len(trace.suites_used)} suites (seed {trace.seed}, "
-        f"{trace.arrival}-loop)"
+        f"{trace.arrival}-loop{tenant_note})"
     )
     return trace
 
@@ -299,14 +314,24 @@ class _TracedSingleServer:
     def __init__(self, server: KernelServer) -> None:
         self._server = server
 
-    def submit(self, request, deadline_ms: float | None = None):
-        handle = self._server.tracer.begin(
-            "client.request", kind=request.kind, bits=request.bits
-        )
+    def submit(
+        self,
+        request,
+        deadline_ms: float | None = None,
+        tenant: str = DEFAULT_TENANT,
+    ):
+        attributes = {"kind": request.kind, "bits": request.bits}
+        if tenant != DEFAULT_TENANT:
+            attributes["tenant"] = tenant
+        handle = self._server.tracer.begin("client.request", **attributes)
         if handle is None:
-            return self._server.submit(request, deadline_ms=deadline_ms)
+            return self._server.submit(
+                request, deadline_ms=deadline_ms, tenant=tenant
+            )
         with handle.activate():
-            future = self._server.submit(request, deadline_ms=deadline_ms)
+            future = self._server.submit(
+                request, deadline_ms=deadline_ms, tenant=tenant
+            )
         future.add_done_callback(lambda _done, _handle=handle: _handle.finish())
         return future
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import DeadlineExceededError, LoadGenError, ReproError
+from repro.tenancy import DEFAULT_TENANT
 from repro.loadgen.trace import ARRIVAL_CLOSED, Trace
 
 __all__ = ["ReplayFault", "ReplayResult", "RequestOutcome", "replay"]
@@ -51,9 +52,11 @@ class RequestOutcome:
     result; ``deadline_missed`` covers both shard-side sheds (the
     :class:`~repro.errors.DeadlineExceededError` reply) and client-observed
     budget overruns on otherwise-successful results; ``error`` is the
-    exception class name for every other failure; ``lost`` marks a future
+    exception class name for every other failure (a tenant over its quota
+    shows up here as ``"QuotaExceededError"``); ``lost`` marks a future
     that never resolved — always a bug, and what the chaos test pins at
-    zero.
+    zero.  ``tenant`` is the namespace the request was submitted under, so
+    the SLO reporter can break the run out per tenant.
     """
 
     suite: str
@@ -66,6 +69,7 @@ class RequestOutcome:
     deadline_missed: bool
     error: str | None
     lost: bool = False
+    tenant: str = DEFAULT_TENANT
 
 
 @dataclass(frozen=True)
@@ -134,7 +138,7 @@ class _Recorder:
 
 def _settle(event, recorder, position, submitted_at, future, timeout_s) -> None:
     """Wait for one future and classify its outcome."""
-    suite, index = event.suite, event.index
+    suite, index, tenant = event.suite, event.index, event.tenant
     try:
         result = future.result(timeout=timeout_s)
     except DeadlineExceededError:
@@ -151,6 +155,7 @@ def _settle(event, recorder, position, submitted_at, future, timeout_s) -> None:
                 warm=False,
                 deadline_missed=True,
                 error=None,
+                tenant=tenant,
             ),
         )
         return
@@ -169,6 +174,7 @@ def _settle(event, recorder, position, submitted_at, future, timeout_s) -> None:
                 deadline_missed=False,
                 error="Timeout",
                 lost=True,
+                tenant=tenant,
             ),
         )
         return
@@ -186,6 +192,7 @@ def _settle(event, recorder, position, submitted_at, future, timeout_s) -> None:
                 warm=False,
                 deadline_missed=False,
                 error=type(error).__name__,
+                tenant=tenant,
             ),
         )
         return
@@ -206,6 +213,7 @@ def _settle(event, recorder, position, submitted_at, future, timeout_s) -> None:
             warm=bool(getattr(result, "warm", False)),
             deadline_missed=missed,
             error=None,
+            tenant=tenant,
         ),
     )
 
@@ -241,13 +249,22 @@ def replay(
         """Submit one event; returns (submitted_at, future | None)."""
         event = events[position]
         submitted_at = recorder.now()
+        # The tenant kwarg rides along only when the event names one, so
+        # untenanted traces still replay against pre-tenant server stand-ins
+        # (the same additive-field discipline the wire protocol follows).
+        kwargs = (
+            {"tenant": event.tenant} if event.tenant != DEFAULT_TENANT else {}
+        )
         try:
             future = server.submit(
-                event.request(trace.device), deadline_ms=event.deadline_ms
+                event.request(trace.device),
+                deadline_ms=event.deadline_ms,
+                **kwargs,
             )
         except ReproError as error:
-            # A synchronous refusal (closed server, invalid request) is an
-            # outcome, not a crash: record it and keep replaying.
+            # A synchronous refusal (closed server, invalid request, a
+            # tenant over its admission quota) is an outcome, not a crash:
+            # record it and keep replaying.
             recorder.record(
                 position,
                 RequestOutcome(
@@ -260,6 +277,7 @@ def replay(
                     warm=False,
                     deadline_missed=False,
                     error=type(error).__name__,
+                    tenant=event.tenant,
                 ),
             )
             return submitted_at, None

@@ -26,6 +26,7 @@ import subprocess
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.tenancy import DEFAULT_TENANT
 from repro.loadgen.replay import ReplayResult
 
 __all__ = [
@@ -56,7 +57,9 @@ class SLOReport:
     after a fault injection: the time from the fault to the first
     successful completion of a request *submitted after* the fault — how
     long the cluster's rebalance/re-dial took to show healthy service
-    again.
+    again.  ``tenants`` breaks the same client-observed numbers out per
+    tenant namespace (including quota rejections); it stays ``None`` for
+    untenanted replays.
     """
 
     suites: tuple[str, ...]
@@ -79,6 +82,7 @@ class SLOReport:
     recovery_window_s: float | None = None
     cluster: dict | None = None
     wire: dict | None = None
+    tenants: dict | None = None
 
     def to_payload(self) -> dict:
         payload = dataclasses.asdict(self)
@@ -111,7 +115,51 @@ class SLOReport:
                 f"fault         injected at {self.fault_at_s:.2f}s; "
                 f"recovery window {window}"
             )
+        for tenant, block in (self.tenants or {}).items():
+            lines.append(
+                f"tenant {tenant:<7}{block['requests']} requests, "
+                f"{block['ok']} ok, {block['errors']} errors "
+                f"({block['quota_rejections']} over quota), "
+                f"{block['deadline_misses']} deadline misses; "
+                f"warm {block['warm_ratio'] * 100:.1f}%, "
+                f"p50 {block['p50_latency_ms']:.3f} ms, "
+                f"p95 {block['p95_latency_ms']:.3f} ms, "
+                f"p99 {block['p99_latency_ms']:.3f} ms"
+            )
         return "\n".join(lines)
+
+
+def _tenant_blocks(outcomes) -> dict | None:
+    """Per-tenant SLO blocks, or ``None`` when only the default tenant ran."""
+    tenants = sorted({one.tenant for one in outcomes})
+    if tenants in ([], [DEFAULT_TENANT]):
+        return None
+    blocks: dict[str, dict] = {}
+    for tenant in tenants:
+        subset = [one for one in outcomes if one.tenant == tenant]
+        served = [one for one in subset if one.ok]
+        latencies_ms = sorted(one.latency_s * 1000.0 for one in served)
+        blocks[tenant] = {
+            "requests": len(subset),
+            "ok": len(served),
+            "errors": sum(
+                1 for one in subset if one.error is not None and not one.lost
+            ),
+            "quota_rejections": sum(
+                1 for one in subset if one.error == "QuotaExceededError"
+            ),
+            "deadline_misses": sum(1 for one in subset if one.deadline_missed),
+            "lost": sum(1 for one in subset if one.lost),
+            "warm_ratio": (
+                sum(1 for one in served if one.warm) / len(served)
+                if served
+                else 0.0
+            ),
+            "p50_latency_ms": _percentile(latencies_ms, 0.50),
+            "p95_latency_ms": _percentile(latencies_ms, 0.95),
+            "p99_latency_ms": _percentile(latencies_ms, 0.99),
+        }
+    return blocks
 
 
 def _recovery_window(result: ReplayResult) -> float | None:
@@ -185,6 +233,7 @@ def build_slo_report(
         recovery_window_s=_recovery_window(result),
         cluster=cluster_payload,
         wire=dataclasses.asdict(wire_delta) if wire_delta is not None else None,
+        tenants=_tenant_blocks(outcomes),
     )
 
 

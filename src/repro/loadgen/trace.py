@@ -33,17 +33,20 @@ from dataclasses import dataclass, field
 
 from repro.errors import LoadGenError
 from repro.serve.server import ServeRequest
+from repro.tenancy import DEFAULT_TENANT, validate_tenant
 from repro.loadgen.suites import MIXED, get_suite, resolve_mix
 
 __all__ = [
     "TRACE_VERSION",
     "ARRIVAL_OPEN",
     "ARRIVAL_CLOSED",
+    "TenantLoad",
     "TraceConfig",
     "TraceEvent",
     "Trace",
     "generate_trace",
     "load_trace",
+    "parse_tenants",
     "save_trace",
 ]
 
@@ -56,11 +59,87 @@ _ARRIVALS = (ARRIVAL_OPEN, ARRIVAL_CLOSED)
 
 
 @dataclass(frozen=True)
+class TenantLoad:
+    """One tenant's share of a generated trace.
+
+    ``weight`` is its draw probability relative to the other tenants;
+    ``deadline_ms`` overrides the trace-wide deadline for its requests;
+    ``suites`` overrides the trace-wide suite mix (empty: inherit it).
+    """
+
+    name: str
+    weight: float = 1.0
+    deadline_ms: float | None = None
+    suites: tuple[str, ...] = ()
+
+    def validate(self) -> None:
+        try:
+            validate_tenant(self.name)
+        except ValueError as error:
+            raise LoadGenError(str(error)) from None
+        if not self.weight > 0:
+            raise LoadGenError(
+                f"tenant {self.name!r} needs a positive weight, got {self.weight!r}"
+            )
+        if self.deadline_ms is not None and not self.deadline_ms > 0:
+            raise LoadGenError(
+                f"tenant {self.name!r} deadline_ms must be positive, "
+                f"got {self.deadline_ms!r}"
+            )
+        if self.suites:
+            resolve_mix(self.suites)  # raises on unknown suite names
+
+
+def parse_tenants(text: str) -> tuple[TenantLoad, ...]:
+    """Parse the CLI's ``--tenants`` value into :class:`TenantLoad` specs.
+
+    Format: comma-separated ``name:weight[@deadline_ms][/suite+suite]``
+    entries — e.g. ``a:0.7,b:0.3@250/fhe_pipeline+rns_conversion`` gives
+    tenant ``a`` 70% of the draw under the trace-wide mix and deadline, and
+    tenant ``b`` 30% with a 250 ms deadline drawn from its own two-suite
+    mix.  Weight defaults to 1.0 when omitted.
+    """
+    tenants: list[TenantLoad] = []
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        core, _, suite_part = entry.partition("/")
+        core, _, deadline_part = core.partition("@")
+        name, _, weight_part = core.partition(":")
+        try:
+            weight = float(weight_part) if weight_part else 1.0
+            deadline = float(deadline_part) if deadline_part else None
+        except ValueError:
+            raise LoadGenError(
+                f"cannot parse tenant spec {entry!r} "
+                "(want name:weight[@deadline_ms][/suite+suite])"
+            ) from None
+        load = TenantLoad(
+            name=name,
+            weight=weight,
+            deadline_ms=deadline,
+            suites=tuple(suite_part.split("+")) if suite_part else (),
+        )
+        load.validate()
+        tenants.append(load)
+    if not tenants:
+        raise LoadGenError(f"--tenants {text!r} names no tenants")
+    if len({load.name for load in tenants}) != len(tenants):
+        raise LoadGenError(f"--tenants {text!r} repeats a tenant name")
+    return tuple(tenants)
+
+
+@dataclass(frozen=True)
 class TraceConfig:
     """Everything :func:`generate_trace` needs; equal configs ⇒ equal traces.
 
     ``suites`` may name registered suites and/or ``"mixed"`` (every suite);
     duplicates weight the mix (see :func:`~repro.loadgen.suites.resolve_mix`).
+    ``tenants`` adds a tenant dimension: each event is attributed to one
+    tenant drawn by weight, optionally under that tenant's own suite mix
+    and deadline.  An empty tuple (the default) generates exactly the
+    byte-identical untenanted traces earlier builds did.
     """
 
     suites: tuple[str, ...] = (MIXED,)
@@ -71,8 +150,11 @@ class TraceConfig:
     clients: int = 4
     deadline_ms: float | None = None
     device: str = "rtx4090"
+    tenants: tuple[TenantLoad, ...] = ()
 
     def validate(self) -> None:
+        for tenant in self.tenants:
+            tenant.validate()
         if self.requests < 1:
             raise LoadGenError(
                 f"a trace needs at least one request, got {self.requests}"
@@ -102,13 +184,17 @@ class TraceEvent:
     Events reference suite specs by index instead of embedding the request,
     keeping trace files compact and replay bound to the registry's
     definition of each suite.  ``at_ms`` is the open-loop injection time
-    relative to replay start; ``None`` in closed-loop traces.
+    relative to replay start; ``None`` in closed-loop traces.  ``tenant``
+    is the namespace the request is submitted under — serialized only when
+    non-default, so untenanted traces stay byte-identical to earlier
+    builds.
     """
 
     suite: str
     index: int
     at_ms: float | None = None
     deadline_ms: float | None = None
+    tenant: str = DEFAULT_TENANT
 
     def request(self, device: str | None = None) -> ServeRequest:
         """The concrete request this event replays (validates the reference)."""
@@ -126,6 +212,8 @@ class TraceEvent:
             payload["at_ms"] = self.at_ms
         if self.deadline_ms is not None:
             payload["deadline_ms"] = self.deadline_ms
+        if self.tenant != DEFAULT_TENANT:
+            payload["tenant"] = self.tenant
         return payload
 
 
@@ -145,6 +233,11 @@ class Trace:
     def suites_used(self) -> tuple[str, ...]:
         """The distinct suites the events actually draw from (sorted)."""
         return tuple(sorted({event.suite for event in self.events}))
+
+    @property
+    def tenants_used(self) -> tuple[str, ...]:
+        """The distinct tenants the events are attributed to (sorted)."""
+        return tuple(sorted({event.tenant for event in self.events}))
 
     def to_payload(self) -> dict:
         payload: dict = {
@@ -194,11 +287,19 @@ class Trace:
                 raise LoadGenError(
                     f"trace event {position} lacks a suite/index reference"
                 )
+            tenant = raw.get("tenant", DEFAULT_TENANT)
+            try:
+                validate_tenant(tenant)
+            except (TypeError, ValueError) as error:
+                raise LoadGenError(
+                    f"trace event {position} has a bad tenant: {error}"
+                ) from None
             event = TraceEvent(
                 suite=suite,
                 index=index,
                 at_ms=_number_or_none(raw.get("at_ms")),
                 deadline_ms=_number_or_none(raw.get("deadline_ms")),
+                tenant=tenant,
             )
             event.request()  # validates the suite name and spec index
             events.append(event)
@@ -230,22 +331,51 @@ def generate_trace(config: TraceConfig) -> Trace:
     """Generate the trace ``config`` describes — deterministically.
 
     All randomness comes from one local ``random.Random(config.seed)``:
-    the weighted suite draw and the spec draw within the suite.  Open-loop
-    injection times are the fixed-rate schedule ``i / rate_rps`` (rounded
-    to microseconds so the canonical JSON is float-repr stable).
+    the weighted tenant draw (only when ``config.tenants`` is set — an
+    untenanted config makes exactly the draws earlier builds did, keeping
+    its canonical JSON byte-identical), the weighted suite draw, and the
+    spec draw within the suite.  Open-loop injection times are the
+    fixed-rate schedule ``i / rate_rps`` (rounded to microseconds so the
+    canonical JSON is float-repr stable).
     """
     config.validate()
     weights = resolve_mix(config.suites)
-    names = list(weights)
-    cum_weights = []
-    total = 0.0
-    for name in names:
-        total += weights[name]
-        cum_weights.append(total)
+
+    def _cumulative(mix: dict[str, float]) -> tuple[list[str], list[float]]:
+        names = list(mix)
+        cum_weights = []
+        total = 0.0
+        for name in names:
+            total += mix[name]
+            cum_weights.append(total)
+        return names, cum_weights
+
+    names, cum_weights = _cumulative(weights)
+    tenant_cum: list[float] = []
+    tenant_mixes: dict[str, tuple[list[str], list[float]]] = {}
+    if config.tenants:
+        total = 0.0
+        for load in config.tenants:
+            total += load.weight
+            tenant_cum.append(total)
+            tenant_mixes[load.name] = (
+                _cumulative(resolve_mix(load.suites))
+                if load.suites
+                else (names, cum_weights)
+            )
     rng = random.Random(config.seed)
     events = []
     for position in range(config.requests):
-        suite = get_suite(rng.choices(names, cum_weights=cum_weights)[0])
+        tenant = DEFAULT_TENANT
+        deadline_ms = config.deadline_ms
+        suite_names, suite_cum = names, cum_weights
+        if config.tenants:
+            load = rng.choices(config.tenants, cum_weights=tenant_cum)[0]
+            tenant = load.name
+            suite_names, suite_cum = tenant_mixes[load.name]
+            if load.deadline_ms is not None:
+                deadline_ms = load.deadline_ms
+        suite = get_suite(rng.choices(suite_names, cum_weights=suite_cum)[0])
         event = TraceEvent(
             suite=suite.name,
             index=rng.randrange(len(suite.specs)),
@@ -254,7 +384,8 @@ def generate_trace(config: TraceConfig) -> Trace:
                 if config.arrival == ARRIVAL_OPEN
                 else None
             ),
-            deadline_ms=config.deadline_ms,
+            deadline_ms=deadline_ms,
+            tenant=tenant,
         )
         events.append(event)
     return Trace(

@@ -97,6 +97,61 @@ _GAUGES = (
     ("resident_kernels", "resident_kernels", "Served results held resident."),
 )
 
+#: Per-tenant breakdown fields rendered with a ``tenant`` label.  The
+#: blocks are duck-typed dicts (a server's
+#: :meth:`~repro.serve.metrics.ServerMetrics.tenant_breakdown` or a
+#: supervisor's :attr:`~repro.serve.supervisor.ClusterStats.tenants`);
+#: a field absent from every block simply renders nothing.
+_TENANT_COUNTERS = (
+    ("requests", "tenant_requests_total", "Requests received per tenant."),
+    ("warm_serves", "tenant_warm_serves_total", "Warm serves per tenant."),
+    ("cold_serves", "tenant_cold_serves_total", "Cold serves per tenant."),
+    ("dedup_hits", "tenant_dedup_hits_total", "In-flight dedup joins per tenant."),
+    ("errors", "tenant_errors_total", "Failed requests per tenant."),
+    (
+        "rejected",
+        "tenant_quota_rejections_total",
+        "Submissions refused over the tenant's admission quota.",
+    ),
+)
+
+_TENANT_GAUGES = (
+    ("in_flight", "tenant_in_flight", "Outstanding requests per tenant."),
+    ("warm_ratio", "tenant_warm_ratio", "Warm fraction of served requests per tenant."),
+    (
+        "p50_latency_ms",
+        "tenant_latency_p50_ms",
+        "Median serve latency per tenant (merged histograms).",
+    ),
+    (
+        "p95_latency_ms",
+        "tenant_latency_p95_ms",
+        "95th-percentile serve latency per tenant (merged histograms).",
+    ),
+)
+
+
+def _render_tenant_metrics(tenants: dict, prefix: str) -> list[str]:
+    """Per-tenant sample blocks, one metric family per known field."""
+    blocks: list[str] = []
+    for series, kind in ((_TENANT_COUNTERS, "counter"), (_TENANT_GAUGES, "gauge")):
+        for attr, metric, help_text in series:
+            samples = [
+                (tenant, block[attr])
+                for tenant, block in sorted(tenants.items())
+                if isinstance(block, dict) and attr in block
+            ]
+            if not samples:
+                continue
+            lines = _header(f"{prefix}_{metric}", kind, help_text)
+            lines.extend(
+                _sample(f"{prefix}_{metric}", value, {"tenant": tenant})
+                for tenant, value in samples
+            )
+            blocks.append("\n".join(lines))
+    return blocks
+
+
 _WIRE_COUNTERS = (
     ("messages_sent", "wire_messages_sent_total", "Request messages encoded for shards."),
     ("messages_received", "wire_messages_received_total", "Reply messages decoded."),
@@ -134,6 +189,9 @@ def render_server_metrics(snapshot, prefix: str = "repro") -> str:
             "95th-percentile serve latency over the retained window.",
         )
     )
+    tenants = getattr(snapshot, "tenants", None)
+    if tenants:
+        blocks.extend(_render_tenant_metrics(tenants, prefix))
     return "\n".join(blocks) + "\n"
 
 
@@ -190,4 +248,7 @@ def render_cluster_metrics(stats, bucket_bounds_ms, prefix: str = "repro") -> st
             render_counter(f"{prefix}_{metric}", getattr(wire, attr), help_text)
             for attr, metric, help_text in _WIRE_COUNTERS
         )
+    tenants = getattr(stats, "tenants", None)
+    if tenants:
+        blocks.extend(_render_tenant_metrics(tenants, prefix))
     return "\n".join(blocks) + "\n"

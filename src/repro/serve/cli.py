@@ -32,10 +32,11 @@ Examples::
     # a supervisor over two remote shards (no local shard processes)
     python -m repro.serve --connect 127.0.0.1:7401,127.0.0.1:7402 --demo --stats
 
-Actions compose left to right: ``--warmup`` runs before ``--once``/``--demo``,
-``--stats`` prints last.  ``--warmup``/``--invalidate`` walk one process's
-database and are single-process actions (``--shards 1``); in shard mode run
-them against the reconciled primary between deployments.
+Actions compose left to right: ``--invalidate`` and ``--warmup`` run before
+``--once``/``--demo``, ``--stats`` prints last.  Against a shard cluster,
+``--warmup``/``--invalidate`` broadcast as control messages to every live
+shard (each walks its own database replica in place); ``--tenant`` scopes
+requests and maintenance passes to one tenant namespace.
 """
 
 from __future__ import annotations
@@ -50,6 +51,7 @@ from repro.kernels.blas_gen import BLAS_OPERATIONS
 from repro.kernels.ntt_gen import BUTTERFLY_VARIANTS
 from repro.obs import MetricsEndpoint, Tracer, configure_logging, write_chrome_trace
 from repro.obs.promtext import render_cluster_metrics, render_server_metrics
+from repro.tenancy import DEFAULT_TENANT
 from repro.tune.db import TuningDatabase
 from repro.tune.space import BLAS, NTT
 from repro.serve import protocol
@@ -191,6 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the paper-default configuration instead of the tuned winner",
     )
     parser.add_argument(
+        "--tenant",
+        metavar="NAME",
+        default=None,
+        help="tenant namespace for --once/--demo requests and the scope of "
+        "--warmup/--invalidate (default: requests use the shared 'default' "
+        "namespace; warmup/invalidate cover every namespace)",
+    )
+    parser.add_argument(
         "--demo",
         type=int,
         metavar="N",
@@ -329,20 +339,23 @@ def _write_trace(path: str, spans) -> None:
     print(f"trace       {len(spans)} spans -> {path}", flush=True)
 
 
-def _traced_submit(server: KernelServer, request: ServeRequest):
+def _traced_submit(
+    server: KernelServer, request: ServeRequest, tenant: str = DEFAULT_TENANT
+):
     """Submit under a fresh root trace (single-server mode).
 
     In sharded mode the supervisor begins the root span itself; a lone
     :class:`KernelServer` has no front door above ``submit``, so the CLI
     plays that role here.
     """
-    handle = server.tracer.begin(
-        "client.request", kind=request.kind, bits=request.bits
-    )
+    attributes = {"kind": request.kind, "bits": request.bits}
+    if tenant != DEFAULT_TENANT:
+        attributes["tenant"] = tenant
+    handle = server.tracer.begin("client.request", **attributes)
     if handle is None:
-        return server.submit(request)
+        return server.submit(request, tenant=tenant)
     with handle.activate():
-        future = server.submit(request)
+        future = server.submit(request, tenant=tenant)
     future.add_done_callback(lambda _done, _handle=handle: _handle.finish())
     return future
 
@@ -381,17 +394,24 @@ def _main_single(args: argparse.Namespace) -> int:
             server.tracer.snapshot,
         )
         try:
+            tenant = args.tenant if args.tenant is not None else DEFAULT_TENANT
             if args.invalidate:
-                print(server.invalidate(refresh=args.refresh).report())
+                print(
+                    server.invalidate(
+                        refresh=args.refresh, tenant=args.tenant
+                    ).report()
+                )
             if args.warmup:
-                print(server.warm().report())
+                print(server.warm(tenant=args.tenant).report())
             if args.once:
-                _print_once(_traced_submit(server, _once_request(args)).result())
+                _print_once(
+                    _traced_submit(server, _once_request(args), tenant).result()
+                )
             if args.demo:
                 _run_demo(
                     server,
                     args,
-                    submit=lambda request: _traced_submit(server, request),
+                    submit=lambda request: _traced_submit(server, request, tenant),
                 )
             if args.stats:
                 print(server.metrics_snapshot().report())
@@ -415,14 +435,16 @@ def _connect_addresses(args: argparse.Namespace) -> tuple[str, ...]:
     )
 
 
+def _print_control_reports(action: str, reports: dict[int, dict]) -> None:
+    """One line per shard for a broadcast warmup/invalidation summary."""
+    for shard_id in sorted(reports):
+        report = dict(reports[shard_id])
+        report.pop("kind", None)
+        summary = ", ".join(f"{key} {value}" for key, value in report.items())
+        print(f"{action}     shard {shard_id}: {summary}")
+
+
 def _main_sharded(args: argparse.Namespace, shards: int) -> int:
-    if args.warmup or args.invalidate:
-        print(
-            "error: --warmup/--invalidate are single-process actions; run them "
-            "with --shards 1 against the reconciled primary database",
-            file=sys.stderr,
-        )
-        return 2
     supervisor = ShardSupervisor(
         shards=shards,
         db=args.db,
@@ -443,10 +465,22 @@ def _main_sharded(args: argparse.Namespace, shards: int) -> int:
             ),
             supervisor.tracer.snapshot,
         )
+        tenant = args.tenant if args.tenant is not None else DEFAULT_TENANT
+        if args.invalidate:
+            _print_control_reports(
+                "invalidate",
+                supervisor.invalidate(tenant=args.tenant, refresh=args.refresh),
+            )
+        if args.warmup:
+            _print_control_reports("warmup", supervisor.warmup(tenant=args.tenant))
         if args.once:
-            _print_once(supervisor.serve(_once_request(args)))
+            _print_once(supervisor.serve(_once_request(args), tenant=tenant))
         if args.demo:
-            _run_demo(supervisor, args)
+            _run_demo(
+                supervisor,
+                args,
+                submit=lambda request: supervisor.submit(request, tenant=tenant),
+            )
         if args.stats:
             print(supervisor.stats().report())
         if args.trace:

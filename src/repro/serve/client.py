@@ -26,6 +26,7 @@ from repro.ntt.planner import NTTPlan
 from repro.poly.blas import MomaBlasEngine
 from repro.serve.server import KernelServer, ServeRequest, ServeResult
 from repro.serve.supervisor import ShardSupervisor
+from repro.tenancy import DEFAULT_TENANT, validate_tenant
 from repro.tune.space import BLAS, NTT
 
 #: What the client functions accept: anything with the server front door
@@ -43,7 +44,9 @@ __all__ = [
 ]
 
 
-def serve_many(server: ServerLike, requests) -> list[ServeResult]:
+def serve_many(
+    server: ServerLike, requests, tenant: str = DEFAULT_TENANT
+) -> list[ServeResult]:
     """Serve a batch of requests, submitting all before awaiting any.
 
     The batch-friendly front door: against a :class:`ShardSupervisor`, all
@@ -54,8 +57,12 @@ def serve_many(server: ServerLike, requests) -> list[ServeResult]:
     position is reached (earlier results are still returned to callers
     that catch per-future instead — use ``server.submit`` directly for
     per-request error handling).
+
+    ``tenant`` namespaces the whole batch; an invalid id raises
+    :class:`ValueError` before anything is submitted.
     """
-    futures = [server.submit(request) for request in requests]
+    validate_tenant(tenant)
+    futures = [server.submit(request, tenant=tenant) for request in requests]
     return [future.result() for future in futures]
 
 
@@ -66,14 +73,17 @@ def serve_ntt_kernel(
     variant: str = "cooley_tukey",
     device: str | None = None,
     tune: bool = True,
+    tenant: str = DEFAULT_TENANT,
 ) -> ServeResult:
     """Request one NTT butterfly kernel (executable target) from a server.
 
     With ``tune=True`` the served configuration is the autotuner's winner for
     the family; otherwise ``config``'s word width and multiplication
     algorithm are pinned.  Either way the operand/modulus semantics of
-    ``config`` are preserved.
+    ``config`` are preserved.  ``tenant`` namespaces the request (an
+    invalid id raises :class:`ValueError`).
     """
+    validate_tenant(tenant)
     request = ServeRequest(
         kind=NTT,
         bits=config.bits,
@@ -86,7 +96,7 @@ def serve_ntt_kernel(
         word_bits=config.word_bits,
         multiplication=config.multiplication,
     )
-    return server.serve(request)
+    return server.serve(request, tenant=tenant)
 
 
 def serve_blas_kernel(
@@ -95,11 +105,12 @@ def serve_blas_kernel(
     config: KernelConfig,
     device: str | None = None,
     tune: bool = True,
+    tenant: str = DEFAULT_TENANT,
 ) -> ServeResult:
     """Request one BLAS kernel (executable target) from a server."""
-    return serve_blas_kernels(server, (operation,), config, device=device, tune=tune)[
-        operation
-    ]
+    return serve_blas_kernels(
+        server, (operation,), config, device=device, tune=tune, tenant=tenant
+    )[operation]
 
 
 def serve_blas_kernels(
@@ -108,13 +119,17 @@ def serve_blas_kernels(
     config: KernelConfig,
     device: str | None = None,
     tune: bool = True,
+    tenant: str = DEFAULT_TENANT,
 ) -> dict[str, ServeResult]:
     """Request several BLAS kernels concurrently from a server.
 
     All requests are submitted before any is awaited, so cold requests run
     on the worker pool together and their tuning searches join one
-    micro-batch (one database save) instead of serializing.
+    micro-batch (one database save) instead of serializing.  ``tenant``
+    namespaces every request in the batch (an invalid id raises
+    :class:`ValueError` before anything is submitted).
     """
+    validate_tenant(tenant)
     futures = {
         operation: server.submit(
             ServeRequest(
@@ -127,7 +142,8 @@ def serve_blas_kernels(
                 tune=tune,
                 word_bits=config.word_bits,
                 multiplication=config.multiplication,
-            )
+            ),
+            tenant=tenant,
         )
         for operation in operations
     }

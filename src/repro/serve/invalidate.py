@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 
 from repro.errors import ServingError
+from repro.tenancy import split_tenant, validate_tenant
 from repro.tune.db import TUNER_VERSION, TuningDatabase, TuningRecord
 from repro.serve.server import KernelServer
 from repro.serve.warmup import request_from_record
@@ -64,6 +65,21 @@ class InvalidationReport:
         """Records invalidated by a kernel-family fingerprint change."""
         return self._count("fingerprint")
 
+    def to_payload(self) -> dict:
+        """JSON-ready summary (what a ``ControlReply`` carries back)."""
+        return {
+            "kind": "invalidation",
+            "checked": self.checked,
+            "stale": len(self.stale),
+            "stale_version": self.stale_version,
+            "stale_fingerprint": self.stale_fingerprint,
+            "dropped_records": self.dropped_records,
+            "evicted_resident": self.evicted_resident,
+            "evicted_artifacts": self.evicted_artifacts,
+            "refreshed": list(self.refreshed),
+            "seconds": self.seconds,
+        }
+
     def report(self) -> str:
         """Human-readable summary of the pass."""
         lines = [
@@ -83,10 +99,19 @@ class InvalidationReport:
         return "\n".join(lines)
 
 
-def find_stale(db: TuningDatabase) -> tuple[StaleRecord, ...]:
-    """Every record whose version or kernel-family fingerprint is stale."""
+def find_stale(
+    db: TuningDatabase, tenant: str | None = None
+) -> tuple[StaleRecord, ...]:
+    """Every record whose version or kernel-family fingerprint is stale.
+
+    ``tenant`` scopes the scan to one namespace; ``None`` scans them all.
+    """
+    if tenant is not None:
+        validate_tenant(tenant)
     stale: list[StaleRecord] = []
     for db_key, record in db.records().items():
+        if tenant is not None and record.tenant != tenant:
+            continue
         if record.tuner_version != TUNER_VERSION:
             stale.append(StaleRecord(db_key, record, "version"))
             continue
@@ -101,7 +126,10 @@ def find_stale(db: TuningDatabase) -> tuple[StaleRecord, ...]:
 
 
 def invalidate_stale(
-    server: KernelServer, refresh: bool = False, target: str = "python_exec"
+    server: KernelServer,
+    refresh: bool = False,
+    target: str = "python_exec",
+    tenant: str | None = None,
 ) -> InvalidationReport:
     """Drop every stale record and the served state derived from it.
 
@@ -110,10 +138,15 @@ def invalidate_stale(
     re-served through the worker pool before returning — the "re-tune stale
     families in the background" half of live invalidation; the requests run
     concurrently on the pool even though this call waits for them.
+
+    ``tenant`` scopes the pass to one namespace: only that tenant's records
+    are dropped and only *its* resident results evicted — tenant A's
+    invalidation leaves tenant B's warm state untouched even when both
+    serve the same kernel family.
     """
     started = time.perf_counter()
     checked = len(server.db.records())
-    stale = find_stale(server.db)
+    stale = find_stale(server.db, tenant=tenant)
 
     dropped = 0
     for entry in stale:
@@ -123,13 +156,19 @@ def invalidate_stale(
         server.db.save()
 
     # Evict served state belonging to the dropped families: resident results
-    # whose (workload, device) match a dropped record, and their artifacts in
-    # the session's kernel cache.
-    stale_families = {(entry.record.workload_key, entry.record.device) for entry in stale}
+    # whose (tenant, workload, device) match a dropped record, and their
+    # artifacts in the session's kernel cache.  The tenant is part of the
+    # family, so dropping tenant A's record never evicts tenant B's warm
+    # result for the same kernel.
+    stale_families = {
+        (entry.record.tenant, entry.record.workload_key, entry.record.device)
+        for entry in stale
+    }
     evicted_resident = 0
     evicted_artifacts = 0
     for serve_key, result in server.resident_results().items():
-        family = (result.request.workload().key, result.request.device)
+        resident_tenant, _ = split_tenant(serve_key)
+        family = (resident_tenant, result.request.workload().key, result.request.device)
         if family in stale_families:
             if server.evict_resident(serve_key):
                 evicted_resident += 1
@@ -149,7 +188,12 @@ def invalidate_stale(
                 request = request_from_record(entry.record, target=target)
             except ServingError:
                 continue
-            pending.append((entry.record.workload_key, server.submit(request)))
+            pending.append(
+                (
+                    entry.record.workload_key,
+                    server.submit(request, tenant=entry.record.tenant),
+                )
+            )
         for workload_key, future in pending:
             future.result()
             refreshed.append(workload_key)

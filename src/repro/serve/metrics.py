@@ -21,7 +21,9 @@ from __future__ import annotations
 import math
 import threading
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.tenancy import DEFAULT_TENANT
 
 __all__ = [
     "MetricsSnapshot",
@@ -123,6 +125,10 @@ class MetricsSnapshot:
         p95_latency_ms: 95th-percentile serve latency.
         warm_p50_latency_ms: median latency of warm serves alone.
         cold_p50_latency_ms: median latency of cold serves alone.
+        tenants: per-tenant outcome breakdown (see
+            :meth:`ServerMetrics.tenant_breakdown`); empty when only the
+            default tenant has been seen, so untenanted deployments are
+            byte-identical to pre-tenancy snapshots on the wire.
     """
 
     requests: int
@@ -138,6 +144,7 @@ class MetricsSnapshot:
     p95_latency_ms: float
     warm_p50_latency_ms: float
     cold_p50_latency_ms: float
+    tenants: dict = field(default_factory=dict)
 
     @property
     def warm_rate(self) -> float:
@@ -290,8 +297,48 @@ class WireProfile:
             )
 
 
+class _TenantCounters:
+    """One tenant's slice of the outcome counters (guarded by the owner)."""
+
+    __slots__ = (
+        "requests",
+        "warm",
+        "cold",
+        "dedup",
+        "errors",
+        "warm_latencies",
+        "cold_latencies",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.warm = 0
+        self.cold = 0
+        self.dedup = 0
+        self.errors = 0
+        self.warm_latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self.cold_latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    def block(self) -> dict:
+        """The JSON-ready per-tenant stats block the wire protocol ships."""
+        return {
+            "requests": self.requests,
+            "warm_serves": self.warm,
+            "cold_serves": self.cold,
+            "dedup_hits": self.dedup,
+            "errors": self.errors,
+            "warm_histogram": list(latency_histogram(tuple(self.warm_latencies))),
+            "cold_histogram": list(latency_histogram(tuple(self.cold_latencies))),
+        }
+
+
 class ServerMetrics:
-    """Thread-safe counters behind :meth:`KernelServer.metrics_snapshot`."""
+    """Thread-safe counters behind :meth:`KernelServer.metrics_snapshot`.
+
+    Every recording method takes the request's tenant; the totals count all
+    traffic as before, while per-tenant slices feed
+    :meth:`tenant_breakdown`.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -304,33 +351,49 @@ class ServerMetrics:
         self._batched_tunes = 0
         self._warm_latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
         self._cold_latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._tenants: dict[str, _TenantCounters] = {}
 
-    def record_request(self) -> None:
+    def _tenant(self, tenant: str) -> _TenantCounters:
+        counters = self._tenants.get(tenant)
+        if counters is None:
+            counters = self._tenants[tenant] = _TenantCounters()
+        return counters
+
+    def record_request(self, tenant: str = DEFAULT_TENANT) -> None:
         """Count one incoming request (before its outcome is known)."""
         with self._lock:
             self._requests += 1
+            self._tenant(tenant).requests += 1
 
-    def record_warm(self, latency_s: float) -> None:
+    def record_warm(self, latency_s: float, tenant: str = DEFAULT_TENANT) -> None:
         """Count one resident-table serve."""
         with self._lock:
             self._warm += 1
             self._warm_latencies.append(latency_s)
+            counters = self._tenant(tenant)
+            counters.warm += 1
+            counters.warm_latencies.append(latency_s)
 
-    def record_cold(self, latency_s: float) -> None:
+    def record_cold(self, latency_s: float, tenant: str = DEFAULT_TENANT) -> None:
         """Count one full-path (tune + compile) serve."""
         with self._lock:
             self._cold += 1
             self._cold_latencies.append(latency_s)
+            counters = self._tenant(tenant)
+            counters.cold += 1
+            counters.cold_latencies.append(latency_s)
 
-    def record_dedup(self) -> None:
+    def record_dedup(self, tenant: str = DEFAULT_TENANT) -> None:
         """Count one request attached to an in-flight identical request."""
         with self._lock:
             self._dedup += 1
+            self._tenant(tenant).dedup += 1
 
-    def record_error(self) -> None:
+    def record_error(self, tenant: str = DEFAULT_TENANT) -> None:
         """Count one failed request."""
         with self._lock:
             self._errors += 1
+            self._tenant(tenant).errors += 1
 
     def record_tune_batch(self, size: int) -> None:
         """Count one executed tuning micro-batch of ``size`` requests."""
@@ -346,6 +409,25 @@ class ServerMetrics:
         """
         with self._lock:
             return tuple(self._warm_latencies), tuple(self._cold_latencies)
+
+    def tenant_breakdown(self) -> dict[str, dict]:
+        """Per-tenant outcome counters, JSON-ready for the stats wire.
+
+        Keys are tenant ids; each block carries ``requests``,
+        ``warm_serves``, ``cold_serves``, ``dedup_hits``, ``errors`` and the
+        fixed-bucket ``warm_histogram``/``cold_histogram``.  Returns ``{}``
+        while only the default tenant has been seen: an untenanted server's
+        stats replies stay byte-identical to the pre-tenant wire, and the
+        breakdown (including the default slice) appears the moment a second
+        namespace shows up.
+        """
+        with self._lock:
+            if set(self._tenants) <= {DEFAULT_TENANT}:
+                return {}
+            return {
+                tenant: counters.block()
+                for tenant, counters in sorted(self._tenants.items())
+            }
 
     def snapshot(self, queue_depth: int = 0, resident_kernels: int = 0) -> MetricsSnapshot:
         """Fold the counters into an immutable snapshot.
@@ -371,4 +453,12 @@ class ServerMetrics:
                 p95_latency_ms=_percentile(combined, 0.95) * 1e3,
                 warm_p50_latency_ms=_percentile(warm, 0.50) * 1e3,
                 cold_p50_latency_ms=_percentile(cold, 0.50) * 1e3,
+                tenants=(
+                    {
+                        tenant: counters.block()
+                        for tenant, counters in sorted(self._tenants.items())
+                    }
+                    if not set(self._tenants) <= {DEFAULT_TENANT}
+                    else {}
+                ),
             )

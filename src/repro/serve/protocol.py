@@ -100,6 +100,7 @@ from repro import errors
 from repro.errors import ProtocolError
 from repro.core.codegen.python_exec import CompiledKernel
 from repro.kernels.config import KernelConfig
+from repro.tenancy import DEFAULT_TENANT, validate_tenant
 from repro.tune.space import Candidate, Workload
 from repro.tune.tuner import TuningResult
 from repro.serve.server import ServeRequest, ServeResult
@@ -122,6 +123,8 @@ __all__ = [
     "PongReply",
     "HelloCall",
     "HelloReply",
+    "ControlCall",
+    "ControlReply",
     "ShutdownCall",
     "negotiate_trust",
     "negotiate_version",
@@ -404,12 +407,23 @@ class ServeCall:
     :class:`~repro.errors.DeadlineExceededError` instead — the reply the
     traffic-replay harness counts as a deadline miss.  Absent ⇒ no
     deadline; an older peer ignores the key and serves normally.
+
+    ``tenant`` is a third additive field: the tenant namespace the request
+    is served under (resident-table keys, tuning-db lookups, per-tenant
+    metrics).  Absent ⇒ :data:`~repro.tenancy.DEFAULT_TENANT` — and the
+    field is only *emitted* when non-default, so an untenanted envelope is
+    byte-identical to the pre-tenant wire format and v1-era peers/rings
+    interoperate unchanged.  Unlike the tolerant trace/deadline fields, a
+    *present but invalid* tenant id (empty, ``::``/``/``/whitespace) is a
+    hard :class:`~repro.errors.ProtocolError` at decode time: a corrupt
+    tenant id would silently poison every key it scopes.
     """
 
     request_id: int
     request: ServeRequest
     trace: dict | None = None
     deadline_ms: float | None = None
+    tenant: str = DEFAULT_TENANT
 
 
 @dataclass(frozen=True)
@@ -472,6 +486,13 @@ class ShardStats:
     latencies travel as fixed-bucket histograms
     (:func:`~repro.serve.metrics.latency_histogram`) so global percentiles
     can be computed by summing buckets across shards.
+
+    ``tenants`` is the **additive** per-tenant breakdown: tenant id →
+    ``{"requests", "warm_serves", "cold_serves", "errors",
+    "warm_histogram", "cold_histogram"}``.  Emitted only when non-empty
+    and decoded tolerantly (a malformed or absent breakdown degrades to
+    ``{}``), so pre-tenant peers interoperate and a newer peer's schema
+    cannot break the stats path.
     """
 
     shard_id: int
@@ -487,6 +508,7 @@ class ShardStats:
     resident_kernels: int
     warm_histogram: tuple[int, ...]
     cold_histogram: tuple[int, ...]
+    tenants: dict = dataclasses.field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -561,6 +583,47 @@ class HelloReply:
     max_protocol: int = 1
 
 
+#: Control actions a :class:`ControlCall` may carry.
+CONTROL_WARMUP = "warmup"
+CONTROL_INVALIDATE = "invalidate"
+_CONTROL_ACTIONS = (CONTROL_WARMUP, CONTROL_INVALIDATE)
+
+
+@dataclass(frozen=True)
+class ControlCall:
+    """A cluster-control action for one shard: warmup or invalidation.
+
+    The supervisor broadcasts these so operators can pre-warm or
+    invalidate a *running* cluster in place (the ROADMAP's control-plane
+    item) instead of restarting every shard.  ``tenant`` scopes the action
+    to one tenant's namespace; ``None`` means every namespace.
+    ``refresh`` (invalidation only) re-tunes and re-serves the dropped
+    families before replying.  A pre-control peer answers the unknown
+    message type with an :class:`ErrorReply` — the supervisor reports
+    that shard as unsupported rather than failing the whole broadcast.
+    """
+
+    request_id: int
+    action: str
+    tenant: str | None = None
+    target: str = "python_exec"
+    refresh: bool = False
+
+
+@dataclass(frozen=True)
+class ControlReply:
+    """One shard's outcome of a :class:`ControlCall`.
+
+    ``report`` is the action's JSON-ready summary dict (the wire form of a
+    :class:`~repro.serve.warmup.WarmupReport` /
+    :class:`~repro.serve.invalidate.InvalidationReport` — the protocol
+    layer never interprets it, mirroring how trace spans travel).
+    """
+
+    request_id: int
+    report: dict = dataclasses.field(default_factory=dict)
+
+
 @dataclass(frozen=True)
 class ShutdownCall:
     """Ask the shard to drain in-flight work and exit; no reply follows."""
@@ -578,9 +641,38 @@ def _stats_to_payload(message: StatsReply) -> dict:
     }
     payload["stats"]["warm_histogram"] = list(message.stats.warm_histogram)
     payload["stats"]["cold_histogram"] = list(message.stats.cold_histogram)
+    # Additive per-tenant breakdown: emitted only when non-empty, so the
+    # untenanted stats reply stays byte-identical to the pre-tenant wire.
+    payload["stats"].pop("tenants", None)
+    if message.stats.tenants:
+        payload["stats"]["tenants"] = {
+            tenant: dict(block) for tenant, block in message.stats.tenants.items()
+        }
     if message.spans:
         payload["spans"] = [dict(span) for span in message.spans]
     return payload
+
+
+def _decode_tenant_breakdown(value) -> dict:
+    """Tolerantly decode a stats reply's per-tenant breakdown.
+
+    Like spans, the breakdown is reporting freight: anything structurally
+    off — a non-dict, a tenant id that would not validate, a non-dict
+    block — is dropped rather than rejected, so a newer peer's schema can
+    never break the stats path.
+    """
+    if not isinstance(value, dict):
+        return {}
+    breakdown = {}
+    for tenant, block in value.items():
+        if not isinstance(tenant, str) or not isinstance(block, dict):
+            continue
+        try:
+            validate_tenant(tenant)
+        except ValueError:
+            continue
+        breakdown[tenant] = dict(block)
+    return breakdown
 
 
 def _stats_from_payload(payload: dict, allow_pickled: bool) -> StatsReply:
@@ -594,6 +686,7 @@ def _stats_from_payload(payload: dict, allow_pickled: bool) -> StatsReply:
         ):
             raise ProtocolError(f"malformed stats histogram {name!r}: {value!r}")
         fields[name] = tuple(value)
+    fields["tenants"] = _decode_tenant_breakdown(fields.get("tenants"))
     return StatsReply(
         request_id=_request_id(payload),
         stats=_rebuild(ShardStats, fields, "shard stats"),
@@ -627,6 +720,47 @@ def _decode_deadline_field(value) -> float | None:
     if isinstance(value, (int, float)) and not isinstance(value, bool) and value > 0:
         return float(value)
     return None
+
+
+def _decode_tenant_field(value) -> str:
+    """The envelope's additive ``tenant`` field: a validated id or default.
+
+    Absent (``None``) means :data:`~repro.tenancy.DEFAULT_TENANT` — the
+    v1-era interoperability contract.  A *present* value is validated
+    **strictly**: unlike the tolerant trace/deadline fields, a corrupt
+    tenant id cannot degrade to default, because it would silently reroute
+    one tenant's traffic (and tuning writes) into another's namespace.
+    """
+    if value is None:
+        return DEFAULT_TENANT
+    if not isinstance(value, str):
+        raise ProtocolError(f"tenant field must be a string, got {value!r}")
+    try:
+        return validate_tenant(value)
+    except ValueError as error:
+        raise ProtocolError(f"invalid tenant id on the wire: {error}") from None
+
+
+def _decode_control(payload: dict) -> ControlCall:
+    """Strictly decode a control call (its fields name state to mutate)."""
+    action = payload.get("action")
+    if action not in _CONTROL_ACTIONS:
+        raise ProtocolError(
+            f"unknown control action {action!r} (known: {_CONTROL_ACTIONS})"
+        )
+    tenant = payload.get("tenant")
+    if tenant is not None:
+        tenant = _decode_tenant_field(tenant)
+    target = payload.get("target", "python_exec")
+    if not isinstance(target, str) or not target:
+        raise ProtocolError(f"control target must be a non-empty string, got {target!r}")
+    return ControlCall(
+        request_id=_request_id(payload),
+        action=action,
+        tenant=tenant,
+        target=target,
+        refresh=bool(payload.get("refresh", False)),
+    )
 
 
 def _validate_hello(message):
@@ -666,12 +800,18 @@ _MESSAGE_TYPES = {
                 if m.deadline_ms is not None
                 else {}
             ),
+            **(
+                {"tenant": m.tenant}
+                if m.tenant != DEFAULT_TENANT
+                else {}
+            ),
         },
         lambda p, allow, frames: ServeCall(
             request_id=_request_id(p),
             request=_decode_request(p.get("request")),
             trace=_decode_trace_field(p.get("trace")),
             deadline_ms=_decode_deadline_field(p.get("deadline_ms")),
+            tenant=_decode_tenant_field(p.get("tenant")),
         ),
     ),
     "result": (
@@ -723,6 +863,30 @@ _MESSAGE_TYPES = {
         lambda m, frames: dataclasses.asdict(m),
         lambda p, allow, frames: _validate_hello(_rebuild(HelloReply, p, "hello reply")),
     ),
+    "control": (
+        ControlCall,
+        lambda m, frames: {
+            "request_id": m.request_id,
+            "action": m.action,
+            "target": m.target,
+            "refresh": m.refresh,
+            **({"tenant": m.tenant} if m.tenant is not None else {}),
+        },
+        lambda p, allow, frames: _decode_control(p),
+    ),
+    "control-reply": (
+        ControlReply,
+        lambda m, frames: {
+            "request_id": m.request_id,
+            "report": dict(m.report),
+        },
+        lambda p, allow, frames: ControlReply(
+            request_id=_request_id(p),
+            report=(
+                dict(p["report"]) if isinstance(p.get("report"), dict) else {}
+            ),
+        ),
+    ),
     "shutdown": (
         ShutdownCall,
         lambda m, frames: dataclasses.asdict(m),
@@ -743,6 +907,8 @@ Message = (
     | PongReply
     | HelloCall
     | HelloReply
+    | ControlCall
+    | ControlReply
     | ShutdownCall
 )
 

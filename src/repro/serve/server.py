@@ -36,12 +36,27 @@ from repro.core.driver import CompilerSession
 from repro.core.driver.cache import ContentAddressedCache
 from repro.kernels.config import KernelConfig
 from repro.obs import trace as tracing
+from repro.tenancy import DEFAULT_TENANT, qualify_key, split_tenant, validate_tenant
 from repro.tune.db import TuningDatabase
 from repro.tune.space import BLAS, NTT, Workload
 from repro.tune.tuner import Autotuner, TuningResult
 from repro.serve.metrics import MetricsSnapshot, ServerMetrics
 
-__all__ = ["ServeRequest", "ServeResult", "KernelServer"]
+__all__ = ["ServeRequest", "ServeResult", "KernelServer", "serve_key"]
+
+
+def serve_key(tenant: str, request: ServeRequest) -> str:
+    """THE tenant-qualified serve key — the only place its format lives.
+
+    Every resident-table entry, in-flight-dedup slot, and eviction call
+    keys through this helper: the :data:`~repro.tenancy.DEFAULT_TENANT`
+    namespace is the bare :meth:`ServeRequest.key` (identical to the
+    pre-tenant format), and any other tenant's key carries a ``tenant::``
+    prefix.  Hand-building ``f"{tenant}::{key}"`` anywhere else is a bug —
+    the format changed once already (this refactor) and call sites that
+    bypassed the helper were exactly the ones that broke.
+    """
+    return qualify_key(tenant, request.key())
 
 
 @dataclass(frozen=True)
@@ -158,11 +173,14 @@ class ServeResult:
 class _TuneTicket:
     """One queued tuning request awaiting a micro-batch."""
 
-    __slots__ = ("workload", "device", "future")
+    __slots__ = ("workload", "device", "tenant", "future")
 
-    def __init__(self, workload: Workload, device: str) -> None:
+    def __init__(
+        self, workload: Workload, device: str, tenant: str = DEFAULT_TENANT
+    ) -> None:
         self.workload = workload
         self.device = device
+        self.tenant = tenant
         self.future: Future = Future()
 
 
@@ -231,13 +249,21 @@ class KernelServer:
     # -- front door ---------------------------------------------------------
 
     def submit(
-        self, request: ServeRequest, deadline_ms: float | None = None
+        self,
+        request: ServeRequest,
+        deadline_ms: float | None = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> Future:
         """Enqueue a request; the future resolves to a :class:`ServeResult`.
 
         Warm requests resolve immediately from the resident table; a request
         whose key is already in flight shares that request's future (and its
         single compilation).
+
+        ``tenant`` namespaces everything the request touches: the resident
+        and in-flight keys (:func:`serve_key`), the tuning-database lookup
+        (tenant namespace with default fallback), and per-tenant metrics.
+        An invalid id raises :class:`ValueError` before any state changes.
 
         ``deadline_ms`` keeps the front door signature-compatible with
         :meth:`~repro.serve.supervisor.ShardSupervisor.submit`.  A single
@@ -247,13 +273,15 @@ class KernelServer:
         traffic-replay harness measures misses from observed latency).
         """
         del deadline_ms  # enforced only on the sharded path
+        validate_tenant(tenant)
         started = time.perf_counter()
         # One context-variable read decides whether this request is traced;
         # the untraced path pays nothing further for instrumentation.
         traced = tracing.current() is not None
         wall_started = time.time() if traced else 0.0
-        key = request.key()  # validates the request before any state changes
-        self.metrics.record_request()
+        # serve_key validates the request before any state changes.
+        key = serve_key(tenant, request)
+        self.metrics.record_request(tenant)
         with self._lock:
             if self._closed:
                 raise ServingError("kernel server is closed")
@@ -262,7 +290,7 @@ class KernelServer:
                 latency = time.perf_counter() - started
                 if traced:
                     tracing.record("cache.lookup", wall_started, latency, hit=True)
-                self.metrics.record_warm(latency)
+                self.metrics.record_warm(latency, tenant)
                 future: Future = Future()
                 future.set_result(
                     dataclasses.replace(resident, warm=True, latency_s=latency)
@@ -274,7 +302,7 @@ class KernelServer:
                     tracing.record(
                         "serve.dedup", wall_started, time.perf_counter() - started
                     )
-                self.metrics.record_dedup()
+                self.metrics.record_dedup(tenant)
                 return inflight
             future = Future()
             self._inflight[key] = future
@@ -296,17 +324,22 @@ class KernelServer:
                         future,
                         started,
                         wall_started,
+                        tenant,
                     )
                 else:
-                    self._pool.submit(self._fulfil, request, key, future, started)
+                    self._pool.submit(
+                        self._fulfil, request, key, future, started, 0.0, tenant
+                    )
             except RuntimeError:
                 self._inflight.pop(key, None)
                 raise ServingError("kernel server is closed") from None
         return future
 
-    def serve(self, request: ServeRequest) -> ServeResult:
+    def serve(
+        self, request: ServeRequest, tenant: str = DEFAULT_TENANT
+    ) -> ServeResult:
         """Serve one request, blocking until the kernel is ready."""
-        return self.submit(request).result()
+        return self.submit(request, tenant=tenant).result()
 
     # -- fulfilment ---------------------------------------------------------
 
@@ -317,6 +350,7 @@ class KernelServer:
         future: Future,
         started: float,
         submitted_wall: float = 0.0,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         try:
             # Queue wait: submit time to worker pickup.  record() no-ops when
@@ -327,8 +361,8 @@ class KernelServer:
             workload = request.workload()
             tuning: TuningResult | None = None
             if request.tune:
-                with tracing.span("serve.tune", device=request.device):
-                    tuning = self._tune_batched(workload, request.device)
+                with tracing.span("serve.tune", device=request.device, tenant=tenant):
+                    tuning = self._tune_batched(workload, request.device, tenant)
                 config = tuning.config
             else:
                 config = request.pinned_config()
@@ -355,18 +389,20 @@ class KernelServer:
             with self._lock:
                 self._resident.put(key, result)
                 self._inflight.pop(key, None)
-            self.metrics.record_cold(latency)
+            self.metrics.record_cold(latency, tenant)
             future.set_result(result)
         except BaseException as error:  # noqa: BLE001 - relayed via the future
             with self._lock:
                 self._inflight.pop(key, None)
-            self.metrics.record_error()
+            self.metrics.record_error(tenant)
             future.set_exception(error)
 
     # -- tuning micro-batches -----------------------------------------------
 
-    def _tune_batched(self, workload: Workload, device: str) -> TuningResult:
-        ticket = _TuneTicket(workload, device)
+    def _tune_batched(
+        self, workload: Workload, device: str, tenant: str = DEFAULT_TENANT
+    ) -> TuningResult:
+        ticket = _TuneTicket(workload, device, tenant)
         with self._tune_cv:
             if self._closed:
                 raise ServingError("kernel server is closed")
@@ -401,6 +437,8 @@ class KernelServer:
                 continue
             # Group by device: each group shares one Autotuner sweep, and the
             # database is persisted once per batch, not once per record.
+            # Tickets of different tenants share a batch — each tune call
+            # carries its own ticket's namespace.
             by_device: dict[str, list[_TuneTicket]] = {}
             for ticket in batch:
                 by_device.setdefault(ticket.device, []).append(ticket)
@@ -408,7 +446,9 @@ class KernelServer:
                 tuner = Autotuner(session=self.session, db=self.db, save=False)
                 for ticket in tickets:
                     try:
-                        ticket.future.set_result(tuner.tune(ticket.workload, device))
+                        ticket.future.set_result(
+                            tuner.tune(ticket.workload, device, tenant=ticket.tenant)
+                        )
                     except BaseException as error:  # noqa: BLE001
                         ticket.future.set_exception(error)
             try:
@@ -422,32 +462,53 @@ class KernelServer:
 
     # -- warmup / invalidation ----------------------------------------------
 
-    def warm(self, target: str | None = None):
+    def warm(self, target: str | None = None, tenant: str | None = None):
         """Pre-compile every recorded winner for this server's devices.
 
-        Returns the :class:`~repro.serve.warmup.WarmupReport`; see
-        :func:`repro.serve.warmup.warm_server`.
+        ``tenant`` scopes the pass to one namespace (``None`` warms every
+        namespace).  Returns the :class:`~repro.serve.warmup.WarmupReport`;
+        see :func:`repro.serve.warmup.warm_server`.
         """
         from repro.serve.warmup import warm_server
 
         if target is None:
-            return warm_server(self)
-        return warm_server(self, target=target)
+            return warm_server(self, tenant=tenant)
+        return warm_server(self, target=target, tenant=tenant)
 
-    def invalidate(self, refresh: bool = False):
+    def invalidate(self, refresh: bool = False, tenant: str | None = None):
         """Drop stale tuning records and their served kernels.
 
-        Returns the :class:`~repro.serve.invalidate.InvalidationReport`; see
+        ``tenant`` scopes the pass to one namespace (``None`` considers
+        every namespace).  Returns the
+        :class:`~repro.serve.invalidate.InvalidationReport`; see
         :func:`repro.serve.invalidate.invalidate_stale`.
         """
         from repro.serve.invalidate import invalidate_stale
 
-        return invalidate_stale(self, refresh=refresh)
+        return invalidate_stale(self, refresh=refresh, tenant=tenant)
 
     def evict_resident(self, key: str) -> bool:
         """Drop one resident result by serve key; True when present."""
         with self._lock:
             return self._resident.discard(key)
+
+    def evict_tenant(self, tenant: str) -> int:
+        """Drop every resident result in one tenant's namespace.
+
+        Returns how many entries were evicted.  The default namespace
+        holds every key without a tenant prefix (:func:`serve_key`), so
+        evicting ``"default"`` clears exactly the untenanted residents.
+        """
+        validate_tenant(tenant)
+        with self._lock:
+            keys = [
+                key
+                for key, _ in self._resident.items()
+                if split_tenant(key)[0] == tenant
+            ]
+            for key in keys:
+                self._resident.discard(key)
+            return len(keys)
 
     # -- observability ------------------------------------------------------
 

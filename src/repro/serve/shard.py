@@ -213,6 +213,9 @@ def _shard_stats(shard_id: int, server: KernelServer) -> protocol.ShardStats:
         resident_kernels=snapshot.resident_kernels,
         warm_histogram=latency_histogram(warm),
         cold_histogram=latency_histogram(cold),
+        # Additive: {} until a non-default tenant shows up, which keeps the
+        # untenanted stats reply byte-identical to the pre-tenant wire.
+        tenants=server.metrics.tenant_breakdown(),
     )
 
 
@@ -337,9 +340,9 @@ def _serve_connection(
                         bytes=len(data),
                     )
                     with trace.activate():
-                        future = server.submit(message.request)
+                        future = server.submit(message.request, tenant=message.tenant)
                 else:
-                    future = server.submit(message.request)
+                    future = server.submit(message.request, tenant=message.tenant)
             except Exception as error:  # noqa: BLE001 - bad request
                 if trace is not None:
                     trace.finish(error=type(error).__name__)
@@ -367,6 +370,32 @@ def _serve_connection(
             reply_bytes(
                 protocol.encode_pong(message.request_id, shard_id, os.getpid())
             )
+        elif isinstance(message, protocol.ControlCall):
+            # Warmup/invalidation can take seconds (they compile kernels), so
+            # they run off-loop: warm traffic on this connection keeps
+            # flowing and the reply correlates by request_id like any other.
+            def control(message=message) -> None:
+                try:
+                    if message.action == protocol.CONTROL_WARMUP:
+                        report = server.warm(
+                            target=message.target, tenant=message.tenant
+                        )
+                    else:
+                        report = server.invalidate(
+                            refresh=message.refresh, tenant=message.tenant
+                        )
+                    reply(
+                        protocol.ControlReply(
+                            request_id=message.request_id,
+                            report=report.to_payload(),
+                        )
+                    )
+                except BaseException as error:  # noqa: BLE001 - relayed
+                    reply(protocol.ErrorReply.from_exception(message.request_id, error))
+
+            threading.Thread(
+                target=control, name=f"shard-{shard_id}-control", daemon=True
+            ).start()
         elif isinstance(message, protocol.ShutdownCall):
             return True
         else:  # a reply type sent the wrong way; report and keep serving

@@ -62,11 +62,12 @@ import time
 from collections import deque
 from concurrent.futures import Future, InvalidStateError
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ProtocolError, ServingError
 from repro.obs import trace as tracing
+from repro.tenancy import DEFAULT_TENANT, TenantRegistry, validate_tenant
 from repro.tune.reconcile import (
     ReconcileReport,
     prune_quarantine,
@@ -151,6 +152,10 @@ class ClusterStats:
     the supervisor-side wire-path profile (encode/decode/route/flush time
     and bytes — see :class:`~repro.serve.metrics.WireSnapshot`); ``None``
     when the caller aggregated shard stats without a supervisor.
+    ``tenants`` is the cross-shard per-tenant rollup (counters and
+    percentiles summed/merged across shards, plus admission-control state
+    when a supervisor contributed its registry snapshot); empty for
+    untenanted clusters.
     """
 
     shards: tuple[protocol.ShardStats, ...]
@@ -166,6 +171,7 @@ class ClusterStats:
     p50_latency_ms: float
     p95_latency_ms: float
     wire: WireSnapshot | None = None
+    tenants: dict = field(default_factory=dict)
 
     @property
     def warm_rate(self) -> float:
@@ -188,6 +194,16 @@ class ClusterStats:
         ]
         if self.wire is not None:
             lines.append(self.wire.report())
+        for tenant, block in sorted(self.tenants.items()):
+            lines.append(
+                f"  tenant {tenant}: {block.get('requests', 0)} requests, "
+                f"warm {block.get('warm_serves', 0)}, "
+                f"cold {block.get('cold_serves', 0)}, "
+                f"errors {block.get('errors', 0)}, "
+                f"rejected {block.get('rejected', 0)}, "
+                f"p50 ≤{block.get('p50_latency_ms', 0.0):.3f} ms, "
+                f"p95 ≤{block.get('p95_latency_ms', 0.0):.3f} ms"
+            )
         for stats in self.shards:
             lines.append(
                 f"  shard {stats.shard_id} (pid {stats.pid}): "
@@ -198,9 +214,69 @@ class ClusterStats:
         return "\n".join(lines)
 
 
+def _merge_histograms(into: list[int], counts) -> None:
+    """Element-wise add ``counts`` into ``into``, growing it as needed."""
+    if len(into) < len(counts):
+        into.extend([0] * (len(counts) - len(into)))
+    for index, count in enumerate(counts):
+        into[index] += count
+
+
+def _aggregate_tenants(
+    per_shard: tuple[protocol.ShardStats, ...],
+    admission: dict | None = None,
+) -> dict[str, dict]:
+    """Cross-shard per-tenant rollup: summed counters plus percentiles.
+
+    ``admission`` (a :meth:`~repro.tenancy.TenantRegistry.snapshot`) merges
+    the supervisor-side quota state — ``in_flight``/``rejected`` and any
+    configured limits — into the matching tenant's block.
+    """
+    rollup: dict[str, dict] = {}
+    histograms: dict[str, list[int]] = {}
+    for stats in per_shard:
+        for tenant, block in getattr(stats, "tenants", {}).items():
+            if not isinstance(block, dict):
+                continue
+            merged = rollup.setdefault(
+                tenant,
+                {
+                    "requests": 0,
+                    "warm_serves": 0,
+                    "cold_serves": 0,
+                    "dedup_hits": 0,
+                    "errors": 0,
+                },
+            )
+            for name in ("requests", "warm_serves", "cold_serves", "dedup_hits", "errors"):
+                value = block.get(name, 0)
+                if isinstance(value, int):
+                    merged[name] += value
+            buckets = histograms.setdefault(tenant, [])
+            for name in ("warm_histogram", "cold_histogram"):
+                counts = block.get(name, ())
+                if isinstance(counts, (list, tuple)) and all(
+                    isinstance(count, int) for count in counts
+                ):
+                    _merge_histograms(buckets, counts)
+    for tenant, merged in rollup.items():
+        buckets = tuple(histograms.get(tenant, ()))
+        served = merged["warm_serves"] + merged["cold_serves"]
+        merged["warm_ratio"] = merged["warm_serves"] / served if served else 0.0
+        merged["p50_latency_ms"] = percentile_from_histogram(buckets, 0.50)
+        merged["p95_latency_ms"] = percentile_from_histogram(buckets, 0.95)
+        merged["p99_latency_ms"] = percentile_from_histogram(buckets, 0.99)
+    if admission:
+        for tenant, state in admission.items():
+            block = rollup.setdefault(tenant, {})
+            block.update(state)
+    return rollup
+
+
 def aggregate_stats(
     per_shard: tuple[protocol.ShardStats, ...],
     wire: WireSnapshot | None = None,
+    admission: dict | None = None,
 ) -> ClusterStats:
     """Merge per-shard stats: sum counters, sum histograms, re-percentile."""
     def total(name: str) -> int:
@@ -209,10 +285,7 @@ def aggregate_stats(
     combined: list[int] = []
     for stats in per_shard:
         for histogram in (stats.warm_histogram, stats.cold_histogram):
-            if len(combined) < len(histogram):
-                combined.extend([0] * (len(histogram) - len(combined)))
-            for index, count in enumerate(histogram):
-                combined[index] += count
+            _merge_histograms(combined, histogram)
     buckets = tuple(combined)
     return ClusterStats(
         shards=tuple(sorted(per_shard, key=lambda stats: stats.shard_id)),
@@ -228,6 +301,7 @@ def aggregate_stats(
         p50_latency_ms=percentile_from_histogram(buckets, 0.50),
         p95_latency_ms=percentile_from_histogram(buckets, 0.95),
         wire=wire,
+        tenants=_aggregate_tenants(per_shard, admission),
     )
 
 
@@ -277,12 +351,14 @@ class _ShardHandle:
         self.devices = devices
         self.process = None
         self.links: list[_Link] = []
-        # request_id -> (request, future, trace handle, deadline_ms); the
-        # request is None for control-plane probes, the trace handle None
-        # when untraced, the deadline None when the caller set no budget.
+        # request_id -> (tenant, request, future, trace handle, deadline_ms);
+        # tenant and request are None for control-plane probes, the trace
+        # handle None when untraced, the deadline None when the caller set
+        # no budget.
         self.pending: dict[
             int,
             tuple[
+                str | None,
                 ServeRequest | None,
                 Future,
                 tracing.TraceHandle | None,
@@ -428,6 +504,12 @@ class ShardSupervisor:
             trace context to shards in the envelope's additive ``trace``
             field; :meth:`drain_spans` merges the shard-side spans back.
             Defaults to a never-sampling tracer (tracing off).
+        tenants: :class:`~repro.tenancy.TenantConfig` entries seeding the
+            supervisor's :class:`~repro.tenancy.TenantRegistry` — per-tenant
+            display names and admission quotas enforced at :meth:`submit`.
+            An empty registry (the default) admits everything, which is the
+            exact pre-tenancy behaviour; configs can also be registered
+            later via ``supervisor.tenants.register(...)``.
 
     Shards are started with the ``spawn`` start method, so the standard
     :mod:`multiprocessing` caveat applies: construct supervisors from an
@@ -451,6 +533,7 @@ class ShardSupervisor:
         pool: int = 2,
         max_protocol: int = protocol.MAX_PROTOCOL_VERSION,
         tracer: tracing.Tracer | None = None,
+        tenants: tuple = (),
     ) -> None:
         addresses = tuple(_parse_address(address) for address in connect)
         if shards < 1 and not addresses:
@@ -480,6 +563,7 @@ class ShardSupervisor:
         self._pool = pool
         self._max_protocol = max_protocol
         self.tracer = tracer if tracer is not None else tracing.Tracer(sample_rate=0.0)
+        self.tenants = TenantRegistry(tenants)
         self._wire = WireProfile()
         self._context = _spawn_context()
         self._closed = False
@@ -783,7 +867,7 @@ class ShardSupervisor:
                 entry = handle.pending.pop(request_id, None)
             if entry is None:
                 continue  # late reply for a request already re-routed
-            _, future, trace, _deadline = entry
+            _tenant, _, future, trace, _deadline = entry
             if trace is not None:
                 # Wall start approximated from the measured duration: no
                 # extra clock read on the (dominant) untraced path.
@@ -797,7 +881,10 @@ class ShardSupervisor:
                 )
             if isinstance(message, protocol.ServeReply):
                 _resolve(future, result=message.result)
-            elif isinstance(message, (protocol.StatsReply, protocol.PongReply)):
+            elif isinstance(
+                message,
+                (protocol.StatsReply, protocol.PongReply, protocol.ControlReply),
+            ):
                 _resolve(future, result=message)
             elif isinstance(message, protocol.ErrorReply):
                 _resolve(future, error=message.exception())
@@ -872,7 +959,7 @@ class ShardSupervisor:
 
         future.add_done_callback(pong_received)
         with handle.pending_lock:
-            handle.pending[request_id] = (None, future, None, None)
+            handle.pending[request_id] = (None, None, future, None, None)
         try:
             # Pings ride the pre-encoded v1 template (every peer accepts
             # v1): no json.dumps on the 2 s liveness path.
@@ -942,7 +1029,7 @@ class ShardSupervisor:
 
     def _reroute(self, handle: _ShardHandle, pending) -> None:
         """Re-dispatch a dead shard's pending serves to ring successors."""
-        for request_id, (request, future, trace, deadline_ms) in pending.items():
+        for request_id, (tenant, request, future, trace, deadline_ms) in pending.items():
             if future.done():
                 continue
             if request is None:  # stats/ping probes are not worth re-sending
@@ -963,6 +1050,7 @@ class ShardSupervisor:
                     excluding=frozenset({handle.shard_id}),
                     trace=trace,
                     deadline_ms=deadline_ms,
+                    tenant=tenant if tenant is not None else DEFAULT_TENANT,
                 )
             except ServingError as error:
                 _resolve(future, error=error)
@@ -976,6 +1064,7 @@ class ShardSupervisor:
         excluding=frozenset(),
         trace: tracing.TraceHandle | None = None,
         deadline_ms: float | None = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         allowed_excluding = set(excluding)
         for handle in self._handles.values():
@@ -995,6 +1084,7 @@ class ShardSupervisor:
                 # traces, which stay local — so this also covers them.
                 trace=trace.wire_field() if trace is not None else None,
                 deadline_ms=deadline_ms,
+                tenant=tenant,
             )
         )
         encode_s = time.perf_counter() - encode_started
@@ -1007,7 +1097,7 @@ class ShardSupervisor:
                 "wire.encode", now - encode_s, encode_s, cat="wire", bytes=len(data)
             )
         with handle.pending_lock:
-            handle.pending[request_id] = (request, future, trace, deadline_ms)
+            handle.pending[request_id] = (tenant, request, future, trace, deadline_ms)
         try:
             # The enqueue is the whole send from this thread's point of
             # view: the link's sender thread coalesces everything queued
@@ -1029,6 +1119,7 @@ class ShardSupervisor:
                         excluding=frozenset(allowed_excluding | {shard_id}),
                         trace=trace,
                         deadline_ms=deadline_ms,
+                        tenant=tenant,
                     )
                 except ServingError as error:
                     _resolve(future, error=error)
@@ -1038,9 +1129,20 @@ class ShardSupervisor:
             self._routed[shard_id] = self._routed.get(shard_id, 0) + 1
 
     def submit(
-        self, request: ServeRequest, deadline_ms: float | None = None
+        self,
+        request: ServeRequest,
+        deadline_ms: float | None = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> Future:
         """Route a request to its shard; the future resolves to the result.
+
+        ``tenant`` names the namespace the request is served under and the
+        budget it is admitted against: a tenant with a registered
+        :class:`~repro.tenancy.TenantConfig` whose rate or in-flight quota
+        is exhausted gets a synchronous
+        :class:`~repro.errors.QuotaExceededError` here — the request never
+        reaches a shard.  Unregistered tenants (and the default tenant,
+        unless explicitly configured) are admitted without limits.
 
         ``deadline_ms`` is the request's optional end-to-end latency
         budget: it rides the :class:`~repro.serve.protocol.ServeCall`'s
@@ -1053,23 +1155,45 @@ class ShardSupervisor:
             raise ServingError(
                 f"deadline_ms must be a positive number, got {deadline_ms!r}"
             )
+        validate_tenant(tenant)
         with self._lock:
             if self._closed:
                 raise ServingError("shard supervisor is closed")
+        # Admission control at the front door: raises QuotaExceededError
+        # before any routing or wire work.  The matching release rides the
+        # future's done-callback, so every completion path balances it.
+        self.tenants.admit(tenant)
         future: Future = Future()
+        future.add_done_callback(
+            lambda _completed, _t=tenant: self.tenants.release(_t)
+        )
         trace = self.tracer.begin(
-            "cluster.request", kind=request.kind, bits=request.bits
+            "cluster.request",
+            kind=request.kind,
+            bits=request.bits,
+            **({"tenant": tenant} if tenant != DEFAULT_TENANT else {}),
         )
         if trace is not None:
             # The root span closes when the reply lands (or the request
             # fails), wherever that happens; finish() is idempotent.
             future.add_done_callback(lambda _completed, _t=trace: _t.finish())
-        self._dispatch(request, future, trace=trace, deadline_ms=deadline_ms)
+        try:
+            self._dispatch(
+                request, future, trace=trace, deadline_ms=deadline_ms, tenant=tenant
+            )
+        except BaseException:
+            # Routing failed before the request was in flight anywhere;
+            # cancelling fires the done-callbacks, balancing the admit.
+            if not future.done():
+                future.cancel()
+            raise
         return future
 
-    def serve(self, request: ServeRequest) -> ServeResult:
+    def serve(
+        self, request: ServeRequest, tenant: str = DEFAULT_TENANT
+    ) -> ServeResult:
         """Serve one request through its shard, blocking for the result."""
-        return self.submit(request).result()
+        return self.submit(request, tenant=tenant).result()
 
     def routed_counts(self) -> dict[int, int]:
         """Requests routed per shard id since startup (supervisor-side)."""
@@ -1111,7 +1235,7 @@ class ShardSupervisor:
         request_id = next(self._request_ids)
         future: Future = Future()
         with handle.pending_lock:
-            handle.pending[request_id] = (None, future, None, None)
+            handle.pending[request_id] = (None, None, future, None, None)
         try:
             with handle.send_lock:
                 if handle.connection is None:  # a disconnected remote shard
@@ -1151,8 +1275,82 @@ class ShardSupervisor:
             self._probe(handle, protocol.StatsCall, timeout) for handle in handles
         ]
         return aggregate_stats(
-            tuple(reply.stats for reply in replies), wire=self._wire.snapshot()
+            tuple(reply.stats for reply in replies),
+            wire=self._wire.snapshot(),
+            admission=self.tenants.snapshot(),
         )
+
+    def warmup(
+        self,
+        tenant: str | None = None,
+        target: str = "python_exec",
+        timeout: float = 300.0,
+    ) -> dict[int, dict]:
+        """Broadcast an in-place warmup to every live shard.
+
+        Each shard pre-compiles its recorded tuning winners into its
+        resident table (:func:`~repro.serve.warmup.warm_server`) without a
+        restart; ``tenant`` scopes the pass to one namespace, ``None``
+        warms them all.  Returns shard id → warmup summary; a shard that
+        cannot run the pass (unreachable, or a v1-era build without the
+        control message) reports an ``"error"`` entry instead of failing
+        the broadcast.
+        """
+        return self._control(
+            functools.partial(
+                protocol.ControlCall,
+                action=protocol.CONTROL_WARMUP,
+                tenant=tenant,
+                target=target,
+            ),
+            tenant,
+            timeout,
+        )
+
+    def invalidate(
+        self,
+        tenant: str | None = None,
+        refresh: bool = False,
+        timeout: float = 300.0,
+    ) -> dict[int, dict]:
+        """Broadcast a stale-record invalidation to every live shard.
+
+        Each shard drops its stale tuning records and the served state
+        behind them (:func:`~repro.serve.invalidate.invalidate_stale`);
+        ``tenant`` scopes the pass so one tenant's invalidation never
+        evicts another's warm results, and ``refresh`` re-tunes the
+        dropped families in place.  Returns shard id → invalidation
+        summary, with per-shard ``"error"`` entries instead of broadcast
+        failure.
+        """
+        return self._control(
+            functools.partial(
+                protocol.ControlCall,
+                action=protocol.CONTROL_INVALIDATE,
+                tenant=tenant,
+                refresh=refresh,
+            ),
+            tenant,
+            timeout,
+        )
+
+    def _control(self, call, tenant: str | None, timeout: float) -> dict[int, dict]:
+        if tenant is not None:
+            validate_tenant(tenant)
+        with self._lock:
+            handles = [h for h in self._handles.values() if h.alive()]
+        reports: dict[int, dict] = {}
+        for handle in handles:
+            try:
+                reply = self._probe(handle, call, timeout)
+            except Exception as error:  # noqa: BLE001 - per-shard, not fatal
+                reports[handle.shard_id] = {"error": str(error)}
+                continue
+            report = getattr(reply, "report", None)
+            reports[handle.shard_id] = (
+                dict(report) if isinstance(report, dict) else {}
+            )
+        return reports
 
     def wire_snapshot(self) -> WireSnapshot:
         """The supervisor-side wire-path profile without probing any shard."""
@@ -1234,7 +1432,7 @@ class ShardSupervisor:
                 handle.process.terminate()
                 handle.process.join(timeout=5.0)
         for handle in self._handles.values():
-            for _, future, _trace, _deadline in handle.take_pending().values():
+            for _tenant, _, future, _trace, _deadline in handle.take_pending().values():
                 if not future.done():
                     _resolve(future, error=ServingError("shard supervisor closed"))
             handle.drop_links()

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass
 
 from repro.errors import ServingError
+from repro.tenancy import DEFAULT_TENANT, validate_tenant
 from repro.tune.db import TUNER_VERSION, TuningRecord
 from repro.tune.space import BLAS, NTT
 from repro.serve.server import KernelServer, ServeRequest
@@ -72,8 +73,11 @@ class WarmupEntry:
     db_key: str
     workload_key: str
     device: str
-    status: str  # "warmed" | "stale-version" | "stale-fingerprint" | "other-device" | "error"
+    # "warmed" | "stale-version" | "stale-fingerprint" | "other-device"
+    # | "other-tenant" | "error"
+    status: str
     detail: str = ""
+    tenant: str = DEFAULT_TENANT
 
 
 @dataclass(frozen=True)
@@ -102,9 +106,27 @@ class WarmupReport:
         return self._count("other-device")
 
     @property
+    def skipped_other_tenant(self) -> int:
+        """Records outside the tenant namespace a scoped pass asked for."""
+        return self._count("other-tenant")
+
+    @property
     def errors(self) -> int:
         """Records that failed to parse or compile."""
         return self._count("error")
+
+    def to_payload(self) -> dict:
+        """JSON-ready summary (what a ``ControlReply`` carries back)."""
+        return {
+            "kind": "warmup",
+            "records": len(self.entries),
+            "warmed": self.warmed,
+            "stale": self.stale,
+            "other_device": self.skipped_other_device,
+            "other_tenant": self.skipped_other_tenant,
+            "errors": self.errors,
+            "seconds": self.seconds,
+        }
 
     def report(self) -> str:
         """Human-readable summary (one line per non-warmed record)."""
@@ -123,20 +145,49 @@ class WarmupReport:
         return "\n".join(lines)
 
 
-def warm_server(server: KernelServer, target: str = "python_exec") -> WarmupReport:
+def warm_server(
+    server: KernelServer,
+    target: str = "python_exec",
+    tenant: str | None = None,
+) -> WarmupReport:
     """Serve every live database record so later traffic is answered warm.
 
     Requests are submitted together (the worker pool compiles them
     concurrently) and then awaited, so warmup wall time is bounded by the
     slowest family, not the sum.
+
+    Each record warms under **its own** tenant namespace, so the served
+    result lands exactly where that tenant's traffic will look for it.
+    ``tenant`` scopes the pass: when set, records of other namespaces are
+    skipped (``"other-tenant"``) instead of warmed.
     """
+    if tenant is not None:
+        validate_tenant(tenant)
     started = time.perf_counter()
     entries: list[WarmupEntry] = []
     pending: list[tuple[TuningRecord, str, object]] = []
     for db_key, record in server.db.records().items():
+        if tenant is not None and record.tenant != tenant:
+            entries.append(
+                WarmupEntry(
+                    db_key,
+                    record.workload_key,
+                    record.device,
+                    "other-tenant",
+                    f"record belongs to tenant {record.tenant!r}",
+                    tenant=record.tenant,
+                )
+            )
+            continue
         if record.device not in server.devices:
             entries.append(
-                WarmupEntry(db_key, record.workload_key, record.device, "other-device")
+                WarmupEntry(
+                    db_key,
+                    record.workload_key,
+                    record.device,
+                    "other-device",
+                    tenant=record.tenant,
+                )
             )
             continue
         if record.tuner_version != TUNER_VERSION:
@@ -147,6 +198,7 @@ def warm_server(server: KernelServer, target: str = "python_exec") -> WarmupRepo
                     record.device,
                     "stale-version",
                     f"record v{record.tuner_version}, tuner v{TUNER_VERSION}",
+                    tenant=record.tenant,
                 )
             )
             continue
@@ -160,23 +212,47 @@ def warm_server(server: KernelServer, target: str = "python_exec") -> WarmupRepo
                         record.device,
                         "stale-fingerprint",
                         "kernel family changed since tuning",
+                        tenant=record.tenant,
                     )
                 )
                 continue
-            pending.append((record, db_key, server.submit(request)))
+            pending.append(
+                (record, db_key, server.submit(request, tenant=record.tenant))
+            )
         except ServingError as error:
             entries.append(
-                WarmupEntry(db_key, record.workload_key, record.device, "error", str(error))
+                WarmupEntry(
+                    db_key,
+                    record.workload_key,
+                    record.device,
+                    "error",
+                    str(error),
+                    tenant=record.tenant,
+                )
             )
     for record, db_key, future in pending:
         try:
             result = future.result()
             detail = "tuned from database" if result.from_database else "re-tuned"
             entries.append(
-                WarmupEntry(db_key, record.workload_key, record.device, "warmed", detail)
+                WarmupEntry(
+                    db_key,
+                    record.workload_key,
+                    record.device,
+                    "warmed",
+                    detail,
+                    tenant=record.tenant,
+                )
             )
         except Exception as error:  # noqa: BLE001 - reported, not fatal
             entries.append(
-                WarmupEntry(db_key, record.workload_key, record.device, "error", str(error))
+                WarmupEntry(
+                    db_key,
+                    record.workload_key,
+                    record.device,
+                    "error",
+                    str(error),
+                    tenant=record.tenant,
+                )
             )
     return WarmupReport(entries=tuple(entries), seconds=time.perf_counter() - started)

@@ -6,7 +6,13 @@ Winning configurations are remembered so a workload is searched once per
 * records are keyed by the workload's *kernel fingerprint family*
   (:meth:`~repro.tune.space.Workload.fingerprint`, which hashes the wide IR
   the frontend builds — so records go stale when the frontend changes), the
-  device name, and :data:`TUNER_VERSION`;
+  device name, and :data:`TUNER_VERSION` — all under a **tenant namespace**:
+  the shared :data:`~repro.tenancy.DEFAULT_TENANT` namespace is the bare
+  legacy key (pre-tenant databases need no migration to stay readable), and
+  a non-default tenant's records carry a ``tenant::`` key prefix plus an
+  explicit ``tenant`` field.  Lookups fall back from the request's tenant
+  namespace to the shared default namespace on miss, so a tenant only forks
+  a family's record when its own tuning run writes one;
 * each record stores the winning candidate, its modeled score, the paper-
   default baseline, and search provenance (strategy, evaluations scored,
   space size, creation time);
@@ -33,6 +39,7 @@ from pathlib import Path
 
 from repro.errors import TuningError
 from repro.core.rewrite.options import KARATSUBA, SCHOOLBOOK
+from repro.tenancy import DEFAULT_TENANT, qualify_key, validate_tenant
 from repro.tune.space import Candidate, Workload
 
 __all__ = ["TUNER_VERSION", "DbStats", "TuningRecord", "TuningDatabase"]
@@ -70,6 +77,9 @@ class TuningRecord:
         evaluations: distinct candidates scored by the search.
         space_size: size of the configuration space that was searched.
         created_at: UNIX timestamp of the tuning run.
+        tenant: the tenant namespace the record belongs to
+            (:data:`~repro.tenancy.DEFAULT_TENANT` for the shared
+            namespace; pre-tenant files load with the default).
     """
 
     fingerprint: str
@@ -83,10 +93,19 @@ class TuningRecord:
     evaluations: int
     space_size: int
     created_at: float
+    tenant: str = DEFAULT_TENANT
 
     def key(self) -> str:
-        """The database key: fingerprint family + device + tuner version."""
-        return f"{self.fingerprint}::{self.device}::v{self.tuner_version}"
+        """The database key: tenant namespace + family + device + version.
+
+        The default namespace is the *bare* legacy key (no prefix), which
+        is what keeps pre-tenant database files and replicas readable and
+        mergeable without rewriting; a non-default tenant's key carries a
+        ``tenant::`` prefix.
+        """
+        return qualify_key(
+            self.tenant, f"{self.fingerprint}::{self.device}::v{self.tuner_version}"
+        )
 
     def to_json(self) -> dict:
         """JSON-serializable form of the record."""
@@ -101,8 +120,18 @@ class TuningRecord:
         Validates semantics, not just structure: a hand-edited database with
         an impossible candidate (unknown algorithm, non-power-of-two word
         width, zero batch) must fail *here* with a :class:`TuningError`, not
-        later inside the frontends as a served "winner".
+        later inside the frontends as a served "winner".  A record with no
+        ``tenant`` field (every pre-tenant file) loads into the shared
+        :data:`~repro.tenancy.DEFAULT_TENANT` namespace.
         """
+        if not isinstance(payload, dict):
+            raise TuningError(f"corrupt tuning record: {payload!r}")
+        payload = dict(payload)
+        payload.setdefault("tenant", DEFAULT_TENANT)
+        try:
+            validate_tenant(payload["tenant"])
+        except ValueError as error:
+            raise TuningError(f"corrupt tuning record: {error}") from None
         try:
             candidate = Candidate(**payload["candidate"])
             fields = {f.name: payload[f.name] for f in dataclasses.fields(cls)}
@@ -203,13 +232,31 @@ class TuningDatabase:
                 self._records[key] = record
 
     @staticmethod
-    def _key(workload: Workload, device_name: str) -> str:
-        return f"{workload.fingerprint()}::{device_name}::v{TUNER_VERSION}"
+    def _key(
+        workload: Workload, device_name: str, tenant: str = DEFAULT_TENANT
+    ) -> str:
+        return qualify_key(
+            tenant, f"{workload.fingerprint()}::{device_name}::v{TUNER_VERSION}"
+        )
 
-    def lookup(self, workload: Workload, device_name: str) -> TuningRecord | None:
-        """The remembered winner for (workload family, device), if any."""
+    def lookup(
+        self,
+        workload: Workload,
+        device_name: str,
+        tenant: str = DEFAULT_TENANT,
+    ) -> TuningRecord | None:
+        """The remembered winner for (tenant, workload family, device), if any.
+
+        A non-default tenant's lookup falls back to the shared
+        :data:`~repro.tenancy.DEFAULT_TENANT` namespace on miss — a tenant
+        inherits the shared winner until its own tuning run stores a
+        tenant-scoped record (which then shadows the shared one).  A
+        fallback hit counts as a hit.
+        """
         with self._lock:
-            record = self._records.get(self._key(workload, device_name))
+            record = self._records.get(self._key(workload, device_name, tenant))
+            if record is None and tenant != DEFAULT_TENANT:
+                record = self._records.get(self._key(workload, device_name))
             if record is None:
                 self._misses += 1
                 return None

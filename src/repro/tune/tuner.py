@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.core.driver import CompilerSession
 from repro.gpu.device import DeviceSpec, get_device
 from repro.kernels.config import KernelConfig
+from repro.tenancy import DEFAULT_TENANT, validate_tenant
 from repro.tune.db import TUNER_VERSION, TuningDatabase, TuningRecord
 from repro.tune.evaluate import CandidateEvaluator
 from repro.tune.search import STRATEGIES, SearchResult, Trial, resolve_strategy
@@ -113,10 +114,23 @@ class Autotuner:
         self.seed = seed
         self.save = save
 
-    def tune(self, workload: Workload, device: str | DeviceSpec) -> TuningResult:
-        """Find (or remember) the best configuration for a workload/device."""
+    def tune(
+        self,
+        workload: Workload,
+        device: str | DeviceSpec,
+        tenant: str = DEFAULT_TENANT,
+    ) -> TuningResult:
+        """Find (or remember) the best configuration for a workload/device.
+
+        ``tenant`` selects the tuning-db namespace: lookups try the
+        tenant's namespace first and fall back to the shared default on
+        miss, while a fresh search stores its winner *into* the tenant's
+        namespace — so a tenant forks a family's record only when its own
+        tuning run writes one.
+        """
+        validate_tenant(tenant)
         spec = device if isinstance(device, DeviceSpec) else get_device(device)
-        record = self.db.lookup(workload, spec.name)
+        record = self.db.lookup(workload, spec.name, tenant=tenant)
         if record is not None:
             return TuningResult(
                 workload=workload,
@@ -150,6 +164,7 @@ class Autotuner:
                 evaluations=result.evaluations,
                 space_size=len(space),
                 created_at=TuningDatabase.timestamp(),
+                tenant=tenant,
             ),
             save=self.save,
         )

@@ -1,0 +1,193 @@
+"""The loadgen tenant dimension: spec parsing, traces, replay, SLO blocks.
+
+`--tenants a:0.7,b:0.3@250/fhe_pipeline+rns_conversion` attributes every
+trace event to a weighted tenant (optionally with a per-tenant deadline
+and suite mix).  The properties here: an untenanted config generates
+byte-identical traces to a pre-tenant build, tenants survive a trace
+round-trip, replay forwards the tenant only when non-default (so
+pre-tenant server stand-ins keep working), and the SLO report breaks out
+per-tenant blocks including quota rejections.
+"""
+
+import json
+from concurrent.futures import Future
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import LoadGenError
+from repro.loadgen import (
+    TenantLoad,
+    TraceConfig,
+    build_slo_report,
+    generate_trace,
+    parse_tenants,
+    replay,
+)
+from repro.loadgen.replay import ReplayResult, RequestOutcome
+from repro.loadgen.trace import load_trace, save_trace
+from repro.tenancy import DEFAULT_TENANT
+
+TWO_TENANTS = parse_tenants("a:0.7,b:0.3")
+
+
+class TestParseTenants:
+    def test_full_spec(self):
+        loads = parse_tenants("a:0.7,b:0.3@250/fhe_pipeline+rns_conversion")
+        assert loads == (
+            TenantLoad(name="a", weight=0.7),
+            TenantLoad(
+                name="b",
+                weight=0.3,
+                deadline_ms=250.0,
+                suites=("fhe_pipeline", "rns_conversion"),
+            ),
+        )
+
+    def test_weight_defaults_to_one(self):
+        assert parse_tenants("a,b") == (TenantLoad("a"), TenantLoad("b"))
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",  # no tenants at all
+            "a,a",  # duplicate name
+            "a::b:1",  # invalid tenant id
+            "a:0",  # non-positive weight
+            "a:x",  # unparsable weight
+            "a@0",  # non-positive deadline
+            "a/no_such_suite",  # unknown suite
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(LoadGenError):
+            parse_tenants(spec)
+
+
+class TestTenantedTraces:
+    def test_untenanted_trace_has_no_tenant_keys(self):
+        # Byte-compat with pre-tenant builds: an empty tenants config must
+        # not perturb the rng draw sequence or the serialized payload.
+        trace = generate_trace(TraceConfig(seed=7, requests=32))
+        assert b'"tenant"' not in trace.serialize()
+        assert all(event.tenant == DEFAULT_TENANT for event in trace.events)
+
+    def test_tenanted_trace_round_trips(self, tmp_path):
+        config = TraceConfig(seed=11, requests=48, tenants=TWO_TENANTS)
+        trace = generate_trace(config)
+        assert trace.tenants_used == ("a", "b")
+        path = save_trace(tmp_path / "trace.json", trace)
+        loaded = load_trace(path)
+        assert loaded == trace
+        assert loaded.serialize() == trace.serialize()
+
+    def test_same_seed_is_deterministic_with_tenants(self):
+        config = TraceConfig(seed=3, requests=64, tenants=TWO_TENANTS)
+        assert generate_trace(config).serialize() == generate_trace(config).serialize()
+
+    def test_per_tenant_deadline_and_suites_apply(self):
+        loads = parse_tenants("a:1,b:1@250/rns_conversion")
+        trace = generate_trace(TraceConfig(seed=5, requests=64, tenants=loads))
+        b_events = [event for event in trace.events if event.tenant == "b"]
+        assert b_events, "weighted draw never picked tenant b"
+        assert all(event.deadline_ms == 250.0 for event in b_events)
+        assert all(event.suite == "rns_conversion" for event in b_events)
+
+    def test_corrupt_tenant_in_trace_file_is_rejected(self, tmp_path):
+        trace = generate_trace(TraceConfig(seed=1, requests=4, tenants=TWO_TENANTS))
+        payload = json.loads(trace.serialize())
+        payload["events"][0]["tenant"] = "a::b"
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(LoadGenError, match="tenant"):
+            load_trace(path)
+
+
+class _PreTenantServer:
+    """A pre-tenant serving stand-in: submit() has no tenant parameter."""
+
+    def submit(self, request, deadline_ms=None):
+        future: Future = Future()
+        future.set_result(SimpleNamespace(warm=True))
+        return future
+
+
+class _TenantAwareServer:
+    def __init__(self):
+        self.tenants = []
+
+    def submit(self, request, deadline_ms=None, tenant=DEFAULT_TENANT):
+        self.tenants.append(tenant)
+        future: Future = Future()
+        future.set_result(SimpleNamespace(warm=True))
+        return future
+
+
+class TestReplayTenantForwarding:
+    def test_untenanted_trace_replays_against_pre_tenant_servers(self):
+        trace = generate_trace(TraceConfig(seed=1, requests=8, rate_rps=10_000.0))
+        result = replay(_PreTenantServer(), trace)
+        assert all(outcome.ok for outcome in result.outcomes)
+        assert all(o.tenant == DEFAULT_TENANT for o in result.outcomes)
+
+    def test_tenanted_trace_forwards_the_tenant(self):
+        trace = generate_trace(
+            TraceConfig(seed=1, requests=16, rate_rps=10_000.0, tenants=TWO_TENANTS)
+        )
+        server = _TenantAwareServer()
+        result = replay(server, trace)
+        assert sorted(set(server.tenants)) == ["a", "b"]
+        assert sorted({o.tenant for o in result.outcomes}) == ["a", "b"]
+
+
+def _outcome(tenant, *, ok=True, warm=False, missed=False, error=None,
+             latency=0.010):
+    return RequestOutcome(
+        suite="rns_conversion",
+        index=0,
+        submitted_at_s=0.0,
+        completed_at_s=latency,
+        latency_s=latency,
+        ok=ok,
+        warm=warm,
+        deadline_missed=missed,
+        error=error,
+        lost=False,
+        tenant=tenant,
+    )
+
+
+class TestPerTenantSLOBlocks:
+    def _report(self, outcomes):
+        trace = generate_trace(TraceConfig(seed=1, requests=len(outcomes)))
+        return build_slo_report(
+            ReplayResult(trace=trace, outcomes=tuple(outcomes), duration_s=1.0)
+        )
+
+    def test_untenanted_run_has_no_tenant_section(self):
+        report = self._report([_outcome(DEFAULT_TENANT) for _ in range(4)])
+        assert report.tenants is None
+        assert report.to_payload()["tenants"] is None
+        assert "tenant " not in report.report()
+
+    def test_blocks_split_by_tenant_and_count_quota_rejections(self):
+        outcomes = (
+            [_outcome("a", warm=True, latency=0.010) for _ in range(3)]
+            + [_outcome("a", ok=False, error="QuotaExceededError")]
+            + [_outcome("b", latency=0.050)]
+            + [_outcome("b", ok=False, missed=True, error="DeadlineExceededError")]
+        )
+        report = self._report(outcomes)
+        assert set(report.tenants) == {"a", "b"}
+        block_a, block_b = report.tenants["a"], report.tenants["b"]
+        assert block_a["requests"] == 4
+        assert block_a["ok"] == 3
+        assert block_a["quota_rejections"] == 1
+        assert block_a["warm_ratio"] == pytest.approx(1.0)
+        assert block_a["p95_latency_ms"] == pytest.approx(10.0)
+        assert block_b["quota_rejections"] == 0
+        assert block_b["deadline_misses"] == 1
+        # And the blocks ride the BENCH artifact payload + text report.
+        payload = report.to_payload()
+        assert payload["tenants"]["a"]["quota_rejections"] == 1
+        assert "tenant a" in report.report()

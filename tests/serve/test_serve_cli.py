@@ -95,9 +95,14 @@ class TestShardMode:
         payload = json.loads((tmp_path / "db.json").read_text())
         assert len(payload["records"]) >= 1
 
-    def test_warmup_rejected_in_shard_mode(self, capsys):
-        assert main(["--shards", "2", "--warmup"]) == 2
-        assert "single-process" in capsys.readouterr().err
+    def test_warmup_broadcasts_in_shard_mode(self, tmp_path, capsys):
+        # The control plane made --warmup a per-shard broadcast (it used to
+        # be rejected outside single-process mode): every shard answers
+        # with its own warmup report line.
+        db = str(tmp_path / "db.json")
+        assert main(["--shards", "2", "--warmup", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert out.count("warmup     shard") == 2
 
     def test_nonpositive_shards_rejected(self, capsys):
         assert main(["--shards", "0", "--demo", "4"]) == 2

@@ -1,0 +1,139 @@
+"""Tenant identity, key namespacing, and admission quotas.
+
+The shared helpers every layer leans on: `validate_tenant` is the single
+gatekeeper for ids that become key segments and file-name fragments,
+`qualify_key` pins the default-namespace-is-legacy-format invariant, and
+`TenantRegistry` is the supervisor's admission control.
+"""
+
+import pytest
+
+from repro.errors import QuotaExceededError
+from repro.tenancy import (
+    DEFAULT_TENANT,
+    TenantConfig,
+    TenantRegistry,
+    qualify_key,
+    split_tenant,
+    validate_tenant,
+)
+
+#: Ids that would corrupt a ``::``-joined key, a file name, or a report.
+BAD_TENANTS = ["", "a::b", "a/b", "a\\b", "a b", "a\tb", "a\n", " "]
+
+
+class TestValidateTenant:
+    @pytest.mark.parametrize("tenant", ["a", "acme", "default", "T-1", "x.y_z"])
+    def test_accepts_reasonable_ids(self, tenant):
+        assert validate_tenant(tenant) == tenant
+
+    @pytest.mark.parametrize("tenant", BAD_TENANTS)
+    def test_rejects_corrupting_ids(self, tenant):
+        with pytest.raises(ValueError):
+            validate_tenant(tenant)
+
+    @pytest.mark.parametrize("tenant", [None, 7, b"acme", ["a"]])
+    def test_rejects_non_strings(self, tenant):
+        with pytest.raises(ValueError):
+            validate_tenant(tenant)
+
+
+class TestQualifyKey:
+    def test_default_namespace_is_the_bare_key(self):
+        """The invariant everything else rests on: no prefix for default."""
+        assert qualify_key(DEFAULT_TENANT, "ntt/x::dev") == "ntt/x::dev"
+
+    def test_non_default_tenant_prefixes(self):
+        assert qualify_key("acme", "ntt/x::dev") == "acme::ntt/x::dev"
+
+    def test_invalid_tenant_raises(self):
+        with pytest.raises(ValueError):
+            qualify_key("a::b", "key")
+
+    def test_split_round_trips_serve_style_keys(self):
+        bare = "ntt/cooley_tukey/n16/128b::m124::rtx4090::python_exec::tuned"
+        assert split_tenant(qualify_key("acme", bare)) == ("acme", bare)
+        # A bare serve key starts with the workload family, whose '/'
+        # segments can never validate as a tenant id — no false split.
+        assert split_tenant(bare) == (DEFAULT_TENANT, bare)
+
+    def test_split_with_known_tenants_disambiguates(self):
+        assert split_tenant("acme::rest", known_tenants=("acme",)) == (
+            "acme",
+            "rest",
+        )
+        assert split_tenant("fingerprint::rest", known_tenants=("acme",)) == (
+            DEFAULT_TENANT,
+            "fingerprint::rest",
+        )
+
+
+class TestTenantConfig:
+    def test_validates_its_tenant_and_limits(self):
+        with pytest.raises(ValueError):
+            TenantConfig(tenant="a::b")
+        with pytest.raises(ValueError):
+            TenantConfig(tenant="a", rate_rps=0)
+        with pytest.raises(ValueError):
+            TenantConfig(tenant="a", max_in_flight=0)
+
+    def test_label_prefers_display_name(self):
+        assert TenantConfig(tenant="a").label == "a"
+        assert TenantConfig(tenant="a", display_name="Acme Corp").label == (
+            "Acme Corp"
+        )
+
+
+class TestTenantRegistry:
+    def test_unregistered_tenants_are_unlimited(self):
+        registry = TenantRegistry()
+        for _ in range(100):
+            registry.admit("anyone")
+        assert registry.in_flight("anyone") == 100
+        assert registry.rejected("anyone") == 0
+
+    def test_in_flight_cap_rejects_and_release_frees(self):
+        registry = TenantRegistry((TenantConfig(tenant="a", max_in_flight=2),))
+        registry.admit("a")
+        registry.admit("a")
+        with pytest.raises(QuotaExceededError):
+            registry.admit("a")
+        assert registry.rejected("a") == 1
+        registry.release("a")
+        registry.admit("a")  # freed slot admits again
+        assert registry.in_flight("a") == 2
+
+    def test_rate_window_rejects_then_slides(self):
+        registry = TenantRegistry((TenantConfig(tenant="a", rate_rps=2),))
+        registry.admit("a", now=100.0)
+        registry.admit("a", now=100.1)
+        with pytest.raises(QuotaExceededError):
+            registry.admit("a", now=100.2)
+        # 1.5 s later the window has slid past both earlier admissions.
+        registry.admit("a", now=101.6)
+        assert registry.rejected("a") == 1
+
+    def test_one_tenant_over_quota_never_blocks_another(self):
+        registry = TenantRegistry((TenantConfig(tenant="a", max_in_flight=1),))
+        registry.admit("a")
+        with pytest.raises(QuotaExceededError):
+            registry.admit("a")
+        registry.admit("b")  # unconfigured tenant is untouched
+        assert registry.in_flight("b") == 1
+
+    def test_snapshot_reports_state_and_limits(self):
+        registry = TenantRegistry(
+            (TenantConfig(tenant="a", rate_rps=10, max_in_flight=1),)
+        )
+        registry.admit("a")
+        with pytest.raises(QuotaExceededError):
+            registry.admit("a")
+        registry.admit("b")
+        snapshot = registry.snapshot()
+        assert snapshot["a"] == {
+            "in_flight": 1,
+            "rejected": 1,
+            "rate_rps": 10,
+            "max_in_flight": 1,
+        }
+        assert snapshot["b"] == {"in_flight": 1, "rejected": 0}

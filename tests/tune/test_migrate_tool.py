@@ -1,0 +1,98 @@
+"""`tools/migrate_tuning_db.py` against a real pre-tenant fixture file.
+
+The tool's contract: `--check` flags a pre-tenant file (exit 1), a plain
+run makes it self-describing (keys unchanged — the default namespace IS
+the legacy format), `--tenant NAME` re-homes records and tombstones with
+the `NAME::` prefix, runs are idempotent, and the migrated file loads
+through `TuningDatabase` with every record in the right namespace.
+"""
+
+import importlib.util
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.tenancy import DEFAULT_TENANT
+from repro.tune import TuningDatabase
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+FIXTURE = REPO_ROOT / "tests" / "fixtures" / "pre_tenant_tuning_db.json"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "migrate_tuning_db", REPO_ROOT / "tools" / "migrate_tuning_db.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def tool():
+    return _load_tool()
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    target = tmp_path / "tuning.json"
+    shutil.copy(FIXTURE, target)
+    return target
+
+
+class TestDefaultNamespaceMigration:
+    def test_check_then_migrate_then_check(self, tool, db_file, capsys):
+        assert tool.main(["--check", str(db_file)]) == 1
+        assert "needs migration" in capsys.readouterr().out
+        before_keys = set(json.loads(db_file.read_text())["records"])
+
+        assert tool.main([str(db_file)]) == 0
+        assert tool.main(["--check", str(db_file)]) == 0
+
+        document = json.loads(db_file.read_text())
+        # Keys unchanged (default namespace is the bare legacy format);
+        # records became self-describing.
+        assert set(document["records"]) == before_keys
+        assert all(
+            payload["tenant"] == DEFAULT_TENANT
+            for payload in document["records"].values()
+        )
+
+    def test_migration_is_idempotent(self, tool, db_file):
+        tool.main([str(db_file)])
+        first = db_file.read_text()
+        assert tool.main([str(db_file)]) == 0
+        assert db_file.read_text() == first
+
+    def test_migrated_file_loads_into_the_default_namespace(self, tool, db_file):
+        tool.main([str(db_file)])
+        db = TuningDatabase(path=db_file)
+        records = db.records()
+        assert len(records) == 2
+        assert all(record.tenant == DEFAULT_TENANT for record in records.values())
+
+
+class TestReHoming:
+    def test_tenant_flag_prefixes_records_and_tombstones(self, tool, db_file):
+        assert tool.main(["--tenant", "acme", str(db_file)]) == 0
+        document = json.loads(db_file.read_text())
+        assert all(key.startswith("acme::") for key in document["records"])
+        assert all(key.startswith("acme::") for key in document["dropped"])
+
+        db = TuningDatabase(path=db_file)
+        assert all(record.tenant == "acme" for record in db.records().values())
+
+    def test_invalid_tenant_is_refused(self, tool, db_file):
+        assert tool.main(["--tenant", "a::b", str(db_file)]) == 2
+        # Untouched: still a pre-tenant file.
+        assert tool.main(["--check", str(db_file)]) == 1
+
+    def test_corrupt_file_is_reported_and_left_alone(self, tool, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": 1, "records": {"k": {"nope": 1}}}))
+        before = bad.read_text()
+        assert tool.main([str(bad)]) == 2
+        assert "NOT migrated" in capsys.readouterr().err
+        assert bad.read_text() == before
